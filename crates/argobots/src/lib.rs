@@ -1,0 +1,65 @@
+//! # lwt-argobots — an Argobots-model lightweight-thread runtime
+//!
+//! From-scratch Rust implementation of the programming model the paper
+//! describes for Argobots (Seo et al.), "the likely most flexible and
+//! recent solution … a mechanism-oriented LWT library that allows
+//! programmers to create their own PMs":
+//!
+//! * **Execution Streams** ([`Runtime::stream_create`]) — the
+//!   OS-thread-backed execution resources. Unlike every other runtime in
+//!   this workspace they can be created *dynamically at run time*, not
+//!   only at initialization (paper Table I, "Group Control").
+//! * **Two work-unit types** — stackful, yieldable **ULTs**
+//!   ([`Runtime::ult_create`]) and stackless, atomically-executed
+//!   **Tasklets** ([`Runtime::tasklet_create`]). The paper's Figs. 2, 5
+//!   and 6 show tasklets beating ULTs by ~2× at creation; the
+//!   `ablation_workunit` bench reproduces that comparison.
+//! * **Configurable pools** — one private pool per stream (the
+//!   configuration the paper's evaluation always selects for Argobots,
+//!   with round-robin dispatch from the creator) or a single shared
+//!   pool ([`PoolPolicy`]).
+//! * **Pluggable, stackable schedulers** ([`Scheduler`],
+//!   [`Runtime::push_scheduler`]) — custom instances per stream, pushed
+//!   and popped at run time.
+//! * **`yield_to`** ([`yield_to`]) — direct ULT→ULT transfer that
+//!   "avoids a call to the scheduler, giving directly the control to
+//!   another ULT" — unique to Argobots in the paper's Table I.
+//!
+//! Joins follow the Argobots recipe the paper credits for its flat join
+//! curve (Fig. 3): the joiner polls the work-unit *status word* and the
+//! structure is freed with the handle (`ABT_thread_free` ≙ join +
+//! drop).
+//!
+//! ## Example
+//!
+//! ```
+//! use lwt_argobots::{Config, PoolPolicy, Runtime};
+//!
+//! let rt = Runtime::init(Config {
+//!     num_streams: 2,
+//!     pool_policy: PoolPolicy::PrivatePerStream,
+//!     ..Config::default()
+//! });
+//! let h: Vec<_> = (0..8)
+//!     .map(|i| rt.ult_create(move || i * 2))
+//!     .collect();
+//! let sum: usize = h.into_iter().map(|h| h.join()).sum();
+//! assert_eq!(sum, 56);
+//! rt.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod pool;
+mod sync;
+mod runtime;
+mod sched;
+mod stream;
+mod unit;
+
+pub use pool::{Pool, PoolPolicy};
+pub use runtime::{Config, Runtime};
+pub use sched::{BasicScheduler, Pick, SchedContext, Scheduler, WorkUnit};
+pub use stream::{current_stream, in_ult, yield_now, yield_to};
+pub use sync::{AbtBarrier, AbtCond, AbtFuture, AbtMutex, AbtMutexGuard, Eventual};
+pub use unit::{TaskletHandle, UltHandle, UnitState};

@@ -1,0 +1,76 @@
+//! Work-unit pools and pool topology policies.
+
+use lwt_sched::SharedQueue;
+
+use crate::unit::Unit;
+
+/// How pools map onto execution streams.
+///
+/// The paper evaluates both layouts and always selects the private one
+/// for Argobots ("Argobots with one private queue for each Execution
+/// Stream … were always chosen", §IX-E); the shared layout exists for
+/// the `ablation_pools` bench that quantifies why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolPolicy {
+    /// One pool per stream; creators dispatch round-robin into the
+    /// target stream's pool. Pops never contend across streams.
+    #[default]
+    PrivatePerStream,
+    /// One pool shared by every stream; all pops contend on its lock.
+    SharedSingle,
+}
+
+/// Internal pool representation: a mutex-protected FIFO of unit hints.
+///
+/// Even "private" pools need a lock because the *creator* (the main
+/// thread, or any ULT on another stream) pushes into them; privacy
+/// refers to who *consumes*, mirroring `ABT_POOL_ACCESS_MPSC`.
+pub(crate) struct PoolShared {
+    queue: SharedQueue<Unit>,
+}
+
+impl PoolShared {
+    pub(crate) fn new() -> Self {
+        PoolShared {
+            queue: SharedQueue::new(),
+        }
+    }
+
+    pub(crate) fn push(&self, unit: Unit) {
+        self.queue.push(unit);
+    }
+
+    pub(crate) fn pop(&self) -> Option<Unit> {
+        self.queue.pop()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Public, read-only view of a pool (diagnostics and custom
+/// schedulers).
+pub struct Pool {
+    pub(crate) shared: std::sync::Arc<PoolShared>,
+}
+
+impl Pool {
+    /// Number of queued unit hints (racy; stale entries included).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Whether the pool currently appears empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("len", &self.len()).finish()
+    }
+}

@@ -1,0 +1,228 @@
+//! Work units: ULTs (stackful) and Tasklets (stackless).
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use lwt_fiber::{RawContext, Stack};
+
+use crate::pool::PoolShared;
+
+/// Observable lifecycle of a work unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitState {
+    /// Queued in a pool, claimable by a stream (or `yield_to`).
+    Ready,
+    /// Executing (or suspended mid-execution awaiting re-queue).
+    Running,
+    /// Completed; joiners may proceed and the structure may be freed.
+    Terminated,
+}
+
+pub(crate) const READY: u8 = 0;
+pub(crate) const RUNNING: u8 = 1;
+pub(crate) const TERMINATED: u8 = 2;
+
+fn state_from_u8(v: u8) -> UnitState {
+    match v {
+        READY => UnitState::Ready,
+        RUNNING => UnitState::Running,
+        _ => UnitState::Terminated,
+    }
+}
+
+/// Type-erased entry closure.
+pub(crate) type Entry = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state of a ULT.
+pub(crate) struct UltInner {
+    pub(crate) state: AtomicU8,
+    /// Suspended context; valid whenever the ULT is not running.
+    pub(crate) ctx: UnsafeCell<RawContext>,
+    /// Owned stack; dropped with the last Arc (join + handle drop ≙
+    /// `ABT_thread_free`).
+    pub(crate) stack: UnsafeCell<Option<Stack>>,
+    /// Entry closure, taken exactly once at first execution.
+    pub(crate) entry: UnsafeCell<Option<Entry>>,
+    /// Pool this ULT returns to when it yields.
+    pub(crate) home: UnsafeCell<Option<Arc<PoolShared>>>,
+    /// Panic payload captured from the entry closure, re-raised at join.
+    pub(crate) panic: UnsafeCell<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: interior fields follow the claim protocol — `ctx`, `entry`
+// and `panic` are only touched by the thread that owns the unit's
+// RUNNING claim (or before first enqueue); `home` is written once at
+// creation; `state` transitions publish with Release/Acquire.
+unsafe impl Send for UltInner {}
+// SAFETY: see above.
+unsafe impl Sync for UltInner {}
+
+impl UltInner {
+    pub(crate) fn state(&self) -> UnitState {
+        state_from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Claim READY → RUNNING; grants exclusive execution rights.
+    pub(crate) fn claim(&self) -> bool {
+        self.state
+            .compare_exchange(READY, RUNNING, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    pub(crate) fn is_terminated(&self) -> bool {
+        self.state.load(Ordering::Acquire) == TERMINATED
+    }
+}
+
+/// Shared state of a tasklet: no stack, no context — just a closure
+/// executed atomically on the scheduler's own stack.
+pub(crate) struct TaskletInner {
+    pub(crate) state: AtomicU8,
+    pub(crate) entry: UnsafeCell<Option<Entry>>,
+    pub(crate) panic: UnsafeCell<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: same claim protocol as UltInner, minus the context fields.
+unsafe impl Send for TaskletInner {}
+// SAFETY: see above.
+unsafe impl Sync for TaskletInner {}
+
+impl TaskletInner {
+    pub(crate) fn state(&self) -> UnitState {
+        state_from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn claim(&self) -> bool {
+        self.state
+            .compare_exchange(READY, RUNNING, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    pub(crate) fn is_terminated(&self) -> bool {
+        self.state.load(Ordering::Acquire) == TERMINATED
+    }
+}
+
+/// A queued work unit (pool entry). Entries are *hints*: execution
+/// rights come from the claim CAS, so a stale entry for an already
+/// claimed unit is skipped harmlessly.
+#[derive(Clone)]
+pub(crate) enum Unit {
+    Ult(Arc<UltInner>),
+    Tasklet(Arc<TaskletInner>),
+}
+
+/// Slot the spawned closure writes its result into; synchronized by the
+/// TERMINATED transition of the owning unit.
+pub(crate) struct ResultCell<T>(pub(crate) UnsafeCell<Option<T>>);
+
+// SAFETY: exactly one writer (the unit, before TERMINATED) and readers
+// only after observing TERMINATED with Acquire.
+unsafe impl<T: Send> Send for ResultCell<T> {}
+// SAFETY: see above.
+unsafe impl<T: Send> Sync for ResultCell<T> {}
+
+/// Handle to a spawned ULT; join to obtain the closure's result.
+///
+/// Dropping the handle after (or without) joining releases the ULT
+/// structure — together, `join` + drop correspond to
+/// `ABT_thread_free`.
+pub struct UltHandle<T> {
+    pub(crate) inner: Arc<UltInner>,
+    pub(crate) result: Arc<ResultCell<T>>,
+}
+
+impl<T> UltHandle<T> {
+    /// Current lifecycle state.
+    #[must_use]
+    pub fn state(&self) -> UnitState {
+        self.inner.state()
+    }
+
+    /// Wait for completion and take the result.
+    ///
+    /// Inside a ULT this yields the caller (keeping the stream busy);
+    /// from an external thread it spin-yields, matching how the paper's
+    /// microbenchmarks join from the master thread.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic that escaped the ULT's closure, and panics if
+    /// the result was already taken.
+    pub fn join(self) -> T {
+        crate::stream::wait_until(|| self.inner.is_terminated());
+        // SAFETY: TERMINATED observed with Acquire; the unit will never
+        // touch `panic`/result again; we own the handle.
+        unsafe {
+            if let Some(p) = (*self.inner.panic.get()).take() {
+                std::panic::resume_unwind(p);
+            }
+            (*self.result.0.get())
+                .take()
+                .expect("ULT result already taken")
+        }
+    }
+
+    /// Non-consuming completion test.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_terminated()
+    }
+}
+
+impl<T> std::fmt::Debug for UltHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UltHandle")
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+/// Handle to a spawned tasklet.
+pub struct TaskletHandle<T> {
+    pub(crate) inner: Arc<TaskletInner>,
+    pub(crate) result: Arc<ResultCell<T>>,
+}
+
+impl<T> TaskletHandle<T> {
+    /// Current lifecycle state.
+    #[must_use]
+    pub fn state(&self) -> UnitState {
+        self.inner.state()
+    }
+
+    /// Wait for completion and take the result (see
+    /// [`UltHandle::join`] for the waiting discipline).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic that escaped the tasklet's closure.
+    pub fn join(self) -> T {
+        crate::stream::wait_until(|| self.inner.is_terminated());
+        // SAFETY: as in UltHandle::join.
+        unsafe {
+            if let Some(p) = (*self.inner.panic.get()).take() {
+                std::panic::resume_unwind(p);
+            }
+            (*self.result.0.get())
+                .take()
+                .expect("tasklet result already taken")
+        }
+    }
+
+    /// Non-consuming completion test.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_terminated()
+    }
+}
+
+impl<T> std::fmt::Debug for TaskletHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskletHandle")
+            .field("state", &self.state())
+            .finish()
+    }
+}

@@ -1,0 +1,13 @@
+//! Paper Fig. 7: nested parallel for (n × n; paper used 1000 — heavy,
+//! so the default here is 64; set LWT_NESTED_N to scale up).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lwt_microbench::runners::Experiment;
+
+fn fig7(c: &mut Criterion) {
+    let n = lwt_microbench::env_usize("LWT_NESTED_N", 64);
+    lwt_bench::run_figure(c, "fig7_nested_for", Experiment::NestedFor { n });
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

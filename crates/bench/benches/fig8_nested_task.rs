@@ -1,0 +1,17 @@
+//! Paper Fig. 8: nested tasks (100 parents × 4 children).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lwt_microbench::runners::Experiment;
+
+fn fig8(c: &mut Criterion) {
+    let parents = lwt_microbench::env_usize("LWT_PARENTS", 100);
+    let children = lwt_microbench::env_usize("LWT_CHILDREN", 4);
+    lwt_bench::run_figure(
+        c,
+        "fig8_nested_task",
+        Experiment::NestedTask { parents, children },
+    );
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Table I as a benchmark target: the feature matrix is static data,
+//! so this target measures the *price of the features* instead — the
+//! yield path of each library that offers one, and Argobots' unique
+//! `yield_to` against a plain yield (the Table I row only Argobots
+//! checks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lwt_core::{BackendKind, Glt};
+
+/// The backend's own yield, guarded exactly like `Glt::yield_now`
+/// (Converse GLT units are messages, which must not yield).
+fn backend_yield(kind: BackendKind) {
+    match kind {
+        BackendKind::Argobots => {
+            if lwt_argobots::in_ult() {
+                lwt_argobots::yield_now();
+            }
+        }
+        BackendKind::Go => {}
+        _ => {
+            if lwt_ultcore::in_ult() {
+                lwt_ultcore::yield_now();
+            }
+        }
+    }
+}
+
+/// One ULT performing `YIELDS` yields; measures the per-yield cost of
+/// each backend's reschedule path.
+fn yield_cost(c: &mut Criterion) {
+    const YIELDS: usize = 256;
+    let mut group = c.benchmark_group("table1_yield_cost");
+    lwt_bench::tune(&mut group);
+    for kind in BackendKind::ALL {
+        // Go's Table I row has no yield; skip it (its channel ops embed
+        // the reschedule instead).
+        if kind == BackendKind::Go {
+            continue;
+        }
+        group.bench_function(BenchmarkId::new(kind.name(), YIELDS), |b| {
+            b.iter_custom(|iters| {
+                let glt = Glt::init(kind, 1);
+                let t0 = std::time::Instant::now();
+                for _ in 0..iters {
+                    let h = glt.ult_create(move || {
+                        for _ in 0..YIELDS {
+                            backend_yield(kind);
+                        }
+                    });
+                    h.join();
+                }
+                let dt = t0.elapsed();
+                glt.finalize();
+                dt
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Argobots `yield_to` (direct transfer) vs `yield` (through the
+/// scheduler) — the feature the paper calls out as unique.
+fn yield_to_vs_yield(c: &mut Criterion) {
+    const HOPS: usize = 128;
+    let mut group = c.benchmark_group("table1_yield_to");
+    lwt_bench::tune(&mut group);
+
+    group.bench_function("abt_yield_through_scheduler", |b| {
+        b.iter_custom(|iters| {
+            let rt = lwt_argobots::Runtime::init(lwt_argobots::Config {
+                num_streams: 1,
+                ..Default::default()
+            });
+            let t0 = std::time::Instant::now();
+            for _ in 0..iters {
+                let a = rt.ult_create(|| {
+                    for _ in 0..HOPS {
+                        lwt_argobots::yield_now();
+                    }
+                });
+                let bq = rt.ult_create(|| {
+                    for _ in 0..HOPS {
+                        lwt_argobots::yield_now();
+                    }
+                });
+                a.join();
+                bq.join();
+            }
+            let dt = t0.elapsed();
+            rt.shutdown();
+            dt
+        });
+    });
+
+    group.bench_function("abt_yield_to_direct", |b| {
+        b.iter_custom(|iters| {
+            let rt = lwt_argobots::Runtime::init(lwt_argobots::Config {
+                num_streams: 1,
+                ..Default::default()
+            });
+            let t0 = std::time::Instant::now();
+            for _ in 0..iters {
+                let rt2 = rt.clone();
+                let driver = rt.ult_create(move || {
+                    // Spawn a partner, then ping-pong into it directly.
+                    let partner = rt2.ult_create(|| {
+                        for _ in 0..HOPS {
+                            lwt_argobots::yield_now();
+                        }
+                    });
+                    for _ in 0..HOPS {
+                        lwt_argobots::yield_to(&partner);
+                    }
+                    partner.join();
+                });
+                driver.join();
+            }
+            let dt = t0.elapsed();
+            rt.shutdown();
+            dt
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, yield_cost, yield_to_vs_yield);
+criterion_main!(benches);

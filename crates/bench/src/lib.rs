@@ -1,0 +1,61 @@
+//! # lwt-bench — Criterion benchmark harness
+//!
+//! One Criterion bench target per table/figure of the paper
+//! (`benches/fig2_create.rs` … `benches/fig8_nested_task.rs`,
+//! `benches/table1_checks.rs`) plus the ablation benches called out in
+//! `DESIGN.md` §5 (`benches/ablations.rs`).
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use lwt_microbench::runners::{measure, Experiment, Series};
+
+/// Thread counts used by the Criterion sweeps: a compact subset that
+/// still exposes the scaling trends on small CI machines. Override via
+/// `LWT_THREADS`.
+#[must_use]
+pub fn bench_threads() -> Vec<usize> {
+    std::env::var("LWT_THREADS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t| t > 0)
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4])
+}
+
+/// Tighten a Criterion group for the many-point figure sweeps (9 series
+/// × threads): small sample counts, short windows.
+pub fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150));
+}
+
+/// Benchmark one figure: every series × every thread count, using the
+/// exact measurement code behind the `lwt-microbench` figure binaries.
+pub fn run_figure(c: &mut Criterion, figure: &str, experiment: Experiment) {
+    let mut group = c.benchmark_group(figure);
+    tune(&mut group);
+    for &threads in &bench_threads() {
+        for series in Series::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(series.label(), threads),
+                &threads,
+                |b, &t| {
+                    b.iter_custom(|iters| {
+                        let stats = measure(series, experiment, t, iters as usize);
+                        stats.mean.saturating_mul(u32::try_from(iters).unwrap_or(u32::MAX))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}

@@ -1,0 +1,563 @@
+//! # lwt-converse — a Converse-Threads-model lightweight-thread runtime
+//!
+//! From-scratch Rust implementation of the programming model the paper
+//! describes for Converse Threads (Kalé et al.), the substrate of
+//! Charm++ and one of the oldest LWT designs:
+//!
+//! * **Processors** — OS threads, each with its own work-unit queue.
+//! * **Two work-unit types**: stackful **ULTs** (`CthThread`,
+//!   [`Runtime::spawn_ult`]) and stackless **Messages** (
+//!   [`Runtime::send`]) that "are executed atomically" and serve as the
+//!   inter-processor communication *and* synchronization mechanism.
+//! * **The insertion rule** the paper highlights: "each thread has its
+//!   own work unit queue but **only messages can be inserted, before
+//!   their execution, into other thread's queues**". Accordingly,
+//!   [`Runtime::send`]/[`Runtime::send_rr`] (messages) accept any
+//!   caller, while [`Runtime::spawn_ult`] is only callable *from a
+//!   processor* and lands on that processor's own queue.
+//! * **Barrier-based join** ([`Runtime::barrier`]) in the Converse
+//!   *return mode*: the master dispatches messages round-robin and then
+//!   waits for global quiescence at a barrier all processors
+//!   participate in — the mechanism behind Converse's linearly-growing
+//!   join time in the paper's Fig. 3.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//! use lwt_converse::{Config, Runtime};
+//!
+//! let rt = Runtime::init(Config { num_processors: 2 });
+//! let hits = Arc::new(AtomicUsize::new(0));
+//! for _ in 0..10 {
+//!     let hits = hits.clone();
+//!     rt.send_rr(move || {
+//!         hits.fetch_add(1, Ordering::Relaxed);
+//!     });
+//! }
+//! rt.barrier(); // return-mode join
+//! assert_eq!(hits.load(Ordering::Relaxed), 10);
+//! rt.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod chare;
+
+pub use chare::Chare;
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use lwt_fiber::StackSize;
+use lwt_sched::{RoundRobin, SharedQueue};
+use lwt_sync::{SenseBarrier, SpinLock};
+use lwt_ultcore::{enter_worker, run_ult, wait_until, ResultCell, Requeue, UltCore};
+
+pub use lwt_ultcore::{current_worker as current_processor, in_ult, yield_now};
+
+/// Park the calling ULT until [`UltHandle::awaken`] (`CthSuspend`).
+///
+/// # Panics
+///
+/// Panics when called outside a ULT (messages cannot suspend).
+pub fn suspend() {
+    lwt_ultcore::suspend();
+}
+
+/// Runtime configuration (`ConverseInit`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of processors (`+p` in Converse command lines).
+    pub num_processors: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            num_processors: std::thread::available_parallelism().map_or(4, usize::from),
+        }
+    }
+}
+
+/// ULT stack size (`CthCreate`'s stack argument; Converse defaults to
+/// 64 KiB on Linux).
+const CTH_STACK: StackSize = StackSize::DEFAULT;
+
+/// A queued work unit on a processor.
+enum ConvUnit {
+    /// Stackless, atomically executed message (`CmiSyncSend`).
+    Message(Box<dyn FnOnce() + Send + 'static>),
+    /// Stackful ULT (`CthThread`).
+    Ult(Arc<UltCore>),
+}
+
+struct Proc {
+    queue: SharedQueue<ConvUnit>,
+}
+
+struct RtInner {
+    procs: Vec<Arc<Proc>>,
+    /// Work units created but not yet fully executed; the quiescence
+    /// condition for barrier entry.
+    outstanding: AtomicUsize,
+    /// Barrier epochs requested by the master vs completed.
+    barrier_requested: AtomicUsize,
+    barrier_completed: AtomicUsize,
+    barrier: SenseBarrier,
+    threads: SpinLock<Vec<Option<std::thread::JoinHandle<()>>>>,
+    rr: RoundRobin,
+    stop: AtomicBool,
+    shut: AtomicBool,
+}
+
+/// The Converse-model runtime. Cheap to clone.
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<RtInner>,
+}
+
+/// Handle to a ULT created with [`Runtime::spawn_ult`].
+pub struct UltHandle<T> {
+    ult: Arc<UltCore>,
+    result: Arc<ResultCell<T>>,
+    /// The owning processor — Converse ULTs never migrate, so awaken
+    /// re-queues there.
+    proc: usize,
+    rt: Runtime,
+}
+
+impl<T> UltHandle<T> {
+    /// Wait for completion (yielding when inside a ULT) and take the
+    /// result.
+    ///
+    /// Must be called from a ULT or an external thread — **never from
+    /// a message**: messages execute atomically on their processor's
+    /// scheduler stack, so blocking in one wedges the processor (the
+    /// same rule as in C Converse). Prefer [`Runtime::barrier`] for
+    /// message-fanout joins.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic that escaped the ULT's closure.
+    pub fn join(self) -> T {
+        wait_until(|| self.ult.is_terminated());
+        if let Some(p) = self.ult.take_panic() {
+            std::panic::resume_unwind(p);
+        }
+        // SAFETY: TERMINATED observed; sole joiner.
+        unsafe { self.result.take() }.expect("converse ULT result missing")
+    }
+
+    /// Non-consuming completion test.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.ult.is_terminated()
+    }
+
+    /// Resume a [`suspend`]ed ULT on its own processor (`CthAwaken`).
+    /// Returns `false` when the ULT is not suspended.
+    pub fn awaken(&self) -> bool {
+        let inner = self.rt.inner.clone();
+        let proc = self.proc;
+        lwt_ultcore::awaken(&self.ult, move |u| {
+            inner.procs[proc].queue.push(ConvUnit::Ult(u));
+        })
+    }
+}
+
+impl<T> std::fmt::Debug for UltHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("converse::UltHandle")
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Start the processors (`ConverseInit`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.num_processors` is zero.
+    #[must_use]
+    pub fn init(config: Config) -> Self {
+        assert!(config.num_processors > 0, "need at least one processor");
+        let procs: Vec<Arc<Proc>> = (0..config.num_processors)
+            .map(|_| {
+                Arc::new(Proc {
+                    queue: SharedQueue::new(),
+                })
+            })
+            .collect();
+        let inner = Arc::new(RtInner {
+            procs,
+            outstanding: AtomicUsize::new(0),
+            barrier_requested: AtomicUsize::new(0),
+            barrier_completed: AtomicUsize::new(0),
+            // Processors + the external master.
+            barrier: SenseBarrier::new(config.num_processors + 1),
+            threads: SpinLock::new(Vec::new()),
+            rr: RoundRobin::new(config.num_processors),
+            stop: AtomicBool::new(false),
+            shut: AtomicBool::new(false),
+        });
+        let rt = Runtime { inner };
+        let mut threads = rt.inner.threads.lock();
+        for p in 0..config.num_processors {
+            let inner = rt.inner.clone();
+            threads.push(Some(
+                std::thread::Builder::new()
+                    .name(format!("cvt-p{p}"))
+                    .spawn(move || proc_main(&inner, p))
+                    .expect("spawn converse processor"),
+            ));
+        }
+        drop(threads);
+        rt
+    }
+
+    /// [`Runtime::init`] with defaults.
+    #[must_use]
+    pub fn init_default() -> Self {
+        Self::init(Config::default())
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn num_processors(&self) -> usize {
+        self.inner.procs.len()
+    }
+
+    /// Send a message to a specific processor's queue (`CmiSyncSend`).
+    /// Messages run atomically: no yield, no suspension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn send<F>(&self, proc: usize, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.inner.outstanding.fetch_add(1, Ordering::AcqRel);
+        self.inner.procs[proc].queue.push(ConvUnit::Message(Box::new(f)));
+    }
+
+    /// Send a message with round-robin processor selection — the
+    /// master-thread dispatch the paper's microbenchmarks use.
+    pub fn send_rr<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.send(self.inner.rr.next(), f);
+    }
+
+    /// Create a ULT on the *calling* processor's queue (`CthCreate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from outside a processor — per the paper,
+    /// "only messages can be inserted … into other thread's queues",
+    /// so external threads must use [`Runtime::send`].
+    pub fn spawn_ult<T, F>(&self, f: F) -> UltHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let proc = current_processor().expect(
+            "CthCreate outside a processor: only messages may enter another \
+             processor's queue",
+        );
+        let result = ResultCell::new();
+        let slot = result.clone();
+        let ult = UltCore::new(CTH_STACK, move || {
+            let value = f();
+            // SAFETY: sole writer, before TERMINATED.
+            unsafe { slot.put(value) };
+        });
+        self.inner.outstanding.fetch_add(1, Ordering::AcqRel);
+        self.inner.procs[proc].queue.push(ConvUnit::Ult(ult.clone()));
+        UltHandle {
+            ult,
+            result,
+            proc,
+            rt: self.clone(),
+        }
+    }
+
+    /// Return-mode join: wait until every queued work unit (including
+    /// transitively created ones) has executed, synchronizing with all
+    /// processors at a barrier.
+    ///
+    /// The barrier episode costs O(processors) — the linear join the
+    /// paper measures for Converse Threads in Fig. 3.
+    pub fn barrier(&self) {
+        self.inner.barrier_requested.fetch_add(1, Ordering::AcqRel);
+        let mut relax = lwt_sync::AdaptiveRelax::new();
+        if self.inner.barrier.wait(move || relax.relax()) {
+            self.inner.barrier_completed.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Stop all processors and join their threads (`ConverseExit`).
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        if self.inner.shut.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.inner.stop.store(true, Ordering::Release);
+        let mut threads = self.inner.threads.lock();
+        for t in threads.iter_mut() {
+            if let Some(t) = t.take() {
+                t.join().expect("converse processor panicked");
+            }
+        }
+    }
+}
+
+impl Drop for RtInner {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.lock().iter_mut() {
+            if let Some(t) = t.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("converse::Runtime")
+            .field("processors", &self.num_processors())
+            .field("outstanding", &self.inner.outstanding.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn proc_main(inner: &Arc<RtInner>, p: usize) {
+    let proc = inner.procs[p].clone();
+    let requeue: Arc<dyn Requeue> = {
+        let procs = inner.procs.clone();
+        Arc::new(move |worker: usize, u: Arc<UltCore>| {
+            // Yielded ULTs return to their current processor's queue —
+            // ULTs never migrate through another queue (messages only).
+            procs[worker].queue.push(ConvUnit::Ult(u));
+        })
+    };
+    let _guard = enter_worker(p, requeue);
+    let mut backoff = lwt_sync::Backoff::new();
+    loop {
+        match proc.queue.pop() {
+            Some(ConvUnit::Message(f)) => {
+                backoff.reset();
+                // Messages execute atomically on the processor's stack.
+                f();
+                inner.outstanding.fetch_sub(1, Ordering::AcqRel);
+            }
+            Some(ConvUnit::Ult(u)) => {
+                backoff.reset();
+                let claimed = run_ult(&u);
+                if claimed && u.is_terminated() {
+                    inner.outstanding.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            None => {
+                // Quiescent? Serve a pending barrier episode.
+                if inner.barrier_requested.load(Ordering::Acquire)
+                    > inner.barrier_completed.load(Ordering::Acquire)
+                    && inner.outstanding.load(Ordering::Acquire) == 0
+                {
+                    let mut relax = lwt_sync::AdaptiveRelax::new();
+                    if inner.barrier.wait(move || relax.relax()) {
+                        inner.barrier_completed.fetch_add(1, Ordering::AcqRel);
+                    }
+                    continue;
+                }
+                if inner.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                backoff.spin();
+                if backoff.is_saturated() {
+                    // Idle-processor nap: see lwt-argobots stream.rs.
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn rt(n: usize) -> Runtime {
+        Runtime::init(Config { num_processors: n })
+    }
+
+    #[test]
+    fn messages_execute_and_barrier_joins() {
+        let rt = rt(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let hits = hits.clone();
+            rt.send_rr(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        rt.barrier();
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn send_targets_specific_processor() {
+        let rt = rt(3);
+        let seen = Arc::new(SpinLock::new(Vec::new()));
+        for p in 0..3 {
+            let seen = seen.clone();
+            rt.send(p, move || {
+                seen.lock().push((p, current_processor().unwrap()));
+            });
+        }
+        rt.barrier();
+        let mut seen = seen.lock().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 0), (1, 1), (2, 2)]);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn repeated_barriers_work() {
+        let rt = rt(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for round in 1..=5 {
+            for _ in 0..10 {
+                let hits = hits.clone();
+                rt.send_rr(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            rt.barrier();
+            assert_eq!(hits.load(Ordering::Relaxed), round * 10);
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn messages_spawning_messages_reach_quiescence() {
+        let rt = rt(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let rt2 = rt.clone();
+        let h2 = hits.clone();
+        rt.send(0, move || {
+            h2.fetch_add(1, Ordering::Relaxed);
+            for _ in 0..10 {
+                let h = h2.clone();
+                rt2.send_rr(move || {
+                    h.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        rt.barrier();
+        assert_eq!(hits.load(Ordering::Relaxed), 11);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn ults_spawn_on_own_processor_and_yield() {
+        let rt = rt(2);
+        let rt2 = rt.clone();
+        let out = Arc::new(SpinLock::new(None));
+        let o = out.clone();
+        // Messages execute atomically and must not block, so the
+        // message only *creates* the ULT; the return-mode barrier below
+        // waits for the ULT itself (it counts as outstanding work).
+        rt.send(1, move || {
+            let o2 = o.clone();
+            let _ = rt2.spawn_ult(move || {
+                let me = current_processor();
+                yield_now();
+                // ULTs requeue to their own processor: still proc 1.
+                assert_eq!(current_processor(), me);
+                *o2.lock() = Some(me);
+            });
+        });
+        rt.barrier();
+        assert_eq!(*out.lock(), Some(Some(1)));
+        rt.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "only messages may enter")]
+    fn external_ult_creation_is_rejected() {
+        let rt = rt(1);
+        // Keep the runtime alive past the panic so worker threads
+        // shut down cleanly in the unwind.
+        let _ = rt.spawn_ult(|| ());
+    }
+
+    #[test]
+    fn barrier_with_no_work_returns() {
+        let rt = rt(4);
+        rt.barrier();
+        rt.barrier();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_idempotent_and_drop_safe() {
+        let rt = rt(2);
+        rt.send_rr(|| ());
+        rt.barrier();
+        rt.shutdown();
+        rt.shutdown();
+        drop(rt);
+    }
+}
+
+#[cfg(test)]
+mod suspend_tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn cth_suspend_awaken_round_trip() {
+        let rt = Runtime::init(Config { num_processors: 2 });
+        let progress = Arc::new(AtomicUsize::new(0));
+        let handle_cell: Arc<SpinLock<Option<UltHandle<()>>>> =
+            Arc::new(SpinLock::new(None));
+        let (rt2, p2, hc) = (rt.clone(), progress.clone(), handle_cell.clone());
+        rt.send(0, move || {
+            let p3 = p2.clone();
+            let h = rt2.spawn_ult(move || {
+                p3.fetch_add(1, Ordering::SeqCst);
+                suspend();
+                p3.fetch_add(1, Ordering::SeqCst);
+            });
+            *hc.lock() = Some(h);
+        });
+        // Wait until the ULT parked after its first step.
+        while progress.load(Ordering::SeqCst) < 1 {
+            std::thread::yield_now();
+        }
+        let h = loop {
+            if let Some(h) = handle_cell.lock().take() {
+                break h;
+            }
+            std::thread::yield_now();
+        };
+        // Spin until the park is visible, then wake it.
+        while !h.awaken() {
+            if h.is_finished() {
+                panic!("ULT finished without awaken");
+            }
+            std::thread::yield_now();
+        }
+        h.join();
+        assert_eq!(progress.load(Ordering::SeqCst), 2);
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,323 @@
+//! Programmatic encodings of the paper's Table I (semantic feature
+//! matrix) and Table II (function mapping).
+
+/// How a library lets users plug scheduling policy (Table I,
+/// "Plug-in Scheduler").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerPlug {
+    /// No user control over scheduling.
+    No,
+    /// Fully pluggable scheduler instances.
+    Yes,
+    /// Choice among compiled-in policies only — the paper marks
+    /// MassiveThreads "✓(configure)".
+    ConfigureTime,
+}
+
+/// One row of the paper's Table I: the execution/scheduling features of
+/// a threading library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Library name as the paper spells it.
+    pub name: &'static str,
+    /// "Levels of Hierarchy".
+    pub levels_of_hierarchy: u8,
+    /// "# of Work Unit Types".
+    pub work_unit_types: u8,
+    /// "Thread Support" (stackful ULTs).
+    pub thread_support: bool,
+    /// "Tasklet Support" (stackless units).
+    pub tasklet_support: bool,
+    /// "Group Control" (user chooses the number of execution
+    /// resources).
+    pub group_control: bool,
+    /// "Yield To" (direct ULT→ULT transfer).
+    pub yield_to: bool,
+    /// "Global Work Unit Queue".
+    pub global_queue: bool,
+    /// "Private Work Unit Queue".
+    pub private_queue: bool,
+    /// "Plug-in Scheduler".
+    pub plugin_scheduler: SchedulerPlug,
+    /// "Stackable Scheduler".
+    pub stackable_scheduler: bool,
+    /// "Group Scheduler" (scheduler shared by a group of resources).
+    pub group_scheduler: bool,
+}
+
+/// The paper's Table I, row for row (Pthreads included for reference).
+///
+/// Guarded by tests in this crate *and* exercised by
+/// `lwt-microbench`'s `table1_semantics` binary, which re-derives the
+/// dynamic columns from the live runtimes.
+#[must_use]
+pub fn capability_matrix() -> Vec<Capabilities> {
+    vec![
+        Capabilities {
+            name: "Pthreads",
+            levels_of_hierarchy: 1,
+            work_unit_types: 1,
+            thread_support: true,
+            tasklet_support: false,
+            group_control: false,
+            yield_to: false,
+            global_queue: true,
+            private_queue: false,
+            plugin_scheduler: SchedulerPlug::Yes,
+            stackable_scheduler: false,
+            group_scheduler: false,
+        },
+        Capabilities {
+            name: "Argobots",
+            levels_of_hierarchy: 2,
+            work_unit_types: 2,
+            thread_support: true,
+            tasklet_support: true,
+            group_control: true,
+            yield_to: true,
+            global_queue: true,
+            private_queue: true,
+            plugin_scheduler: SchedulerPlug::Yes,
+            stackable_scheduler: true,
+            group_scheduler: true,
+        },
+        Capabilities {
+            name: "Qthreads",
+            levels_of_hierarchy: 3,
+            work_unit_types: 1,
+            thread_support: true,
+            tasklet_support: false,
+            group_control: true,
+            yield_to: false,
+            global_queue: false,
+            private_queue: true,
+            plugin_scheduler: SchedulerPlug::No,
+            stackable_scheduler: false,
+            group_scheduler: false,
+        },
+        Capabilities {
+            name: "MassiveThreads",
+            levels_of_hierarchy: 2,
+            work_unit_types: 1,
+            thread_support: true,
+            tasklet_support: false,
+            group_control: true,
+            yield_to: false,
+            global_queue: false,
+            private_queue: true,
+            plugin_scheduler: SchedulerPlug::ConfigureTime,
+            stackable_scheduler: false,
+            group_scheduler: false,
+        },
+        Capabilities {
+            name: "Converse Threads",
+            levels_of_hierarchy: 2,
+            work_unit_types: 2,
+            thread_support: true,
+            tasklet_support: true,
+            group_control: true,
+            yield_to: false,
+            global_queue: false,
+            private_queue: true,
+            plugin_scheduler: SchedulerPlug::Yes,
+            stackable_scheduler: false,
+            group_scheduler: false,
+        },
+        Capabilities {
+            name: "Go",
+            levels_of_hierarchy: 2,
+            work_unit_types: 1,
+            thread_support: true,
+            tasklet_support: false,
+            group_control: true,
+            yield_to: false,
+            global_queue: true,
+            private_queue: false,
+            plugin_scheduler: SchedulerPlug::No,
+            stackable_scheduler: false,
+            group_scheduler: false,
+        },
+    ]
+}
+
+/// One row of the paper's Table II: a generic operation and its
+/// spelling in each library (`None` = not offered).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiRow {
+    /// Generic operation name.
+    pub operation: &'static str,
+    /// Spelling per library, in Table II column order:
+    /// Argobots, Qthreads, MassiveThreads, Converse Threads, Go.
+    pub spellings: [Option<&'static str>; 5],
+}
+
+/// The paper's Table II: "the most used functions in microbenchmark
+/// implementations using LWT".
+#[must_use]
+pub fn api_map() -> Vec<ApiRow> {
+    vec![
+        ApiRow {
+            operation: "Initialization",
+            spellings: [
+                Some("ABT_init"),
+                Some("qthread_initialize"),
+                Some("myth_init"),
+                Some("ConverseInit"),
+                None,
+            ],
+        },
+        ApiRow {
+            operation: "ULT creation",
+            spellings: [
+                Some("ABT_thread_create"),
+                Some("qthread_fork"),
+                Some("myth_create"),
+                Some("CthCreate"),
+                Some("go function"),
+            ],
+        },
+        ApiRow {
+            operation: "Tasklet creation",
+            spellings: [Some("ABT_task_create"), None, None, Some("CmiSyncSend"), None],
+        },
+        ApiRow {
+            operation: "Yield",
+            spellings: [
+                Some("ABT_thread_yield"),
+                Some("qthread_yield"),
+                Some("myth_yield"),
+                Some("CthYield"),
+                None,
+            ],
+        },
+        ApiRow {
+            operation: "Join",
+            spellings: [
+                Some("ABT_thread_free"),
+                Some("qthread_readFF"),
+                Some("myth_join"),
+                None,
+                Some("channel"),
+            ],
+        },
+        ApiRow {
+            operation: "Finalization",
+            spellings: [
+                Some("ABT_finalize"),
+                Some("qthread_finalize"),
+                Some("myth_fini"),
+                Some("ConverseExit"),
+                None,
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_paper_table_one() {
+        let m = capability_matrix();
+        assert_eq!(m.len(), 6);
+        let by_name = |n: &str| m.iter().find(|c| c.name == n).unwrap();
+
+        // Levels of Hierarchy row: 1 2 3 2 2 2.
+        assert_eq!(by_name("Pthreads").levels_of_hierarchy, 1);
+        assert_eq!(by_name("Argobots").levels_of_hierarchy, 2);
+        assert_eq!(by_name("Qthreads").levels_of_hierarchy, 3);
+        assert_eq!(by_name("MassiveThreads").levels_of_hierarchy, 2);
+        assert_eq!(by_name("Converse Threads").levels_of_hierarchy, 2);
+        assert_eq!(by_name("Go").levels_of_hierarchy, 2);
+
+        // Work unit types row: 1 2 1 1 2 1.
+        let types: Vec<u8> = m.iter().map(|c| c.work_unit_types).collect();
+        assert_eq!(types, vec![1, 2, 1, 1, 2, 1]);
+
+        // Tasklet support: only Argobots and Converse.
+        let tasklets: Vec<&str> = m
+            .iter()
+            .filter(|c| c.tasklet_support)
+            .map(|c| c.name)
+            .collect();
+        assert_eq!(tasklets, vec!["Argobots", "Converse Threads"]);
+
+        // Yield To: Argobots only.
+        let yield_to: Vec<&str> =
+            m.iter().filter(|c| c.yield_to).map(|c| c.name).collect();
+        assert_eq!(yield_to, vec!["Argobots"]);
+
+        // Stackable/group scheduler: Argobots only.
+        assert!(m
+            .iter()
+            .all(|c| (c.name == "Argobots") == c.stackable_scheduler));
+        assert!(m
+            .iter()
+            .all(|c| (c.name == "Argobots") == c.group_scheduler));
+
+        // Group control: everyone but Pthreads.
+        assert!(m.iter().all(|c| (c.name != "Pthreads") == c.group_control));
+
+        // Global queue: Pthreads, Argobots, Go.
+        let global: Vec<&str> = m
+            .iter()
+            .filter(|c| c.global_queue)
+            .map(|c| c.name)
+            .collect();
+        assert_eq!(global, vec!["Pthreads", "Argobots", "Go"]);
+
+        // Private queue: everyone but Pthreads and Go.
+        let private: Vec<&str> = m
+            .iter()
+            .filter(|c| c.private_queue)
+            .map(|c| c.name)
+            .collect();
+        assert_eq!(
+            private,
+            vec!["Argobots", "Qthreads", "MassiveThreads", "Converse Threads"]
+        );
+
+        // Consistency: every library with 2 work unit types supports
+        // tasklets, and vice versa.
+        for c in &m {
+            assert_eq!(c.work_unit_types == 2, c.tasklet_support, "{}", c.name);
+            assert!(c.thread_support, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn api_map_matches_paper_table_two() {
+        let rows = api_map();
+        assert_eq!(rows.len(), 6);
+        let by_op = |o: &str| rows.iter().find(|r| r.operation == o).unwrap();
+
+        // Go has neither init, yield nor finalize in Table II.
+        assert_eq!(by_op("Initialization").spellings[4], None);
+        assert_eq!(by_op("Yield").spellings[4], None);
+        assert_eq!(by_op("Finalization").spellings[4], None);
+        // Joins: Converse has none (messages/barrier), Go uses channels.
+        assert_eq!(by_op("Join").spellings[3], None);
+        assert_eq!(by_op("Join").spellings[4], Some("channel"));
+        // Tasklets exist only for Argobots and Converse.
+        let t = by_op("Tasklet creation");
+        assert!(t.spellings[0].is_some() && t.spellings[3].is_some());
+        assert!(t.spellings[1].is_none() && t.spellings[2].is_none() && t.spellings[4].is_none());
+    }
+
+    #[test]
+    fn matrix_agrees_with_live_runtimes() {
+        use crate::{BackendKind, Glt};
+        let m = capability_matrix();
+        for kind in BackendKind::ALL {
+            let row = m.iter().find(|c| c.name == kind.name()).unwrap();
+            let glt = Glt::init(kind, 1);
+            assert_eq!(
+                glt.supports_tasklets(),
+                row.tasklet_support,
+                "backend {kind}"
+            );
+            glt.finalize();
+        }
+    }
+}

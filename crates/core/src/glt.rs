@@ -1,0 +1,442 @@
+//! The generic LWT interface over the five runtime backends.
+
+use std::sync::Arc;
+
+use lwt_sync::{Event, SpinLock};
+
+/// Which runtime model executes the work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// `lwt-argobots`: execution streams, private pools, ULTs+tasklets.
+    Argobots,
+    /// `lwt-qthreads`: shepherds/workers, FEB joins.
+    Qthreads,
+    /// `lwt-massive`: work-first workers with random stealing.
+    MassiveThreads,
+    /// `lwt-converse`: processors + messages (work units are messages,
+    /// as in the paper's Converse microbenchmarks).
+    Converse,
+    /// `lwt-go`: global run queue + channel completion.
+    Go,
+}
+
+impl BackendKind {
+    /// All backends, in the paper's Table II column order.
+    pub const ALL: [BackendKind; 5] = [
+        BackendKind::Argobots,
+        BackendKind::Qthreads,
+        BackendKind::MassiveThreads,
+        BackendKind::Converse,
+        BackendKind::Go,
+    ];
+
+    /// Human-readable backend name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Argobots => "Argobots",
+            BackendKind::Qthreads => "Qthreads",
+            BackendKind::MassiveThreads => "MassiveThreads",
+            BackendKind::Converse => "Converse Threads",
+            BackendKind::Go => "Go",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+enum Backend {
+    Argobots(lwt_argobots::Runtime),
+    Qthreads(lwt_qthreads::Runtime),
+    Massive(lwt_massive::Runtime),
+    Converse(lwt_converse::Runtime),
+    Go(lwt_go::Runtime),
+}
+
+/// Completion slot for backends without native typed handles
+/// (Converse messages, goroutines).
+struct EventSlot<T> {
+    done: Event,
+    value: SpinLock<Option<T>>,
+    panicked: SpinLock<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl<T> EventSlot<T> {
+    fn new() -> Arc<Self> {
+        Arc::new(EventSlot {
+            done: Event::new(),
+            value: SpinLock::new(None),
+            panicked: SpinLock::new(None),
+        })
+    }
+
+    fn fulfill(&self, out: std::thread::Result<T>) {
+        match out {
+            Ok(v) => *self.value.lock() = Some(v),
+            Err(p) => *self.panicked.lock() = Some(p),
+        }
+        self.done.set();
+    }
+
+    fn wait(&self, relax: impl FnMut()) -> T {
+        self.done.wait(relax);
+        if let Some(p) = self.panicked.lock().take() {
+            std::panic::resume_unwind(p);
+        }
+        self.value.lock().take().expect("GLT result missing")
+    }
+}
+
+/// Join handle returned by [`Glt::ult_create`] / [`Glt::tasklet_create`].
+/// Opaque: the variant (and thus the join mechanism) is the backend's
+/// business.
+pub struct GltHandle<T> {
+    inner: HandleInner<T>,
+}
+
+enum HandleInner<T> {
+    /// Argobots ULT handle (status-word join).
+    AbtUlt(lwt_argobots::UltHandle<T>),
+    /// Argobots tasklet handle.
+    AbtTasklet(lwt_argobots::TaskletHandle<T>),
+    /// Qthreads handle (FEB join).
+    Qth(lwt_qthreads::Handle<T>),
+    /// MassiveThreads handle.
+    Myth(lwt_massive::Handle<T>),
+    /// Event-backed completion (Converse messages, goroutines).
+    Event(Arc<EventSlot<T>>, BackendKind),
+}
+
+impl<T> From<HandleInner<T>> for GltHandle<T> {
+    fn from(inner: HandleInner<T>) -> Self {
+        GltHandle { inner }
+    }
+}
+
+impl<T> GltHandle<T> {
+    /// Wait for completion and take the result (the backend's native
+    /// join mechanism underneath).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic that escaped the work unit.
+    pub fn join(self) -> T {
+        match self.inner {
+            HandleInner::AbtUlt(h) => h.join(),
+            HandleInner::AbtTasklet(h) => h.join(),
+            HandleInner::Qth(h) => h.join(),
+            HandleInner::Myth(h) => h.join(),
+            HandleInner::Event(slot, kind) => slot.wait(relax_for(kind)),
+        }
+    }
+
+    /// Non-consuming completion test.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        match &self.inner {
+            HandleInner::AbtUlt(h) => h.is_finished(),
+            HandleInner::AbtTasklet(h) => h.is_finished(),
+            HandleInner::Qth(h) => h.is_finished(),
+            HandleInner::Myth(h) => h.is_finished(),
+            HandleInner::Event(slot, _) => slot.done.is_set(),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for GltHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GltHandle")
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+/// The relax used while waiting on event-backed joins: yield the ULT
+/// when waiting from inside one, else yield the OS thread.
+fn relax_for(kind: BackendKind) -> impl FnMut() {
+    let mut escalate = lwt_sync::AdaptiveRelax::new();
+    move || {
+        match kind {
+            BackendKind::Converse if lwt_converse::in_ult() => lwt_converse::yield_now(),
+            BackendKind::Go if lwt_ultcore_in_ult() => lwt_go_yield(),
+            _ => {}
+        }
+        escalate.relax();
+    }
+}
+
+// Go deliberately exposes no yield; the GLT join still must not wedge a
+// scheduler thread when called from inside a goroutine, so we reach for
+// the (crate-internal) implicit reschedule the Go runtime itself uses
+// in channel operations.
+fn lwt_ultcore_in_ult() -> bool {
+    lwt_ultcore::in_ult()
+}
+fn lwt_go_yield() {
+    lwt_ultcore::yield_now();
+}
+
+/// The unified runtime (`GLT_init` … `GLT_finalize`).
+pub struct Glt {
+    backend: Backend,
+}
+
+impl Glt {
+    /// Initialize the chosen backend with `threads` execution resources
+    /// (streams / shepherds / workers / processors / scheduler threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn init(kind: BackendKind, threads: usize) -> Self {
+        let backend = match kind {
+            BackendKind::Argobots => Backend::Argobots(lwt_argobots::Runtime::init(
+                lwt_argobots::Config {
+                    num_streams: threads,
+                    ..Default::default()
+                },
+            )),
+            BackendKind::Qthreads => Backend::Qthreads(lwt_qthreads::Runtime::init(
+                lwt_qthreads::Config {
+                    num_shepherds: threads,
+                    workers_per_shepherd: 1,
+                    ..Default::default()
+                },
+            )),
+            BackendKind::MassiveThreads => Backend::Massive(lwt_massive::Runtime::init(
+                lwt_massive::Config {
+                    num_workers: threads,
+                    ..Default::default()
+                },
+            )),
+            BackendKind::Converse => Backend::Converse(lwt_converse::Runtime::init(
+                lwt_converse::Config {
+                    num_processors: threads,
+                },
+            )),
+            BackendKind::Go => Backend::Go(lwt_go::Runtime::init(lwt_go::Config {
+                num_threads: threads,
+            })),
+        };
+        Glt { backend }
+    }
+
+    /// Which backend this instance drives.
+    #[must_use]
+    pub fn kind(&self) -> BackendKind {
+        match &self.backend {
+            Backend::Argobots(_) => BackendKind::Argobots,
+            Backend::Qthreads(_) => BackendKind::Qthreads,
+            Backend::Massive(_) => BackendKind::MassiveThreads,
+            Backend::Converse(_) => BackendKind::Converse,
+            Backend::Go(_) => BackendKind::Go,
+        }
+    }
+
+    /// Create a yieldable work unit (`*_creation_function` in the
+    /// paper's Listing 4).
+    ///
+    /// Converse note: external callers cannot create ULTs in other
+    /// processors' queues (the paper's insertion rule), so the Converse
+    /// backend dispatches a *message*, exactly as the paper's own
+    /// Converse microbenchmarks do.
+    pub fn ult_create<T, F>(&self, f: F) -> GltHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        match &self.backend {
+            Backend::Argobots(rt) => HandleInner::AbtUlt(rt.ult_create(f)).into(),
+            Backend::Qthreads(rt) => HandleInner::Qth(rt.fork_rr(f)).into(),
+            Backend::Massive(rt) => HandleInner::Myth(rt.spawn(f)).into(),
+            Backend::Converse(rt) => {
+                let slot = EventSlot::new();
+                let s2 = slot.clone();
+                rt.send_rr(move || {
+                    s2.fulfill(std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(f),
+                    ));
+                });
+                HandleInner::Event(slot, BackendKind::Converse).into()
+            }
+            Backend::Go(rt) => {
+                let slot = EventSlot::new();
+                let s2 = slot.clone();
+                rt.go(move || {
+                    s2.fulfill(std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(f),
+                    ));
+                });
+                HandleInner::Event(slot, BackendKind::Go).into()
+            }
+        }
+    }
+
+    /// Create a stackless, atomically-executed work unit where the
+    /// backend has one (Argobots tasklets, Converse messages); falls
+    /// back to [`Glt::ult_create`] elsewhere — the degradation path the
+    /// common-API design implies.
+    pub fn tasklet_create<T, F>(&self, f: F) -> GltHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        match &self.backend {
+            Backend::Argobots(rt) => HandleInner::AbtTasklet(rt.tasklet_create(f)).into(),
+            Backend::Converse(_) => self.ult_create(f), // already a message
+            _ => self.ult_create(f),
+        }
+    }
+
+    /// Whether the backend distinguishes tasklets from ULTs (paper
+    /// Table I, "Tasklet Support").
+    #[must_use]
+    pub fn supports_tasklets(&self) -> bool {
+        matches!(
+            self.backend,
+            Backend::Argobots(_) | Backend::Converse(_)
+        )
+    }
+
+    /// Yield the calling work unit (`yield_function`). A no-op on the
+    /// Go backend — the paper's Table I marks Go as offering no yield.
+    pub fn yield_now(&self) {
+        match &self.backend {
+            Backend::Argobots(_) => {
+                if lwt_argobots::in_ult() {
+                    lwt_argobots::yield_now();
+                }
+            }
+            Backend::Qthreads(_) | Backend::Massive(_) | Backend::Converse(_) => {
+                if lwt_ultcore::in_ult() {
+                    lwt_ultcore::yield_now();
+                }
+            }
+            Backend::Go(_) => {}
+        }
+    }
+
+    /// Shut the backend down (`finalize_function`).
+    pub fn finalize(self) {
+        match self.backend {
+            Backend::Argobots(rt) => rt.shutdown(),
+            Backend::Qthreads(rt) => rt.shutdown(),
+            Backend::Massive(rt) => rt.shutdown(),
+            Backend::Converse(rt) => {
+                rt.barrier();
+                rt.shutdown();
+            }
+            Backend::Go(rt) => rt.shutdown(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Glt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Glt").field("backend", &self.kind()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_backend_runs_ults() {
+        for kind in BackendKind::ALL {
+            let glt = Glt::init(kind, 2);
+            let hits = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..50)
+                .map(|_| {
+                    let h = hits.clone();
+                    glt.ult_create(move || {
+                        h.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(hits.load(Ordering::Relaxed), 50, "backend {kind}");
+            glt.finalize();
+        }
+    }
+
+    #[test]
+    fn every_backend_returns_values() {
+        for kind in BackendKind::ALL {
+            let glt = Glt::init(kind, 2);
+            let sum: u64 = (0..20)
+                .map(|i| glt.ult_create(move || i as u64))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(GltHandle::join)
+                .sum();
+            assert_eq!(sum, 190, "backend {kind}");
+            glt.finalize();
+        }
+    }
+
+    #[test]
+    fn tasklets_run_everywhere_with_fallback() {
+        for kind in BackendKind::ALL {
+            let glt = Glt::init(kind, 2);
+            let h = glt.tasklet_create(|| 3u32.pow(3));
+            assert_eq!(h.join(), 27, "backend {kind}");
+            glt.finalize();
+        }
+    }
+
+    #[test]
+    fn tasklet_support_matches_table_one() {
+        for (kind, expect) in [
+            (BackendKind::Argobots, true),
+            (BackendKind::Qthreads, false),
+            (BackendKind::MassiveThreads, false),
+            (BackendKind::Converse, true),
+            (BackendKind::Go, false),
+        ] {
+            let glt = Glt::init(kind, 1);
+            assert_eq!(glt.supports_tasklets(), expect, "backend {kind}");
+            glt.finalize();
+        }
+    }
+
+    #[test]
+    fn panics_propagate_through_the_generic_join() {
+        for kind in BackendKind::ALL {
+            let glt = Glt::init(kind, 1);
+            let h = glt.ult_create(|| -> () { panic!("glt boom") });
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.join()))
+                .expect_err("join must re-raise");
+            assert_eq!(
+                err.downcast_ref::<&str>(),
+                Some(&"glt boom"),
+                "backend {kind}"
+            );
+            glt.finalize();
+        }
+    }
+
+    #[test]
+    fn listing4_pseudocode_shape_works() {
+        // The paper's Listing 4: init → create N → yield → join N →
+        // finalize, expressed 1:1 in the generic API.
+        const N: usize = 100;
+        for kind in BackendKind::ALL {
+            let glt = Glt::init(kind, 2);
+            let handles: Vec<_> = (0..N).map(|_| glt.ult_create(|| ())).collect();
+            glt.yield_now();
+            for h in handles {
+                h.join();
+            }
+            glt.finalize();
+        }
+    }
+}

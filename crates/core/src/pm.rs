@@ -1,0 +1,281 @@
+//! A directive-style high-level programming model over the unified
+//! API — the paper's proposed end state: "This API could be placed
+//! under several high-level PMs, such as OpenMP or OmpSs, that are
+//! currently implemented on top of Pthreads or custom ULT solutions"
+//! (§X).
+//!
+//! [`Pm`] offers the OpenMP-shaped operations (`parallel_for`,
+//! `parallel_reduce`, task scopes) implemented purely in terms of
+//! [`crate::Glt`]'s reduced function set, so the same high-level code
+//! runs unchanged over Argobots, Qthreads, MassiveThreads, Converse
+//! Threads, or the Go model — inheriting each backend's performance
+//! personality, exactly what the paper's follow-up (GLTO) measured.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::glt::{BackendKind, Glt, GltHandle};
+
+/// The directive-style layer over a [`Glt`] instance.
+///
+/// ```
+/// use lwt_core::{BackendKind, Pm};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pm = Pm::init(BackendKind::Qthreads, 2);
+/// let sum = Arc::new(AtomicUsize::new(0));
+/// let s = sum.clone();
+/// pm.parallel_for(0..100, 8, move |i| {
+///     s.fetch_add(i, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), 4950);
+/// pm.finalize();
+/// ```
+pub struct Pm {
+    glt: Glt,
+    default_grain: usize,
+}
+
+impl Pm {
+    /// Initialize over `kind` with `threads` execution resources.
+    #[must_use]
+    pub fn init(kind: BackendKind, threads: usize) -> Self {
+        Pm {
+            glt: Glt::init(kind, threads),
+            default_grain: 64,
+        }
+    }
+
+    /// Wrap an existing [`Glt`] instance.
+    #[must_use]
+    pub fn over(glt: Glt) -> Self {
+        Pm {
+            glt,
+            default_grain: 64,
+        }
+    }
+
+    /// The backend underneath.
+    #[must_use]
+    pub fn kind(&self) -> BackendKind {
+        self.glt.kind()
+    }
+
+    /// Borrow the underlying generic API.
+    #[must_use]
+    pub fn glt(&self) -> &Glt {
+        &self.glt
+    }
+
+    /// `#pragma omp parallel for`: execute `f` for every index, one
+    /// work unit per `grain` indices (grain 0 = the default of 64).
+    pub fn parallel_for<F>(&self, range: Range<usize>, grain: usize, f: F)
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        let grain = if grain == 0 { self.default_grain } else { grain };
+        let f = Arc::new(f);
+        let mut handles = Vec::new();
+        let mut lo = range.start;
+        while lo < range.end {
+            let hi = (lo + grain).min(range.end);
+            let f = f.clone();
+            handles.push(self.glt.ult_create(move || {
+                for i in lo..hi {
+                    f(i);
+                }
+            }));
+            lo = hi;
+        }
+        for h in handles {
+            h.join();
+        }
+    }
+
+    /// `#pragma omp parallel for reduction(...)`: map every index,
+    /// fold with `reduce` (`identity` must be neutral).
+    pub fn parallel_reduce<T, M, R>(
+        &self,
+        range: Range<usize>,
+        grain: usize,
+        identity: T,
+        map: M,
+        reduce: R,
+    ) -> T
+    where
+        T: Send + Clone + 'static,
+        M: Fn(usize) -> T + Send + Sync + 'static,
+        R: Fn(T, T) -> T + Send + Sync + 'static,
+    {
+        let grain = if grain == 0 { self.default_grain } else { grain };
+        let map = Arc::new(map);
+        let reduce = Arc::new(reduce);
+        let mut handles: Vec<GltHandle<T>> = Vec::new();
+        let mut lo = range.start;
+        while lo < range.end {
+            let hi = (lo + grain).min(range.end);
+            let map = map.clone();
+            let red = reduce.clone();
+            let id = identity.clone();
+            handles.push(self.glt.ult_create(move || {
+                let mut acc = id;
+                for i in lo..hi {
+                    acc = red(acc, map(i));
+                }
+                acc
+            }));
+            lo = hi;
+        }
+        let mut acc = identity;
+        for h in handles {
+            acc = reduce(acc, h.join());
+        }
+        acc
+    }
+
+    /// A task scope (`#pragma omp taskgroup`): tasks created through
+    /// the [`TaskScope`] are all joined before `scope` returns.
+    pub fn scope<R>(&self, body: impl FnOnce(&TaskScope<'_>) -> R) -> R {
+        let scope = TaskScope {
+            pm: self,
+            handles: lwt_sync::SpinLock::new(Vec::new()),
+        };
+        let out = body(&scope);
+        for h in scope.handles.into_inner() {
+            h.join();
+        }
+        out
+    }
+
+    /// Cooperative yield (`#pragma omp taskyield`); no-op where the
+    /// backend offers none (Go).
+    pub fn yield_now(&self) {
+        self.glt.yield_now();
+    }
+
+    /// Shut the backend down.
+    pub fn finalize(self) {
+        self.glt.finalize();
+    }
+}
+
+impl std::fmt::Debug for Pm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pm").field("backend", &self.kind()).finish()
+    }
+}
+
+/// Task creation surface inside [`Pm::scope`].
+pub struct TaskScope<'a> {
+    pm: &'a Pm,
+    handles: lwt_sync::SpinLock<Vec<GltHandle<()>>>,
+}
+
+impl TaskScope<'_> {
+    /// `#pragma omp task`: runs concurrently; joined at scope exit.
+    pub fn task<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.handles.lock().push(self.pm.glt.ult_create(f));
+    }
+
+    /// A stackless task where the backend supports one (tasklet), else
+    /// a ULT.
+    pub fn tasklet<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.handles.lock().push(self.pm.glt.tasklet_create(f));
+    }
+}
+
+impl std::fmt::Debug for TaskScope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskScope")
+            .field("pending", &self.handles.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_for_covers_once_on_every_backend() {
+        for kind in BackendKind::ALL {
+            let pm = Pm::init(kind, 2);
+            let hits: Arc<Vec<AtomicUsize>> =
+                Arc::new((0..300).map(|_| AtomicUsize::new(0)).collect());
+            let h = hits.clone();
+            pm.parallel_for(0..300, 32, move |i| {
+                h[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "backend {kind}"
+            );
+            pm.finalize();
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_on_every_backend() {
+        for kind in BackendKind::ALL {
+            let pm = Pm::init(kind, 2);
+            let total = pm.parallel_reduce(1..501usize, 50, 0usize, |i| i, |a, b| a + b);
+            assert_eq!(total, 500 * 501 / 2 - 0, "backend {kind}");
+            pm.finalize();
+        }
+    }
+
+    #[test]
+    fn reduce_empty_range_is_identity() {
+        let pm = Pm::init(BackendKind::Argobots, 1);
+        assert_eq!(pm.parallel_reduce(3..3, 0, 42usize, |i| i, |a, b| a + b), 42);
+        pm.finalize();
+    }
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        for kind in BackendKind::ALL {
+            let pm = Pm::init(kind, 2);
+            let count = Arc::new(AtomicUsize::new(0));
+            let c2 = count.clone();
+            let out = pm.scope(|s| {
+                for _ in 0..20 {
+                    let c = c2.clone();
+                    s.task(move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                for _ in 0..20 {
+                    let c = c2.clone();
+                    s.tasklet(move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                "scope-result"
+            });
+            assert_eq!(out, "scope-result");
+            // All 40 joined by scope exit.
+            assert_eq!(count.load(Ordering::Relaxed), 40, "backend {kind}");
+            pm.finalize();
+        }
+    }
+
+    #[test]
+    fn default_grain_applies() {
+        let pm = Pm::init(BackendKind::Go, 1);
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        pm.parallel_for(0..10, 0, move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+        pm.finalize();
+    }
+}

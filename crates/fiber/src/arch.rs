@@ -1,0 +1,132 @@
+//! x86_64 System-V context switch.
+//!
+//! A suspended context is identified by its stack pointer. The stack at
+//! that pointer holds a fixed-layout frame, lowest address first:
+//!
+//! ```text
+//! rsp + 0x00   mxcsr (u32)            SSE control/status word
+//! rsp + 0x04   x87 control word (u16) + 2 bytes padding
+//! rsp + 0x08   r15
+//! rsp + 0x10   r14
+//! rsp + 0x18   r13
+//! rsp + 0x20   r12
+//! rsp + 0x28   rbx
+//! rsp + 0x30   rbp
+//! rsp + 0x38   return address (resume point)
+//! ```
+//!
+//! Only callee-saved state is stored: the switch is a normal `sysv64`
+//! call from the compiler's point of view, so caller-saved registers are
+//! already dead at the call site. `mxcsr` and the x87 control word are
+//! callee-saved per the psABI and must travel with the context — a fiber
+//! that changes the rounding mode must not leak it into its scheduler.
+
+use core::arch::naked_asm;
+
+/// Size in bytes of the saved-context frame described in the module docs.
+pub(crate) const FRAME_SIZE: usize = 0x40;
+
+/// Byte offset of the resume (return) address within the frame.
+pub(crate) const FRAME_RET_OFFSET: usize = 0x38;
+
+/// Byte offset of the `r12` slot (carries the trampoline data pointer).
+pub(crate) const FRAME_R12_OFFSET: usize = 0x20;
+
+/// Byte offset of the `r13` slot (carries the entry-function pointer).
+pub(crate) const FRAME_R13_OFFSET: usize = 0x18;
+
+/// Default `mxcsr` value for a fresh context: all exceptions masked,
+/// round-to-nearest — the value Linux hands a fresh thread.
+pub(crate) const FRESH_MXCSR: u32 = 0x1F80;
+
+/// Default x87 control word for a fresh context (64-bit precision, all
+/// exceptions masked) — the value Linux hands a fresh thread.
+pub(crate) const FRESH_FPUCW: u16 = 0x037F;
+
+/// Save the current context and jump to another one.
+///
+/// `save` receives the stack pointer under which the current context's
+/// frame was written; `target` must point at a frame with the layout
+/// above (either written by a previous `raw_switch` or synthesized by
+/// [`crate::ctx::init_context`]).
+///
+/// # Safety
+///
+/// `target` must be a valid suspended-context stack pointer whose stack
+/// is live and not executing on any other OS thread. `save` must be
+/// valid for a write.
+#[unsafe(naked)]
+pub(crate) unsafe extern "sysv64" fn raw_switch(save: *mut *mut u8, target: *mut u8) {
+    // rdi = save, rsi = target.
+    naked_asm!(
+        // Build the frame on the current stack.
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "sub rsp, 8",
+        "stmxcsr [rsp]",
+        "fnstcw [rsp + 4]",
+        // Publish the suspended context and adopt the target stack.
+        "mov [rdi], rsp",
+        "mov rsp, rsi",
+        // Restore the target frame.
+        "ldmxcsr [rsp]",
+        "fldcw [rsp + 4]",
+        "add rsp, 8",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+    )
+}
+
+/// Jump to another context without saving the current one.
+///
+/// Used when a fiber finishes: its stack is about to be reclaimed, so
+/// there is nothing worth saving. Never returns.
+///
+/// # Safety
+///
+/// Same requirements on `target` as [`raw_switch`]; additionally the
+/// caller's own stack must never be resumed again.
+#[unsafe(naked)]
+pub(crate) unsafe extern "sysv64" fn raw_switch_final(target: *mut u8) -> ! {
+    // rdi = target.
+    naked_asm!(
+        "mov rsp, rdi",
+        "ldmxcsr [rsp]",
+        "fldcw [rsp + 4]",
+        "add rsp, 8",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+    )
+}
+
+/// First instructions executed on a fresh fiber stack.
+///
+/// [`crate::ctx::init_context`] synthesizes a frame whose return address
+/// points here and whose `r12`/`r13` slots hold the user data pointer and
+/// the entry function. On entry `rsp` is congruent to 0 mod 16 (the
+/// bootstrap frame is laid out to arrange this), which is exactly the
+/// ABI-required alignment *at a call site* — so the `call` below gives
+/// the entry function a correctly aligned frame.
+#[unsafe(naked)]
+pub(crate) unsafe extern "sysv64" fn fiber_trampoline() {
+    naked_asm!(
+        "mov rdi, r12",
+        "call r13",
+        // The entry function is `-> !`; reaching this point is a bug.
+        "ud2",
+    )
+}

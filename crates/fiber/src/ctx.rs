@@ -1,0 +1,339 @@
+//! Raw symmetric context switching.
+//!
+//! This is the layer the runtime crates build on. A [`RawContext`] is a
+//! saved stack pointer; [`switch`] suspends the current execution into a
+//! caller-provided slot and resumes the target; [`switch_final`] resumes
+//! the target without saving (for fiber exit); [`init_context`]
+//! synthesizes the very first frame of a fresh fiber so that the first
+//! switch into it lands in the entry function.
+//!
+//! The API is deliberately symmetric: ULT → scheduler, scheduler → ULT,
+//! and ULT → ULT (`yield_to`, work-first spawn) are all the same
+//! operation, exactly as in Converse Threads' `CthResume` or Argobots'
+//! `ABT_thread_yield_to`.
+
+use crate::arch;
+use crate::stack::Stack;
+
+/// A suspended execution context: an opaque stack pointer under which a
+/// register frame was saved (or synthesized).
+///
+/// `RawContext` is `Copy` on purpose — it is a *capability to resume*,
+/// and runtimes store it inside their own work-unit structures with
+/// whatever synchronization they need. Resuming the same context twice,
+/// or resuming a context whose stack has been freed, is undefined
+/// behaviour; the runtime layers above enforce the at-most-once
+/// discipline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawContext(pub(crate) *mut u8);
+
+// SAFETY: a RawContext is a pointer-sized token. Sending it between OS
+// threads is exactly ULT migration; the *runtime* must guarantee the
+// stack is not concurrently executed, which is the same contract as
+// resuming on a single thread.
+unsafe impl Send for RawContext {}
+
+impl RawContext {
+    /// A null context, usable as an "empty slot" sentinel.
+    #[must_use]
+    pub const fn null() -> Self {
+        RawContext(std::ptr::null_mut())
+    }
+
+    /// Whether this is the null sentinel.
+    #[must_use]
+    pub fn is_null(self) -> bool {
+        self.0.is_null()
+    }
+}
+
+impl Default for RawContext {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+/// Entry function signature for a fresh context.
+///
+/// Receives the `data` pointer given to [`init_context`] and must never
+/// return: it ends by calling [`switch_final`] (or [`switch`]) into
+/// another context.
+pub type EntryFn = unsafe extern "sysv64" fn(*mut u8) -> !;
+
+/// Synthesize the initial context of a new fiber on `stack`.
+///
+/// The first [`switch`] into the returned context executes
+/// `entry(data)` on the fiber stack. A zero return-address terminator is
+/// planted above the bootstrap frame so unwinders and backtraces stop
+/// cleanly.
+///
+/// # Safety
+///
+/// * `stack` must outlive every execution of the context.
+/// * `entry` must never return (it must switch away instead).
+/// * `data` must be valid for whatever `entry` does with it.
+#[must_use]
+pub unsafe fn init_context(stack: &Stack, entry: EntryFn, data: *mut u8) -> RawContext {
+    let top = stack.top();
+    debug_assert_eq!(top as usize % 16, 0, "stack top must be 16-aligned");
+
+    // Layout, from the top of the stack downward:
+    //   top - 0x10: 0                  backtrace terminator
+    //   top - 0x18: trampoline         `ret` target of the first switch
+    //   top - 0x20 .. top - 0x48:      rbp rbx r12 r13 r14 r15
+    //   top - 0x50: mxcsr | fpucw<<32  FP control words
+    // yielding an initial rsp of top - 0x50. After the first switch's
+    // `ret` into the trampoline, rsp == top - 0x10 ≡ 0 (mod 16): the
+    // ABI-required alignment at a call site, so the trampoline's bare
+    // `call` hands the entry function a correctly aligned frame.
+    let frame = top.sub(0x10 + arch::FRAME_SIZE);
+
+    let write_u64 = |off: usize, v: u64| {
+        // SAFETY (closure-local): frame..top is inside the stack
+        // allocation; offsets below stay within FRAME_SIZE + 0x10.
+        unsafe { frame.add(off).cast::<u64>().write(v) };
+    };
+
+    write_u64(
+        0,
+        u64::from(arch::FRESH_MXCSR) | (u64::from(arch::FRESH_FPUCW) << 32),
+    );
+    write_u64(0x08, 0); // r15
+    write_u64(0x10, 0); // r14
+    write_u64(arch::FRAME_R13_OFFSET, entry as usize as u64);
+    write_u64(arch::FRAME_R12_OFFSET, data as u64);
+    write_u64(0x28, 0); // rbx
+    write_u64(0x30, 0); // rbp
+    write_u64(arch::FRAME_RET_OFFSET, arch::fiber_trampoline as *const () as usize as u64);
+    write_u64(arch::FRAME_SIZE, 0); // backtrace terminator
+
+    RawContext(frame)
+}
+
+/// Suspend the current execution into `save` and resume `target`.
+///
+/// When some other context later switches back, this call returns
+/// normally. This single primitive expresses every transfer the LWT
+/// runtimes need.
+///
+/// # Safety
+///
+/// * `target` must be a valid, suspended, not-concurrently-executing
+///   context (from [`init_context`] or a previous [`switch`]), resumed
+///   at most once.
+/// * The current stack must remain allocated until the saved context is
+///   resumed or abandoned.
+#[inline]
+pub unsafe fn switch(save: &mut RawContext, target: RawContext) {
+    debug_assert!(!target.is_null(), "switch to null context");
+    // SAFETY: forwarded contract.
+    unsafe { arch::raw_switch(&mut save.0, target.0) }
+}
+
+/// Resume `target`, abandoning the current context forever.
+///
+/// The current stack may be freed by other code as soon as the target
+/// observes whatever completion protocol the runtime uses — but note the
+/// hazard documented in `DESIGN.md`: the *running* fiber must not be the
+/// one to publish "my stack is free" before this call, because it still
+/// executes a few instructions on that stack. Runtimes publish
+/// completion from the scheduler context after regaining control.
+///
+/// # Safety
+///
+/// Same as [`switch`] for `target`; additionally nothing may ever
+/// resume the abandoned context.
+#[inline]
+pub unsafe fn switch_final(target: RawContext) -> ! {
+    debug_assert!(!target.is_null(), "switch_final to null context");
+    // SAFETY: forwarded contract.
+    unsafe { arch::raw_switch_final(target.0) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::StackSize;
+    use std::cell::Cell;
+
+    thread_local! {
+        // Pointer to the slot where the "other side" context is saved.
+        static MAIN_SLOT: Cell<*mut RawContext> = const { Cell::new(std::ptr::null_mut()) };
+        static FIBER_SLOT: Cell<*mut RawContext> = const { Cell::new(std::ptr::null_mut()) };
+        static COUNTER: Cell<u64> = const { Cell::new(0) };
+    }
+
+    fn main_ctx() -> RawContext {
+        // SAFETY (test protocol): MAIN_SLOT points at the caller's live
+        // RawContext, which `raw_switch` populated before transferring
+        // control to the fiber.
+        unsafe { *MAIN_SLOT.with(Cell::get) }
+    }
+
+    unsafe extern "sysv64" fn one_shot(data: *mut u8) -> ! {
+        COUNTER.with(|c| c.set(data as u64));
+        // SAFETY: resumes the suspended main context exactly once.
+        unsafe { switch_final(main_ctx()) }
+    }
+
+    #[test]
+    fn bootstrap_enters_entry_with_data() {
+        let stack = Stack::new(StackSize::default());
+        COUNTER.with(|c| c.set(0));
+        // SAFETY: one_shot never returns; data is an integer token.
+        let ctx = unsafe { init_context(&stack, one_shot, 0x42 as *mut u8) };
+        let mut main = RawContext::null();
+        MAIN_SLOT.with(|s| s.set(&mut main));
+        // SAFETY: ctx is a fresh bootstrap context; the fiber resumes
+        // `main` via switch_final.
+        unsafe { switch(&mut main, ctx) };
+        assert_eq!(COUNTER.with(Cell::get), 0x42);
+        assert!(stack.canary_intact());
+    }
+
+    unsafe extern "sysv64" fn yielder(data: *mut u8) -> ! {
+        let n = data as usize;
+        let mut me = RawContext::null();
+        FIBER_SLOT.with(|s| s.set(&mut me));
+        for _ in 0..n {
+            COUNTER.with(|c| c.set(c.get() + 1));
+            // SAFETY: main is suspended in its matching switch; `me`
+            // lives on this (live) fiber stack until resumed.
+            unsafe { switch(&mut me, main_ctx()) };
+        }
+        // SAFETY: final exit to the suspended main context.
+        unsafe { switch_final(main_ctx()) }
+    }
+
+    #[test]
+    fn repeated_round_trips() {
+        const N: u64 = 5;
+        let stack = Stack::new(StackSize::default());
+        COUNTER.with(|c| c.set(0));
+        // SAFETY: yielder never returns.
+        let ctx = unsafe { init_context(&stack, yielder, N as usize as *mut u8) };
+        let mut main = RawContext::null();
+        MAIN_SLOT.with(|s| s.set(&mut main));
+        // SAFETY: fresh context; yielder suspends back into `main`.
+        unsafe { switch(&mut main, ctx) };
+        for i in 1..=N {
+            assert_eq!(COUNTER.with(Cell::get), i);
+            // SAFETY: FIBER_SLOT points at the fiber's saved context,
+            // populated by its switch back to us.
+            let fiber = unsafe { *FIBER_SLOT.with(Cell::get) };
+            // SAFETY: the fiber is suspended; resuming it at most once.
+            unsafe { switch(&mut main, fiber) };
+        }
+        assert_eq!(COUNTER.with(Cell::get), N);
+        assert!(stack.canary_intact());
+    }
+
+    unsafe extern "sysv64" fn deep_recursion(data: *mut u8) -> ! {
+        fn go(depth: usize) -> u64 {
+            // Touch enough locals per frame to exercise the stack.
+            let buf = [depth as u64; 8];
+            if depth == 0 {
+                buf.iter().sum()
+            } else {
+                go(depth - 1) + buf[0]
+            }
+        }
+        COUNTER.with(|c| c.set(go(data as usize)));
+        // SAFETY: resumes the suspended main context.
+        unsafe { switch_final(main_ctx()) }
+    }
+
+    #[test]
+    fn fiber_stack_supports_real_call_frames() {
+        let stack = Stack::new(StackSize(256 * 1024));
+        COUNTER.with(|c| c.set(0));
+        // SAFETY: deep_recursion never returns.
+        let ctx = unsafe { init_context(&stack, deep_recursion, 200 as *mut u8) };
+        let mut main = RawContext::null();
+        MAIN_SLOT.with(|s| s.set(&mut main));
+        // SAFETY: fresh context.
+        unsafe { switch(&mut main, ctx) };
+        // sum over go(200): depths 200..=0 contribute; just check nonzero
+        // deterministic value computed on the fiber stack.
+        assert_eq!(COUNTER.with(Cell::get), {
+            fn go(depth: usize) -> u64 {
+                let buf = [depth as u64; 8];
+                if depth == 0 {
+                    buf.iter().sum()
+                } else {
+                    go(depth - 1) + buf[0]
+                }
+            }
+            go(200)
+        });
+        assert!(stack.canary_intact());
+    }
+
+    unsafe extern "sysv64" fn float_worker(data: *mut u8) -> ! {
+        // Exercise SSE math on the fiber stack; the result must survive
+        // the round trips through the control-word save/restore.
+        let mut acc = 1.0f64;
+        let mut me = RawContext::null();
+        FIBER_SLOT.with(|s| s.set(&mut me));
+        for i in 1..=(data as usize) {
+            acc = acc.mul_add(1.5, i as f64).sqrt();
+            COUNTER.with(|c| c.set(acc.to_bits()));
+            // SAFETY: standard test protocol, see `yielder`.
+            unsafe { switch(&mut me, main_ctx()) };
+        }
+        // SAFETY: final exit.
+        unsafe { switch_final(main_ctx()) }
+    }
+
+    #[test]
+    fn fp_state_survives_switches() {
+        let stack = Stack::new(StackSize::default());
+        // SAFETY: float_worker never returns.
+        let ctx = unsafe { init_context(&stack, float_worker, 4 as *mut u8) };
+        let mut main = RawContext::null();
+        MAIN_SLOT.with(|s| s.set(&mut main));
+        // Reference computation on the main stack.
+        let mut expect = 1.0f64;
+        // SAFETY: fresh context.
+        unsafe { switch(&mut main, ctx) };
+        for i in 1..=4u64 {
+            expect = expect.mul_add(1.5, i as f64).sqrt();
+            assert_eq!(COUNTER.with(Cell::get), expect.to_bits());
+            // SAFETY: fiber suspended in its switch.
+            let fiber = unsafe { *FIBER_SLOT.with(Cell::get) };
+            // SAFETY: resumed at most once.
+            unsafe { switch(&mut main, fiber) };
+        }
+    }
+
+    #[test]
+    fn contexts_migrate_between_os_threads() {
+        // Create the fiber context on this thread, run it on another —
+        // the essence of ULT migration / work stealing.
+        let stack = Stack::new(StackSize::default());
+        COUNTER.with(|c| c.set(0));
+        // SAFETY: one_shot never returns.
+        let ctx = unsafe { init_context(&stack, one_shot, 9 as *mut u8) };
+        let handle = std::thread::spawn(move || {
+            let mut main = RawContext::null();
+            MAIN_SLOT.with(|s| s.set(&mut main));
+            // SAFETY: the context was created on another thread but its
+            // stack is owned by the moved-in `stack`; nothing else runs it.
+            unsafe { switch(&mut main, ctx) };
+            let v = COUNTER.with(Cell::get);
+            assert!(stack.canary_intact());
+            v
+        });
+        assert_eq!(handle.join().unwrap(), 9);
+    }
+
+    #[test]
+    fn null_context_basics() {
+        assert!(RawContext::null().is_null());
+        assert_eq!(RawContext::default(), RawContext::null());
+        let stack = Stack::new(StackSize::MIN);
+        // SAFETY: context is never switched to in this test.
+        let ctx = unsafe { init_context(&stack, one_shot, std::ptr::null_mut()) };
+        assert!(!ctx.is_null());
+    }
+}

@@ -1,0 +1,401 @@
+//! A safe asymmetric coroutine on top of the raw context layer.
+//!
+//! [`Fiber`] is the "hello world" of the crate: resume it from an OS
+//! thread (or from another fiber), and inside it call [`yield_now`] to
+//! suspend back to the resumer. The LWT runtimes in this workspace use
+//! the raw [`crate::ctx`] API instead, because they schedule many ULTs
+//! across workers; `Fiber` exists for tests, examples, and light uses.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::ctx::{init_context, switch, switch_final, RawContext};
+use crate::stack::{Stack, StackSize};
+
+/// Lifecycle of a [`Fiber`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FiberState {
+    /// Created, never resumed.
+    New,
+    /// Suspended inside [`yield_now`], resumable.
+    Suspended,
+    /// Ran to completion (or panicked); resuming again panics.
+    Finished,
+}
+
+/// Shared state between a fiber and its resumer. Lives in a `Box` owned
+/// by the [`Fiber`] handle; the running fiber holds a raw pointer to it.
+struct Payload {
+    entry: Option<Box<dyn FnOnce() + Send + 'static>>,
+    /// Resumer's suspended context while the fiber runs.
+    parent: RawContext,
+    /// Fiber's suspended context while the resumer runs.
+    fiber_ctx: RawContext,
+    finished: bool,
+    panic: Option<Box<dyn Any + Send + 'static>>,
+}
+
+thread_local! {
+    /// Payload of the fiber currently running on this OS thread, if any.
+    /// A stack of fibers (fiber resuming fiber) is handled by saving and
+    /// restoring the previous value around each resume.
+    static CURRENT: Cell<*mut Payload> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+/// An asymmetric, unit-valued coroutine with its own stack.
+///
+/// ```
+/// use lwt_fiber::{Fiber, yield_now};
+///
+/// let mut f = Fiber::with_default_stack(|| {
+///     yield_now();
+/// });
+/// f.resume(); // runs until the yield
+/// assert!(!f.is_finished());
+/// f.resume(); // runs to completion
+/// assert!(f.is_finished());
+/// ```
+pub struct Fiber {
+    stack: Stack,
+    payload: Box<Payload>,
+    state: FiberState,
+}
+
+// SAFETY: the entry closure is `Send`; the stack and payload are owned;
+// a suspended fiber may be resumed from any OS thread (ULT migration),
+// which is the whole point of the design.
+unsafe impl Send for Fiber {}
+
+impl Fiber {
+    /// Create a fiber that will run `f` when first resumed.
+    #[must_use]
+    pub fn new<F>(stack_size: StackSize, f: F) -> Self
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let stack = Stack::new(stack_size);
+        let payload = Box::new(Payload {
+            entry: Some(Box::new(f)),
+            parent: RawContext::null(),
+            fiber_ctx: RawContext::null(),
+            finished: false,
+            panic: None,
+        });
+        let mut fiber = Fiber {
+            stack,
+            payload,
+            state: FiberState::New,
+        };
+        // SAFETY: `fiber_entry` never returns; the data pointer targets
+        // the boxed payload, which lives as long as the Fiber and is not
+        // moved out of its box.
+        let ctx = unsafe {
+            init_context(
+                &fiber.stack,
+                fiber_entry,
+                (&mut *fiber.payload as *mut Payload).cast(),
+            )
+        };
+        fiber.payload.fiber_ctx = ctx;
+        fiber
+    }
+
+    /// [`Fiber::new`] with [`StackSize::DEFAULT`].
+    #[must_use]
+    pub fn with_default_stack<F>(f: F) -> Self
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        Self::new(StackSize::DEFAULT, f)
+    }
+
+    /// Run the fiber until it yields or finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fiber already finished, and re-raises any panic
+    /// that escaped the fiber's entry closure.
+    pub fn resume(&mut self) {
+        assert!(
+            self.state != FiberState::Finished,
+            "resumed a finished fiber"
+        );
+        let payload: *mut Payload = &mut *self.payload;
+        let prev = CURRENT.with(|c| c.replace(payload));
+        let target = self.payload.fiber_ctx;
+        // SAFETY: `target` is either the bootstrap context (New) or the
+        // context saved by the fiber's last yield (Suspended); the fiber
+        // resumes `parent` before we regain control here.
+        unsafe { switch(&mut self.payload.parent, target) };
+        CURRENT.with(|c| c.set(prev));
+        if self.payload.finished {
+            self.state = FiberState::Finished;
+            if let Some(p) = self.payload.panic.take() {
+                resume_unwind(p);
+            }
+        } else {
+            self.state = FiberState::Suspended;
+        }
+    }
+
+    /// Current lifecycle state.
+    #[must_use]
+    pub fn state(&self) -> FiberState {
+        self.state
+    }
+
+    /// Whether the fiber ran to completion.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.state == FiberState::Finished
+    }
+
+    /// Whether the stack's overflow canary is still intact.
+    #[must_use]
+    pub fn stack_canary_intact(&self) -> bool {
+        self.stack.canary_intact()
+    }
+}
+
+impl Drop for Fiber {
+    fn drop(&mut self) {
+        // Dropping a suspended fiber abandons its stack: destructors of
+        // values live on that stack do NOT run (they are unreachable
+        // without resuming). The stack memory itself is freed. This
+        // matches the behaviour of the C LWT libraries' `*_cancel`.
+        if self.state == FiberState::Suspended {
+            debug_assert!(
+                self.stack.canary_intact(),
+                "dropping a suspended fiber with an overflowed stack"
+            );
+        }
+    }
+}
+
+impl std::fmt::Debug for Fiber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fiber")
+            .field("state", &self.state)
+            .field("stack", &self.stack)
+            .finish()
+    }
+}
+
+/// Suspend the currently running fiber, returning control to whoever
+/// resumed it.
+///
+/// # Panics
+///
+/// Panics when called from code that is not running inside a [`Fiber`]
+/// (the LWT runtimes have their own yield primitives and do not use
+/// this one).
+pub fn yield_now() {
+    let payload = CURRENT.with(Cell::get);
+    assert!(
+        !payload.is_null(),
+        "lwt_fiber::yield_now() called outside a fiber"
+    );
+    // SAFETY: `payload` points at the Box<Payload> owned by the Fiber
+    // currently being resumed on this thread; the resumer is suspended
+    // in `resume`, so no aliasing access occurs until we switch back.
+    unsafe {
+        let p = &mut *payload;
+        let parent = p.parent;
+        switch(&mut p.fiber_ctx, parent);
+    }
+}
+
+/// Whether the caller is executing inside a [`Fiber`].
+#[must_use]
+pub fn in_fiber() -> bool {
+    !CURRENT.with(Cell::get).is_null()
+}
+
+/// Entry thunk executed as the first frames of every [`Fiber`] stack.
+unsafe extern "sysv64" fn fiber_entry(data: *mut u8) -> ! {
+    // SAFETY: `data` is the payload pointer installed by `Fiber::new`.
+    let payload = unsafe { &mut *data.cast::<Payload>() };
+    let entry = payload.entry.take().expect("fiber entry already taken");
+    let result = catch_unwind(AssertUnwindSafe(entry));
+    if let Err(p) = result {
+        payload.panic = Some(p);
+    }
+    payload.finished = true;
+    let parent = payload.parent;
+    // SAFETY: the resumer is suspended in `Fiber::resume` on this same
+    // OS thread; it will observe `finished` only after this switch
+    // completes, so the dying stack is never freed while in use.
+    unsafe { switch_final(parent) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_to_completion_without_yield() {
+        let hit = Arc::new(AtomicUsize::new(0));
+        let h = hit.clone();
+        let mut f = Fiber::with_default_stack(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(f.state(), FiberState::New);
+        f.resume();
+        assert!(f.is_finished());
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn yields_round_trip() {
+        let steps = Arc::new(AtomicUsize::new(0));
+        let s = steps.clone();
+        let mut f = Fiber::with_default_stack(move || {
+            for _ in 0..10 {
+                s.fetch_add(1, Ordering::Relaxed);
+                yield_now();
+            }
+        });
+        for i in 1..=10 {
+            f.resume();
+            assert_eq!(steps.load(Ordering::Relaxed), i);
+            assert_eq!(f.state(), FiberState::Suspended);
+        }
+        f.resume();
+        assert!(f.is_finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "resumed a finished fiber")]
+    fn resume_after_finish_panics() {
+        let mut f = Fiber::with_default_stack(|| {});
+        f.resume();
+        f.resume();
+    }
+
+    #[test]
+    fn panic_in_fiber_propagates_to_resumer() {
+        let mut f = Fiber::with_default_stack(|| panic!("boom in fiber"));
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| f.resume()))
+            .expect_err("panic should propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "boom in fiber");
+        assert!(f.is_finished());
+    }
+
+    #[test]
+    fn nested_fibers() {
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let o = order.clone();
+        let mut outer = Fiber::with_default_stack(move || {
+            o.lock().unwrap().push("outer-start");
+            let o2 = o.clone();
+            let mut inner = Fiber::with_default_stack(move || {
+                o2.lock().unwrap().push("inner");
+                yield_now();
+                o2.lock().unwrap().push("inner-again");
+            });
+            inner.resume();
+            o.lock().unwrap().push("outer-mid");
+            yield_now();
+            inner.resume();
+            o.lock().unwrap().push("outer-end");
+        });
+        outer.resume();
+        outer.resume();
+        assert!(outer.is_finished());
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["outer-start", "inner", "outer-mid", "inner-again", "outer-end"]
+        );
+    }
+
+    #[test]
+    fn suspended_fiber_moves_across_threads() {
+        let steps = Arc::new(AtomicUsize::new(0));
+        let s = steps.clone();
+        let mut f = Fiber::with_default_stack(move || {
+            s.fetch_add(1, Ordering::Relaxed);
+            yield_now();
+            s.fetch_add(1, Ordering::Relaxed);
+        });
+        f.resume();
+        assert_eq!(steps.load(Ordering::Relaxed), 1);
+        let steps2 = steps.clone();
+        std::thread::spawn(move || {
+            f.resume();
+            assert!(f.is_finished());
+            assert_eq!(steps2.load(Ordering::Relaxed), 2);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn dropping_suspended_fiber_is_safe_but_skips_destructors() {
+        struct NoisyDrop(Arc<AtomicUsize>);
+        impl Drop for NoisyDrop {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let d = drops.clone();
+        let mut f = Fiber::with_default_stack(move || {
+            let _keep = NoisyDrop(d);
+            yield_now();
+        });
+        f.resume();
+        drop(f);
+        // The value lived on the abandoned fiber stack: not dropped.
+        assert_eq!(drops.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn in_fiber_reports_correctly() {
+        assert!(!in_fiber());
+        let mut f = Fiber::with_default_stack(|| {
+            assert!(in_fiber());
+        });
+        f.resume();
+        assert!(!in_fiber());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a fiber")]
+    fn yield_outside_fiber_panics() {
+        yield_now();
+    }
+
+    #[test]
+    fn many_fibers_interleaved() {
+        const N: usize = 64;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut fibers: Vec<Fiber> = (0..N)
+            .map(|_| {
+                let c = counter.clone();
+                Fiber::new(StackSize(16 * 1024), move || {
+                    for _ in 0..4 {
+                        c.fetch_add(1, Ordering::Relaxed);
+                        yield_now();
+                    }
+                })
+            })
+            .collect();
+        let mut live = N;
+        while live > 0 {
+            for f in &mut fibers {
+                if !f.is_finished() {
+                    f.resume();
+                    if f.is_finished() {
+                        live -= 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), N * 4);
+        assert!(fibers.iter().all(Fiber::stack_canary_intact));
+    }
+}

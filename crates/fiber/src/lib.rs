@@ -1,0 +1,73 @@
+//! # lwt-fiber — user-level execution contexts for lightweight threads
+//!
+//! This crate is the lowest substrate of the `lwt` workspace: it provides
+//! the raw machinery every lightweight-thread (LWT) runtime in the
+//! workspace is built on — heap-allocated stacks, a System-V x86_64
+//! context switch written with stable `naked_asm!`, and a small safe
+//! coroutine wrapper ([`Fiber`]) used directly by tests and simple
+//! clients.
+//!
+//! The design mirrors what C LWT libraries (Argobots, Qthreads,
+//! MassiveThreads, Converse Threads) do underneath: a *context* is
+//! nothing but a saved stack pointer; switching contexts saves the
+//! callee-saved register file plus the FP control words onto the current
+//! stack, stores the resulting `rsp` into a caller-provided slot, and
+//! restores the same frame layout from the target `rsp`.
+//!
+//! ## Layering
+//!
+//! * [`stack::Stack`] — an aligned heap allocation with a canary word at
+//!   the low end (there are no guard pages: the workspace is `no-libc`,
+//!   so `mmap`/`mprotect` are unavailable; see `DESIGN.md` §7).
+//! * [`ctx`] — [`ctx::RawContext`], [`ctx::switch`],
+//!   [`ctx::switch_final`], and [`ctx::init_context`] for bootstrapping
+//!   a new context that enters a trampoline.
+//! * [`Fiber`] — a safe asymmetric coroutine (resume / [`yield_now`])
+//!   for clients that do not need a full scheduler.
+//!
+//! Runtimes (the `lwt-argobots`, `lwt-qthreads`, … crates) use the raw
+//! [`ctx`] layer directly because they need symmetric ULT→ULT switches
+//! (`yield_to`, work-first creation) that an asymmetric coroutine API
+//! cannot express.
+//!
+//! ## Platform support
+//!
+//! x86_64 only, matching the evaluation platform of the reproduced paper
+//! (dual Xeon E5-2699 v3). Other targets fail to compile with an
+//! explicit error rather than miscompiling.
+//!
+//! ## Example
+//!
+//! ```
+//! use lwt_fiber::{Fiber, yield_now, StackSize};
+//!
+//! let mut fib = Fiber::new(StackSize::default(), || {
+//!     for _ in 0..3 {
+//!         yield_now();
+//!     }
+//! });
+//! let mut resumes = 0;
+//! while !fib.is_finished() {
+//!     fib.resume();
+//!     resumes += 1;
+//! }
+//! assert_eq!(resumes, 4); // 3 yields + final completion
+//! ```
+
+#![warn(missing_docs)]
+
+#[cfg(not(target_arch = "x86_64"))]
+compile_error!(
+    "lwt-fiber implements its context switch for x86_64 only (the \
+     platform of the reproduced paper); port src/arch.rs to add another \
+     architecture"
+);
+
+mod arch;
+pub mod ctx;
+mod fiber;
+pub mod stack;
+
+pub use ctx::{init_context, switch, switch_final, RawContext};
+pub use fiber::{in_fiber, yield_now, Fiber, FiberState};
+pub use stack::{Stack, StackSize};

@@ -1,0 +1,209 @@
+//! Heap-allocated fiber stacks.
+//!
+//! Each stack is a single aligned allocation. The top (highest address)
+//! is 16-byte aligned as the System-V ABI requires; the bottom carries a
+//! canary pattern so overflow — which cannot trap without guard pages —
+//! is at least *detectable* after the fact via [`Stack::canary_intact`]
+//! and is checked in debug builds when the stack is dropped.
+
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+use std::ptr::NonNull;
+
+/// Stack alignment. 16 bytes satisfies the System-V ABI; we use a full
+/// cache line to keep unrelated stacks from false-sharing their edges.
+const STACK_ALIGN: usize = 64;
+
+/// Number of canary words written at the low end of every stack.
+const CANARY_WORDS: usize = 4;
+
+/// Pattern for canary words. Chosen to be an improbable stack value and
+/// an invalid (non-canonical) pointer on x86_64.
+const CANARY: u64 = 0xDEAD_BEEF_CAFE_F1BE;
+
+/// Requested size of a fiber stack, in bytes.
+///
+/// The default (64 KiB) matches the default ULT stack size of the C LWT
+/// libraries the paper evaluates (Qthreads and Argobots both default to
+/// tens of KiB). Sizes are rounded up to the alignment quantum.
+///
+/// Stack overflow on a fiber stack is undefined behaviour: there are no
+/// guard pages (see crate docs). Keep deep recursion on OS threads or
+/// request a larger size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StackSize(pub usize);
+
+impl StackSize {
+    /// Smallest permitted stack: room for the bootstrap frame, the
+    /// canary and a little real work.
+    pub const MIN: StackSize = StackSize(4 * 1024);
+
+    /// The workspace-wide default fiber stack size (64 KiB).
+    pub const DEFAULT: StackSize = StackSize(64 * 1024);
+
+    /// Size in bytes after clamping to [`StackSize::MIN`] and rounding
+    /// up to the alignment quantum.
+    #[must_use]
+    pub fn bytes(self) -> usize {
+        let clamped = self.0.max(Self::MIN.0);
+        (clamped + STACK_ALIGN - 1) & !(STACK_ALIGN - 1)
+    }
+}
+
+impl Default for StackSize {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+impl From<usize> for StackSize {
+    fn from(bytes: usize) -> Self {
+        StackSize(bytes)
+    }
+}
+
+/// An owned fiber stack.
+///
+/// The allocation is released on drop. Dropping a stack whose fiber is
+/// still suspended on it is a logic error in the runtime above; this
+/// type cannot detect that, but the canary check catches low-end
+/// overwrites.
+pub struct Stack {
+    base: NonNull<u8>,
+    layout: Layout,
+}
+
+// SAFETY: a Stack is a plain allocation; ownership may move between
+// threads (ULT migration), and shared references only expose reads of
+// immutable metadata plus the canary words, which are written once at
+// construction.
+unsafe impl Send for Stack {}
+// SAFETY: see above — &Stack only permits reads.
+unsafe impl Sync for Stack {}
+
+impl Stack {
+    /// Allocate a stack of (at least) the requested size.
+    ///
+    /// # Panics
+    ///
+    /// Panics via [`handle_alloc_error`] if the allocator fails.
+    #[must_use]
+    pub fn new(size: StackSize) -> Self {
+        let bytes = size.bytes();
+        let layout = Layout::from_size_align(bytes, STACK_ALIGN).expect("valid stack layout");
+        // SAFETY: layout has non-zero size (MIN is 4 KiB).
+        let raw = unsafe { alloc(layout) };
+        let Some(base) = NonNull::new(raw) else {
+            handle_alloc_error(layout);
+        };
+        let stack = Stack { base, layout };
+        // SAFETY: base..base+bytes is our fresh allocation; the canary
+        // words fit because bytes >= MIN >> CANARY_WORDS * 8.
+        unsafe {
+            let words = stack.base.as_ptr().cast::<u64>();
+            for i in 0..CANARY_WORDS {
+                words.add(i).write(CANARY);
+            }
+        }
+        stack
+    }
+
+    /// Highest usable address of the stack; 16-byte aligned.
+    ///
+    /// This is one-past-the-end of the allocation: valid for pointer
+    /// arithmetic, never for a direct dereference.
+    #[must_use]
+    pub fn top(&self) -> *mut u8 {
+        // SAFETY: one-past-the-end pointer of the allocation.
+        unsafe { self.base.as_ptr().add(self.layout.size()) }
+    }
+
+    /// Lowest address of the stack allocation.
+    #[must_use]
+    pub fn base(&self) -> *mut u8 {
+        self.base.as_ptr()
+    }
+
+    /// Usable size in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.layout.size()
+    }
+
+    /// Whether the low-end canary pattern is still intact.
+    ///
+    /// A `false` return means some execution on this stack grew past its
+    /// low end — i.e. a (possibly silent) stack overflow occurred.
+    #[must_use]
+    pub fn canary_intact(&self) -> bool {
+        // SAFETY: the canary words are inside our allocation.
+        unsafe {
+            let words = self.base.as_ptr().cast::<u64>();
+            (0..CANARY_WORDS).all(|i| words.add(i).read() == CANARY)
+        }
+    }
+}
+
+impl Drop for Stack {
+    fn drop(&mut self) {
+        debug_assert!(
+            self.canary_intact(),
+            "fiber stack canary destroyed: a fiber overflowed its {}-byte stack",
+            self.layout.size()
+        );
+        // SAFETY: base/layout come from the matching `alloc` in `new`.
+        unsafe { dealloc(self.base.as_ptr(), self.layout) };
+    }
+}
+
+impl std::fmt::Debug for Stack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stack")
+            .field("base", &self.base)
+            .field("size", &self.layout.size())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_64k() {
+        assert_eq!(StackSize::default().bytes(), 64 * 1024);
+    }
+
+    #[test]
+    fn sizes_round_up_and_clamp() {
+        assert_eq!(StackSize(0).bytes(), StackSize::MIN.bytes());
+        assert_eq!(StackSize(1).bytes(), StackSize::MIN.bytes());
+        let odd = StackSize(64 * 1024 + 1);
+        assert_eq!(odd.bytes() % STACK_ALIGN, 0);
+        assert!(odd.bytes() > 64 * 1024);
+    }
+
+    #[test]
+    fn top_is_aligned_and_above_base() {
+        let s = Stack::new(StackSize::default());
+        assert_eq!(s.top() as usize % 16, 0);
+        assert_eq!(s.top() as usize - s.base() as usize, s.size());
+    }
+
+    #[test]
+    fn canary_detects_overwrite() {
+        let s = Stack::new(StackSize::MIN);
+        assert!(s.canary_intact());
+        // SAFETY: writing inside our own allocation.
+        unsafe { s.base().cast::<u64>().write(0) };
+        assert!(!s.canary_intact());
+        // Restore so the debug_assert in Drop stays quiet.
+        // SAFETY: as above.
+        unsafe { s.base().cast::<u64>().write(CANARY) };
+    }
+
+    #[test]
+    fn stacks_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Stack>();
+    }
+}

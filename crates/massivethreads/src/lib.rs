@@ -1,0 +1,542 @@
+//! # lwt-massive — a MassiveThreads-model lightweight-thread runtime
+//!
+//! From-scratch Rust implementation of the programming model the paper
+//! describes for MassiveThreads (Nakashima & Taura): "a
+//! recursion-oriented LWT solution that follows the work-first
+//! scheduling policy".
+//!
+//! * **Workers** are hardware resources (one OS thread each); their
+//!   count is fixed at init (`MYTH_NUM_WORKERS`).
+//! * Each worker owns a mutex-protected ready deque; **load balance is
+//!   pursued with random work stealing** — an idle worker locks another
+//!   worker's queue and steals its oldest ULT.
+//! * **Creation policies** ([`Policy`]): *work-first* (`myth_create`
+//!   default — "when a new ULT is created, it is immediately executed,
+//!   and the current ULT is moved into a ready queue") and *help-first*
+//!   (the child is queued, the parent continues). The paper benchmarks
+//!   both as "MassiveThreads (W)" and "MassiveThreads (H)".
+//!
+//! Unlike the other runtimes in this workspace, the *main program runs
+//! as a ULT* ([`Runtime::run`]) — exactly as `myth_init` turns `main`
+//! into a user-level thread. This is what produces the paper's
+//! signature Fig. 2 curves: under help-first the main ULT creates all
+//! work units into **its own worker's queue** at constant cost and lets
+//! stealing distribute them; under work-first the main flow itself
+//! migrates from worker to worker as each spawn displaces it.
+//!
+//! ## Example
+//!
+//! ```
+//! use lwt_massive::{Config, Policy, Runtime};
+//!
+//! let rt = Runtime::init(Config { num_workers: 2, ..Config::default() });
+//! let out = rt.run(|rt| {
+//!     let h = rt.spawn(|| 40 + 2);
+//!     h.join()
+//! });
+//! assert_eq!(out, 42);
+//! rt.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use lwt_fiber::StackSize;
+use lwt_sched::{RandomVictim, StealableDeque};
+use lwt_sync::SpinLock;
+use lwt_ultcore::{
+    enter_worker, run_ult, wait_until, yield_to, ResultCell, Requeue, UltCore,
+};
+
+pub use lwt_ultcore::{current_worker, in_ult, yield_now};
+
+/// ULT creation policy (`MYTH_CHILD_FIRST` / help-first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// Child runs immediately; the parent is pushed to the ready deque
+    /// (stealable). MassiveThreads' default; the paper's "(W)" series.
+    #[default]
+    WorkFirst,
+    /// Child is queued; the parent keeps running. The paper's "(H)"
+    /// series, which wins its Figs. 2/4.
+    HelpFirst,
+}
+
+/// Runtime configuration (`myth_init` environment).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of workers (`MYTH_NUM_WORKERS`).
+    pub num_workers: usize,
+    /// Default creation policy (overridable per spawn).
+    pub policy: Policy,
+    /// ULT stack size (`MYTH_DEF_STKSIZE`).
+    pub stack_size: StackSize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            num_workers: std::thread::available_parallelism().map_or(4, usize::from),
+            policy: Policy::default(),
+            stack_size: StackSize::DEFAULT,
+        }
+    }
+}
+
+struct RtInner {
+    deques: Vec<Arc<StealableDeque<Arc<UltCore>>>>,
+    threads: SpinLock<Vec<Option<std::thread::JoinHandle<()>>>>,
+    stop: AtomicBool,
+    policy: Policy,
+    stack_size: StackSize,
+    shut: AtomicBool,
+}
+
+/// The MassiveThreads-model runtime. Cheap to clone.
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<RtInner>,
+}
+
+/// Join handle for a spawned ULT (`myth_thread_t` + `myth_join`).
+pub struct Handle<T> {
+    ult: Arc<UltCore>,
+    result: Arc<ResultCell<T>>,
+}
+
+impl<T> Handle<T> {
+    /// Wait for completion (`myth_join`) and take the result. Inside a
+    /// ULT the wait yields, letting the worker keep executing (and
+    /// stealing) other work.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic that escaped the ULT's closure.
+    pub fn join(self) -> T {
+        wait_until(|| self.ult.is_terminated());
+        if let Some(p) = self.ult.take_panic() {
+            std::panic::resume_unwind(p);
+        }
+        // SAFETY: TERMINATED observed; sole joiner.
+        unsafe { self.result.take() }.expect("massivethreads result missing")
+    }
+
+    /// Non-consuming completion test.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.ult.is_terminated()
+    }
+}
+
+impl<T> std::fmt::Debug for Handle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("massive::Handle")
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Initialize workers (`myth_init`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.num_workers` is zero.
+    #[must_use]
+    pub fn init(config: Config) -> Self {
+        assert!(config.num_workers > 0, "need at least one worker");
+        let deques: Vec<Arc<StealableDeque<Arc<UltCore>>>> = (0..config.num_workers)
+            .map(|_| Arc::new(StealableDeque::new()))
+            .collect();
+        let inner = Arc::new(RtInner {
+            deques,
+            threads: SpinLock::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            policy: config.policy,
+            stack_size: config.stack_size,
+            shut: AtomicBool::new(false),
+        });
+        let rt = Runtime { inner };
+        let mut threads = rt.inner.threads.lock();
+        for w in 0..config.num_workers {
+            let inner = rt.inner.clone();
+            threads.push(Some(
+                std::thread::Builder::new()
+                    .name(format!("myth-w{w}"))
+                    .spawn(move || worker_main(&inner, w))
+                    .expect("spawn massivethreads worker"),
+            ));
+        }
+        drop(threads);
+        rt
+    }
+
+    /// [`Runtime::init`] with defaults.
+    #[must_use]
+    pub fn init_default() -> Self {
+        Self::init(Config::default())
+    }
+
+    /// Number of workers.
+    #[must_use]
+    pub fn num_workers(&self) -> usize {
+        self.inner.deques.len()
+    }
+
+    /// The configured default creation policy.
+    #[must_use]
+    pub fn policy(&self) -> Policy {
+        self.inner.policy
+    }
+
+    /// Run `f` as the primary ULT (what `myth_init` does to `main`) and
+    /// wait for its result from the calling (external) thread.
+    ///
+    /// Spawns inside `f` follow the configured policy; under work-first
+    /// the "main flow" migrates between workers exactly as the paper
+    /// describes for MassiveThreads (W).
+    pub fn run<T, F>(&self, f: F) -> T
+    where
+        T: Send + 'static,
+        F: FnOnce(&Runtime) -> T + Send + 'static,
+    {
+        let rt = self.clone();
+        let result = ResultCell::new();
+        let slot = result.clone();
+        let ult = UltCore::new(self.inner.stack_size, move || {
+            let value = f(&rt);
+            // SAFETY: sole writer, before TERMINATED.
+            unsafe { slot.put(value) };
+        });
+        self.inner.deques[0].push(ult.clone());
+        wait_until(|| ult.is_terminated());
+        if let Some(p) = ult.take_panic() {
+            std::panic::resume_unwind(p);
+        }
+        // SAFETY: TERMINATED observed; sole joiner.
+        unsafe { result.take() }.expect("primary ULT result missing")
+    }
+
+    /// Create a ULT under the configured policy (`myth_create`).
+    pub fn spawn<T, F>(&self, f: F) -> Handle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.spawn_with(self.inner.policy, f)
+    }
+
+    /// Create a ULT under an explicit policy
+    /// (`myth_create_ex` with custom options).
+    pub fn spawn_with<T, F>(&self, policy: Policy, f: F) -> Handle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let result = ResultCell::new();
+        let slot = result.clone();
+        let ult = UltCore::new(self.inner.stack_size, move || {
+            let value = f();
+            // SAFETY: sole writer, before TERMINATED.
+            unsafe { slot.put(value) };
+        });
+        match (policy, current_worker()) {
+            (Policy::WorkFirst, Some(_)) if in_ult() => {
+                // Work-first from inside a ULT: run the child now; the
+                // post-switch protocol requeues the parent into the
+                // current worker's deque, where it can be stolen.
+                if !yield_to(&ult) {
+                    // Claim raced (cannot normally happen for a fresh
+                    // ULT); degrade to help-first.
+                    self.inner.deques[0].push(ult.clone());
+                }
+            }
+            (_, Some(w)) => {
+                // Help-first from a worker: into this worker's deque.
+                self.inner.deques[w].push(ult.clone());
+            }
+            (_, None) => {
+                // External thread: into worker 0's deque, to be stolen
+                // from there (the paper's MassiveThreads (H) shape).
+                self.inner.deques[0].push(ult.clone());
+            }
+        }
+        Handle { ult, result }
+    }
+
+    /// Stop all workers and join their OS threads (`myth_fini`).
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        if self.inner.shut.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.inner.stop.store(true, Ordering::Release);
+        let mut threads = self.inner.threads.lock();
+        for t in threads.iter_mut() {
+            if let Some(t) = t.take() {
+                t.join().expect("massivethreads worker panicked");
+            }
+        }
+    }
+}
+
+impl Drop for RtInner {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.lock().iter_mut() {
+            if let Some(t) = t.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("massive::Runtime")
+            .field("workers", &self.num_workers())
+            .field("policy", &self.inner.policy)
+            .finish()
+    }
+}
+
+fn worker_main(inner: &Arc<RtInner>, w: usize) {
+    let my_deque = inner.deques[w].clone();
+    let requeue: Arc<dyn Requeue> = {
+        let deques = inner.deques.clone();
+        Arc::new(move |worker: usize, u: Arc<UltCore>| {
+            // Yielded/displaced ULTs go to the *back* of the current
+            // worker's deque: the owner pops the front, so queued
+            // children run before a yield-looping joiner (progress);
+            // thieves steal the back, so the displaced main flow is
+            // exactly what gets stolen — the paper's "another thread
+            // steals the main task".
+            deques[worker].push_back(u);
+        })
+    };
+    let _guard = enter_worker(w, requeue);
+    let victims = RandomVictim::new(inner.deques.len(), 0x9E3779B9 ^ (w as u64) << 17 | 1);
+    let mut backoff = lwt_sync::Backoff::new();
+    loop {
+        // Own deque first (depth-first), then random stealing.
+        let unit = my_deque.pop().or_else(|| {
+            let v = victims.pick(w);
+            if v == w {
+                None
+            } else {
+                inner.deques[v].steal()
+            }
+        });
+        match unit {
+            Some(u) => {
+                backoff.reset();
+                run_ult(&u);
+            }
+            None => {
+                if inner.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                backoff.spin();
+                if backoff.is_saturated() {
+                    // Idle-worker nap: see lwt-argobots stream.rs.
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn rt(workers: usize, policy: Policy) -> Runtime {
+        Runtime::init(Config {
+            num_workers: workers,
+            policy,
+            stack_size: StackSize(32 * 1024),
+        })
+    }
+
+    #[test]
+    fn run_executes_main_as_ult() {
+        let rt = rt(2, Policy::HelpFirst);
+        let was_ult = rt.run(|_| in_ult());
+        assert!(was_ult);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn spawn_help_first_parent_continues() {
+        let rt = rt(1, Policy::HelpFirst);
+        let order = Arc::new(SpinLock::new(Vec::new()));
+        let o = order.clone();
+        rt.run(move |rt| {
+            let o2 = o.clone();
+            let h = rt.spawn(move || o2.lock().push("child"));
+            o.lock().push("parent-after-spawn");
+            h.join();
+        });
+        // Help-first on one worker: parent records first.
+        assert_eq!(order.lock().clone(), vec!["parent-after-spawn", "child"]);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn spawn_work_first_child_runs_immediately() {
+        let rt = rt(1, Policy::WorkFirst);
+        let order = Arc::new(SpinLock::new(Vec::new()));
+        let o = order.clone();
+        rt.run(move |rt| {
+            let o2 = o.clone();
+            let h = rt.spawn(move || o2.lock().push("child"));
+            o.lock().push("parent-after-spawn");
+            h.join();
+        });
+        // Work-first: the child preempts the parent.
+        assert_eq!(order.lock().clone(), vec!["child", "parent-after-spawn"]);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn recursive_fib_work_first() {
+        let rt = rt(2, Policy::WorkFirst);
+        fn fib(rt: &Runtime, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let rt2 = rt.clone();
+            let h = rt.spawn(move || fib(&rt2, n - 1));
+            let b = fib(rt, n - 2);
+            h.join() + b
+        }
+        let out = rt.run(|rt| fib(rt, 12));
+        assert_eq!(out, 144);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn recursive_fib_help_first() {
+        let rt = rt(2, Policy::HelpFirst);
+        fn fib(rt: &Runtime, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let rt2 = rt.clone();
+            let h = rt.spawn(move || fib(&rt2, n - 1));
+            let b = fib(rt, n - 2);
+            h.join() + b
+        }
+        let out = rt.run(|rt| fib(rt, 12));
+        assert_eq!(out, 144);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn external_spawn_lands_on_worker_zero_queue() {
+        let rt = rt(2, Policy::HelpFirst);
+        let handles: Vec<_> = (0..50).map(|i| rt.spawn(move || i)).collect();
+        let sum: usize = handles.into_iter().map(Handle::join).sum();
+        assert_eq!(sum, 50 * 49 / 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn work_is_stolen_across_workers() {
+        let rt = rt(4, Policy::HelpFirst);
+        let seen = Arc::new(SpinLock::new(std::collections::HashSet::new()));
+        let handles: Vec<_> = (0..200)
+            .map(|_| {
+                let seen = seen.clone();
+                rt.spawn(move || {
+                    seen.lock().insert(current_worker().unwrap());
+                    // Give thieves a window.
+                    std::thread::yield_now();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        // All spawned to worker 0; stealing must have spread them.
+        let seen = seen.lock().clone();
+        assert!(seen.len() > 1, "no work stealing happened: {seen:?}");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn yields_work_inside_ults() {
+        let rt = rt(1, Policy::HelpFirst);
+        let v = rt.run(|rt| {
+            let h = rt.spawn(|| {
+                for _ in 0..3 {
+                    yield_now();
+                }
+                5
+            });
+            h.join()
+        });
+        assert_eq!(v, 5);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn per_spawn_policy_override() {
+        let rt = rt(1, Policy::WorkFirst);
+        let order = Arc::new(SpinLock::new(Vec::new()));
+        let o = order.clone();
+        rt.run(move |rt| {
+            let o2 = o.clone();
+            let h = rt.spawn_with(Policy::HelpFirst, move || o2.lock().push("child"));
+            o.lock().push("parent");
+            h.join();
+        });
+        assert_eq!(order.lock().clone(), vec!["parent", "child"]);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn counts_are_exact_under_load() {
+        let rt = rt(3, Policy::WorkFirst);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = counter.clone();
+        rt.run(move |rt| {
+            let handles: Vec<_> = (0..300)
+                .map(|_| {
+                    let c = c2.clone();
+                    rt.spawn(move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 300);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn panic_propagates_through_run_and_join() {
+        let rt = rt(1, Policy::HelpFirst);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run(|_| panic!("myth boom"))
+        }))
+        .expect_err("run must re-raise");
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"myth boom"));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_idempotent_and_drop_safe() {
+        let rt = rt(2, Policy::WorkFirst);
+        rt.run(|_| ());
+        rt.shutdown();
+        rt.shutdown();
+        drop(rt);
+    }
+}

@@ -1,0 +1,84 @@
+//! Run every figure experiment and write `results/figN_*.csv` files —
+//! the dataset EXPERIMENTS.md's shape checks refer to.
+//!
+//! Scale knobs are the usual environment variables (`LWT_THREADS`,
+//! `LWT_REPS`, `LWT_N`, `LWT_NESTED_N`, `LWT_PARENTS`, `LWT_CHILDREN`);
+//! the output directory can be overridden with `LWT_RESULTS_DIR`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use lwt_microbench::runners::{measure, Experiment, Series};
+use lwt_microbench::{as_us, env_usize, reps, thread_sweep};
+
+fn main() {
+    let dir = std::env::var("LWT_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let reps = reps();
+    let threads = thread_sweep();
+
+    let figures: Vec<(&str, Experiment)> = vec![
+        ("fig2_create", Experiment::Create),
+        ("fig3_join", Experiment::Join),
+        (
+            "fig4_for_loop",
+            Experiment::ForLoop {
+                n: env_usize("LWT_N", 1000),
+            },
+        ),
+        (
+            "fig5_task_single",
+            Experiment::TaskSingle {
+                n: env_usize("LWT_N", 1000),
+            },
+        ),
+        (
+            "fig6_task_parallel",
+            Experiment::TaskParallel {
+                n: env_usize("LWT_N", 1000),
+            },
+        ),
+        (
+            "fig7_nested_for",
+            Experiment::NestedFor {
+                n: env_usize("LWT_NESTED_N", 100),
+            },
+        ),
+        (
+            "fig8_nested_task",
+            Experiment::NestedTask {
+                parents: env_usize("LWT_PARENTS", 100),
+                children: env_usize("LWT_CHILDREN", 4),
+            },
+        ),
+    ];
+
+    // Fig. 1 is static data.
+    std::fs::write(
+        format!("{dir}/fig1_top500.csv"),
+        lwt_microbench::top500::to_csv(),
+    )
+    .expect("write fig1");
+    eprintln!("wrote {dir}/fig1_top500.csv");
+
+    for (name, exp) in figures {
+        let t0 = Instant::now();
+        let mut csv = String::from("figure,series,threads,mean_us,rsd_pct,reps\n");
+        for &t in &threads {
+            for series in Series::ALL {
+                let stats = measure(series, exp, t, reps);
+                writeln!(
+                    csv,
+                    "{name},{},{t},{:.3},{:.2},{}",
+                    series.label(),
+                    as_us(stats.mean),
+                    stats.rsd_pct(),
+                    stats.samples
+                )
+                .expect("format row");
+            }
+        }
+        std::fs::write(format!("{dir}/{name}.csv"), csv).expect("write figure csv");
+        eprintln!("wrote {dir}/{name}.csv in {:?}", t0.elapsed());
+    }
+}

@@ -1,0 +1,12 @@
+//! Fig. 1: Top500 cores-per-socket share, 2001–2015.
+//!
+//! Prints the embedded (approximate) dataset as CSV, or an ASCII chart
+//! with `--chart`.
+
+fn main() {
+    if std::env::args().any(|a| a == "--chart") {
+        print!("{}", lwt_microbench::top500::to_ascii_chart());
+    } else {
+        print!("{}", lwt_microbench::top500::to_csv());
+    }
+}

@@ -1,0 +1,16 @@
+//! Fig. 2: time of creating one work unit per thread.
+
+use lwt_microbench::runners::{measure, Experiment, Series};
+use lwt_microbench::{print_csv_header, print_csv_row, reps, thread_sweep};
+
+fn main() {
+    let reps = reps();
+    print_csv_header("fig2");
+    for &threads in &thread_sweep() {
+        for series in Series::ALL {
+            let exp = Experiment::Create;
+            let stats = measure(series, exp, threads, reps);
+            print_csv_row("fig2", series.label(), threads, &stats);
+        }
+    }
+}

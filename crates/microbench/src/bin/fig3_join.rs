@@ -1,0 +1,16 @@
+//! Fig. 3: time of joining one work unit per thread.
+
+use lwt_microbench::runners::{measure, Experiment, Series};
+use lwt_microbench::{print_csv_header, print_csv_row, reps, thread_sweep};
+
+fn main() {
+    let reps = reps();
+    print_csv_header("fig3");
+    for &threads in &thread_sweep() {
+        for series in Series::ALL {
+            let exp = Experiment::Join;
+            let stats = measure(series, exp, threads, reps);
+            print_csv_row("fig3", series.label(), threads, &stats);
+        }
+    }
+}

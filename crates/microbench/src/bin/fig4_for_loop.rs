@@ -1,0 +1,16 @@
+//! Fig. 4: execution time of a 1,000-iteration for loop (Sscal).
+
+use lwt_microbench::runners::{measure, Experiment, Series};
+use lwt_microbench::{print_csv_header, print_csv_row, reps, thread_sweep};
+
+fn main() {
+    let reps = reps();
+    print_csv_header("fig4");
+    for &threads in &thread_sweep() {
+        for series in Series::ALL {
+            let exp = Experiment::ForLoop { n: lwt_microbench::env_usize("LWT_N", 1000) };
+            let stats = measure(series, exp, threads, reps);
+            print_csv_row("fig4", series.label(), threads, &stats);
+        }
+    }
+}

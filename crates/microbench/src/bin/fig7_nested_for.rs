@@ -1,0 +1,16 @@
+//! Fig. 7: execution time of a nested parallel for (n × n iterations; paper used 1000, default here 100 — set LWT_NESTED_N).
+
+use lwt_microbench::runners::{measure, Experiment, Series};
+use lwt_microbench::{print_csv_header, print_csv_row, reps, thread_sweep};
+
+fn main() {
+    let reps = reps();
+    print_csv_header("fig7");
+    for &threads in &thread_sweep() {
+        for series in Series::ALL {
+            let exp = Experiment::NestedFor { n: lwt_microbench::env_usize("LWT_NESTED_N", 100) };
+            let stats = measure(series, exp, threads, reps);
+            print_csv_row("fig7", series.label(), threads, &stats);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Fig. 8: execution time of nested tasks (100 parents × 4 children).
+
+use lwt_microbench::runners::{measure, Experiment, Series};
+use lwt_microbench::{print_csv_header, print_csv_row, reps, thread_sweep};
+
+fn main() {
+    let reps = reps();
+    print_csv_header("fig8");
+    for &threads in &thread_sweep() {
+        for series in Series::ALL {
+            let exp = Experiment::NestedTask { parents: lwt_microbench::env_usize("LWT_PARENTS", 100), children: lwt_microbench::env_usize("LWT_CHILDREN", 4) };
+            let stats = measure(series, exp, threads, reps);
+            print_csv_row("fig8", series.label(), threads, &stats);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Table I: the semantic feature matrix of the threading libraries.
+
+use lwt_core::{capability_matrix, SchedulerPlug};
+
+fn mark(b: bool) -> &'static str {
+    if b { "X" } else { "" }
+}
+
+fn main() {
+    let m = capability_matrix();
+    let names: Vec<&str> = m.iter().map(|c| c.name).collect();
+    println!("Concept,{}", names.join(","));
+    let col = |f: &dyn Fn(&lwt_core::Capabilities) -> String| -> String {
+        m.iter().map(f).collect::<Vec<_>>().join(",")
+    };
+    println!(
+        "Levels of Hierarchy,{}",
+        col(&|c| c.levels_of_hierarchy.to_string())
+    );
+    println!(
+        "# of Work Unit Types,{}",
+        col(&|c| c.work_unit_types.to_string())
+    );
+    println!(
+        "Thread Support,{}",
+        col(&|c| mark(c.thread_support).into())
+    );
+    println!(
+        "Tasklet Support,{}",
+        col(&|c| mark(c.tasklet_support).into())
+    );
+    println!("Group Control,{}", col(&|c| mark(c.group_control).into()));
+    println!("Yield To,{}", col(&|c| mark(c.yield_to).into()));
+    println!(
+        "Global Work Unit Queue,{}",
+        col(&|c| mark(c.global_queue).into())
+    );
+    println!(
+        "Private Work Unit Queue,{}",
+        col(&|c| mark(c.private_queue).into())
+    );
+    println!(
+        "Plug-in Scheduler,{}",
+        col(&|c| match c.plugin_scheduler {
+            SchedulerPlug::Yes => "X".into(),
+            SchedulerPlug::ConfigureTime => "X(configure)".into(),
+            SchedulerPlug::No => String::new(),
+        })
+    );
+    println!(
+        "Stackable Scheduler,{}",
+        col(&|c| mark(c.stackable_scheduler).into())
+    );
+    println!(
+        "Group Scheduler,{}",
+        col(&|c| mark(c.group_scheduler).into())
+    );
+}

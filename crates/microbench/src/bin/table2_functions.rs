@@ -1,0 +1,14 @@
+//! Table II: the most-used functions of each LWT library, mapped to the
+//! generic API of `lwt-core`.
+
+fn main() {
+    println!("Function,Argobots,Qthreads,MassiveThreads,Converse Threads,Go");
+    for row in lwt_core::api_map() {
+        let cells: Vec<&str> = row
+            .spellings
+            .iter()
+            .map(|s| s.unwrap_or(""))
+            .collect();
+        println!("{},{}", row.operation, cells.join(","));
+    }
+}

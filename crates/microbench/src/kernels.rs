@@ -1,0 +1,195 @@
+//! The compute kernel of the paper's evaluation: Sscal.
+//!
+//! "We use the well-known Sscal function, which multiplies (and
+//! overwrites) the components of a vector by a scalar" (§IX, Listing
+//! 5). Its single-element granularity "is useful to understand each
+//! LWT behavior because this kind of parallelism does not hide the
+//! thread management overhead."
+
+/// A float vector shared across work units that write *disjoint*
+/// indices — the data shape of every pattern benchmark.
+///
+/// Disjointness is the caller's obligation (each index is touched by
+/// exactly one work unit per pattern execution), which is precisely how
+/// the paper's C microbenchmarks share their vector.
+pub struct SharedVec {
+    data: Box<[f32]>,
+}
+
+/// A raw, Send+Sync view used by work units.
+#[derive(Clone, Copy)]
+pub struct SharedSlice {
+    ptr: *mut f32,
+    len: usize,
+}
+
+// SAFETY: work units write disjoint indices (caller contract); reads
+// happen only after all writers are joined.
+unsafe impl Send for SharedSlice {}
+// SAFETY: see above.
+unsafe impl Sync for SharedSlice {}
+
+impl SharedVec {
+    /// A vector of `len` ones.
+    #[must_use]
+    pub fn ones(len: usize) -> Self {
+        SharedVec {
+            data: vec![1.0; len].into_boxed_slice(),
+        }
+    }
+
+    /// Length of the vector.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Get the shareable raw view.
+    #[must_use]
+    pub fn share(&mut self) -> SharedSlice {
+        SharedSlice {
+            ptr: self.data.as_mut_ptr(),
+            len: self.data.len(),
+        }
+    }
+
+    /// Read the vector after all work units are joined.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Reset all elements to one (between benchmark repetitions).
+    pub fn reset(&mut self) {
+        self.data.fill(1.0);
+    }
+}
+
+impl SharedSlice {
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `v[i] *= a` — one Sscal element (one task of the task-parallel
+    /// patterns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn scale(&self, i: usize, a: f32) {
+        assert!(i < self.len, "sscal index {i} out of bounds {}", self.len);
+        // SAFETY: bounds-checked; disjoint-writer contract of SharedVec.
+        unsafe {
+            let p = self.ptr.add(i);
+            *p *= a;
+        }
+    }
+
+    /// Sscal over `[lo, hi)` — one work unit of the for-loop patterns
+    /// (Listing 5's loop body over a sub-range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn scale_range(&self, lo: usize, hi: usize, a: f32) {
+        assert!(lo <= hi && hi <= self.len, "sscal range out of bounds");
+        for i in lo..hi {
+            // SAFETY: bounds-checked above; disjoint-writer contract.
+            unsafe {
+                let p = self.ptr.add(i);
+                *p *= a;
+            }
+        }
+    }
+}
+
+/// Split `n` iterations over `parts` work units, returning the
+/// `(lo, hi)` range of part `i` — the static chunking every runtime
+/// uses in the for-loop pattern.
+#[must_use]
+pub fn chunk(n: usize, parts: usize, i: usize) -> (usize, usize) {
+    let per = n.div_ceil(parts.max(1));
+    let lo = (i * per).min(n);
+    let hi = ((i + 1) * per).min(n);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_range_multiplies() {
+        let mut v = SharedVec::ones(10);
+        let s = v.share();
+        s.scale_range(0, 10, 3.0);
+        assert!(v.as_slice().iter().all(|&x| x == 3.0));
+        v.reset();
+        assert!(v.as_slice().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn scale_single_elements() {
+        let mut v = SharedVec::ones(4);
+        let s = v.share();
+        for i in 0..4 {
+            s.scale(i, (i + 1) as f32);
+        }
+        assert_eq!(v.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn chunks_cover_exactly() {
+        for n in [0, 1, 7, 100, 1000] {
+            for parts in [1, 2, 3, 7, 64] {
+                let mut covered = 0;
+                let mut prev_hi = 0;
+                for i in 0..parts {
+                    let (lo, hi) = chunk(n, parts, i);
+                    assert!(lo <= hi);
+                    assert!(lo >= prev_hi || lo == hi);
+                    covered += hi - lo;
+                    prev_hi = hi.max(prev_hi);
+                }
+                assert_eq!(covered, n, "n={n} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes_are_exact() {
+        let mut v = SharedVec::ones(1000);
+        let s = v.share();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                scope.spawn(move || {
+                    let (lo, hi) = chunk(1000, 4, t);
+                    s.scale_range(lo, hi, 2.0);
+                });
+            }
+        });
+        assert!(v.as_slice().iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_scale_panics() {
+        let mut v = SharedVec::ones(3);
+        v.share().scale(3, 2.0);
+    }
+}

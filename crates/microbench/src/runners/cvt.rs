@@ -1,0 +1,173 @@
+//! Converse runner: Messages with round-robin dispatch and the
+//! return-mode barrier join — "all the results … have been obtained
+//! using Messages" (§VIII-B1).
+
+use lwt_converse::{current_processor, Config, Runtime};
+
+use crate::kernels::{chunk, SharedVec};
+use crate::runners::Experiment;
+use crate::stats::{run_reps, time, Stats};
+
+const A: f32 = 0.5;
+
+pub(crate) struct CvtRunner {
+    rt: Runtime,
+    threads: usize,
+}
+
+impl CvtRunner {
+    pub(crate) fn new(threads: usize) -> Self {
+        let rt = Runtime::init(Config {
+            num_processors: threads,
+        });
+        CvtRunner { rt, threads }
+    }
+
+    pub(crate) fn measure(self, experiment: Experiment, reps: usize) -> Stats {
+        let stats = match experiment {
+            Experiment::Create => self.create(reps),
+            Experiment::Join => self.join(reps),
+            Experiment::ForLoop { n } => self.for_loop(n, reps),
+            Experiment::TaskSingle { n } => self.task_single(n, reps),
+            Experiment::TaskParallel { n } => self.task_parallel(n, reps),
+            Experiment::NestedFor { n } => self.nested_for(n, reps),
+            Experiment::NestedTask { parents, children } => {
+                self.nested_task(parents, children, reps)
+            }
+        };
+        self.rt.shutdown();
+        stats
+    }
+
+    /// Fig. 2: round-robin message sends, one per processor.
+    fn create(&self, reps: usize) -> Stats {
+        run_reps(reps, || {
+            let d = time(|| {
+                for _ in 0..self.threads {
+                    self.rt.send_rr(|| ());
+                }
+            });
+            self.rt.barrier();
+            d
+        })
+    }
+
+    /// Fig. 3: the barrier mechanism — linear in the processor count.
+    fn join(&self, reps: usize) -> Stats {
+        run_reps(reps, || {
+            for _ in 0..self.threads {
+                self.rt.send_rr(|| ());
+            }
+            time(|| self.rt.barrier())
+        })
+    }
+
+    fn for_loop(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n);
+        let s = v.share();
+        run_reps(reps, || {
+            let d = time(|| {
+                for t in 0..self.threads {
+                    let (lo, hi) = chunk(n, self.threads, t);
+                    self.rt.send(t, move || s.scale_range(lo, hi, A));
+                }
+                self.rt.barrier();
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    fn task_single(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n);
+        let s = v.share();
+        run_reps(reps, || {
+            let d = time(|| {
+                for i in 0..n {
+                    self.rt.send_rr(move || s.scale(i, A));
+                }
+                self.rt.barrier();
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    /// Two-step: creator messages on each processor create their chunk
+    /// of element messages *into their own queue* (only self-queues
+    /// need no cross-processor insertion).
+    fn task_parallel(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n);
+        let s = v.share();
+        let threads = self.threads;
+        run_reps(reps, || {
+            let d = time(|| {
+                for t in 0..threads {
+                    let rt = self.rt.clone();
+                    self.rt.send(t, move || {
+                        let me = current_processor().expect("message runs on a processor");
+                        let (lo, hi) = chunk(n, threads, t);
+                        for i in lo..hi {
+                            rt.send(me, move || s.scale(i, A));
+                        }
+                    });
+                }
+                self.rt.barrier();
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    fn nested_for(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n * n);
+        let s = v.share();
+        let threads = self.threads;
+        run_reps(reps, || {
+            let d = time(|| {
+                for t in 0..threads {
+                    let rt = self.rt.clone();
+                    self.rt.send(t, move || {
+                        let (olo, ohi) = chunk(n, threads, t);
+                        for i in olo..ohi {
+                            for k in 0..threads {
+                                let (ilo, ihi) = chunk(n, threads, k);
+                                rt.send(k, move || {
+                                    s.scale_range(n * i + ilo, n * i + ihi, A);
+                                });
+                            }
+                        }
+                    });
+                }
+                self.rt.barrier();
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    fn nested_task(&self, parents: usize, children: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(parents * children);
+        let s = v.share();
+        run_reps(reps, || {
+            let d = time(|| {
+                for p in 0..parents {
+                    let rt = self.rt.clone();
+                    self.rt.send_rr(move || {
+                        for c in 0..children {
+                            rt.send_rr(move || s.scale(p * children + c, A));
+                        }
+                    });
+                }
+                self.rt.barrier();
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+}

@@ -1,0 +1,217 @@
+//! Go runner: goroutines into the single shared queue, joined through
+//! channel receives — "this library only allows one implementation due
+//! to its unique shared work unit queue" (§VIII-B5).
+
+use lwt_go::{Config, Runtime};
+
+use crate::kernels::{chunk, SharedVec};
+use crate::runners::Experiment;
+use crate::stats::{run_reps, time, Stats};
+
+const A: f32 = 0.5;
+
+pub(crate) struct GoRunner {
+    rt: Runtime,
+    threads: usize,
+}
+
+impl GoRunner {
+    pub(crate) fn new(threads: usize) -> Self {
+        let rt = Runtime::init(Config {
+            num_threads: threads,
+        });
+        GoRunner { rt, threads }
+    }
+
+    pub(crate) fn measure(self, experiment: Experiment, reps: usize) -> Stats {
+        let stats = match experiment {
+            Experiment::Create => self.create(reps),
+            Experiment::Join => self.join(reps),
+            Experiment::ForLoop { n } => self.for_loop(n, reps),
+            Experiment::TaskSingle { n } => self.task_single(n, reps),
+            Experiment::TaskParallel { n } => self.task_parallel(n, reps),
+            Experiment::NestedFor { n } => self.nested_for(n, reps),
+            Experiment::NestedTask { parents, children } => {
+                self.nested_task(parents, children, reps)
+            }
+        };
+        self.rt.shutdown();
+        stats
+    }
+
+    fn create(&self, reps: usize) -> Stats {
+        run_reps(reps, || {
+            let (tx, rx) = self.rt.channel::<()>(self.threads);
+            let d = time(|| {
+                for _ in 0..self.threads {
+                    let tx = tx.clone();
+                    self.rt.go(move || tx.send(()).unwrap());
+                }
+            });
+            for _ in 0..self.threads {
+                rx.recv().unwrap();
+            }
+            d
+        })
+    }
+
+    /// Fig. 3: the out-of-order channel join the paper credits as "the
+    /// most efficient" join mechanism.
+    fn join(&self, reps: usize) -> Stats {
+        run_reps(reps, || {
+            let (tx, rx) = self.rt.channel::<()>(self.threads);
+            for _ in 0..self.threads {
+                let tx = tx.clone();
+                self.rt.go(move || tx.send(()).unwrap());
+            }
+            time(|| {
+                for _ in 0..self.threads {
+                    rx.recv().unwrap();
+                }
+            })
+        })
+    }
+
+    fn for_loop(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n);
+        let s = v.share();
+        run_reps(reps, || {
+            let d = time(|| {
+                let (tx, rx) = self.rt.channel::<()>(self.threads);
+                for t in 0..self.threads {
+                    let tx = tx.clone();
+                    let (lo, hi) = chunk(n, self.threads, t);
+                    self.rt.go(move || {
+                        s.scale_range(lo, hi, A);
+                        tx.send(()).unwrap();
+                    });
+                }
+                for _ in 0..self.threads {
+                    rx.recv().unwrap();
+                }
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    fn task_single(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n);
+        let s = v.share();
+        run_reps(reps, || {
+            let d = time(|| {
+                let (tx, rx) = self.rt.channel::<()>(n);
+                for i in 0..n {
+                    let tx = tx.clone();
+                    self.rt.go(move || {
+                        s.scale(i, A);
+                        tx.send(()).unwrap();
+                    });
+                }
+                for _ in 0..n {
+                    rx.recv().unwrap();
+                }
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    fn task_parallel(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n);
+        let s = v.share();
+        let threads = self.threads;
+        run_reps(reps, || {
+            let d = time(|| {
+                let (tx, rx) = self.rt.channel::<()>(n);
+                for t in 0..threads {
+                    let rt = self.rt.clone();
+                    let tx = tx.clone();
+                    self.rt.go(move || {
+                        let (lo, hi) = chunk(n, threads, t);
+                        for i in lo..hi {
+                            let tx = tx.clone();
+                            rt.go(move || {
+                                s.scale(i, A);
+                                tx.send(()).unwrap();
+                            });
+                        }
+                    });
+                }
+                for _ in 0..n {
+                    rx.recv().unwrap();
+                }
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    fn nested_for(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n * n);
+        let s = v.share();
+        let threads = self.threads;
+        run_reps(reps, || {
+            let d = time(|| {
+                let inner_total = n * threads;
+                let (tx, rx) = self.rt.channel::<()>(inner_total);
+                for t in 0..threads {
+                    let rt = self.rt.clone();
+                    let tx = tx.clone();
+                    self.rt.go(move || {
+                        let (olo, ohi) = chunk(n, threads, t);
+                        for i in olo..ohi {
+                            for k in 0..threads {
+                                let tx = tx.clone();
+                                let (ilo, ihi) = chunk(n, threads, k);
+                                rt.go(move || {
+                                    s.scale_range(n * i + ilo, n * i + ihi, A);
+                                    tx.send(()).unwrap();
+                                });
+                            }
+                        }
+                    });
+                }
+                for _ in 0..inner_total {
+                    rx.recv().unwrap();
+                }
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    fn nested_task(&self, parents: usize, children: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(parents * children);
+        let s = v.share();
+        run_reps(reps, || {
+            let d = time(|| {
+                let total = parents * children;
+                let (tx, rx) = self.rt.channel::<()>(total);
+                for p in 0..parents {
+                    let rt = self.rt.clone();
+                    let tx = tx.clone();
+                    self.rt.go(move || {
+                        for c in 0..children {
+                            let tx = tx.clone();
+                            rt.go(move || {
+                                s.scale(p * children + c, A);
+                                tx.send(()).unwrap();
+                            });
+                        }
+                    });
+                }
+                for _ in 0..total {
+                    rx.recv().unwrap();
+                }
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+}

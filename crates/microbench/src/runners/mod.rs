@@ -1,0 +1,179 @@
+//! Per-runtime implementations of the paper's microbenchmarks.
+//!
+//! One module per runtime family, each implementing the same seven
+//! measurements with that library's idiomatic mechanisms (§VIII-B,
+//! "Specific Implementations"):
+//!
+//! * the configurations the paper's evaluation selects — Argobots with
+//!   one private pool per stream and round-robin dispatch; Qthreads
+//!   with one shepherd per CPU and `fork_to`; MassiveThreads under
+//!   either policy; Converse with Messages and the return-mode barrier;
+//!   Go with its single shared queue;
+//! * the OpenMP baselines in both `gcc` and `icc` flavors.
+
+mod abt;
+mod cvt;
+mod go;
+mod mth;
+mod omp;
+mod qth;
+
+use crate::stats::Stats;
+
+/// One plotted series of the paper's Figs. 2–8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Series {
+    /// GNU-flavor OpenMP baseline ("gcc"/"OMP (GCC)").
+    OmpGcc,
+    /// Intel-flavor OpenMP baseline ("icc"/"OMP (ICC)").
+    OmpIcc,
+    /// Argobots with stackless tasklets ("Argobots Tasklet").
+    AbtTasklet,
+    /// Argobots with stackful ULTs ("Argobots ULT").
+    AbtUlt,
+    /// Qthreads, one shepherd per CPU, `fork_to` dispatch.
+    Qthreads,
+    /// MassiveThreads, help-first policy ("MassiveThreads (H)").
+    MthHelp,
+    /// MassiveThreads, work-first policy ("MassiveThreads (W)").
+    MthWork,
+    /// Converse Threads (Messages + return-mode barrier).
+    Converse,
+    /// Go (goroutines + channels).
+    Go,
+}
+
+impl Series {
+    /// All nine series, in the paper's legend order.
+    pub const ALL: [Series; 9] = [
+        Series::OmpGcc,
+        Series::OmpIcc,
+        Series::AbtTasklet,
+        Series::AbtUlt,
+        Series::Qthreads,
+        Series::MthHelp,
+        Series::MthWork,
+        Series::Converse,
+        Series::Go,
+    ];
+
+    /// Legend label, spelled as in the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Series::OmpGcc => "gcc",
+            Series::OmpIcc => "icc",
+            Series::AbtTasklet => "Argobots Tasklet",
+            Series::AbtUlt => "Argobots ULT",
+            Series::Qthreads => "Qthreads",
+            Series::MthHelp => "MassiveThreads (H)",
+            Series::MthWork => "MassiveThreads (W)",
+            Series::Converse => "Converse Threads",
+            Series::Go => "Go",
+        }
+    }
+}
+
+impl std::fmt::Display for Series {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One experiment of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Experiment {
+    /// Fig. 2: create one work unit per thread; creation time only.
+    Create,
+    /// Fig. 3: join one work unit per thread; join time only.
+    Join,
+    /// Fig. 4: `n`-iteration parallel for (Sscal), one unit per thread.
+    ForLoop {
+        /// Loop iterations (paper: 1000).
+        n: usize,
+    },
+    /// Fig. 5: `n` tasks created by a single master, one element each.
+    TaskSingle {
+        /// Task count (paper: 100 and 1000).
+        n: usize,
+    },
+    /// Fig. 6: `n` tasks created inside a parallel region (two-step).
+    TaskParallel {
+        /// Task count (paper: 100 and 1000).
+        n: usize,
+    },
+    /// Fig. 7: nested parallel for, `n` × `n` iterations.
+    NestedFor {
+        /// Outer = inner iteration count (paper: 100 and 1000).
+        n: usize,
+    },
+    /// Fig. 8: nested tasks, `parents` × `children`.
+    NestedTask {
+        /// Parent-task count (paper: 100).
+        parents: usize,
+        /// Children per parent (paper: 4 and 10).
+        children: usize,
+    },
+}
+
+/// Run `experiment` on `series` with a team of `threads`, repeated
+/// `reps` times. Runtime initialization/teardown happens outside the
+/// timed sections, matching the paper's protocol.
+#[must_use]
+pub fn measure(series: Series, experiment: Experiment, threads: usize, reps: usize) -> Stats {
+    match series {
+        Series::OmpGcc => omp::OmpRunner::new(threads, lwt_openmp::Flavor::Gcc)
+            .measure(experiment, reps),
+        Series::OmpIcc => omp::OmpRunner::new(threads, lwt_openmp::Flavor::Icc)
+            .measure(experiment, reps),
+        Series::AbtTasklet => abt::AbtRunner::new(threads, true).measure(experiment, reps),
+        Series::AbtUlt => abt::AbtRunner::new(threads, false).measure(experiment, reps),
+        Series::Qthreads => qth::QthRunner::new(threads).measure(experiment, reps),
+        Series::MthHelp => {
+            mth::MthRunner::new(threads, lwt_massive::Policy::HelpFirst).measure(experiment, reps)
+        }
+        Series::MthWork => {
+            mth::MthRunner::new(threads, lwt_massive::Policy::WorkFirst).measure(experiment, reps)
+        }
+        Series::Converse => cvt::CvtRunner::new(threads).measure(experiment, reps),
+        Series::Go => go::GoRunner::new(threads).measure(experiment, reps),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every series must execute every experiment correctly at a small
+    /// scale. This is the end-to-end correctness net for the entire
+    /// benchmark suite (timings are ignored, results are checked inside
+    /// the runners' debug assertions).
+    #[test]
+    fn all_series_run_all_experiments_smoke() {
+        let experiments = [
+            Experiment::Create,
+            Experiment::Join,
+            Experiment::ForLoop { n: 64 },
+            Experiment::TaskSingle { n: 32 },
+            Experiment::TaskParallel { n: 32 },
+            Experiment::NestedFor { n: 8 },
+            Experiment::NestedTask {
+                parents: 6,
+                children: 3,
+            },
+        ];
+        for series in Series::ALL {
+            for exp in experiments {
+                let stats = measure(series, exp, 2, 2);
+                assert_eq!(stats.samples, 2, "{series} {exp:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(Series::MthHelp.label(), "MassiveThreads (H)");
+        assert_eq!(Series::AbtTasklet.label(), "Argobots Tasklet");
+        assert_eq!(Series::ALL.len(), 9);
+    }
+}

@@ -1,0 +1,232 @@
+//! MassiveThreads runner. The main program runs as a ULT
+//! (`Runtime::run`), so work-first creation displaces the main flow
+//! exactly as the paper describes for "MassiveThreads (W)", while
+//! help-first creates everything into the main worker's own queue
+//! ("MassiveThreads (H)").
+
+use std::time::Duration;
+
+use lwt_massive::{Config, Handle, Policy, Runtime};
+use lwt_fiber::StackSize;
+
+use crate::kernels::{chunk, SharedVec};
+use crate::runners::Experiment;
+use crate::stats::{run_reps, time, Stats};
+
+const A: f32 = 0.5;
+
+pub(crate) struct MthRunner {
+    rt: Runtime,
+    threads: usize,
+}
+
+impl MthRunner {
+    pub(crate) fn new(threads: usize, policy: Policy) -> Self {
+        let rt = Runtime::init(Config {
+            num_workers: threads,
+            policy,
+            stack_size: StackSize::DEFAULT,
+        });
+        MthRunner { rt, threads }
+    }
+
+    /// Run one timed episode as the primary ULT, returning the duration
+    /// measured *inside* (so runtime entry/exit is untimed).
+    fn timed_in_main<F>(&self, f: F) -> Duration
+    where
+        F: FnOnce(&Runtime) -> Duration + Send + 'static,
+    {
+        self.rt.run(f)
+    }
+
+    pub(crate) fn measure(self, experiment: Experiment, reps: usize) -> Stats {
+        let stats = match experiment {
+            Experiment::Create => self.create(reps),
+            Experiment::Join => self.join(reps),
+            Experiment::ForLoop { n } => self.for_loop(n, reps),
+            Experiment::TaskSingle { n } => self.task_single(n, reps),
+            Experiment::TaskParallel { n } => self.task_parallel(n, reps),
+            Experiment::NestedFor { n } => self.nested_for(n, reps),
+            Experiment::NestedTask { parents, children } => {
+                self.nested_task(parents, children, reps)
+            }
+        };
+        self.rt.shutdown();
+        stats
+    }
+
+    fn create(&self, reps: usize) -> Stats {
+        let threads = self.threads;
+        run_reps(reps, || {
+            self.timed_in_main(move |rt| {
+                let mut handles = Vec::with_capacity(threads);
+                let d = time(|| {
+                    for _ in 0..threads {
+                        handles.push(rt.spawn(|| ()));
+                    }
+                });
+                for h in handles {
+                    h.join();
+                }
+                d
+            })
+        })
+    }
+
+    fn join(&self, reps: usize) -> Stats {
+        let threads = self.threads;
+        run_reps(reps, || {
+            self.timed_in_main(move |rt| {
+                let handles: Vec<Handle<()>> =
+                    (0..threads).map(|_| rt.spawn(|| ())).collect();
+                time(|| {
+                    for h in handles {
+                        h.join();
+                    }
+                })
+            })
+        })
+    }
+
+    fn for_loop(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n);
+        let s = v.share();
+        let threads = self.threads;
+        run_reps(reps, || {
+            let d = self.timed_in_main(move |rt| {
+                time(|| {
+                    let handles: Vec<Handle<()>> = (0..threads)
+                        .map(|t| {
+                            let (lo, hi) = chunk(n, threads, t);
+                            rt.spawn(move || s.scale_range(lo, hi, A))
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join();
+                    }
+                })
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    fn task_single(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n);
+        let s = v.share();
+        run_reps(reps, || {
+            let d = self.timed_in_main(move |rt| {
+                time(|| {
+                    let handles: Vec<Handle<()>> =
+                        (0..n).map(|i| rt.spawn(move || s.scale(i, A))).collect();
+                    for h in handles {
+                        h.join();
+                    }
+                })
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    fn task_parallel(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n);
+        let s = v.share();
+        let threads = self.threads;
+        run_reps(reps, || {
+            let d = self.timed_in_main(move |rt| {
+                time(|| {
+                    let creators: Vec<Handle<Vec<Handle<()>>>> = (0..threads)
+                        .map(|t| {
+                            let rt2 = rt.clone();
+                            rt.spawn(move || {
+                                let (lo, hi) = chunk(n, threads, t);
+                                (lo..hi)
+                                    .map(|i| rt2.spawn(move || s.scale(i, A)))
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    for c in creators {
+                        for h in c.join() {
+                            h.join();
+                        }
+                    }
+                })
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    fn nested_for(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n * n);
+        let s = v.share();
+        let threads = self.threads;
+        run_reps(reps, || {
+            let d = self.timed_in_main(move |rt| {
+                time(|| {
+                    let outers: Vec<Handle<()>> = (0..threads)
+                        .map(|t| {
+                            let rt2 = rt.clone();
+                            rt.spawn(move || {
+                                let (olo, ohi) = chunk(n, threads, t);
+                                for i in olo..ohi {
+                                    let inner: Vec<Handle<()>> = (0..threads)
+                                        .map(|k| {
+                                            let (ilo, ihi) = chunk(n, threads, k);
+                                            rt2.spawn(move || {
+                                                s.scale_range(n * i + ilo, n * i + ihi, A);
+                                            })
+                                        })
+                                        .collect();
+                                    for h in inner {
+                                        h.join();
+                                    }
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in outers {
+                        h.join();
+                    }
+                })
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    fn nested_task(&self, parents: usize, children: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(parents * children);
+        let s = v.share();
+        run_reps(reps, || {
+            let d = self.timed_in_main(move |rt| {
+                time(|| {
+                    let parent_handles: Vec<Handle<Vec<Handle<()>>>> = (0..parents)
+                        .map(|p| {
+                            let rt2 = rt.clone();
+                            rt.spawn(move || {
+                                (0..children)
+                                    .map(|c| rt2.spawn(move || s.scale(p * children + c, A)))
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    for ph in parent_handles {
+                        for h in ph.join() {
+                            h.join();
+                        }
+                    }
+                })
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+}

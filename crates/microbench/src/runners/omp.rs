@@ -1,0 +1,168 @@
+//! OpenMP baseline runner (gcc / icc flavors).
+
+use std::time::{Duration, Instant};
+
+use lwt_openmp::{Config, Flavor, OpenMp, WaitPolicy};
+use lwt_sync::SpinLock;
+
+use crate::kernels::{chunk, SharedVec};
+use crate::runners::Experiment;
+use crate::stats::{run_reps, time, Stats};
+
+/// Sscal scalar used by every pattern.
+const A: f32 = 0.5;
+
+pub(crate) struct OmpRunner {
+    rt: OpenMp,
+    threads: usize,
+}
+
+impl OmpRunner {
+    pub(crate) fn new(threads: usize, flavor: Flavor) -> Self {
+        // The paper sets OMP_WAIT_POLICY=passive for the gcc task
+        // benchmarks; we default the whole baseline to passive (the
+        // active policy on an oversubscribed CI box would only add
+        // noise; the `ablation_join` bench compares the two).
+        let rt = OpenMp::init(Config {
+            num_threads: threads,
+            flavor,
+            wait_policy: WaitPolicy::Passive,
+        });
+        OmpRunner { rt, threads }
+    }
+
+    pub(crate) fn measure(self, experiment: Experiment, reps: usize) -> Stats {
+        let stats = match experiment {
+            Experiment::Create => self.create_join(reps).0,
+            Experiment::Join => self.create_join(reps).1,
+            Experiment::ForLoop { n } => self.for_loop(n, reps),
+            Experiment::TaskSingle { n } => self.task_single(n, reps),
+            Experiment::TaskParallel { n } => self.task_parallel(n, reps),
+            Experiment::NestedFor { n } => self.nested_for(n, reps),
+            Experiment::NestedTask { parents, children } => {
+                self.nested_task(parents, children, reps)
+            }
+        };
+        self.rt.shutdown();
+        stats
+    }
+
+    /// Fig. 2/3: fork time (publish → all members through the fork
+    /// barrier) and join time (master reaching the end barrier →
+    /// region return). Team threads pre-exist, as in the paper.
+    fn create_join(&self, reps: usize) -> (Stats, Stats) {
+        let mut creates = Vec::with_capacity(reps);
+        let mut joins = Vec::with_capacity(reps);
+        for _ in 0..reps.max(1) {
+            let fork = SpinLock::new(Duration::ZERO);
+            let join_start = SpinLock::new(Instant::now());
+            let t0 = Instant::now();
+            self.rt.parallel(|ctx| {
+                if ctx.is_master() {
+                    // Past the fork barrier: every member has entered.
+                    *fork.lock() = t0.elapsed();
+                    *join_start.lock() = Instant::now();
+                }
+            });
+            let join = join_start.lock().elapsed();
+            creates.push(fork.into_inner());
+            joins.push(join);
+        }
+        (Stats::from_samples(&creates), Stats::from_samples(&joins))
+    }
+
+    fn for_loop(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n);
+        let s = v.share();
+        run_reps(reps, || {
+            let d = time(|| {
+                self.rt.parallel_for(0..n, |i| s.scale(i, A));
+            });
+            v.reset();
+            d
+        })
+    }
+
+    fn task_single(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n);
+        let s = v.share();
+        run_reps(reps, || {
+            let d = time(|| {
+                self.rt.parallel(|ctx| {
+                    if ctx.is_master() {
+                        for i in 0..n {
+                            ctx.task(move || s.scale(i, A));
+                        }
+                    }
+                    ctx.taskwait();
+                });
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    fn task_parallel(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n);
+        let s = v.share();
+        let threads = self.threads;
+        run_reps(reps, || {
+            let d = time(|| {
+                self.rt.parallel(|ctx| {
+                    let (lo, hi) = chunk(n, threads, ctx.thread_num());
+                    for i in lo..hi {
+                        ctx.task(move || s.scale(i, A));
+                    }
+                    ctx.taskwait();
+                });
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    fn nested_for(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n * n);
+        let s = v.share();
+        let rt = &self.rt;
+        run_reps(reps, || {
+            let d = time(|| {
+                rt.parallel_for(0..n, |i| {
+                    // The nested pragma: a fresh/pooled team per outer
+                    // iteration, per flavor.
+                    rt.parallel_for(0..n, |j| s.scale(i * n + j, A));
+                });
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    fn nested_task(&self, parents: usize, children: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(parents * children);
+        let s = v.share();
+        run_reps(reps, || {
+            let d = time(|| {
+                self.rt.parallel(|ctx| {
+                    if ctx.is_master() {
+                        for p in 0..parents {
+                            let team = ctx.team_handle();
+                            ctx.task(move || {
+                                for c in 0..children {
+                                    team.task(move || s.scale(p * children + c, A));
+                                }
+                            });
+                        }
+                    }
+                    ctx.taskwait();
+                });
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+}

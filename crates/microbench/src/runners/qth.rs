@@ -1,0 +1,206 @@
+//! Qthreads runner: one shepherd per "thread", one worker each, with
+//! `fork_to` round-robin dispatch — the configuration the paper's
+//! evaluation settles on (§VIII-B3, §IX-E).
+
+use lwt_qthreads::{Config, Handle, Runtime};
+use lwt_fiber::StackSize;
+
+use crate::kernels::{chunk, SharedVec};
+use crate::runners::Experiment;
+use crate::stats::{run_reps, time, Stats};
+
+const A: f32 = 0.5;
+
+pub(crate) struct QthRunner {
+    rt: Runtime,
+    threads: usize,
+}
+
+impl QthRunner {
+    pub(crate) fn new(threads: usize) -> Self {
+        let rt = Runtime::init(Config {
+            num_shepherds: threads,
+            workers_per_shepherd: 1,
+            stack_size: StackSize::DEFAULT,
+        });
+        QthRunner { rt, threads }
+    }
+
+    pub(crate) fn measure(self, experiment: Experiment, reps: usize) -> Stats {
+        let stats = match experiment {
+            Experiment::Create => self.create(reps),
+            Experiment::Join => self.join(reps),
+            Experiment::ForLoop { n } => self.for_loop(n, reps),
+            Experiment::TaskSingle { n } => self.task_single(n, reps),
+            Experiment::TaskParallel { n } => self.task_parallel(n, reps),
+            Experiment::NestedFor { n } => self.nested_for(n, reps),
+            Experiment::NestedTask { parents, children } => {
+                self.nested_task(parents, children, reps)
+            }
+        };
+        self.rt.shutdown();
+        stats
+    }
+
+    fn create(&self, reps: usize) -> Stats {
+        run_reps(reps, || {
+            let mut handles = Vec::with_capacity(self.threads);
+            let d = time(|| {
+                for t in 0..self.threads {
+                    handles.push(self.rt.fork_to(t, || ()));
+                }
+            });
+            for h in handles {
+                h.join();
+            }
+            d
+        })
+    }
+
+    /// Fig. 3: `qthread_readFF` on each unit's return word.
+    fn join(&self, reps: usize) -> Stats {
+        run_reps(reps, || {
+            let handles: Vec<Handle<()>> =
+                (0..self.threads).map(|t| self.rt.fork_to(t, || ())).collect();
+            time(|| {
+                for h in handles {
+                    h.join();
+                }
+            })
+        })
+    }
+
+    fn for_loop(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n);
+        let s = v.share();
+        run_reps(reps, || {
+            let d = time(|| {
+                let handles: Vec<Handle<()>> = (0..self.threads)
+                    .map(|t| {
+                        let (lo, hi) = chunk(n, self.threads, t);
+                        self.rt.fork_to(t, move || s.scale_range(lo, hi, A))
+                    })
+                    .collect();
+                for h in handles {
+                    h.join();
+                }
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    fn task_single(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n);
+        let s = v.share();
+        run_reps(reps, || {
+            let d = time(|| {
+                let handles: Vec<Handle<()>> = (0..n)
+                    .map(|i| self.rt.fork_to(i % self.threads, move || s.scale(i, A)))
+                    .collect();
+                for h in handles {
+                    h.join();
+                }
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    /// Two-step: creators forked to each shepherd; children forked with
+    /// plain `fork` (the caller's shepherd).
+    fn task_parallel(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n);
+        let s = v.share();
+        let threads = self.threads;
+        run_reps(reps, || {
+            let d = time(|| {
+                let creators: Vec<Handle<Vec<Handle<()>>>> = (0..threads)
+                    .map(|t| {
+                        let rt = self.rt.clone();
+                        self.rt.fork_to(t, move || {
+                            let (lo, hi) = chunk(n, threads, t);
+                            (lo..hi)
+                                .map(|i| rt.fork(move || s.scale(i, A)))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                for c in creators {
+                    for h in c.join() {
+                        h.join();
+                    }
+                }
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    fn nested_for(&self, n: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(n * n);
+        let s = v.share();
+        let threads = self.threads;
+        run_reps(reps, || {
+            let d = time(|| {
+                let outers: Vec<Handle<()>> = (0..threads)
+                    .map(|t| {
+                        let rt = self.rt.clone();
+                        self.rt.fork_to(t, move || {
+                            let (olo, ohi) = chunk(n, threads, t);
+                            for i in olo..ohi {
+                                let inner: Vec<Handle<()>> = (0..threads)
+                                    .map(|k| {
+                                        let (ilo, ihi) = chunk(n, threads, k);
+                                        rt.fork_rr(move || {
+                                            s.scale_range(n * i + ilo, n * i + ihi, A);
+                                        })
+                                    })
+                                    .collect();
+                                for h in inner {
+                                    h.join();
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                for h in outers {
+                    h.join();
+                }
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+
+    fn nested_task(&self, parents: usize, children: usize, reps: usize) -> Stats {
+        let mut v = SharedVec::ones(parents * children);
+        let s = v.share();
+        run_reps(reps, || {
+            let d = time(|| {
+                let parent_handles: Vec<Handle<Vec<Handle<()>>>> = (0..parents)
+                    .map(|p| {
+                        let rt = self.rt.clone();
+                        self.rt.fork_rr(move || {
+                            (0..children)
+                                .map(|c| rt.fork(move || s.scale(p * children + c, A)))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                for ph in parent_handles {
+                    for h in ph.join() {
+                        h.join();
+                    }
+                }
+            });
+            debug_assert!(v.as_slice().iter().all(|&x| x == A));
+            v.reset();
+            d
+        })
+    }
+}

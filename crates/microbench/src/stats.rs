@@ -1,0 +1,143 @@
+//! Measurement statistics matching the paper's protocol: "all results
+//! … were calculated as the average of 500 executions. The maximum
+//! relative standard deviation (RSD) observed … was around 2%."
+
+use std::time::{Duration, Instant};
+
+/// Summary of repeated duration samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Smallest sample.
+    pub min: Duration,
+    /// Largest sample.
+    pub max: Duration,
+    /// Standard deviation.
+    pub stddev: Duration,
+    /// Number of samples aggregated.
+    pub samples: usize,
+}
+
+impl Stats {
+    /// Aggregate a non-empty set of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set.
+    #[must_use]
+    pub fn from_samples(samples: &[Duration]) -> Stats {
+        assert!(!samples.is_empty(), "no samples");
+        let n = samples.len() as f64;
+        let mean_s = samples.iter().map(Duration::as_secs_f64).sum::<f64>() / n;
+        let var = samples
+            .iter()
+            .map(|s| {
+                let d = s.as_secs_f64() - mean_s;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        Stats {
+            mean: Duration::from_secs_f64(mean_s),
+            min: *samples.iter().min().expect("non-empty"),
+            max: *samples.iter().max().expect("non-empty"),
+            stddev: Duration::from_secs_f64(var.sqrt()),
+            samples: samples.len(),
+        }
+    }
+
+    /// Relative standard deviation in percent (the paper's dispersion
+    /// metric).
+    #[must_use]
+    pub fn rsd_pct(&self) -> f64 {
+        let mean = self.mean.as_secs_f64();
+        if mean == 0.0 {
+            0.0
+        } else {
+            100.0 * self.stddev.as_secs_f64() / mean
+        }
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:?} (rsd {:.2}%, n={})",
+            self.mean,
+            self.rsd_pct(),
+            self.samples
+        )
+    }
+}
+
+/// Run `measure` `reps` times and aggregate the durations it returns.
+///
+/// `measure` returns the duration of the *timed section* it chose —
+/// letting benchmarks exclude setup/teardown exactly as the paper does
+/// (e.g. OpenMP thread-team creation is excluded from Fig. 2).
+pub fn run_reps(reps: usize, mut measure: impl FnMut() -> Duration) -> Stats {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        samples.push(measure());
+    }
+    Stats::from_samples(&samples)
+}
+
+/// Time a closure.
+pub fn time(f: impl FnOnce()) -> Duration {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_constant_samples() {
+        let s = Stats::from_samples(&[Duration::from_micros(10); 8]);
+        assert_eq!(s.mean, Duration::from_micros(10));
+        assert_eq!(s.min, s.max);
+        assert_eq!(s.rsd_pct(), 0.0);
+        assert_eq!(s.samples, 8);
+    }
+
+    #[test]
+    fn stats_capture_spread() {
+        let s = Stats::from_samples(&[
+            Duration::from_micros(8),
+            Duration::from_micros(12),
+        ]);
+        assert_eq!(s.mean, Duration::from_micros(10));
+        assert_eq!(s.min, Duration::from_micros(8));
+        assert_eq!(s.max, Duration::from_micros(12));
+        assert!((s.rsd_pct() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_samples_rejected() {
+        let _ = Stats::from_samples(&[]);
+    }
+
+    #[test]
+    fn run_reps_collects_requested_count() {
+        let mut calls = 0;
+        let s = run_reps(5, || {
+            calls += 1;
+            Duration::from_micros(calls)
+        });
+        assert_eq!(s.samples, 5);
+        assert_eq!(s.min, Duration::from_micros(1));
+        assert_eq!(s.max, Duration::from_micros(5));
+    }
+
+    #[test]
+    fn time_measures_something() {
+        let d = time(|| std::thread::sleep(Duration::from_millis(5)));
+        assert!(d >= Duration::from_millis(4));
+    }
+}

@@ -1,0 +1,140 @@
+//! Fig. 1: Top500 supercomputers grouped by cores per socket
+//! (November lists, 2001–2015).
+//!
+//! The paper's motivation chart. The original pulls the November
+//! Top500 lists; those lists are not redistributable data files, so
+//! this module embeds an *approximate* cores-per-socket share table
+//! reconstructed from the well-known shape of the chart (single-core
+//! dominance through 2005, dual/quad transition 2006–2009, steady
+//! climb of 8–16+ cores through 2015). DESIGN.md records this
+//! substitution; the generator and output format match the figure.
+
+/// Cores-per-socket buckets used by the paper's legend.
+pub const BUCKETS: [&str; 8] = ["1", "2", "4", "6", "8", "9-10", "12-14", "16-"];
+
+/// One November-list year: percentage share per bucket (sums to ~100).
+#[derive(Debug, Clone, Copy)]
+pub struct YearShare {
+    /// November list year.
+    pub year: u16,
+    /// Percent share per [`BUCKETS`] entry.
+    pub share: [f32; 8],
+}
+
+/// The embedded (approximate) dataset, 2001–2015.
+#[must_use]
+pub fn dataset() -> Vec<YearShare> {
+    let rows: [(u16, [f32; 8]); 15] = [
+        (2001, [100.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+        (2002, [99.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+        (2003, [96.0, 4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+        (2004, [92.0, 8.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+        (2005, [67.0, 33.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+        (2006, [24.0, 75.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+        (2007, [9.0, 69.0, 22.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+        (2008, [2.0, 28.0, 69.0, 1.0, 0.0, 0.0, 0.0, 0.0]),
+        (2009, [1.0, 12.0, 76.0, 10.0, 1.0, 0.0, 0.0, 0.0]),
+        (2010, [0.5, 6.0, 64.0, 22.0, 7.0, 0.5, 0.0, 0.0]),
+        (2011, [0.0, 3.0, 42.0, 30.0, 20.0, 3.0, 2.0, 0.0]),
+        (2012, [0.0, 2.0, 25.0, 26.0, 33.0, 7.0, 6.0, 1.0]),
+        (2013, [0.0, 1.0, 15.0, 19.0, 38.0, 12.0, 12.0, 3.0]),
+        (2014, [0.0, 1.0, 10.0, 14.0, 36.0, 15.0, 18.0, 6.0]),
+        (2015, [0.0, 0.5, 7.0, 10.0, 33.0, 16.0, 23.0, 10.5]),
+    ];
+    rows.iter()
+        .map(|&(year, share)| YearShare { year, share })
+        .collect()
+}
+
+/// Emit the figure as CSV (`year,bucket,percent`).
+#[must_use]
+pub fn to_csv() -> String {
+    let mut out = String::from("year,cores_per_socket,percent\n");
+    for row in dataset() {
+        for (bucket, pct) in BUCKETS.iter().zip(row.share) {
+            out.push_str(&format!("{},{bucket},{pct:.1}\n", row.year));
+        }
+    }
+    out
+}
+
+/// Render a terminal stacked-bar sketch of the figure (one row per
+/// year, one character per 2%).
+#[must_use]
+pub fn to_ascii_chart() -> String {
+    const GLYPHS: [char; 8] = ['#', '=', '+', ':', 'o', '*', '%', '@'];
+    let mut out = String::new();
+    out.push_str("Fig.1  Top500 share by cores per socket (approx.)\n");
+    for (g, b) in GLYPHS.iter().zip(BUCKETS) {
+        out.push_str(&format!("  {g} = {b} cores\n"));
+    }
+    for row in dataset() {
+        out.push_str(&format!("{} |", row.year));
+        for (i, pct) in row.share.iter().enumerate() {
+            let cells = (pct / 2.0).round() as usize;
+            out.extend(std::iter::repeat_n(GLYPHS[i], cells));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_years_of_data() {
+        let d = dataset();
+        assert_eq!(d.len(), 15);
+        assert_eq!(d.first().unwrap().year, 2001);
+        assert_eq!(d.last().unwrap().year, 2015);
+    }
+
+    #[test]
+    fn shares_sum_to_roughly_hundred() {
+        for row in dataset() {
+            let sum: f32 = row.share.iter().sum();
+            assert!(
+                (99.0..=101.0).contains(&sum),
+                "year {} sums to {sum}",
+                row.year
+            );
+        }
+    }
+
+    #[test]
+    fn shape_matches_paper_narrative() {
+        let d = dataset();
+        let by_year = |y: u16| d.iter().find(|r| r.year == y).unwrap();
+        // Single-core dominates 2001; extinct by 2011.
+        assert!(by_year(2001).share[0] >= 99.0);
+        assert_eq!(by_year(2011).share[0], 0.0);
+        // Multi-core majority from 2006 on.
+        assert!(by_year(2006).share[0] < 50.0);
+        // 16+ cores appear only at the end.
+        assert_eq!(by_year(2010).share[7], 0.0);
+        assert!(by_year(2015).share[7] > 5.0);
+        // Monotone trend: the ≥8-core share never shrinks.
+        let big: Vec<f32> = d
+            .iter()
+            .map(|r| r.share[4] + r.share[5] + r.share[6] + r.share[7])
+            .collect();
+        assert!(big.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn csv_has_all_rows() {
+        let csv = to_csv();
+        assert_eq!(csv.lines().count(), 1 + 15 * 8);
+        assert!(csv.starts_with("year,cores_per_socket,percent"));
+    }
+
+    #[test]
+    fn ascii_chart_renders_all_years() {
+        let chart = to_ascii_chart();
+        for y in 2001..=2015 {
+            assert!(chart.contains(&y.to_string()));
+        }
+    }
+}

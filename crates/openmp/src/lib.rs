@@ -1,0 +1,781 @@
+//! # lwt-openmp — an OpenMP-like OS-thread runtime (the paper's baseline)
+//!
+//! The paper evaluates every LWT library against the two dominant
+//! OpenMP runtimes, and repeatedly traces their curves to specific
+//! implementation choices. This crate re-implements an OpenMP-shaped
+//! runtime on plain OS threads with both behavior sets selectable via
+//! [`Flavor`]:
+//!
+//! | Mechanism | [`Flavor::Gcc`] (libgomp-like) | [`Flavor::Icc`] (Intel-like) |
+//! |---|---|---|
+//! | Task queue | one shared, mutex-protected queue | per-thread deques + work stealing |
+//! | Task cutoff | 64 × `num_threads` total queued | 256 per thread queue |
+//! | Nested `parallel` | fresh OS threads every time (no reuse) | reuse idle threads from a pool |
+//! | Idle waiting | `OMP_WAIT_POLICY` active/passive ([`WaitPolicy`]) | same knob |
+//!
+//! The paper's observations these choices reproduce: `gcc`'s shared
+//! task queue contends (Fig. 5: the paper sets `OMP_WAIT_POLICY=passive`
+//! to tame it); `icc`'s work stealing costs when load is imbalanced
+//! (Fig. 5) and vanishes when balanced (Fig. 6); and nested parallelism
+//! oversubscribes catastrophically for both (Fig. 7: 35,036 threads for
+//! gcc at 36 threads, 1,296 for icc — "LWTs … increase the performance
+//! with respect to the Intel OpenMP approach by factors of 130, 48 and
+//! 60").
+//!
+//! ## API shape
+//!
+//! `#pragma omp parallel` ≙ [`OpenMp::parallel`] (the caller is thread
+//! 0 of the team); `#pragma omp parallel for` ≙
+//! [`OpenMp::parallel_for`]; `#pragma omp task` ≙ [`Ctx::task`];
+//! `#pragma omp taskwait`/implicit barrier ≙ [`Ctx::taskwait`] /
+//! automatic at region end; `#pragma omp single` ≙ [`Ctx::is_master`]
+//! guard.
+//!
+//! ```
+//! use lwt_openmp::{Config, Flavor, OpenMp};
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! let omp = OpenMp::init(Config { num_threads: 2, ..Config::default() });
+//! let sum = AtomicUsize::new(0);
+//! omp.parallel_for(0..100, |i| {
+//!     sum.fetch_add(i, Ordering::Relaxed);
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 4950);
+//! omp.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod nested;
+pub mod metrics;
+mod team;
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use lwt_sync::{Parker, SpinLock};
+
+pub use team::{Ctx, Flavor, TeamHandle, WaitPolicy};
+
+/// Loop scheduling policy (`schedule(static|dynamic|guided)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Pre-computed equal chunks, one per thread.
+    Static,
+    /// Threads grab fixed-size chunks from a shared cursor.
+    Dynamic(usize),
+    /// Chunks shrink as the loop drains (minimum chunk given).
+    Guided(usize),
+}
+use team::{RegionJob, Team};
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Team size for top-level regions (`OMP_NUM_THREADS`).
+    pub num_threads: usize,
+    /// Task-queue & nested-parallelism behavior set.
+    pub flavor: Flavor,
+    /// Idle-thread waiting (`OMP_WAIT_POLICY`).
+    pub wait_policy: WaitPolicy,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            num_threads: std::thread::available_parallelism().map_or(4, usize::from),
+            flavor: Flavor::default(),
+            wait_policy: WaitPolicy::default(),
+        }
+    }
+}
+
+struct PoolWorker {
+    parker: Arc<Parker>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+struct RtInner {
+    config: Config,
+    /// Persistent workers for top-level regions (thread 0 is the
+    /// caller). OpenMP runtimes keep this team alive across regions —
+    /// the paper's Fig. 2 comparison explicitly excludes Pthread
+    /// creation "so that the overhead of the Pthreads creation step is
+    /// not added".
+    workers: SpinLock<Vec<PoolWorker>>,
+    /// Current top-level region, versioned by generation.
+    gen: AtomicUsize,
+    job: SpinLock<Option<RegionJob>>,
+    stop: AtomicBool,
+    shut: AtomicBool,
+    /// Idle-thread pool for Icc-style nested regions.
+    nested_pool: nested::NestedPool,
+}
+
+/// The OpenMP-like runtime. Cheap to clone.
+#[derive(Clone)]
+pub struct OpenMp {
+    inner: Arc<RtInner>,
+}
+
+impl OpenMp {
+    /// Spawn the persistent team (minus the caller, who participates
+    /// as thread 0 of every top-level region).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.num_threads` is zero.
+    #[must_use]
+    pub fn init(config: Config) -> Self {
+        assert!(config.num_threads > 0, "need at least one thread");
+        let inner = Arc::new(RtInner {
+            config: config.clone(),
+            workers: SpinLock::new(Vec::new()),
+            gen: AtomicUsize::new(0),
+            job: SpinLock::new(None),
+            stop: AtomicBool::new(false),
+            shut: AtomicBool::new(false),
+            nested_pool: nested::NestedPool::new(),
+        });
+        let rt = OpenMp { inner };
+        let mut workers = rt.inner.workers.lock();
+        for i in 1..config.num_threads {
+            let parker = Arc::new(Parker::new());
+            let inner = rt.inner.clone();
+            let p2 = parker.clone();
+            metrics::THREADS_SPAWNED.inc();
+            let thread = std::thread::Builder::new()
+                .name(format!("omp-w{i}"))
+                .spawn(move || pool_worker_main(&inner, i, &p2))
+                .expect("spawn OpenMP pool worker");
+            workers.push(PoolWorker {
+                parker,
+                thread: Some(thread),
+            });
+        }
+        drop(workers);
+        rt
+    }
+
+    /// [`OpenMp::init`] with defaults.
+    #[must_use]
+    pub fn init_default() -> Self {
+        Self::init(Config::default())
+    }
+
+    /// Configured team size.
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.inner.config.num_threads
+    }
+
+    /// The behavior set in use.
+    #[must_use]
+    pub fn flavor(&self) -> Flavor {
+        self.inner.config.flavor
+    }
+
+    /// `#pragma omp parallel`: run `f` on every thread of a team, the
+    /// caller acting as thread 0. Blocks until the implicit end
+    /// barrier (which also drains outstanding tasks).
+    ///
+    /// Called from *inside* a region, this opens a **nested** region:
+    /// fresh OS threads under [`Flavor::Gcc`], pool-reused threads
+    /// under [`Flavor::Icc`] — reproducing the paper's Fig. 7 split.
+    pub fn parallel<F>(&self, f: F)
+    where
+        F: Fn(&Ctx) + Sync,
+    {
+        self.parallel_n(self.inner.config.num_threads, f);
+    }
+
+    /// [`OpenMp::parallel`] with an explicit team size
+    /// (`num_threads` clause).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn parallel_n<F>(&self, size: usize, f: F)
+    where
+        F: Fn(&Ctx) + Sync,
+    {
+        assert!(size > 0, "empty team");
+        if team::in_region() {
+            // Nested region.
+            match self.inner.config.flavor {
+                Flavor::Gcc => nested::run_nested_fresh(self, size, &f),
+                Flavor::Icc => nested::run_nested_pooled(self, size, &f),
+            }
+            return;
+        }
+        let team = Team::new(
+            size,
+            self.inner.config.flavor,
+            self.inner.config.wait_policy,
+        );
+        // SAFETY: the region blocks in `member` below until every team
+        // thread has passed the end barrier, so erasing `f`'s lifetime
+        // to 'static never lets it dangle.
+        let job = unsafe { RegionJob::erase(&f, team.clone()) };
+        let pool_size = self.inner.config.num_threads;
+        let active_workers = size.min(pool_size) - 1;
+        {
+            let mut slot = self.inner.job.lock();
+            *slot = Some(job);
+        }
+        self.inner.gen.fetch_add(1, Ordering::AcqRel);
+        if self.inner.config.wait_policy == WaitPolicy::Passive {
+            let workers = self.inner.workers.lock();
+            for w in workers.iter().take(active_workers) {
+                w.parker.unpark();
+            }
+        }
+        // If the requested team is larger than the persistent pool,
+        // make up the difference with temporary threads.
+        std::thread::scope(|scope| {
+            for extra in pool_size..size {
+                let team = team.clone();
+                let fr: &(dyn Fn(&Ctx) + Sync) = &f;
+                metrics::THREADS_SPAWNED.inc();
+                scope.spawn(move || team.member(extra, fr));
+            }
+            team.member(0, &f);
+        });
+    }
+
+    /// `#pragma omp parallel for` with static chunking and the implicit
+    /// end barrier.
+    pub fn parallel_for<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.parallel_for_sched(range, Schedule::Static, f);
+    }
+
+    /// `#pragma omp parallel for schedule(...)`.
+    pub fn parallel_for_sched<F>(&self, range: Range<usize>, schedule: Schedule, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let n = range.len();
+        let start = range.start;
+        let cursor = AtomicUsize::new(0);
+        self.parallel(move |ctx| match schedule {
+            Schedule::Static => {
+                let t = ctx.thread_num();
+                let size = ctx.num_threads();
+                let chunk = n.div_ceil(size);
+                let lo = (t * chunk).min(n);
+                let hi = ((t + 1) * chunk).min(n);
+                for i in lo..hi {
+                    f(start + i);
+                }
+            }
+            Schedule::Dynamic(chunk) => {
+                let chunk = chunk.max(1);
+                loop {
+                    let lo = cursor.fetch_add(chunk, Ordering::AcqRel);
+                    if lo >= n {
+                        break;
+                    }
+                    for i in lo..(lo + chunk).min(n) {
+                        f(start + i);
+                    }
+                }
+            }
+            Schedule::Guided(min_chunk) => {
+                let min_chunk = min_chunk.max(1);
+                let size = ctx.num_threads();
+                loop {
+                    let done = cursor.load(Ordering::Acquire);
+                    if done >= n {
+                        break;
+                    }
+                    // Guided: take a share of what is left, shrinking
+                    // as the loop drains; CAS to claim exactly it.
+                    let want = ((n - done) / size).max(min_chunk);
+                    let hi = (done + want).min(n);
+                    if cursor
+                        .compare_exchange(done, hi, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    for i in done..hi {
+                        f(start + i);
+                    }
+                }
+            }
+        });
+    }
+
+    /// `#pragma omp parallel for reduction(...)`: map each index and
+    /// fold with `reduce`; `identity` must be neutral for `reduce`.
+    pub fn parallel_reduce<T, M, R>(
+        &self,
+        range: Range<usize>,
+        identity: T,
+        map: M,
+        reduce: R,
+    ) -> T
+    where
+        T: Clone + Send + Sync,
+        M: Fn(usize) -> T + Sync,
+        R: Fn(T, T) -> T + Sync,
+    {
+        let n = range.len();
+        let start = range.start;
+        let global: SpinLock<Option<T>> = SpinLock::new(None);
+        let id = identity.clone();
+        self.parallel(|ctx| {
+            let t = ctx.thread_num();
+            let size = ctx.num_threads();
+            let chunk = n.div_ceil(size);
+            let lo = (t * chunk).min(n);
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                return; // empty chunk: contribute nothing
+            }
+            let mut acc = id.clone();
+            for i in lo..hi {
+                acc = reduce(acc, map(start + i));
+            }
+            let mut g = global.lock();
+            *g = Some(match g.take() {
+                Some(prev) => reduce(prev, acc),
+                None => acc,
+            });
+        });
+        global
+            .into_inner()
+            .map_or(identity, |v| v)
+    }
+
+    /// Stop the persistent pool and nested-thread pool. Idempotent.
+    pub fn shutdown(&self) {
+        if self.inner.shut.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.inner.stop.store(true, Ordering::Release);
+        self.inner.gen.fetch_add(1, Ordering::AcqRel);
+        let mut workers = self.inner.workers.lock();
+        for w in workers.iter() {
+            w.parker.unpark();
+        }
+        for w in workers.iter_mut() {
+            if let Some(t) = w.thread.take() {
+                t.join().expect("OpenMP pool worker panicked");
+            }
+        }
+        drop(workers);
+        self.inner.nested_pool.shutdown();
+    }
+
+    pub(crate) fn nested_pool(&self) -> &nested::NestedPool {
+        &self.inner.nested_pool
+    }
+}
+
+impl Drop for RtInner {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.gen.fetch_add(1, Ordering::AcqRel);
+        for w in self.workers.lock().iter_mut() {
+            w.parker.unpark();
+            if let Some(t) = w.thread.take() {
+                let _ = t.join();
+            }
+        }
+        self.nested_pool.shutdown();
+    }
+}
+
+impl std::fmt::Debug for OpenMp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpenMp")
+            .field("num_threads", &self.inner.config.num_threads)
+            .field("flavor", &self.inner.config.flavor)
+            .finish()
+    }
+}
+
+fn pool_worker_main(inner: &Arc<RtInner>, index: usize, parker: &Parker) {
+    let mut last_gen = 0usize;
+    loop {
+        let gen = inner.gen.load(Ordering::Acquire);
+        if gen == last_gen {
+            if inner.stop.load(Ordering::Acquire) {
+                return;
+            }
+            match inner.config.wait_policy {
+                WaitPolicy::Active => std::hint::spin_loop(),
+                WaitPolicy::Passive => {
+                    parker.park_timeout(std::time::Duration::from_millis(50));
+                }
+            }
+            continue;
+        }
+        last_gen = gen;
+        if inner.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let job = inner.job.lock().clone();
+        let Some(job) = job else { continue };
+        if index < job.team_size() {
+            // SAFETY: the region's caller blocks until the end barrier,
+            // so the erased closure outlives this call.
+            unsafe { job.run_member(index) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn omp(n: usize, flavor: Flavor) -> OpenMp {
+        OpenMp::init(Config {
+            num_threads: n,
+            flavor,
+            wait_policy: WaitPolicy::Passive,
+        })
+    }
+
+    #[test]
+    fn region_runs_on_all_threads() {
+        let rt = omp(3, Flavor::Gcc);
+        let seen = SpinLock::new(HashSet::new());
+        rt.parallel(|ctx| {
+            assert_eq!(ctx.num_threads(), 3);
+            seen.lock().insert(ctx.thread_num());
+        });
+        assert_eq!(seen.into_inner(), HashSet::from([0, 1, 2]));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn caller_is_thread_zero() {
+        let rt = omp(2, Flavor::Icc);
+        let caller = std::thread::current().id();
+        let zero_tid = SpinLock::new(None);
+        rt.parallel(|ctx| {
+            if ctx.thread_num() == 0 {
+                *zero_tid.lock() = Some(std::thread::current().id());
+            }
+        });
+        assert_eq!(zero_tid.into_inner(), Some(caller));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn parallel_for_covers_range_exactly_once() {
+        let rt = omp(4, Flavor::Gcc);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        rt.parallel_for(0..1000, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn regions_reuse_the_team() {
+        let rt = omp(3, Flavor::Gcc);
+        let ids = SpinLock::new(HashSet::new());
+        for _ in 0..5 {
+            rt.parallel(|_| {
+                ids.lock().insert(std::thread::current().id());
+            });
+        }
+        // 5 regions, still only 3 distinct OS threads.
+        assert_eq!(ids.into_inner().len(), 3);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn team_larger_than_pool_spawns_extras() {
+        let rt = omp(2, Flavor::Gcc);
+        let seen = SpinLock::new(HashSet::new());
+        rt.parallel_n(5, |ctx| {
+            seen.lock().insert(ctx.thread_num());
+        });
+        assert_eq!(seen.into_inner().len(), 5);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn tasks_single_region_gcc() {
+        let rt = omp(3, Flavor::Gcc);
+        let count = Arc::new(AtomicUsize::new(0));
+        rt.parallel(|ctx| {
+            if ctx.is_master() {
+                for _ in 0..500 {
+                    let count = count.clone();
+                    ctx.task(move || {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            }
+            ctx.taskwait();
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn tasks_single_region_icc_steals() {
+        let rt = omp(3, Flavor::Icc);
+        let count = Arc::new(AtomicUsize::new(0));
+        let executors = Arc::new(SpinLock::new(HashSet::new()));
+        rt.parallel(|ctx| {
+            if ctx.is_master() {
+                for _ in 0..500 {
+                    let (count, executors) = (count.clone(), executors.clone());
+                    ctx.task(move || {
+                        count.fetch_add(1, Ordering::Relaxed);
+                        executors.lock().insert(std::thread::current().id());
+                        // Widen the stealing window.
+                        std::thread::yield_now();
+                    });
+                }
+            }
+            ctx.taskwait();
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+        // Work stealing should spread execution beyond the creator.
+        assert!(executors.lock().len() > 1, "no stealing happened");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn tasks_parallel_region_both_flavors() {
+        for flavor in [Flavor::Gcc, Flavor::Icc] {
+            let rt = omp(3, flavor);
+            let count = Arc::new(AtomicUsize::new(0));
+            rt.parallel(|ctx| {
+                for _ in 0..100 {
+                    let count = count.clone();
+                    ctx.task(move || {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                ctx.taskwait();
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 300, "flavor {flavor:?}");
+            rt.shutdown();
+        }
+    }
+
+    #[test]
+    fn nested_tasks() {
+        let rt = omp(2, Flavor::Icc);
+        let count = Arc::new(AtomicUsize::new(0));
+        rt.parallel(|ctx| {
+            if ctx.is_master() {
+                for _ in 0..20 {
+                    let count = count.clone();
+                    let ctx2 = ctx.team_handle();
+                    ctx.task(move || {
+                        count.fetch_add(1, Ordering::Relaxed);
+                        for _ in 0..4 {
+                            let c = count.clone();
+                            ctx2.task(move || {
+                                c.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }
+            }
+            ctx.taskwait();
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 20 * 5);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn nested_parallel_gcc_fresh_threads() {
+        let rt = omp(2, Flavor::Gcc);
+        let inner_ids = SpinLock::new(HashSet::new());
+        let outer_ids = SpinLock::new(HashSet::new());
+        rt.parallel(|_| {
+            outer_ids.lock().insert(std::thread::current().id());
+            rt.parallel_n(2, |_| {
+                inner_ids.lock().insert(std::thread::current().id());
+            });
+        });
+        // Each of the 2 outer threads opened a nested team of 2: itself
+        // + 1 fresh thread → at least 2 ids beyond the outer ones.
+        let outer = outer_ids.into_inner();
+        let inner = inner_ids.into_inner();
+        assert_eq!(outer.len(), 2);
+        assert!(inner.len() >= 4, "gcc nested must spawn fresh threads");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn nested_parallel_icc_reuses_pool() {
+        let rt = omp(2, Flavor::Icc);
+        let first = SpinLock::new(HashSet::new());
+        let second = SpinLock::new(HashSet::new());
+        rt.parallel(|_| {
+            rt.parallel_n(2, |_| {
+                first.lock().insert(std::thread::current().id());
+            });
+        });
+        rt.parallel(|_| {
+            rt.parallel_n(2, |_| {
+                second.lock().insert(std::thread::current().id());
+            });
+        });
+        // Pool reuse: the second round should introduce no new ids.
+        let first = first.into_inner();
+        let second = second.into_inner();
+        assert!(
+            second.is_subset(&first),
+            "icc nested must reuse idle threads: {first:?} vs {second:?}"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn cutoff_keeps_counts_exact() {
+        // Far beyond both cutoffs; every task must still run exactly
+        // once whether queued or inlined.
+        for flavor in [Flavor::Gcc, Flavor::Icc] {
+            let rt = omp(2, flavor);
+            let count = Arc::new(AtomicUsize::new(0));
+            rt.parallel(|ctx| {
+                if ctx.is_master() {
+                    for _ in 0..2000 {
+                        let count = count.clone();
+                        ctx.task(move || {
+                            count.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                }
+                ctx.taskwait();
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 2000, "flavor {flavor:?}");
+            rt.shutdown();
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_team() {
+        let rt = omp(3, Flavor::Gcc);
+        let phase = AtomicUsize::new(0);
+        rt.parallel(|ctx| {
+            phase.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            assert_eq!(phase.load(Ordering::SeqCst), 3);
+        });
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_idempotent_and_drop_safe() {
+        let rt = omp(2, Flavor::Icc);
+        rt.parallel(|_| {});
+        rt.shutdown();
+        rt.shutdown();
+        drop(rt);
+    }
+}
+
+#[cfg(test)]
+mod schedule_tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    fn omp(n: usize, flavor: Flavor) -> OpenMp {
+        OpenMp::init(Config {
+            num_threads: n,
+            flavor,
+            wait_policy: WaitPolicy::Passive,
+        })
+    }
+
+    #[test]
+    fn dynamic_schedule_covers_exactly_once() {
+        let rt = omp(3, Flavor::Gcc);
+        let hits: Vec<AtomicUsize> = (0..777).map(|_| AtomicUsize::new(0)).collect();
+        rt.parallel_for_sched(0..777, Schedule::Dynamic(16), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn guided_schedule_covers_exactly_once() {
+        let rt = omp(3, Flavor::Icc);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        rt.parallel_for_sched(0..1000, Schedule::Guided(4), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn dynamic_schedule_balances_skewed_work() {
+        // A wildly skewed cost distribution: dynamic scheduling should
+        // still let all threads participate.
+        let rt = omp(3, Flavor::Gcc);
+        let by_thread = SpinLock::new(HashSet::new());
+        rt.parallel_for_sched(0..300, Schedule::Dynamic(1), |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            by_thread.lock().insert(std::thread::current().id());
+        });
+        assert!(by_thread.into_inner().len() > 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn reduction_matches_sequential() {
+        let rt = omp(4, Flavor::Gcc);
+        let total = rt.parallel_reduce(1..1001usize, 0usize, |i| i * i, |a, b| a + b);
+        assert_eq!(total, (1..1001).map(|i| i * i).sum());
+        // Empty range yields the identity.
+        assert_eq!(rt.parallel_reduce(5..5, 7usize, |i| i, |a, b| a + b), 7);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn single_runs_exactly_once_per_construct() {
+        let rt = omp(3, Flavor::Gcc);
+        let first = AtomicUsize::new(0);
+        let second = AtomicUsize::new(0);
+        rt.parallel(|ctx| {
+            ctx.single(|| first.fetch_add(1, Ordering::Relaxed));
+            ctx.barrier();
+            ctx.single(|| second.fetch_add(1, Ordering::Relaxed));
+        });
+        assert_eq!(first.load(Ordering::Relaxed), 1);
+        assert_eq!(second.load(Ordering::Relaxed), 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn critical_serializes() {
+        let rt = omp(4, Flavor::Icc);
+        let mut shared = 0usize;
+        let cell = SpinLock::new(&mut shared);
+        rt.parallel(|ctx| {
+            for _ in 0..1000 {
+                ctx.critical(|| {
+                    // A non-atomic RMW: only safe because of critical.
+                    let mut g = cell.lock();
+                    **g += 1;
+                });
+            }
+        });
+        assert_eq!(shared, 4000);
+        rt.shutdown();
+    }
+}

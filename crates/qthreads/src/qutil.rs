@@ -1,0 +1,157 @@
+//! `qutil`-style parallel algorithms over the fork/join API.
+//!
+//! The C library ships `qutil` (parallel sorting, extrema, sums) as a
+//! demonstration that ULT-grained divide and conquer is practical; this
+//! module provides the same over [`crate::Runtime::fork`]: a parallel
+//! mergesort ([`sort`]), parallel extrema ([`par_max`]) and a parallel
+//! sum ([`par_sum`]) — each cutting over to sequential code below a
+//! grain size, the standard qutil discipline.
+
+use crate::Runtime;
+
+/// Below this many elements, recursion stays sequential.
+const SORT_GRAIN: usize = 1024;
+/// Reduction grain.
+const REDUCE_GRAIN: usize = 4096;
+
+/// Parallel stable mergesort (`qutil_qsort` spirit; stable like
+/// `qutil_mergesort`).
+pub fn sort<T: Ord + Clone + Send + 'static>(rt: &Runtime, data: &mut [T]) {
+    let len = data.len();
+    if len <= SORT_GRAIN {
+        data.sort();
+        return;
+    }
+    // Work on a clone in plain Vecs to keep the recursion simple and
+    // safe (qutil also buffers); merge back at the end.
+    let sorted = msort(rt, data.to_vec());
+    data.clone_from_slice(&sorted);
+}
+
+fn msort<T: Ord + Clone + Send + 'static>(rt: &Runtime, mut v: Vec<T>) -> Vec<T> {
+    if v.len() <= SORT_GRAIN {
+        v.sort();
+        return v;
+    }
+    let right = v.split_off(v.len() / 2);
+    let left = v;
+    let rt2 = rt.clone();
+    // Fork the left half; recurse into the right on this work unit.
+    // SAFETY-free: plain owned data moves into the ULT.
+    let left_handle = {
+        let rt3 = rt.clone();
+        rt.fork(move || msort(&rt3, left))
+    };
+    let right = msort(&rt2, right);
+    let left = left_handle.join();
+    merge(left, right)
+}
+
+fn merge<T: Ord>(left: Vec<T>, right: Vec<T>) -> Vec<T> {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let mut l = left.into_iter().peekable();
+    let mut r = right.into_iter().peekable();
+    loop {
+        match (l.peek(), r.peek()) {
+            (Some(a), Some(b)) => {
+                if a <= b {
+                    out.push(l.next().expect("peeked"));
+                } else {
+                    out.push(r.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => {
+                out.extend(l);
+                break;
+            }
+            (None, _) => {
+                out.extend(r);
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Parallel maximum (`qutil_maxf` family). Returns `None` on empty
+/// input.
+pub fn par_max<T: Ord + Copy + Send + Sync + 'static>(rt: &Runtime, data: &[T]) -> Option<T> {
+    if data.is_empty() {
+        return None;
+    }
+    if data.len() <= REDUCE_GRAIN {
+        return data.iter().copied().max();
+    }
+    // Chunk over the workers via loop_accum on indices.
+    let owned: std::sync::Arc<Vec<T>> = std::sync::Arc::new(data.to_vec());
+    let o = owned.clone();
+    let first = owned[0];
+    Some(rt.loop_accum(
+        0..owned.len(),
+        first,
+        move |i| o[i],
+        |a, b| if a >= b { a } else { b },
+    ))
+}
+
+/// Parallel sum (`qutil_uint_sum` family).
+pub fn par_sum(rt: &Runtime, data: &[u64]) -> u64 {
+    if data.len() <= REDUCE_GRAIN {
+        return data.iter().sum();
+    }
+    let owned = std::sync::Arc::new(data.to_vec());
+    let o = owned.clone();
+    rt.loop_accum(0..owned.len(), 0u64, move |i| o[i], |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Config;
+    use rand::{Rng, SeedableRng};
+
+    fn rt() -> Runtime {
+        Runtime::init(Config {
+            num_shepherds: 2,
+            ..Config::default()
+        })
+    }
+
+    #[test]
+    fn sort_small_and_large() {
+        let rt = rt();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for n in [0usize, 1, 2, 100, SORT_GRAIN + 1, 10_000] {
+            let mut v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            sort(&rt, &mut v);
+            assert_eq!(v, expect, "n={n}");
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn sort_already_sorted_and_reversed() {
+        let rt = rt();
+        let mut asc: Vec<u32> = (0..5000).collect();
+        sort(&rt, &mut asc);
+        assert!(asc.windows(2).all(|w| w[0] <= w[1]));
+        let mut desc: Vec<u32> = (0..5000).rev().collect();
+        sort(&rt, &mut desc);
+        assert!(desc.windows(2).all(|w| w[0] <= w[1]));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn max_and_sum_match_sequential() {
+        let rt = rt();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let v: Vec<u64> = (0..20_000).map(|_| rng.gen_range(0..1_000_000)).collect();
+        assert_eq!(par_max(&rt, &v), v.iter().copied().max());
+        assert_eq!(par_sum(&rt, &v), v.iter().sum::<u64>());
+        assert_eq!(par_max::<u64>(&rt, &[]), None);
+        assert_eq!(par_sum(&rt, &[]), 0);
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,449 @@
+//! The Chase–Lev lock-free work-stealing deque.
+//!
+//! Models Intel OpenMP's task machinery: "the `icc` [implementation]
+//! allows each thread to allocate a private task queue where tasks are
+//! stored … it implements a work-stealing mechanism that is triggered
+//! once a thread's task queue is empty" (paper §VII-B). The owner pushes
+//! and pops at the *bottom* without synchronization in the common case;
+//! thieves compete for the *top* with a compare-and-swap.
+//!
+//! The implementation follows Chase & Lev (SPAA'05) with the memory
+//! orderings of Lê, Pop, Cohen & Zappa Nardelli (PPoPP'13, "Correct and
+//! Efficient Work-Stealing for Weak Memory Models"). `top` is a
+//! monotonically increasing index, so the CAS is ABA-free. Buffer
+//! growth retires the old buffer into a list freed when the deque
+//! drops — in-flight thieves may still read (bitwise copies of)
+//! elements from retired buffers, which is sound because a thief only
+//! *keeps* its copy if its CAS on `top` succeeds, and at most one CAS
+//! per index ever succeeds.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::Arc;
+
+use lwt_sync::SpinLock;
+
+/// Result of a [`Stealer::steal_once`] attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque appeared empty.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Successfully stole a unit.
+    Success(T),
+}
+
+struct Buffer<T> {
+    /// Power-of-two capacity.
+    cap: usize,
+    storage: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(cap: usize) -> *mut Buffer<T> {
+        debug_assert!(cap.is_power_of_two());
+        let storage = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Box::into_raw(Box::new(Buffer { cap, storage }))
+    }
+
+    /// Raw slot pointer for logical index `i` (wrapping).
+    fn slot(&self, i: isize) -> *mut MaybeUninit<T> {
+        self.storage[(i as usize) & (self.cap - 1)].get()
+    }
+
+    /// # Safety
+    /// Slot `i` must hold an initialized value not concurrently written.
+    unsafe fn read(&self, i: isize) -> T {
+        // SAFETY: forwarded.
+        unsafe { (*self.slot(i)).assume_init_read() }
+    }
+
+    /// # Safety
+    /// Slot `i` must not be concurrently accessed.
+    unsafe fn write(&self, i: isize, value: T) {
+        // SAFETY: forwarded.
+        unsafe { (*self.slot(i)).write(value) };
+    }
+}
+
+struct Inner<T> {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers replaced by growth; freed when the deque drops. Growth
+    /// doubles capacity, so total retired memory is bounded by the
+    /// final buffer's size.
+    retired: SpinLock<Vec<*mut Buffer<T>>>,
+}
+
+// SAFETY: the algorithm synchronizes all cross-thread element handoff
+// through top/bottom orderings and the steal CAS.
+unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: see above.
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        let top = *self.top.get_mut();
+        let bottom = *self.bottom.get_mut();
+        let buf = *self.buffer.get_mut();
+        // SAFETY: exclusive access (&mut self); indices top..bottom hold
+        // initialized, un-stolen elements in the current buffer.
+        unsafe {
+            for i in top..bottom {
+                drop((*buf).read(i));
+            }
+            drop(Box::from_raw(buf));
+            for r in self.retired.get_mut().drain(..) {
+                drop(Box::from_raw(r));
+            }
+        }
+    }
+}
+
+/// Construct an empty Chase–Lev deque, returning the owner and one
+/// thief handle (clone the [`Stealer`] for more thieves).
+///
+/// ```
+/// use lwt_sched::{ChaseLev, Steal};
+/// let (worker, stealer) = ChaseLev::new();
+/// worker.push(10);
+/// worker.push(20);
+/// assert_eq!(worker.pop(), Some(20));          // owner: LIFO
+/// assert_eq!(stealer.steal(), Some(10));       // thief: FIFO
+/// assert_eq!(stealer.steal_once(), Steal::Empty);
+/// ```
+pub struct ChaseLev;
+
+impl ChaseLev {
+    /// Create an empty deque with the default initial capacity (64).
+    #[must_use]
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new<T: Send>() -> (Worker<T>, Stealer<T>) {
+        Self::with_capacity(64)
+    }
+
+    /// Create an empty deque with a specific initial capacity (rounded
+    /// up to a power of two, minimum 2).
+    #[must_use]
+    pub fn with_capacity<T: Send>(cap: usize) -> (Worker<T>, Stealer<T>) {
+        let cap = cap.max(2).next_power_of_two();
+        let inner = Arc::new(Inner {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Buffer::<T>::alloc(cap)),
+            retired: SpinLock::new(Vec::new()),
+        });
+        (
+            Worker {
+                inner: inner.clone(),
+            },
+            Stealer { inner },
+        )
+    }
+}
+
+/// Owner handle: push/pop at the bottom. `Send` but not `Sync`/`Clone` —
+/// exactly one owner exists.
+pub struct Worker<T: Send> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T: Send> Worker<T> {
+    /// Push a unit onto the owner's end.
+    pub fn push(&self, value: T) {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        let mut buf = inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: only the owner mutates `buffer`, and `buf` points at a
+        // live buffer.
+        if b - t >= unsafe { (*buf).cap } as isize {
+            buf = self.grow(t, b, buf);
+        }
+        // SAFETY: slot `b` is outside top..bottom, so no thief reads it.
+        unsafe { (*buf).write(b, value) };
+        inner.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Pop the most recently pushed unit (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = inner.buffer.load(Ordering::Relaxed);
+        inner.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        if t <= b {
+            if t == b {
+                // Single element: race a pretend-steal for it.
+                let claimed = inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+                if claimed {
+                    // SAFETY: the successful CAS on `top` grants
+                    // exclusive ownership of index b == t.
+                    Some(unsafe { (*buf).read(b) })
+                } else {
+                    None
+                }
+            } else {
+                // SAFETY: b < old bottom and thieves only take t < b.
+                Some(unsafe { (*buf).read(b) })
+            }
+        } else {
+            // Deque was empty; restore bottom.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Number of units currently queued (racy; diagnostics only).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        usize::try_from((b - t).max(0)).unwrap_or(0)
+    }
+
+    /// Whether the deque appears empty (racy; diagnostics only).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Create another thief handle.
+    #[must_use]
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Double the buffer, copying live indices `t..b`; retire the old
+    /// buffer (in-flight thieves may still read from it).
+    #[cold]
+    fn grow(&self, t: isize, b: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
+        let inner = &*self.inner;
+        // SAFETY: old points at the live buffer; only the owner grows.
+        let new = unsafe {
+            let new = Buffer::<T>::alloc((*old).cap * 2);
+            for i in t..b {
+                // Bitwise move of each live element; the old copies stay
+                // behind for racing thieves but are never *kept* by them
+                // unless their CAS wins, which also prevents the owner
+                // from reading the same index — index ownership, not
+                // buffer identity, is what guards duplication.
+                (*new).write(i, (*old).read(i));
+            }
+            new
+        };
+        inner.buffer.store(new, Ordering::Release);
+        inner.retired.lock().push(old);
+        new
+    }
+}
+
+impl<T: Send> std::fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("chase_lev::Worker")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Thief handle: steal from the top. Cloneable and shareable.
+pub struct Stealer<T: Send> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T: Send> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// One steal attempt.
+    pub fn steal_once(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let buf = inner.buffer.load(Ordering::Acquire);
+        // Speculatively copy the element *before* claiming it — the
+        // classic Chase–Lev order. If the CAS below fails, the copy is
+        // abandoned without dropping (it may be garbage by then).
+        // SAFETY: `buf` is live (buffers are only freed when the deque
+        // drops) and slot reads of racing data are discarded on CAS
+        // failure via ManuallyDrop.
+        let value = std::mem::ManuallyDrop::new(unsafe { (*buf).read(t) });
+        if inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Success(std::mem::ManuallyDrop::into_inner(value))
+        } else {
+            // Lost the race: forget the speculative copy.
+            Steal::Retry
+        }
+    }
+
+    /// Steal, retrying through [`Steal::Retry`] until success or empty.
+    pub fn steal(&self) -> Option<T> {
+        loop {
+            match self.steal_once() {
+                Steal::Success(v) => return Some(v),
+                Steal::Empty => return None,
+                Steal::Retry => std::hint::spin_loop(),
+            }
+        }
+    }
+
+    /// Racy emptiness check (diagnostics only).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        let t = self.inner.top.load(Ordering::Relaxed);
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        t >= b
+    }
+}
+
+impl<T: Send> std::fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("chase_lev::Stealer")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_lifo_thief_fifo() {
+        let (w, s) = ChaseLev::new();
+        for i in 0..4 {
+            w.push(i);
+        }
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Some(0));
+        assert_eq!(s.steal(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), None);
+    }
+
+    #[test]
+    fn growth_preserves_elements() {
+        let (w, s) = ChaseLev::with_capacity(2);
+        for i in 0..1000 {
+            w.push(i);
+        }
+        assert_eq!(w.len(), 1000);
+        let mut got = Vec::new();
+        while let Some(v) = s.steal() {
+            got.push(v);
+        }
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_behaves_like_a_stack() {
+        let (w, _s) = ChaseLev::new();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(2));
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+        // Emptied deque keeps working.
+        w.push(4);
+        assert_eq!(w.pop(), Some(4));
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_elements() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let (w, s) = ChaseLev::with_capacity(2);
+            for _ in 0..10 {
+                w.push(D);
+            }
+            drop(s.steal()); // one consumed
+            drop(w.pop()); // one consumed
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn stress_owner_vs_thieves_exact_multiset() {
+        const ITEMS: usize = 50_000;
+        const THIEVES: usize = 3;
+        let (w, s) = ChaseLev::with_capacity(4);
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let thieves: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let s = s.clone();
+                let done = done.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match s.steal_once() {
+                            Steal::Success(v) => got.push(v),
+                            Steal::Retry => {}
+                            Steal::Empty => {
+                                if done.load(Ordering::Acquire) && s.is_empty() {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut owner_got = Vec::new();
+        for i in 0..ITEMS {
+            w.push(i);
+            // Interleave pops so the owner also contends.
+            if i % 3 == 0 {
+                if let Some(v) = w.pop() {
+                    owner_got.push(v);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            owner_got.push(v);
+        }
+        done.store(true, Ordering::Release);
+        let mut all = owner_got;
+        for t in thieves {
+            all.extend(t.join().unwrap());
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), ITEMS, "lost or duplicated work units");
+        assert_eq!(all, (0..ITEMS).collect::<Vec<_>>());
+    }
+}

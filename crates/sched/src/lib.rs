@@ -1,0 +1,40 @@
+//! # lwt-sched — work-unit queues and dispatch policies
+//!
+//! The reproduced paper traces each library's performance curve back to
+//! its *queue topology and scheduling policy* (Table I: global vs
+//! private work-unit queues, plug-in/stackable schedulers, work
+//! stealing). This crate implements those structures from scratch:
+//!
+//! * [`SharedQueue`] — a single mutex-protected FIFO shared by every
+//!   worker: Go's global run queue and `gcc` OpenMP's task queue. The
+//!   contention this design adds under load is one of the paper's
+//!   recurring findings.
+//! * [`PrivateDeque`] — an unsynchronized per-worker deque for private
+//!   pools (Argobots' best-performing configuration).
+//! * [`StealableDeque`] — a lock-protected per-worker deque whose owner
+//!   works LIFO while thieves take FIFO from the other end —
+//!   MassiveThreads' ready queue ("this mechanism requires mutex
+//!   protection in order to access the queue").
+//! * [`ChaseLev`] ([`Worker`]/[`Stealer`]) — the classic lock-free
+//!   work-stealing deque, modelling Intel OpenMP's per-thread task
+//!   queues with work stealing.
+//! * [`RoundRobin`] — the cyclic dispatcher the paper's
+//!   microbenchmarks use to push work units into other workers' queues
+//!   (`qthread_fork_to`, Converse message sends, Argobots private
+//!   pools).
+//! * [`RandomVictim`] — uniform victim selection for work stealing
+//!   (MassiveThreads' "random Work-Stealing mechanism").
+
+#![warn(missing_docs)]
+
+mod chase_lev;
+mod private;
+mod shared;
+mod stealable;
+mod victim;
+
+pub use chase_lev::{ChaseLev, Steal, Stealer, Worker};
+pub use private::PrivateDeque;
+pub use shared::SharedQueue;
+pub use stealable::StealableDeque;
+pub use victim::{RandomVictim, RoundRobin};

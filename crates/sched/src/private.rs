@@ -1,0 +1,112 @@
+//! Unsynchronized per-worker deque (Argobots private pools).
+
+use std::collections::VecDeque;
+
+/// A per-worker, single-owner work-unit deque.
+///
+/// No synchronization at all: only the owning worker touches it. This is
+/// the "one private pool per Execution Stream" configuration that the
+/// paper's evaluation selects for Argobots in every benchmark — the
+/// master thread *dispatches into* other workers' pools, which in this
+/// workspace is done by the runtimes through a small mailbox, keeping
+/// the hot pop path lock-free.
+///
+/// The deque supports both ends so runtimes can choose FIFO (help-first)
+/// or LIFO (work-first / depth-first) execution order.
+#[derive(Debug)]
+pub struct PrivateDeque<T> {
+    inner: VecDeque<T>,
+}
+
+impl<T> PrivateDeque<T> {
+    /// An empty deque.
+    #[must_use]
+    pub fn new() -> Self {
+        PrivateDeque {
+            inner: VecDeque::new(),
+        }
+    }
+
+    /// Enqueue at the back (FIFO arrival order).
+    pub fn push_back(&mut self, value: T) {
+        self.inner.push_back(value);
+    }
+
+    /// Enqueue at the front (LIFO / depth-first order).
+    pub fn push_front(&mut self, value: T) {
+        self.inner.push_front(value);
+    }
+
+    /// Dequeue from the front.
+    pub fn pop_front(&mut self) -> Option<T> {
+        self.inner.pop_front()
+    }
+
+    /// Dequeue from the back.
+    pub fn pop_back(&mut self) -> Option<T> {
+        self.inner.pop_back()
+    }
+
+    /// Number of queued units.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the deque is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drain every queued unit, front to back.
+    pub fn drain(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.inner.drain(..)
+    }
+}
+
+impl<T> Default for PrivateDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Extend<T> for PrivateDeque<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_via_back_front() {
+        let mut d = PrivateDeque::new();
+        d.push_back(1);
+        d.push_back(2);
+        assert_eq!(d.pop_front(), Some(1));
+        assert_eq!(d.pop_front(), Some(2));
+        assert_eq!(d.pop_front(), None);
+    }
+
+    #[test]
+    fn lifo_via_front_front() {
+        let mut d = PrivateDeque::new();
+        d.push_front(1);
+        d.push_front(2);
+        assert_eq!(d.pop_front(), Some(2));
+        assert_eq!(d.pop_front(), Some(1));
+    }
+
+    #[test]
+    fn drain_and_extend() {
+        let mut d = PrivateDeque::new();
+        d.extend(0..5);
+        assert_eq!(d.len(), 5);
+        let v: Vec<_> = d.drain().collect();
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+        assert!(d.is_empty());
+    }
+}

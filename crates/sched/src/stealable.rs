@@ -1,0 +1,132 @@
+//! Lock-protected stealable deque (MassiveThreads ready queues).
+
+use std::collections::VecDeque;
+
+use lwt_sync::SpinLock;
+
+/// A per-worker deque whose owner works depth-first (LIFO at the front)
+/// while thieves steal breadth-first (FIFO from the back).
+///
+/// MassiveThreads protects its per-worker ready queues with a mutex so
+/// idle workers can steal — the paper: "this mechanism requires mutex
+/// protection in order to access the queue". The lock cost on *every*
+/// owner operation (not just steals) is part of what the paper's
+/// for-loop benchmark observes for MassiveThreads.
+pub struct StealableDeque<T> {
+    inner: SpinLock<VecDeque<T>>,
+}
+
+impl<T> StealableDeque<T> {
+    /// An empty deque.
+    #[must_use]
+    pub fn new() -> Self {
+        StealableDeque {
+            inner: SpinLock::new(VecDeque::new()),
+        }
+    }
+
+    /// Owner: push to the front (newest-first; depth-first execution).
+    pub fn push(&self, value: T) {
+        self.inner.lock().push_front(value);
+    }
+
+    /// Owner: push to the back (oldest-first; help-first creation keeps
+    /// arrival order).
+    pub fn push_back(&self, value: T) {
+        self.inner.lock().push_back(value);
+    }
+
+    /// Owner: pop the most recently pushed unit.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Thief: steal the *oldest* unit from the opposite end.
+    ///
+    /// Stealing the oldest unit is the standard work-stealing heuristic
+    /// (oldest units tend to represent the largest remaining subtrees in
+    /// recursive workloads — MassiveThreads' target domain).
+    pub fn steal(&self) -> Option<T> {
+        self.inner.lock().pop_back()
+    }
+
+    /// Current length (racy; diagnostics only).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the deque is empty (racy; diagnostics only).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+impl<T> Default for StealableDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for StealableDeque<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StealableDeque")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let d = StealableDeque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.pop(), Some(3)); // owner: newest
+        assert_eq!(d.steal(), Some(1)); // thief: oldest
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn push_back_preserves_arrival_order_for_owner_pops() {
+        let d = StealableDeque::new();
+        d.push_back(1);
+        d.push_back(2);
+        assert_eq!(d.pop(), Some(1));
+        assert_eq!(d.pop(), Some(2));
+    }
+
+    #[test]
+    fn concurrent_steals_partition_the_work() {
+        const ITEMS: usize = 20_000;
+        let d = Arc::new(StealableDeque::new());
+        for i in 0..ITEMS {
+            d.push(i);
+        }
+        let thieves: Vec<_> = (0..4)
+            .map(|_| {
+                let d = d.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = d.steal() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = thieves
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..ITEMS).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,199 @@
+//! Dispatch helpers: round-robin target selection and random victim
+//! selection for work stealing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Cyclic dispatcher over `n` targets.
+///
+/// The paper's microbenchmarks repeatedly use a "round-robin dispatch"
+/// from the master thread: Converse message sends, `qthread_fork_to`,
+/// and Argobots private-pool creation all distribute work units
+/// cyclically over the workers. Shared-state and thread-safe so several
+/// producers can interleave.
+///
+/// ```
+/// use lwt_sched::RoundRobin;
+/// let rr = RoundRobin::new(3);
+/// assert_eq!([rr.next(), rr.next(), rr.next(), rr.next()], [0, 1, 2, 0]);
+/// ```
+#[derive(Debug)]
+pub struct RoundRobin {
+    n: usize,
+    cursor: AtomicUsize,
+}
+
+impl RoundRobin {
+    /// A dispatcher cycling through `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "round-robin over zero targets");
+        RoundRobin {
+            n,
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Next target index.
+    #[inline]
+    pub fn next(&self) -> usize {
+        self.cursor.fetch_add(1, Ordering::Relaxed) % self.n
+    }
+
+    /// Number of targets.
+    #[must_use]
+    pub fn targets(&self) -> usize {
+        self.n
+    }
+}
+
+/// Uniform random victim selection excluding the caller — the policy of
+/// MassiveThreads' work stealing ("a random Work-Stealing mechanism that
+/// allows an idle Worker to … steal a ULT").
+///
+/// Uses a small xorshift PRNG per instance: no locks, no global state,
+/// reproducible when seeded.
+#[derive(Debug)]
+pub struct RandomVictim {
+    state: std::cell::Cell<u64>,
+    n: usize,
+}
+
+impl RandomVictim {
+    /// A selector over `n` workers, seeded per-worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "victim selection over zero workers");
+        RandomVictim {
+            // Avoid the all-zero xorshift fixed point.
+            state: std::cell::Cell::new(seed | 1),
+            n,
+        }
+    }
+
+    /// Pick a victim uniformly from `0..n`, excluding `me` when `n > 1`.
+    ///
+    /// With a single worker there is nobody to steal from and `me` is
+    /// returned (callers treat self-steal as a failed attempt).
+    pub fn pick(&self, me: usize) -> usize {
+        if self.n == 1 {
+            return me;
+        }
+        // xorshift64*
+        let mut x = self.state.get();
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state.set(x);
+        let r = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize;
+        // Draw from n-1 slots and skip over `me`.
+        let v = r % (self.n - 1);
+        if v >= me {
+            v + 1
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn round_robin_cycles() {
+        let rr = RoundRobin::new(4);
+        let seq: Vec<_> = (0..8).map(|_| rr.next()).collect();
+        assert_eq!(seq, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(rr.targets(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero targets")]
+    fn round_robin_zero_rejected() {
+        let _ = RoundRobin::new(0);
+    }
+
+    #[test]
+    fn round_robin_is_fair_under_concurrency() {
+        const THREADS: usize = 4;
+        const PER: usize = 1_000;
+        let rr = Arc::new(RoundRobin::new(5));
+        let counts: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let rr = rr.clone();
+                std::thread::spawn(move || {
+                    let mut c = [0usize; 5];
+                    for _ in 0..PER {
+                        c[rr.next()] += 1;
+                    }
+                    c
+                })
+            })
+            .collect();
+        let mut total = [0usize; 5];
+        for t in counts {
+            for (tot, c) in total.iter_mut().zip(t.join().unwrap()) {
+                *tot += c;
+            }
+        }
+        let sum: usize = total.iter().sum();
+        assert_eq!(sum, THREADS * PER);
+        // Perfect fairness over the *total* because fetch_add is atomic.
+        for c in total {
+            assert_eq!(c, THREADS * PER / 5);
+        }
+    }
+
+    #[test]
+    fn victim_never_picks_self_when_possible() {
+        let v = RandomVictim::new(8, 0xDECAF);
+        for _ in 0..10_000 {
+            assert_ne!(v.pick(3), 3);
+        }
+    }
+
+    #[test]
+    fn victim_single_worker_returns_self() {
+        let v = RandomVictim::new(1, 7);
+        assert_eq!(v.pick(0), 0);
+    }
+
+    #[test]
+    fn victim_covers_all_other_workers() {
+        let v = RandomVictim::new(4, 42);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[v.pick(0)] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn victim_distribution_is_roughly_uniform() {
+        let v = RandomVictim::new(5, 99);
+        let mut counts = [0usize; 5];
+        const DRAWS: usize = 40_000;
+        for _ in 0..DRAWS {
+            counts[v.pick(2)] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        for (i, &c) in counts.iter().enumerate() {
+            if i != 2 {
+                let expected = DRAWS / 4;
+                assert!(
+                    c > expected * 8 / 10 && c < expected * 12 / 10,
+                    "victim {i} drawn {c} times, expected ≈{expected}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Bounded exponential backoff for contended spin loops.
+
+/// Exponential backoff helper.
+///
+/// Each call to [`Backoff::spin`] busy-waits for an exponentially growing
+/// number of `spin_loop` hints up to a cap; once the cap is reached,
+/// [`Backoff::is_saturated`] turns true and callers should degrade to a
+/// heavier strategy (yield the OS thread, yield the ULT, or park).
+///
+/// ```
+/// use lwt_sync::Backoff;
+/// let mut b = Backoff::new();
+/// while !b.is_saturated() {
+///     b.spin();
+/// }
+/// assert!(b.is_saturated());
+/// ```
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Exponent cap: 2^6 = 64 spin hints per `spin` call at saturation.
+    const SPIN_LIMIT: u32 = 6;
+
+    /// Fresh backoff at the smallest delay.
+    #[must_use]
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Busy-wait for the current delay and double it (up to the cap).
+    #[inline]
+    pub fn spin(&mut self) {
+        for _ in 0..(1u32 << self.step.min(Self::SPIN_LIMIT)) {
+            std::hint::spin_loop();
+        }
+        if self.step <= Self::SPIN_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// Whether the delay has reached its cap and the caller should
+    /// switch to yielding or parking.
+    #[inline]
+    #[must_use]
+    pub fn is_saturated(&self) -> bool {
+        self.step > Self::SPIN_LIMIT
+    }
+
+    /// Reset to the smallest delay (call after making progress).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_after_limit_steps() {
+        let mut b = Backoff::new();
+        assert!(!b.is_saturated());
+        for _ in 0..=Backoff::SPIN_LIMIT {
+            b.spin();
+        }
+        assert!(b.is_saturated());
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut b = Backoff::new();
+        for _ in 0..10 {
+            b.spin();
+        }
+        assert!(b.is_saturated());
+        b.reset();
+        assert!(!b.is_saturated());
+    }
+
+    #[test]
+    fn spin_after_saturation_is_harmless() {
+        let mut b = Backoff::new();
+        for _ in 0..100 {
+            b.spin();
+        }
+        assert!(b.is_saturated());
+    }
+}
+
+/// Escalating wait strategy for potentially long waits: spin briefly,
+/// then yield the OS thread, then sleep in short naps.
+///
+/// The sleep tier is what makes oversubscribed hosts (cores < workers)
+/// behave: on mainline Linux CFS, `sched_yield` does *not* deschedule a
+/// busy-waiting thread before its timeslice expires, so a spin/yield
+/// waiter steals whole ~millisecond slices from the thread that holds
+/// the awaited work. Escalating to `sleep` caps that interference at
+/// the nap length. The first two tiers keep short waits (the common
+/// case on an unloaded machine) in the nanosecond/microsecond range.
+#[derive(Debug, Default)]
+pub struct AdaptiveRelax {
+    rounds: u32,
+}
+
+impl AdaptiveRelax {
+    /// Rounds of pure spinning before yielding.
+    const SPIN_ROUNDS: u32 = 64;
+    /// Rounds of yielding before sleeping (~hundreds of µs of grace).
+    const YIELD_ROUNDS: u32 = 512;
+    /// Nap length once escalated.
+    const NAP: std::time::Duration = std::time::Duration::from_micros(50);
+
+    /// Fresh strategy at the cheapest tier.
+    #[must_use]
+    pub fn new() -> Self {
+        AdaptiveRelax { rounds: 0 }
+    }
+
+    /// Wait one round, escalating through the tiers.
+    #[inline]
+    pub fn relax(&mut self) {
+        if self.rounds < Self::SPIN_ROUNDS {
+            std::hint::spin_loop();
+        } else if self.rounds < Self::YIELD_ROUNDS {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Self::NAP);
+        }
+        self.rounds = self.rounds.saturating_add(1);
+    }
+
+    /// Back to the cheapest tier (call after progress).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.rounds = 0;
+    }
+
+    /// Whether the strategy has escalated to sleeping.
+    #[must_use]
+    pub fn is_sleeping(&self) -> bool {
+        self.rounds >= Self::YIELD_ROUNDS
+    }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::AdaptiveRelax;
+
+    #[test]
+    fn escalates_to_sleeping() {
+        let mut r = AdaptiveRelax::new();
+        assert!(!r.is_sleeping());
+        for _ in 0..AdaptiveRelax::YIELD_ROUNDS {
+            // Avoid actually sleeping in the loop: stop just before.
+            if r.is_sleeping() {
+                break;
+            }
+            r.relax();
+        }
+        assert!(r.is_sleeping());
+        r.reset();
+        assert!(!r.is_sleeping());
+    }
+}

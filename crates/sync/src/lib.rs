@@ -1,0 +1,71 @@
+//! # lwt-sync — synchronization primitives for the LWT runtimes
+//!
+//! Every lightweight-thread library the reproduced paper analyzes leans
+//! on a small set of synchronization mechanisms, and the paper
+//! attributes several headline performance effects to exactly which one
+//! a runtime picked:
+//!
+//! * **Barriers** (`gcc` OpenMP, Converse Threads) make join time grow
+//!   linearly with the thread count (paper Fig. 3).
+//! * **Status-flag polling** (Argobots `ABT_thread_free`) and
+//!   **full/empty-bit words** (Qthreads `qthread_readFF`) give constant
+//!   joins but differ in who pays for the free.
+//! * **Channels** (Go) implement out-of-order completion notification.
+//! * **Mutex-protected shared queues** (Go, `gcc` tasks) add the
+//!   contention the paper repeatedly blames for their curves.
+//!
+//! This crate implements each mechanism from scratch so the runtime
+//! crates can mix and match them the way their C originals do:
+//!
+//! * [`Backoff`]/[`AdaptiveRelax`] — spin backoff and the escalating
+//!   spin→yield→sleep wait strategy for oversubscribed hosts.
+//! * [`SpinLock`] / [`SpinLockGuard`] — a test-and-test-and-set lock.
+//! * [`SenseBarrier`] — a sense-reversing centralized barrier.
+//! * [`FebCell`] / [`FebTable`] — Qthreads-style full/empty bits.
+//! * [`Channel`] — a Go-style MPMC channel with pluggable waiting.
+//! * [`CountLatch`] / [`Event`] — join counters and one-shot flags.
+//! * [`Parker`] — an OS-thread parker (OpenMP "passive" wait policy).
+//!
+//! ## Waiting without blocking the worker
+//!
+//! ULTs must never block their underlying OS thread, so every blocking
+//! operation here takes a *relax strategy* — a closure invoked once per
+//! failed attempt. OS-thread users pass [`spin_relax`] or
+//! [`thread_yield_relax`]; LWT runtimes pass their own `yield`
+//! so the worker keeps executing other work units while one waits.
+
+#![warn(missing_docs)]
+
+mod backoff;
+mod barrier;
+mod channel;
+mod feb;
+mod latch;
+mod parking;
+mod spin;
+
+pub use backoff::{AdaptiveRelax, Backoff};
+pub use barrier::SenseBarrier;
+pub use channel::{Channel, RecvError, SendError, TryRecvError, TrySendError};
+pub use feb::{FebCell, FebTable};
+pub use latch::{CountLatch, Event};
+pub use parking::Parker;
+pub use spin::{SpinLock, SpinLockGuard};
+
+/// Relax strategy that spins with the CPU hint, never yielding.
+///
+/// Appropriate when the awaited condition is produced by another core
+/// within nanoseconds; pathological under oversubscription.
+#[inline]
+pub fn spin_relax() {
+    std::hint::spin_loop();
+}
+
+/// Relax strategy that yields the OS thread to the kernel scheduler.
+///
+/// This is the "passive" OpenMP wait policy the paper switches `gcc` to
+/// in its task benchmarks to cut shared-queue contention.
+#[inline]
+pub fn thread_yield_relax() {
+    std::thread::yield_now();
+}

@@ -1,0 +1,193 @@
+//! OS-thread parking — the OpenMP "passive" wait policy.
+//!
+//! The paper's task benchmarks set `OMP_WAIT_POLICY=passive` for `gcc`
+//! so idle threads stop hammering the shared task queue. [`Parker`] is
+//! the primitive behind that policy: a one-token park/unpark pair built
+//! on a mutex + condvar, with the token preventing lost wakeups.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+const IDLE: u8 = 0;
+const PARKED: u8 = 1;
+const NOTIFIED: u8 = 2;
+
+/// A one-token thread parker.
+///
+/// [`Parker::unpark`] deposits a token; [`Parker::park`] consumes one,
+/// blocking until a token arrives. An unpark that happens *before* the
+/// park is not lost.
+///
+/// ```
+/// use std::sync::Arc;
+/// use lwt_sync::Parker;
+/// let p = Arc::new(Parker::new());
+/// p.unpark();     // token deposited early
+/// p.park();       // consumes it without blocking
+/// ```
+#[derive(Debug, Default)]
+pub struct Parker {
+    state: AtomicU8,
+    lock: Mutex<()>,
+    cvar: Condvar,
+}
+
+impl Parker {
+    /// A parker with no pending token.
+    #[must_use]
+    pub fn new() -> Self {
+        Parker {
+            state: AtomicU8::new(IDLE),
+            lock: Mutex::new(()),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Block the calling OS thread until a token is available, then
+    /// consume it.
+    pub fn park(&self) {
+        // Fast path: token already present.
+        if self
+            .state
+            .compare_exchange(NOTIFIED, IDLE, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            return;
+        }
+        let mut guard = self.lock.lock().expect("parker mutex poisoned");
+        match self
+            .state
+            .compare_exchange(IDLE, PARKED, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => {}
+            // A token arrived between the fast path and taking the lock.
+            Err(_) => {
+                self.state.store(IDLE, Ordering::Relaxed);
+                return;
+            }
+        }
+        while self.state.load(Ordering::Acquire) != NOTIFIED {
+            guard = self.cvar.wait(guard).expect("parker mutex poisoned");
+        }
+        self.state.store(IDLE, Ordering::Relaxed);
+    }
+
+    /// Like [`Parker::park`] but gives up after `timeout`.
+    ///
+    /// Returns `true` if a token was consumed, `false` on timeout.
+    pub fn park_timeout(&self, timeout: Duration) -> bool {
+        if self
+            .state
+            .compare_exchange(NOTIFIED, IDLE, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            return true;
+        }
+        let mut guard = self.lock.lock().expect("parker mutex poisoned");
+        if self
+            .state
+            .compare_exchange(IDLE, PARKED, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            self.state.store(IDLE, Ordering::Relaxed);
+            return true;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        while self.state.load(Ordering::Acquire) != NOTIFIED {
+            let now = std::time::Instant::now();
+            let Some(left) = deadline.checked_duration_since(now) else {
+                // Timed out: retract the PARKED state unless a token
+                // raced in at the last moment.
+                let raced = self.state.swap(IDLE, Ordering::Acquire) == NOTIFIED;
+                return raced;
+            };
+            let (g, _timeout_result) = self
+                .cvar
+                .wait_timeout(guard, left)
+                .expect("parker mutex poisoned");
+            guard = g;
+        }
+        self.state.store(IDLE, Ordering::Relaxed);
+        true
+    }
+
+    /// Deposit a token, waking the parked thread if any. Multiple
+    /// unparks coalesce into a single token.
+    pub fn unpark(&self) {
+        let prev = self.state.swap(NOTIFIED, Ordering::Release);
+        if prev == PARKED {
+            // Take the lock to ensure the parker is actually inside
+            // `cvar.wait` (not between the state change and the wait).
+            drop(self.lock.lock().expect("parker mutex poisoned"));
+            self.cvar.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn pre_deposited_token_skips_blocking() {
+        let p = Parker::new();
+        p.unpark();
+        let t0 = Instant::now();
+        p.park();
+        assert!(t0.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn unparks_coalesce() {
+        let p = Parker::new();
+        p.unpark();
+        p.unpark();
+        p.park();
+        // Second park would block: verify via timeout.
+        assert!(!p.park_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let p = Arc::new(Parker::new());
+        let p2 = p.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            p2.unpark();
+        });
+        p.park();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_expires_without_token() {
+        let p = Parker::new();
+        let t0 = Instant::now();
+        assert!(!p.park_timeout(Duration::from_millis(15)));
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn repeated_park_unpark_cycles() {
+        let p = Arc::new(Parker::new());
+        let p2 = p.clone();
+        const ROUNDS: usize = 200;
+        let t = std::thread::spawn(move || {
+            for _ in 0..ROUNDS {
+                p2.park();
+            }
+        });
+        for _ in 0..ROUNDS {
+            p.unpark();
+            // Give the parker a chance to consume; coalescing means we
+            // must not outrun it.
+            while p.state.load(Ordering::Relaxed) == NOTIFIED {
+                std::thread::yield_now();
+            }
+        }
+        t.join().unwrap();
+    }
+}

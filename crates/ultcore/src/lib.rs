@@ -1,0 +1,867 @@
+//! # lwt-ultcore — the shared ULT executor core
+//!
+//! Four of the workspace's runtimes (Qthreads, MassiveThreads, Converse
+//! Threads, Go) execute stackful user-level threads with identical
+//! low-level mechanics and differ only in *queue topology and policy*.
+//! This crate houses the delicate, unsafe common core exactly once:
+//!
+//! * [`UltCore`] — the work-unit record (state word, saved context,
+//!   stack, entry closure, panic slot).
+//! * [`WorkerCtx`]/[`enter_worker`] — the per-OS-thread executor
+//!   context with the **post-switch protocol** (see below).
+//! * [`run_ult`] — claim + switch into a ULT from a worker loop.
+//! * [`yield_now`]/[`wait_until`]/[`in_ult`]/[`current_worker`] — the
+//!   in-ULT primitives, parameterized by the runtime's requeue policy.
+//!
+//! The Argobots-model crate (`lwt-argobots`) keeps its own copy of this
+//! machinery because its semantics are richer (two work-unit types,
+//! `yield_to`, stackable schedulers); the four simpler runtimes share
+//! this one.
+//!
+//! ## The post-switch protocol
+//!
+//! A suspending ULT cannot mark itself resumable *before* its context
+//! is saved (a racing worker could resume a stale context) nor *after*
+//! (it no longer runs). So the suspender records a deferred action in
+//! the worker context, and whichever code gains control after the
+//! switch — the worker loop, or the next resumed ULT — executes it:
+//! re-queue on yield (via the runtime's [`Requeue`] policy), or
+//! `TERMINATED` publication on exit (only once the dying stack has been
+//! switched away from).
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use lwt_fiber::{init_context, switch, switch_final, RawContext, Stack, StackSize};
+
+/// Work-unit lifecycle states.
+pub mod state {
+    /// Queued and claimable.
+    pub const READY: u8 = 0;
+    /// Claimed by a worker (running or suspended mid-yield-handoff).
+    pub const RUNNING: u8 = 1;
+    /// Completed.
+    pub const TERMINATED: u8 = 2;
+    /// Parked by [`crate::suspend`]; resumable only via
+    /// [`crate::awaken`].
+    pub const BLOCKED: u8 = 3;
+}
+
+/// The runtime-specific "where does a yielded ULT go" policy.
+///
+/// `worker` is the id passed to [`enter_worker`] by the worker loop the
+/// yield happened on — MassiveThreads pushes to that worker's own
+/// deque, Qthreads to the worker's shepherd, Go to the global queue.
+pub trait Requeue: Send + Sync + 'static {
+    /// Make `ult` runnable again. The core has already stored `READY`
+    /// (Release) into the state word; implementations only enqueue the
+    /// hint.
+    fn requeue(&self, worker: usize, ult: Arc<UltCore>);
+}
+
+impl<F: Fn(usize, Arc<UltCore>) + Send + Sync + 'static> Requeue for F {
+    fn requeue(&self, worker: usize, ult: Arc<UltCore>) {
+        self(worker, ult);
+    }
+}
+
+/// A stackful user-level thread record.
+pub struct UltCore {
+    state: AtomicU8,
+    /// Saved context; valid whenever not RUNNING.
+    ctx: UnsafeCell<RawContext>,
+    /// Owned stack, dropped with the last Arc.
+    stack: UnsafeCell<Option<Stack>>,
+    /// Entry closure, taken at first execution.
+    entry: UnsafeCell<Option<Box<dyn FnOnce() + Send + 'static>>>,
+    /// Panic escaped from the entry closure; re-raised by the join
+    /// wrapper the runtime builds.
+    panic: UnsafeCell<Option<Box<dyn Any + Send>>>,
+    /// Wakeup that raced with a [`crate::suspend`] in progress; consumed
+    /// by the post-switch Block processing.
+    wake_pending: std::sync::atomic::AtomicBool,
+}
+
+// SAFETY: interior fields follow the claim protocol — only the worker
+// holding the RUNNING claim touches ctx/entry/panic; state transitions
+// publish with Release/Acquire.
+unsafe impl Send for UltCore {}
+// SAFETY: see above.
+unsafe impl Sync for UltCore {}
+
+impl UltCore {
+    /// Allocate a ULT that will run `f` when first scheduled.
+    ///
+    /// The returned Arc must be enqueued by the caller (state starts
+    /// READY).
+    #[must_use]
+    pub fn new<F>(stack_size: StackSize, f: F) -> Arc<UltCore>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let stack = Stack::new(stack_size);
+        let ult = Arc::new(UltCore {
+            state: AtomicU8::new(state::READY),
+            ctx: UnsafeCell::new(RawContext::null()),
+            stack: UnsafeCell::new(None),
+            entry: UnsafeCell::new(Some(Box::new(f))),
+            panic: UnsafeCell::new(None),
+            wake_pending: std::sync::atomic::AtomicBool::new(false),
+        });
+        // SAFETY: ult_entry never returns; the data pointer is kept
+        // alive by the Arc the worker holds while executing; moving the
+        // Stack into the record does not move its heap allocation.
+        let ctx = unsafe {
+            init_context(&stack, ult_entry, Arc::as_ptr(&ult).cast_mut().cast::<u8>())
+        };
+        // SAFETY: not yet shared.
+        unsafe {
+            *ult.ctx.get() = ctx;
+            *ult.stack.get() = Some(stack);
+        }
+        ult
+    }
+
+    /// Claim READY → RUNNING, acquiring exclusive execution rights.
+    pub fn claim(&self) -> bool {
+        self.state
+            .compare_exchange(
+                state::READY,
+                state::RUNNING,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Whether the ULT has completed.
+    #[must_use]
+    pub fn is_terminated(&self) -> bool {
+        self.state.load(Ordering::Acquire) == state::TERMINATED
+    }
+
+    /// Take the panic payload, if the entry closure panicked.
+    ///
+    /// Only meaningful after [`UltCore::is_terminated`] returns true;
+    /// the runtime's join path calls this before reading results.
+    pub fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        debug_assert!(self.is_terminated());
+        // SAFETY: TERMINATED (Acquire) means the unit will never touch
+        // the slot again; callers hold the join handle exclusively.
+        unsafe { (*self.panic.get()).take() }
+    }
+}
+
+impl std::fmt::Debug for UltCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self.state.load(Ordering::Relaxed) {
+            state::READY => "ready",
+            state::RUNNING => "running",
+            _ => "terminated",
+        };
+        write!(f, "UltCore({s})")
+    }
+}
+
+enum Post {
+    None,
+    Requeue(Arc<UltCore>),
+    Terminated(Arc<UltCore>),
+    /// Park the ULT (suspend): publish BLOCKED unless a wakeup already
+    /// raced in, in which case requeue immediately.
+    Block(Arc<UltCore>),
+}
+
+/// Per-OS-thread executor context.
+pub struct WorkerCtx {
+    sched_ctx: RawContext,
+    current: Option<Arc<UltCore>>,
+    post: Post,
+    worker_id: usize,
+    requeue: Arc<dyn Requeue>,
+}
+
+thread_local! {
+    static WORKER: Cell<*mut WorkerCtx> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+/// Read the worker TLS through an opaque call.
+///
+/// CRITICAL: every TLS read that can sit *after* a context switch in
+/// the same function body must go through this `#[inline(never)]`
+/// barrier. A ULT can resume on a different OS thread than it
+/// suspended on; with the read inlined, LLVM legitimately CSEs the
+/// thread-local address computed *before* the switch and hands the
+/// resumed ULT the *previous* worker's context — double-processing its
+/// post actions (observed as double-resumed ULTs in release builds).
+#[inline(never)]
+fn worker_ptr() -> *mut WorkerCtx {
+    WORKER.with(Cell::get)
+}
+
+/// RAII registration of the calling OS thread as an executor.
+///
+/// Worker loops create this once, then call [`run_ult`] repeatedly.
+pub struct WorkerGuard {
+    ctx: *mut WorkerCtx,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        WORKER.with(|c| c.set(std::ptr::null_mut()));
+        // SAFETY: created by Box::into_raw in enter_worker; no ULT is
+        // running when the worker loop exits.
+        drop(unsafe { Box::from_raw(self.ctx) });
+    }
+}
+
+/// Register the calling OS thread as worker `worker_id` with the given
+/// requeue policy. The guard must live for the whole worker loop.
+#[must_use]
+pub fn enter_worker(worker_id: usize, requeue: Arc<dyn Requeue>) -> WorkerGuard {
+    let ctx = Box::into_raw(Box::new(WorkerCtx {
+        sched_ctx: RawContext::null(),
+        current: None,
+        post: Post::None,
+        worker_id,
+        requeue,
+    }));
+    WORKER.with(|c| {
+        assert!(c.get().is_null(), "thread is already an lwt worker");
+        c.set(ctx);
+    });
+    WorkerGuard { ctx }
+}
+
+/// Run the deferred action left by whichever side switched away.
+///
+/// # Safety
+///
+/// `w` must be this thread's live `WorkerCtx`.
+unsafe fn process_post(w: *mut WorkerCtx) {
+    // SAFETY: exclusive by contract.
+    let post = std::mem::replace(unsafe { &mut (*w).post }, Post::None);
+    match post {
+        Post::None => {}
+        Post::Requeue(u) => {
+            // READY must be published before the hint so the claim by
+            // the eventual popper succeeds.
+            u.state.store(state::READY, Ordering::Release);
+            // SAFETY: worker fields are plain reads.
+            let (id, rq) = unsafe { ((*w).worker_id, (*w).requeue.clone()) };
+            rq.requeue(id, u);
+        }
+        Post::Terminated(u) => {
+            u.state.store(state::TERMINATED, Ordering::Release);
+        }
+        Post::Block(u) => {
+            if u.wake_pending.swap(false, Ordering::AcqRel) {
+                // awaken() arrived while the ULT was still switching
+                // away: make it runnable again right now.
+                u.state.store(state::READY, Ordering::Release);
+                // SAFETY: worker fields are plain reads.
+                let (id, rq) = unsafe { ((*w).worker_id, (*w).requeue.clone()) };
+                rq.requeue(id, u);
+            } else {
+                u.state.store(state::BLOCKED, Ordering::Release);
+                // Re-check: awaken() may have set the flag between the
+                // swap above and the BLOCKED store; it would then have
+                // seen RUNNING and set the flag without requeueing.
+                if u.wake_pending.swap(false, Ordering::AcqRel)
+                    && u.state
+                        .compare_exchange(
+                            state::BLOCKED,
+                            state::READY,
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                {
+                    // SAFETY: worker fields are plain reads.
+                    let (id, rq) = unsafe { ((*w).worker_id, (*w).requeue.clone()) };
+                    rq.requeue(id, u);
+                }
+            }
+        }
+    }
+}
+
+/// Claim and execute one ULT hint from a worker loop.
+///
+/// Returns `false` for stale hints (already claimed elsewhere), `true`
+/// once the ULT ran until it yielded or finished.
+///
+/// # Panics
+///
+/// Panics if the calling thread has not [`enter_worker`]ed.
+pub fn run_ult(ult: &Arc<UltCore>) -> bool {
+    let w = worker_ptr();
+    assert!(!w.is_null(), "run_ult outside an lwt worker");
+    if !ult.claim() {
+        return false;
+    }
+    // SAFETY: the claim grants exclusive execution; `ctx` holds the
+    // suspended (or bootstrap) context; `w` is live for the whole loop.
+    unsafe {
+        (*w).current = Some(ult.clone());
+        let target = *ult.ctx.get();
+        switch(&mut (*w).sched_ctx, target);
+        process_post(w);
+    }
+    true
+}
+
+/// Entry point of every ULT (first frames on its own stack).
+unsafe extern "sysv64" fn ult_entry(data: *mut u8) -> ! {
+    let w = worker_ptr();
+    debug_assert!(!w.is_null());
+    // SAFETY: live worker ctx; completes any handoff that targeted us.
+    unsafe { process_post(w) };
+
+    // SAFETY: kept alive by the Arc in the worker's `current`.
+    let ult = unsafe { &*data.cast::<UltCore>() };
+    // SAFETY: the RUNNING claim grants exclusive access.
+    let f = unsafe { (*ult.entry.get()).take().expect("ULT entry missing") };
+    if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+        // SAFETY: still exclusive until TERMINATED.
+        unsafe { *ult.panic.get() = Some(p) };
+    }
+
+    // Re-fetch: yields may have migrated us to another worker.
+    let w = worker_ptr();
+    // SAFETY: live worker ctx of whichever worker resumed us.
+    unsafe {
+        let me = (*w).current.take().expect("finishing ULT not current");
+        (*w).post = Post::Terminated(me);
+        let sched = (*w).sched_ctx;
+        switch_final(sched)
+    }
+}
+
+/// Yield the calling ULT: its runtime's [`Requeue`] policy decides
+/// where it becomes runnable again.
+///
+/// # Panics
+///
+/// Panics when called outside a ULT.
+pub fn yield_now() {
+    let w = worker_ptr();
+    assert!(
+        !w.is_null() && unsafe { (*w).current.is_some() },
+        "lwt_ultcore::yield_now() outside a ULT"
+    );
+    // SAFETY: same protocol as lwt-argobots (see module docs): the
+    // requeue is deferred to whoever gains control after the switch.
+    unsafe {
+        let me = (*w).current.take().expect("yielding ULT not current");
+        let my_ctx: *mut RawContext = me.ctx.get();
+        (*w).post = Post::Requeue(me);
+        let sched = (*w).sched_ctx;
+        switch(&mut *my_ctx, sched);
+        let w = worker_ptr();
+        process_post(w);
+    }
+}
+
+/// Transfer control directly to `target`, re-queuing the calling ULT
+/// via the runtime's [`Requeue`] policy — the primitive behind
+/// MassiveThreads' *work-first* creation ("the current work unit is
+/// pushed into the ready queue and the thread executes the new work
+/// unit").
+///
+/// Returns `false` (without switching) when `target` could not be
+/// claimed (already running or finished).
+///
+/// # Panics
+///
+/// Panics when called outside a ULT.
+pub fn yield_to(target: &Arc<UltCore>) -> bool {
+    let w = worker_ptr();
+    assert!(
+        !w.is_null() && unsafe { (*w).current.is_some() },
+        "lwt_ultcore::yield_to() outside a ULT"
+    );
+    if !target.claim() {
+        return false;
+    }
+    // SAFETY: same protocol as yield_now, with control landing in the
+    // claimed target; the target's resume path (or entry) performs our
+    // requeue.
+    unsafe {
+        let me = (*w).current.take().expect("yielding ULT not current");
+        let my_ctx: *mut RawContext = me.ctx.get();
+        (*w).post = Post::Requeue(me);
+        (*w).current = Some(target.clone());
+        let tctx = *target.ctx.get();
+        switch(&mut *my_ctx, tctx);
+        let w = worker_ptr();
+        process_post(w);
+    }
+    true
+}
+
+/// Park the calling ULT (`CthSuspend`): it will not run again until
+/// some other code calls [`awaken`] on it. Obtain the `Arc<UltCore>`
+/// to awaken through the runtime's handle machinery.
+///
+/// # Panics
+///
+/// Panics when called outside a ULT.
+pub fn suspend() {
+    let w = worker_ptr();
+    assert!(
+        !w.is_null() && unsafe { (*w).current.is_some() },
+        "lwt_ultcore::suspend() outside a ULT"
+    );
+    // SAFETY: same switching protocol as yield_now; publication of the
+    // BLOCKED state is deferred to the post-switch processing, which
+    // also resolves races with concurrent awaken() calls.
+    unsafe {
+        let me = (*w).current.take().expect("suspending ULT not current");
+        let my_ctx: *mut RawContext = me.ctx.get();
+        (*w).post = Post::Block(me);
+        let sched = (*w).sched_ctx;
+        switch(&mut *my_ctx, sched);
+        let w = worker_ptr();
+        process_post(w);
+    }
+}
+
+/// Make a [`suspend`]ed ULT runnable again (`CthAwaken`), enqueuing it
+/// through `requeue`. Returns `true` if this call was responsible for
+/// the wakeup (including the race where the ULT had not finished
+/// parking yet), `false` if the ULT was not suspended (ready, running
+/// with no suspend in flight, or terminated).
+pub fn awaken(ult: &Arc<UltCore>, requeue: impl FnOnce(Arc<UltCore>)) -> bool {
+    loop {
+        match ult.state.load(Ordering::Acquire) {
+            state::BLOCKED => {
+                if ult
+                    .state
+                    .compare_exchange(
+                        state::BLOCKED,
+                        state::READY,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    requeue(ult.clone());
+                    return true;
+                }
+            }
+            state::RUNNING => {
+                // Either mid-suspend (our flag will be consumed by the
+                // post-switch Block processing) or simply running (the
+                // flag is consumed unset by a later suspend — which is
+                // exactly the semantics of a wakeup overtaking a park).
+                ult.wake_pending.store(true, Ordering::Release);
+                // If the park completed between our load and the store,
+                // loop to perform the wakeup ourselves.
+                if ult.state.load(Ordering::Acquire) != state::BLOCKED {
+                    return true;
+                }
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Whether the caller is executing inside a ULT.
+#[must_use]
+pub fn in_ult() -> bool {
+    let w = worker_ptr();
+    // SAFETY: when non-null, w is this thread's live ctx.
+    !w.is_null() && unsafe { (*w).current.is_some() }
+}
+
+/// Id of the worker executing the caller, if on a worker thread.
+#[must_use]
+pub fn current_worker() -> Option<usize> {
+    let w = worker_ptr();
+    if w.is_null() {
+        None
+    } else {
+        // SAFETY: live ctx.
+        Some(unsafe { (*w).worker_id })
+    }
+}
+
+/// Wait for `cond`: yielding inside a ULT, spin-then-yield on an OS
+/// thread — the external-master join discipline of the paper's
+/// microbenchmarks.
+pub fn wait_until(cond: impl Fn() -> bool) {
+    if in_ult() {
+        // Yield the ULT so the worker can run other units; if the wait
+        // drags on (the awaited unit lives on an OS thread that is not
+        // getting scheduled), escalate to napping so this worker stops
+        // monopolizing the core (see lwt_sync::AdaptiveRelax).
+        let mut relax = lwt_sync::AdaptiveRelax::new();
+        while !cond() {
+            yield_now();
+            if cond() {
+                break;
+            }
+            relax.relax();
+        }
+    } else {
+        let mut relax = lwt_sync::AdaptiveRelax::new();
+        while !cond() {
+            relax.relax();
+        }
+    }
+}
+
+/// Result slot shared between a spawned closure and its join handle;
+/// synchronized by the ULT's TERMINATED transition.
+pub struct ResultCell<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: single writer before TERMINATED, readers after (Acquire).
+unsafe impl<T: Send> Send for ResultCell<T> {}
+// SAFETY: see above.
+unsafe impl<T: Send> Sync for ResultCell<T> {}
+
+impl<T> ResultCell<T> {
+    /// An empty slot.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(ResultCell(UnsafeCell::new(None)))
+    }
+
+    /// Store the result. Called exactly once, by the spawned closure.
+    ///
+    /// # Safety
+    ///
+    /// Must happen-before the owning unit's TERMINATED publication, on
+    /// the unit's own execution.
+    pub unsafe fn put(&self, value: T) {
+        // SAFETY: forwarded contract.
+        unsafe { *self.0.get() = Some(value) };
+    }
+
+    /// Take the result after observing TERMINATED.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have observed the owning unit's TERMINATED state
+    /// with Acquire ordering and be the only joiner.
+    pub unsafe fn take(&self) -> Option<T> {
+        // SAFETY: forwarded contract.
+        unsafe { (*self.0.get()).take() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwt_sync::SpinLock;
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
+
+    /// Minimal single-queue runtime over the core, for testing.
+    struct MiniRt {
+        queue: Arc<SpinLock<VecDeque<Arc<UltCore>>>>,
+        stop: Arc<AtomicBool>,
+        workers: Vec<std::thread::JoinHandle<()>>,
+    }
+
+    impl MiniRt {
+        fn new(nworkers: usize) -> Self {
+            let queue: Arc<SpinLock<VecDeque<Arc<UltCore>>>> = Arc::default();
+            let stop = Arc::new(AtomicBool::new(false));
+            let workers = (0..nworkers)
+                .map(|id| {
+                    let queue = queue.clone();
+                    let stop = stop.clone();
+                    std::thread::spawn(move || {
+                        let rq = queue.clone();
+                        let requeue: Arc<dyn Requeue> =
+                            Arc::new(move |_w: usize, u: Arc<UltCore>| {
+                                rq.lock().push_back(u);
+                            });
+                        let _guard = enter_worker(id, requeue);
+                        loop {
+                            let next = queue.lock().pop_front();
+                            match next {
+                                Some(u) => {
+                                    run_ult(&u);
+                                }
+                                None => {
+                                    if stop.load(Ordering::Acquire) {
+                                        break;
+                                    }
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            MiniRt {
+                queue,
+                stop,
+                workers,
+            }
+        }
+
+        fn spawn(&self, f: impl FnOnce() + Send + 'static) -> Arc<UltCore> {
+            let u = UltCore::new(StackSize(32 * 1024), f);
+            self.queue.lock().push_back(u.clone());
+            u
+        }
+
+        fn shutdown(mut self) {
+            self.stop.store(true, Ordering::Release);
+            for w in self.workers.drain(..) {
+                w.join().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn ults_run_and_terminate() {
+        let rt = MiniRt::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let ults: Vec<_> = (0..100)
+            .map(|_| {
+                let h = hits.clone();
+                rt.spawn(move || {
+                    h.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for u in &ults {
+            wait_until(|| u.is_terminated());
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn yield_interleaves_and_migrates() {
+        let rt = MiniRt::new(2);
+        let u = rt.spawn(|| {
+            for _ in 0..10 {
+                assert!(in_ult());
+                assert!(current_worker().is_some());
+                yield_now();
+            }
+        });
+        wait_until(|| u.is_terminated());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn result_cell_round_trip() {
+        let rt = MiniRt::new(1);
+        let cell = ResultCell::new();
+        let c2 = cell.clone();
+        let u = rt.spawn(move || {
+            // SAFETY: before TERMINATED, sole writer.
+            unsafe { c2.put(99) };
+        });
+        wait_until(|| u.is_terminated());
+        // SAFETY: TERMINATED observed; sole joiner.
+        assert_eq!(unsafe { cell.take() }, Some(99));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn panic_is_captured_not_fatal() {
+        let rt = MiniRt::new(1);
+        let u = rt.spawn(|| panic!("inside ULT"));
+        wait_until(|| u.is_terminated());
+        let p = u.take_panic().expect("panic captured");
+        assert_eq!(p.downcast_ref::<&str>(), Some(&"inside ULT"));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn stale_hints_are_skipped() {
+        let rt = MiniRt::new(1);
+        let u = rt.spawn(|| {});
+        wait_until(|| u.is_terminated());
+        // The unit already ran; a duplicate hint must not re-execute.
+        assert!(!run_ult_from_external(&u));
+        rt.shutdown();
+    }
+
+    fn run_ult_from_external(u: &Arc<UltCore>) -> bool {
+        // Claim should fail on a terminated unit; we do not need a
+        // worker context for a failed claim.
+        u.claim()
+    }
+
+    #[test]
+    fn outside_worker_reports() {
+        assert!(!in_ult());
+        assert_eq!(current_worker(), None);
+    }
+
+    #[test]
+    fn wait_until_external_spins() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = flag.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            f2.store(true, Ordering::Release);
+        });
+        wait_until(|| flag.load(Ordering::Acquire));
+        t.join().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod suspend_tests {
+    use super::*;
+    use lwt_sync::SpinLock;
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
+
+    /// Single-queue runtime reused from the main tests, with awaken
+    /// support.
+    struct MiniRt {
+        queue: Arc<SpinLock<VecDeque<Arc<UltCore>>>>,
+        stop: Arc<AtomicBool>,
+        workers: Vec<std::thread::JoinHandle<()>>,
+    }
+
+    impl MiniRt {
+        fn new(nworkers: usize) -> Self {
+            let queue: Arc<SpinLock<VecDeque<Arc<UltCore>>>> = Arc::default();
+            let stop = Arc::new(AtomicBool::new(false));
+            let workers = (0..nworkers)
+                .map(|id| {
+                    let queue = queue.clone();
+                    let stop = stop.clone();
+                    std::thread::spawn(move || {
+                        let rq = queue.clone();
+                        let requeue: Arc<dyn Requeue> =
+                            Arc::new(move |_w: usize, u: Arc<UltCore>| {
+                                rq.lock().push_back(u);
+                            });
+                        let _guard = enter_worker(id, requeue);
+                        loop {
+                            let next = queue.lock().pop_front();
+                            match next {
+                                Some(u) => {
+                                    run_ult(&u);
+                                }
+                                None => {
+                                    if stop.load(Ordering::Acquire) {
+                                        break;
+                                    }
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            MiniRt {
+                queue,
+                stop,
+                workers,
+            }
+        }
+
+        fn spawn(&self, f: impl FnOnce() + Send + 'static) -> Arc<UltCore> {
+            let u = UltCore::new(lwt_fiber::StackSize(32 * 1024), f);
+            self.queue.lock().push_back(u.clone());
+            u
+        }
+
+        fn awaken(&self, u: &Arc<UltCore>) -> bool {
+            let q = self.queue.clone();
+            awaken(u, move |u| q.lock().push_back(u))
+        }
+
+        fn shutdown(mut self) {
+            self.stop.store(true, Ordering::Release);
+            for w in self.workers.drain(..) {
+                w.join().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn suspend_then_awaken_resumes() {
+        let rt = MiniRt::new(1);
+        let progress = Arc::new(AtomicUsize::new(0));
+        let p = progress.clone();
+        let u = rt.spawn(move || {
+            p.fetch_add(1, Ordering::SeqCst);
+            suspend();
+            p.fetch_add(1, Ordering::SeqCst);
+        });
+        // Wait until parked.
+        while progress.load(Ordering::SeqCst) < 1 || !matches!(
+            u.state.load(Ordering::Acquire),
+            state::BLOCKED
+        ) {
+            std::thread::yield_now();
+        }
+        assert_eq!(progress.load(Ordering::SeqCst), 1);
+        assert!(rt.awaken(&u));
+        wait_until(|| u.is_terminated());
+        assert_eq!(progress.load(Ordering::SeqCst), 2);
+        // Awakening a finished ULT reports false.
+        assert!(!rt.awaken(&u));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn awaken_racing_suspend_is_not_lost() {
+        // Hammer the park/wake race: the awakener fires as fast as it
+        // can while the ULT suspends repeatedly.
+        const ROUNDS: usize = 200;
+        let rt = MiniRt::new(1);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        let u = rt.spawn(move || {
+            for _ in 0..ROUNDS {
+                suspend();
+                h.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        let mut woken = 0;
+        while woken < ROUNDS {
+            if rt.awaken(&u) {
+                woken += 1;
+                // Wait for the wakeup to be consumed before the next,
+                // so each suspend pairs with one awaken.
+                let target = woken;
+                wait_until(|| {
+                    hits.load(Ordering::SeqCst) >= target || u.is_terminated()
+                });
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        wait_until(|| u.is_terminated());
+        assert_eq!(hits.load(Ordering::SeqCst), ROUNDS);
+        rt.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a ULT")]
+    fn suspend_outside_ult_panics() {
+        suspend();
+    }
+
+    #[test]
+    fn awaken_ready_unit_is_noop() {
+        let rt = MiniRt::new(1);
+        // Never-scheduled unit is READY: awaken must refuse.
+        let u = UltCore::new(lwt_fiber::StackSize(16 * 1024), || ());
+        assert!(!rt.awaken(&u));
+        rt.shutdown();
+        // Let the unit drop unscheduled: its entry closure is simply
+        // released with the record.
+    }
+}

@@ -1,0 +1,58 @@
+//! Recursive task parallelism: parallel Fibonacci on MassiveThreads.
+//!
+//! MassiveThreads is "a recursion-oriented LWT solution that follows
+//! the work-first scheduling policy" (paper §III-C) — this example runs
+//! the canonical recursive fib under both creation policies and
+//! reports timings, illustrating why the paper's Fig. 6 shows
+//! work-first winning recursive decomposition.
+//!
+//! Run with `cargo run --release --example fib_tasks [n]`.
+
+use std::time::Instant;
+
+use lwt::massive::{Config, Policy, Runtime};
+
+fn fib(rt: &Runtime, n: u64, cutoff: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    if n <= cutoff {
+        // Sequential tail: standard granularity control.
+        return fib_seq(n);
+    }
+    let rt2 = rt.clone();
+    let left = rt.spawn(move || fib(&rt2, n - 1, cutoff));
+    let right = fib(rt, n - 2, cutoff);
+    left.join() + right
+}
+
+fn fib_seq(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_seq(n - 1) + fib_seq(n - 2)
+    }
+}
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(26);
+    let cutoff = 12;
+    let expect = fib_seq(n);
+
+    for policy in [Policy::WorkFirst, Policy::HelpFirst] {
+        let rt = Runtime::init(Config {
+            num_workers: std::thread::available_parallelism().map_or(4, usize::from),
+            policy,
+            ..Config::default()
+        });
+        let t0 = Instant::now();
+        let got = rt.run(move |rt| fib(rt, n, cutoff));
+        let dt = t0.elapsed();
+        assert_eq!(got, expect);
+        println!("fib({n}) = {got:10}  {policy:?}: {dt:?}");
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,67 @@
+//! The paper's endgame, §X: OpenMP-style directives running over the
+//! *common LWT API*, so one program body executes unchanged on every
+//! lightweight-threading model (what the authors later shipped as
+//! GLT/GLTO).
+//!
+//! This example runs the same three "directives" — a parallel for, a
+//! reduction, and a task group — over all five backends through
+//! [`lwt::core::Pm`], printing per-backend timings.
+//!
+//! Run with `cargo run --release --example glto_style`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use lwt::core::{BackendKind, Pm};
+
+const N: usize = 100_000;
+
+fn main() {
+    println!("{:<18} {:>12} {:>12} {:>12}", "backend", "for", "reduce", "tasks");
+    for kind in BackendKind::ALL {
+        let pm = Pm::init(kind, std::thread::available_parallelism().map_or(4, usize::from));
+
+        // #pragma omp parallel for
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        let t0 = Instant::now();
+        pm.parallel_for(0..N, 4096, move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let t_for = t0.elapsed();
+        assert_eq!(hits.load(Ordering::Relaxed), N);
+
+        // #pragma omp parallel for reduction(+:sum)
+        let t0 = Instant::now();
+        let m = N.min(65_536);
+        let sum = pm.parallel_reduce(1..m + 1, 4096, 0u64, |i| i as u64, |a, b| a + b);
+        let t_red = t0.elapsed();
+        let m = m as u64;
+        assert_eq!(sum, m * (m + 1) / 2);
+
+        // #pragma omp taskgroup
+        let done = Arc::new(AtomicUsize::new(0));
+        let t0 = Instant::now();
+        let d2 = done.clone();
+        pm.scope(move |s| {
+            for _ in 0..256 {
+                let d = d2.clone();
+                s.tasklet(move || {
+                    d.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        let t_tasks = t0.elapsed();
+        assert_eq!(done.load(Ordering::Relaxed), 256);
+
+        println!(
+            "{:<18} {:>10.1?} {:>10.1?} {:>10.1?}",
+            kind.name(),
+            t_for,
+            t_red,
+            t_tasks
+        );
+        pm.finalize();
+    }
+}

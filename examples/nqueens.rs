@@ -1,0 +1,86 @@
+//! Divide-and-conquer nested task parallelism: N-queens on Argobots.
+//!
+//! "Sometimes, a parallel code may be separated into several
+//! independent tasks, such as in divide-and-conquer algorithms. In
+//! these cases, task parallelism is commonly exploited" (paper
+//! §VII-D). The first rank expands into parent tasks; each parent
+//! explores its subtree with nested ULT spawns, demonstrating the
+//! nested-task pattern of Fig. 8 on a real workload — with tasklets
+//! used for the stackless leaf counting.
+//!
+//! Run with `cargo run --release --example nqueens [n]`.
+
+use std::time::Instant;
+
+use lwt::argobots::{Config, PoolPolicy, Runtime};
+
+/// Count solutions with `cols`/diagonal bitmasks (sequential kernel).
+fn solve_seq(n: u32, row: u32, cols: u32, diag1: u32, diag2: u32) -> u64 {
+    if row == n {
+        return 1;
+    }
+    let mut free = !(cols | diag1 | diag2) & ((1 << n) - 1);
+    let mut count = 0;
+    while free != 0 {
+        let bit = free & free.wrapping_neg();
+        free ^= bit;
+        count += solve_seq(
+            n,
+            row + 1,
+            cols | bit,
+            (diag1 | bit) << 1,
+            (diag2 | bit) >> 1,
+        );
+    }
+    count
+}
+
+fn main() {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+    assert!((1..=16).contains(&n), "supported board sizes: 1..=16");
+
+    let rt = Runtime::init(Config {
+        num_streams: std::thread::available_parallelism().map_or(4, usize::from),
+        pool_policy: PoolPolicy::PrivatePerStream,
+        ..Config::default()
+    });
+
+    let t0 = Instant::now();
+    // Parent tasks: one ULT per first-rank placement…
+    let parents: Vec<_> = (0..n)
+        .map(|col| {
+            let rt2 = rt.clone();
+            rt.ult_create(move || {
+                let bit = 1u32 << col;
+                // …each expanding the second rank into tasklets
+                // (stackless leaves — they only compute).
+                let mut free = !(bit | bit << 1 | bit >> 1) & ((1 << n) - 1);
+                let mut children = Vec::new();
+                while free != 0 {
+                    let b2 = free & free.wrapping_neg();
+                    free ^= b2;
+                    children.push(rt2.tasklet_create(move || {
+                        solve_seq(
+                            n,
+                            2,
+                            bit | b2,
+                            ((bit << 1) | b2) << 1,
+                            ((bit >> 1) | b2) >> 1,
+                        )
+                    }));
+                }
+                children.into_iter().map(|c| c.join()).sum::<u64>()
+            })
+        })
+        .collect();
+    let total: u64 = parents.into_iter().map(|p| p.join()).sum();
+    let dt = t0.elapsed();
+
+    let expect = solve_seq(n, 0, 0, 0, 0);
+    assert_eq!(total, expect);
+    println!("{n}-queens: {total} solutions in {dt:?}");
+    rt.shutdown();
+}

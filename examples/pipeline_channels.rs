@@ -1,0 +1,63 @@
+//! Go-model concurrency: a goroutine pipeline with channel
+//! synchronization.
+//!
+//! The paper singles out Go's out-of-order channel communication as its
+//! efficient join mechanism (§III-F, Fig. 3). This example builds the
+//! classic three-stage pipeline — generator → squarer fan-out →
+//! collector — entirely on goroutines and channels.
+//!
+//! Run with `cargo run --release --example pipeline_channels`.
+
+use lwt::go::{Config, Runtime, WaitGroup};
+
+const ITEMS: u64 = 10_000;
+const SQUARERS: usize = 4;
+
+fn main() {
+    let rt = Runtime::init(Config {
+        num_threads: std::thread::available_parallelism().map_or(4, usize::from),
+    });
+
+    let (raw_tx, raw_rx) = rt.channel::<u64>(64);
+    let (sq_tx, sq_rx) = rt.channel::<u64>(64);
+
+    // Stage 1: generator.
+    rt.go(move || {
+        for i in 0..ITEMS {
+            raw_tx.send(i).unwrap();
+        }
+        raw_tx.close();
+    });
+
+    // Stage 2: a fan-out of squarers; a WaitGroup closes the stage's
+    // output once every worker drains.
+    let wg = WaitGroup::new(SQUARERS);
+    for _ in 0..SQUARERS {
+        let (rx, tx, wg) = (raw_rx.clone(), sq_tx.clone(), wg.clone());
+        rt.go(move || {
+            while let Ok(v) = rx.recv() {
+                tx.send(v * v).unwrap();
+            }
+            wg.done();
+        });
+    }
+    let closer_tx = sq_tx.clone();
+    rt.go(move || {
+        wg.wait();
+        closer_tx.close();
+    });
+    drop(sq_tx);
+
+    // Stage 3: collect on the main thread (external receives work too).
+    let mut sum: u64 = 0;
+    let mut count = 0u64;
+    while let Ok(v) = sq_rx.recv() {
+        sum += v;
+        count += 1;
+    }
+    assert_eq!(count, ITEMS);
+    let expect: u64 = (0..ITEMS).map(|i| i * i).sum();
+    assert_eq!(sum, expect);
+    println!("pipeline squared {ITEMS} items; sum of squares = {sum}");
+    rt.shutdown();
+}

@@ -1,0 +1,47 @@
+//! The paper's evaluation in miniature: run all four parallel code
+//! patterns (for-loop, task single region, task parallel region,
+//! nested for, nested tasks) over every series, printing a small
+//! timing table.
+//!
+//! This drives exactly the machinery behind Figs. 4–8; the figure
+//! binaries in `lwt-microbench` emit the full CSV sweeps.
+//!
+//! Run with `cargo run --release --example sscal_patterns`.
+
+use lwt::microbench::runners::{measure, Experiment, Series};
+use lwt::microbench::{as_us, env_usize, reps, thread_sweep};
+
+fn main() {
+    let threads = *thread_sweep().last().unwrap_or(&2);
+    let n = env_usize("LWT_N", 256);
+    let reps = reps().min(10);
+
+    let experiments = [
+        ("for-loop", Experiment::ForLoop { n }),
+        ("task-single", Experiment::TaskSingle { n }),
+        ("task-parallel", Experiment::TaskParallel { n }),
+        ("nested-for", Experiment::NestedFor { n: 16 }),
+        (
+            "nested-task",
+            Experiment::NestedTask {
+                parents: 32,
+                children: 4,
+            },
+        ),
+    ];
+
+    println!("threads={threads} n={n} reps={reps}");
+    print!("{:<20}", "series \\ pattern");
+    for (name, _) in &experiments {
+        print!("{name:>15}");
+    }
+    println!();
+    for series in Series::ALL {
+        print!("{:<20}", series.label());
+        for &(_, exp) in &experiments {
+            let stats = measure(series, exp, threads, reps);
+            print!("{:>13.1}us", as_us(stats.mean));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,134 @@
+//! Failure injection: panics, mid-flight teardown, and pathological
+//! shapes that a production runtime must survive.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use lwt::{BackendKind, Glt};
+
+#[test]
+fn panicking_units_do_not_poison_the_runtime() {
+    for kind in BackendKind::ALL {
+        let glt = Glt::init(kind, 2);
+        // Interleave panicking and healthy units; every healthy unit
+        // must still complete and every panic must surface at its own
+        // join only.
+        let mut panics = 0;
+        let mut oks = 0;
+        let handles: Vec<_> = (0..40)
+            .map(|i| {
+                glt.ult_create(move || {
+                    if i % 5 == 0 {
+                        panic!("unit {i} failing by design");
+                    }
+                    i
+                })
+            })
+            .collect();
+        for h in handles {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.join())) {
+                Ok(_) => oks += 1,
+                Err(_) => panics += 1,
+            }
+        }
+        assert_eq!(panics, 8, "backend {kind}");
+        assert_eq!(oks, 32, "backend {kind}");
+        // The runtime is still healthy afterwards.
+        assert_eq!(glt.ult_create(|| 1).join(), 1, "backend {kind}");
+        glt.finalize();
+    }
+}
+
+#[test]
+fn shutdown_with_unjoined_completed_work_is_clean() {
+    for kind in BackendKind::ALL {
+        let glt = Glt::init(kind, 2);
+        let done = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..50)
+            .map(|_| {
+                let d = done.clone();
+                glt.ult_create(move || {
+                    d.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        // Wait for completion but never join the handles; dropping them
+        // unjoined must release everything.
+        while done.load(Ordering::Relaxed) < 50 {
+            std::thread::yield_now();
+        }
+        drop(handles);
+        glt.finalize();
+    }
+}
+
+#[test]
+fn deep_chain_of_dependent_spawns() {
+    // A linked chain: unit k spawns and joins unit k+1. Exercises deep
+    // join nesting across workers without exhausting anything.
+    fn chain(rt: &lwt::argobots::Runtime, depth: usize) -> usize {
+        if depth == 0 {
+            return 0;
+        }
+        let rt2 = rt.clone();
+        let h = rt.ult_create(move || chain(&rt2, depth - 1));
+        h.join() + 1
+    }
+    let rt = lwt::argobots::Runtime::init(lwt::argobots::Config {
+        num_streams: 2,
+        ..Default::default()
+    });
+    assert_eq!(chain(&rt, 200), 200);
+    rt.shutdown();
+}
+
+#[test]
+fn zero_sized_and_huge_payloads() {
+    let glt = Glt::init(BackendKind::Qthreads, 2);
+    // ZST result.
+    glt.ult_create(|| ()).join();
+    // Large result moved through the completion slot.
+    let big = glt.ult_create(|| vec![7u8; 1 << 20]).join();
+    assert_eq!(big.len(), 1 << 20);
+    assert!(big.iter().all(|&b| b == 7));
+    glt.finalize();
+}
+
+#[test]
+fn rapid_init_shutdown_cycles() {
+    // Runtime lifecycle churn: no leaked threads or poisoned state.
+    for kind in BackendKind::ALL {
+        for _ in 0..5 {
+            let glt = Glt::init(kind, 1);
+            assert_eq!(glt.ult_create(|| 2 + 2).join(), 4);
+            glt.finalize();
+        }
+    }
+}
+
+#[test]
+fn oversubscribed_burst() {
+    // Far more concurrent blocked units than workers: everything still
+    // completes (yield-based waiting, no thread exhaustion).
+    let rt = lwt::massive::Runtime::init(lwt::massive::Config {
+        num_workers: 2,
+        policy: lwt::massive::Policy::HelpFirst,
+        ..Default::default()
+    });
+    let total = rt.run(|rt| {
+        let handles: Vec<_> = (0..300)
+            .map(|i| {
+                let rt2 = rt.clone();
+                rt.spawn(move || {
+                    // Each unit spawns and joins a child: 600 live
+                    // stacks at peak on 2 workers.
+                    let c = rt2.spawn(move || i);
+                    c.join()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).sum::<usize>()
+    });
+    assert_eq!(total, 300 * 299 / 2);
+    rt.shutdown();
+}

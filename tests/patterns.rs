@@ -1,0 +1,163 @@
+//! Workspace integration: the paper's parallel-code patterns produce
+//! correct results on every runtime (the microbench runners carry
+//! debug assertions on the Sscal vector; this drives them all), plus
+//! independent end-to-end pattern checks against the runtimes' public
+//! APIs.
+
+use lwt::microbench::runners::{measure, Experiment, Series};
+
+#[test]
+fn every_series_executes_every_pattern() {
+    let experiments = [
+        Experiment::Create,
+        Experiment::Join,
+        Experiment::ForLoop { n: 100 },
+        Experiment::TaskSingle { n: 50 },
+        Experiment::TaskParallel { n: 50 },
+        Experiment::NestedFor { n: 10 },
+        Experiment::NestedTask {
+            parents: 10,
+            children: 4,
+        },
+    ];
+    for series in Series::ALL {
+        for exp in experiments {
+            let stats = measure(series, exp, 2, 3);
+            assert_eq!(stats.samples, 3, "{series} {exp:?}");
+            assert!(stats.mean.as_nanos() > 0, "{series} {exp:?}");
+        }
+    }
+}
+
+#[test]
+fn openmp_for_loop_equals_sequential() {
+    let omp = lwt::openmp::OpenMp::init(lwt::openmp::Config {
+        num_threads: 3,
+        ..Default::default()
+    });
+    let n = 1024;
+    let out: Vec<std::sync::atomic::AtomicU64> =
+        (0..n).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+    omp.parallel_for(0..n, |i| {
+        out[i].store((i * i) as u64, std::sync::atomic::Ordering::Relaxed);
+    });
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(
+            v.load(std::sync::atomic::Ordering::Relaxed),
+            (i * i) as u64
+        );
+    }
+    omp.shutdown();
+}
+
+#[test]
+fn argobots_nested_spawn_tree_is_exact() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    let rt = lwt::argobots::Runtime::init(lwt::argobots::Config {
+        num_streams: 2,
+        ..Default::default()
+    });
+    let count = Arc::new(AtomicUsize::new(0));
+    let parents: Vec<_> = (0..16)
+        .map(|_| {
+            let rt2 = rt.clone();
+            let c = count.clone();
+            rt.ult_create(move || {
+                let children: Vec<_> = (0..8)
+                    .map(|_| {
+                        let c = c.clone();
+                        rt2.tasklet_create(move || {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        })
+                    })
+                    .collect();
+                for ch in children {
+                    ch.join();
+                }
+            })
+        })
+        .collect();
+    for p in parents {
+        p.join();
+    }
+    assert_eq!(count.load(Ordering::Relaxed), 16 * 8);
+    rt.shutdown();
+}
+
+#[test]
+fn massivethreads_divide_and_conquer_sum() {
+    let rt = lwt::massive::Runtime::init(lwt::massive::Config {
+        num_workers: 2,
+        policy: lwt::massive::Policy::WorkFirst,
+        ..Default::default()
+    });
+    fn sum(rt: &lwt::massive::Runtime, lo: u64, hi: u64) -> u64 {
+        if hi - lo <= 64 {
+            return (lo..hi).sum();
+        }
+        let mid = lo + (hi - lo) / 2;
+        let rt2 = rt.clone();
+        let left = rt.spawn(move || sum(&rt2, lo, mid));
+        let right = sum(rt, mid, hi);
+        left.join() + right
+    }
+    let total = rt.run(|rt| sum(rt, 0, 10_000));
+    assert_eq!(total, 10_000 * 9_999 / 2);
+    rt.shutdown();
+}
+
+#[test]
+fn converse_message_fanout_quiesces() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    let rt = lwt::converse::Runtime::init(lwt::converse::Config { num_processors: 3 });
+    let count = Arc::new(AtomicUsize::new(0));
+    // Three waves of messages spawning messages; one barrier must
+    // cover the entire transitive fanout.
+    for _ in 0..3 {
+        let rt2 = rt.clone();
+        let c = count.clone();
+        rt.send_rr(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+            for _ in 0..5 {
+                let rt3 = rt2.clone();
+                let c2 = c.clone();
+                rt2.send_rr(move || {
+                    c2.fetch_add(1, Ordering::Relaxed);
+                    let c3 = c2.clone();
+                    rt3.send_rr(move || {
+                        c3.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+    }
+    rt.barrier();
+    assert_eq!(count.load(Ordering::Relaxed), 3 * (1 + 5 + 5));
+    rt.shutdown();
+}
+
+#[test]
+fn go_select_like_multiplexing() {
+    let rt = lwt::go::Runtime::init(lwt::go::Config { num_threads: 2 });
+    let (tx_a, rx) = rt.channel::<u32>(16);
+    let tx_b = tx_a.clone();
+    rt.go(move || {
+        for i in 0..50 {
+            tx_a.send(i * 2).unwrap();
+        }
+    });
+    rt.go(move || {
+        for i in 0..50 {
+            tx_b.send(i * 2 + 1).unwrap();
+        }
+    });
+    let mut seen = vec![false; 100];
+    for _ in 0..100 {
+        let v = rx.recv().unwrap() as usize;
+        assert!(!std::mem::replace(&mut seen[v], true), "duplicate {v}");
+    }
+    assert!(seen.iter().all(|&s| s));
+    rt.shutdown();
+}
