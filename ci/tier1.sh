@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Tier-1 gate: hermetic build + tests, warning-clean, zero external
+# crates. Run from anywhere; operates on the repo root.
+#
+#   ci/tier1.sh
+#
+# Policy (see README.md "Hermetic build"): the workspace must build and
+# test fully offline with no registry access, and the dependency graph
+# must contain only workspace-local packages.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="${RUSTFLAGS:-} -D warnings"
+
+echo "== tier1: hermetic dependency guard"
+# Every package in the resolved graph must be a path dependency inside
+# this workspace ("source": null). Any registry/git source is a policy
+# violation, caught before we spend time compiling.
+METADATA=$(cargo metadata --offline --format-version 1)
+if command -v jq >/dev/null 2>&1; then
+    EXTERNAL=$(printf '%s' "$METADATA" | jq -r '.packages[] | select(.source != null) | .name')
+else
+    EXTERNAL=$(printf '%s' "$METADATA" | python3 -c '
+import json, sys
+meta = json.load(sys.stdin)
+for pkg in meta["packages"]:
+    if pkg["source"] is not None:
+        print(pkg["name"])
+')
+fi
+if [ -n "$EXTERNAL" ]; then
+    echo "FAIL: non-workspace packages in the dependency graph:" >&2
+    printf '  %s\n' $EXTERNAL >&2
+    exit 1
+fi
+echo "   ok: all packages are workspace-local"
+
+echo "== tier1: offline release build (all targets, -D warnings)"
+cargo build --release --offline --all-targets
+
+echo "== tier1: offline tests (workspace)"
+cargo test -q --offline --workspace
+
+echo "tier1: green"

@@ -5,14 +5,13 @@
 
 use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use lwt_bench::{black_box, BenchmarkId, Harness};
 use lwt_fiber::StackSize;
 use lwt_microbench::runners::{measure, Experiment, Series};
 
 /// ULT vs tasklet creation (paper: tasklets ≈ 2× cheaper, Figs. 2/5/6).
-fn ablation_workunit(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_workunit");
+fn ablation_workunit(h: &mut Harness) {
+    let mut group = h.benchmark_group("ablation_workunit");
     lwt_bench::tune(&mut group);
     for series in [Series::AbtUlt, Series::AbtTasklet] {
         group.bench_function(series.label(), |b| {
@@ -32,8 +31,8 @@ fn ablation_workunit(c: &mut Criterion) {
 
 /// Private pool per stream vs one shared pool (Argobots; the paper's
 /// evaluation always picks private).
-fn ablation_pools(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_pools");
+fn ablation_pools(h: &mut Harness) {
+    let mut group = h.benchmark_group("ablation_pools");
     lwt_bench::tune(&mut group);
     for (name, policy) in [
         ("private_per_stream", lwt_argobots::PoolPolicy::PrivatePerStream),
@@ -64,8 +63,8 @@ fn ablation_pools(c: &mut Criterion) {
 }
 
 /// Work-first vs help-first creation (MassiveThreads (W) vs (H)).
-fn ablation_policy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_policy");
+fn ablation_policy(h: &mut Harness) {
+    let mut group = h.benchmark_group("ablation_policy");
     lwt_bench::tune(&mut group);
     for series in [Series::MthWork, Series::MthHelp] {
         group.bench_function(series.label(), |b| {
@@ -85,8 +84,8 @@ fn ablation_policy(c: &mut Criterion) {
 
 /// Shared task queue vs per-thread deques + stealing (gcc vs icc task
 /// machinery, paper §VII-B).
-fn ablation_taskqueue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_taskqueue");
+fn ablation_taskqueue(h: &mut Harness) {
+    let mut group = h.benchmark_group("ablation_taskqueue");
     lwt_bench::tune(&mut group);
     for series in [Series::OmpGcc, Series::OmpIcc] {
         group.bench_function(series.label(), |b| {
@@ -107,8 +106,8 @@ fn ablation_taskqueue(c: &mut Criterion) {
 /// The raw join mechanisms of Fig. 3, reduced to their primitives:
 /// status flag (Argobots), FEB word (Qthreads), channel message (Go),
 /// barrier episode (gcc OpenMP / Converse).
-fn ablation_join(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_join");
+fn ablation_join(h: &mut Harness) {
+    let mut group = h.benchmark_group("ablation_join");
     lwt_bench::tune(&mut group);
 
     group.bench_function("status_flag_event", |b| {
@@ -123,7 +122,7 @@ fn ablation_join(c: &mut Criterion) {
         b.iter(|| {
             let cell = lwt_sync::FebCell::new();
             cell.write_ef(0u64, std::hint::spin_loop);
-            criterion::black_box(cell.read_ff(std::hint::spin_loop));
+            black_box(cell.read_ff(std::hint::spin_loop));
         });
     });
 
@@ -131,7 +130,7 @@ fn ablation_join(c: &mut Criterion) {
         b.iter(|| {
             let ch = lwt_sync::Channel::bounded(1);
             ch.try_send(0u64).unwrap();
-            criterion::black_box(ch.try_recv().unwrap());
+            black_box(ch.try_recv().unwrap());
         });
     });
 
@@ -143,7 +142,7 @@ fn ablation_join(c: &mut Criterion) {
     group.bench_function("barrier_episode_mechanism", |b| {
         let barrier = lwt_sync::SenseBarrier::new(1);
         b.iter(|| {
-            criterion::black_box(barrier.wait(std::thread::yield_now));
+            black_box(barrier.wait(std::thread::yield_now));
         });
     });
 
@@ -152,8 +151,8 @@ fn ablation_join(c: &mut Criterion) {
 
 /// ULT spawn+join cost vs stack size (stack allocation dominates ULT
 /// creation — the reason tasklets win Fig. 2).
-fn ablation_stack(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_stack");
+fn ablation_stack(h: &mut Harness) {
+    let mut group = h.benchmark_group("ablation_stack");
     lwt_bench::tune(&mut group);
     for kib in [8usize, 64, 256, 1024] {
         group.bench_with_input(BenchmarkId::new("spawn_join", kib), &kib, |b, &kib| {
@@ -179,8 +178,7 @@ fn ablation_stack(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
+lwt_bench::bench_main!(
     ablation_workunit,
     ablation_pools,
     ablation_policy,
@@ -188,4 +186,3 @@ criterion_group!(
     ablation_join,
     ablation_stack
 );
-criterion_main!(benches);

@@ -1,11 +1,10 @@
 //! Paper Fig. 2: time of creating one work unit per thread.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lwt_bench::Harness;
 use lwt_microbench::runners::Experiment;
 
-fn fig2(c: &mut Criterion) {
-    lwt_bench::run_figure(c, "fig2_create", Experiment::Create);
+fn fig2(h: &mut Harness) {
+    lwt_bench::run_figure(h, "fig2_create", Experiment::Create);
 }
 
-criterion_group!(benches, fig2);
-criterion_main!(benches);
+lwt_bench::bench_main!(fig2);

@@ -1,11 +1,10 @@
 //! Paper Fig. 3: time of joining one work unit per thread.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lwt_bench::Harness;
 use lwt_microbench::runners::Experiment;
 
-fn fig3(c: &mut Criterion) {
-    lwt_bench::run_figure(c, "fig3_join", Experiment::Join);
+fn fig3(h: &mut Harness) {
+    lwt_bench::run_figure(h, "fig3_join", Experiment::Join);
 }
 
-criterion_group!(benches, fig3);
-criterion_main!(benches);
+lwt_bench::bench_main!(fig3);

@@ -1,12 +1,11 @@
 //! Paper Fig. 4: execution time of a 1,000-iteration for loop (Sscal).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lwt_bench::Harness;
 use lwt_microbench::runners::Experiment;
 
-fn fig4(c: &mut Criterion) {
+fn fig4(h: &mut Harness) {
     let n = lwt_microbench::env_usize("LWT_N", 1000);
-    lwt_bench::run_figure(c, "fig4_for_loop", Experiment::ForLoop { n });
+    lwt_bench::run_figure(h, "fig4_for_loop", Experiment::ForLoop { n });
 }
 
-criterion_group!(benches, fig4);
-criterion_main!(benches);
+lwt_bench::bench_main!(fig4);

@@ -1,12 +1,11 @@
 //! Paper Fig. 5: 1,000 tasks created into a single region.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lwt_bench::Harness;
 use lwt_microbench::runners::Experiment;
 
-fn fig5(c: &mut Criterion) {
+fn fig5(h: &mut Harness) {
     let n = lwt_microbench::env_usize("LWT_N", 1000);
-    lwt_bench::run_figure(c, "fig5_task_single", Experiment::TaskSingle { n });
+    lwt_bench::run_figure(h, "fig5_task_single", Experiment::TaskSingle { n });
 }
 
-criterion_group!(benches, fig5);
-criterion_main!(benches);
+lwt_bench::bench_main!(fig5);

@@ -1,12 +1,11 @@
 //! Paper Fig. 6: 1,000 tasks created into a parallel region.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lwt_bench::Harness;
 use lwt_microbench::runners::Experiment;
 
-fn fig6(c: &mut Criterion) {
+fn fig6(h: &mut Harness) {
     let n = lwt_microbench::env_usize("LWT_N", 1000);
-    lwt_bench::run_figure(c, "fig6_task_parallel", Experiment::TaskParallel { n });
+    lwt_bench::run_figure(h, "fig6_task_parallel", Experiment::TaskParallel { n });
 }
 
-criterion_group!(benches, fig6);
-criterion_main!(benches);
+lwt_bench::bench_main!(fig6);

@@ -1,13 +1,12 @@
 //! Paper Fig. 7: nested parallel for (n × n; paper used 1000 — heavy,
 //! so the default here is 64; set LWT_NESTED_N to scale up).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lwt_bench::Harness;
 use lwt_microbench::runners::Experiment;
 
-fn fig7(c: &mut Criterion) {
+fn fig7(h: &mut Harness) {
     let n = lwt_microbench::env_usize("LWT_NESTED_N", 64);
-    lwt_bench::run_figure(c, "fig7_nested_for", Experiment::NestedFor { n });
+    lwt_bench::run_figure(h, "fig7_nested_for", Experiment::NestedFor { n });
 }
 
-criterion_group!(benches, fig7);
-criterion_main!(benches);
+lwt_bench::bench_main!(fig7);

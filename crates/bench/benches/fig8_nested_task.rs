@@ -1,17 +1,16 @@
 //! Paper Fig. 8: nested tasks (100 parents × 4 children).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lwt_bench::Harness;
 use lwt_microbench::runners::Experiment;
 
-fn fig8(c: &mut Criterion) {
+fn fig8(h: &mut Harness) {
     let parents = lwt_microbench::env_usize("LWT_PARENTS", 100);
     let children = lwt_microbench::env_usize("LWT_CHILDREN", 4);
     lwt_bench::run_figure(
-        c,
+        h,
         "fig8_nested_task",
         Experiment::NestedTask { parents, children },
     );
 }
 
-criterion_group!(benches, fig8);
-criterion_main!(benches);
+lwt_bench::bench_main!(fig8);

@@ -2,13 +2,13 @@
 //! queue design from `lwt-sched`, isolating the structural differences
 //! the paper's Table I rows ("Global/Private Work Unit Queue") imply.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lwt_bench::{black_box, Harness};
 use lwt_sched::{ChaseLev, PrivateDeque, SharedQueue, StealableDeque};
 
 const OPS: usize = 1024;
 
-fn queue_roundtrip(c: &mut Criterion) {
-    let mut group = c.benchmark_group("primitives_queue_roundtrip");
+fn queue_roundtrip(h: &mut Harness) {
+    let mut group = h.benchmark_group("primitives_queue_roundtrip");
     lwt_bench::tune(&mut group);
 
     group.bench_function("shared_locked_fifo", |b| {
@@ -18,7 +18,7 @@ fn queue_roundtrip(c: &mut Criterion) {
                 q.push(i);
             }
             while let Some(v) = q.pop() {
-                criterion::black_box(v);
+                black_box(v);
             }
         });
     });
@@ -30,7 +30,7 @@ fn queue_roundtrip(c: &mut Criterion) {
                 q.push_back(i);
             }
             while let Some(v) = q.pop_front() {
-                criterion::black_box(v);
+                black_box(v);
             }
         });
     });
@@ -42,7 +42,7 @@ fn queue_roundtrip(c: &mut Criterion) {
                 q.push(i);
             }
             while let Some(v) = q.pop() {
-                criterion::black_box(v);
+                black_box(v);
             }
         });
     });
@@ -54,7 +54,7 @@ fn queue_roundtrip(c: &mut Criterion) {
                 w.push(i);
             }
             while let Some(v) = w.pop() {
-                criterion::black_box(v);
+                black_box(v);
             }
         });
     });
@@ -62,8 +62,8 @@ fn queue_roundtrip(c: &mut Criterion) {
     group.finish();
 }
 
-fn contended_pop(c: &mut Criterion) {
-    let mut group = c.benchmark_group("primitives_contended");
+fn contended_pop(h: &mut Harness) {
+    let mut group = h.benchmark_group("primitives_contended");
     lwt_bench::tune(&mut group);
 
     // Shared queue under a competing consumer: the Go/gcc story.
@@ -74,7 +74,7 @@ fn contended_pop(c: &mut Criterion) {
             let (q2, s2) = (q.clone(), stop.clone());
             let thief = std::thread::spawn(move || {
                 while !s2.load(std::sync::atomic::Ordering::Acquire) {
-                    criterion::black_box(q2.pop());
+                    black_box(q2.pop());
                 }
             });
             let t0 = std::time::Instant::now();
@@ -99,7 +99,7 @@ fn contended_pop(c: &mut Criterion) {
             let s2 = stop.clone();
             let thief = std::thread::spawn(move || {
                 while !s2.load(std::sync::atomic::Ordering::Acquire) {
-                    criterion::black_box(s.steal());
+                    black_box(s.steal());
                 }
             });
             let t0 = std::time::Instant::now();
@@ -119,5 +119,4 @@ fn contended_pop(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, queue_roundtrip, contended_pop);
-criterion_main!(benches);
+lwt_bench::bench_main!(queue_roundtrip, contended_pop);

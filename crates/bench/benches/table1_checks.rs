@@ -4,8 +4,7 @@
 //! `yield_to` against a plain yield (the Table I row only Argobots
 //! checks).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use lwt_bench::{BenchmarkId, Harness};
 use lwt_core::{BackendKind, Glt};
 
 /// The backend's own yield, guarded exactly like `Glt::yield_now`
@@ -28,9 +27,9 @@ fn backend_yield(kind: BackendKind) {
 
 /// One ULT performing `YIELDS` yields; measures the per-yield cost of
 /// each backend's reschedule path.
-fn yield_cost(c: &mut Criterion) {
+fn yield_cost(h: &mut Harness) {
     const YIELDS: usize = 256;
-    let mut group = c.benchmark_group("table1_yield_cost");
+    let mut group = h.benchmark_group("table1_yield_cost");
     lwt_bench::tune(&mut group);
     for kind in BackendKind::ALL {
         // Go's Table I row has no yield; skip it (its channel ops embed
@@ -61,9 +60,9 @@ fn yield_cost(c: &mut Criterion) {
 
 /// Argobots `yield_to` (direct transfer) vs `yield` (through the
 /// scheduler) — the feature the paper calls out as unique.
-fn yield_to_vs_yield(c: &mut Criterion) {
+fn yield_to_vs_yield(h: &mut Harness) {
     const HOPS: usize = 128;
-    let mut group = c.benchmark_group("table1_yield_to");
+    let mut group = h.benchmark_group("table1_yield_to");
     lwt_bench::tune(&mut group);
 
     group.bench_function("abt_yield_through_scheduler", |b| {
@@ -125,5 +124,4 @@ fn yield_to_vs_yield(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, yield_cost, yield_to_vs_yield);
-criterion_main!(benches);
+lwt_bench::bench_main!(yield_cost, yield_to_vs_yield);

@@ -1,0 +1,366 @@
+//! Criterion-free timing harness: warmup, fixed-count sampling,
+//! median/p99 summaries, and machine-readable JSON output.
+//!
+//! The protocol follows the paper's measurement discipline (repeat,
+//! aggregate, report dispersion) at benchmark-harness scale: every
+//! bench is calibrated during a warmup window, then timed as `N`
+//! samples of `k` iterations each, and summarized by median and p99 —
+//! the two statistics the Task Bench literature leans on for
+//! overhead measurements, which are robust against scheduler noise in
+//! a way a bare mean is not.
+//!
+//! Results are printed per bench and written as one
+//! `BENCH_<group>.json` file per group (default under
+//! `target/lwt-bench/`, override with `LWT_BENCH_DIR`).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Two-part benchmark id rendered as `label/param` — the shape
+/// Criterion's `BenchmarkId::new` produced, kept so bench files read
+/// the same.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a label and a parameter (`label/param`).
+    pub fn new(label: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{label}/{param}"),
+        }
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(b: BenchmarkId) -> String {
+        b.id
+    }
+}
+
+/// Summary of one bench's per-iteration samples.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchStats {
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// 99th-percentile per-iteration time.
+    pub p99: Duration,
+    /// Mean per-iteration time.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Number of samples aggregated.
+    pub samples: usize,
+    /// Iterations timed per sample.
+    pub iters_per_sample: u64,
+}
+
+impl BenchStats {
+    fn from_samples(mut per_iter: Vec<Duration>, iters_per_sample: u64) -> BenchStats {
+        assert!(!per_iter.is_empty(), "no samples");
+        per_iter.sort_unstable();
+        let n = per_iter.len();
+        let median = if n % 2 == 0 {
+            (per_iter[n / 2 - 1] + per_iter[n / 2]) / 2
+        } else {
+            per_iter[n / 2]
+        };
+        let p99_idx = (((n as f64) * 0.99).ceil() as usize).clamp(1, n) - 1;
+        let total: Duration = per_iter.iter().sum();
+        BenchStats {
+            median,
+            p99: per_iter[p99_idx],
+            mean: total / u32::try_from(n).expect("sample count fits u32"),
+            min: per_iter[0],
+            max: per_iter[n - 1],
+            samples: n,
+            iters_per_sample,
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[derive(Debug)]
+struct BenchRecord {
+    id: String,
+    stats: BenchStats,
+}
+
+#[derive(Debug)]
+struct GroupReport {
+    name: String,
+    records: Vec<BenchRecord>,
+}
+
+/// Top-level harness: owns every group's results and writes the JSON
+/// reports in [`Harness::finish`].
+#[derive(Debug)]
+pub struct Harness {
+    out_dir: PathBuf,
+    reports: Vec<GroupReport>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new()
+    }
+}
+
+impl Harness {
+    /// Harness writing under `LWT_BENCH_DIR` (default
+    /// `<workspace>/target/lwt-bench`).
+    #[must_use]
+    pub fn new() -> Self {
+        let out_dir = std::env::var("LWT_BENCH_DIR").map(PathBuf::from).unwrap_or_else(|_| {
+            // Cargo runs benches with cwd = the package dir; anchor to
+            // the workspace root so every target writes to one place.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("target")
+                .join("lwt-bench")
+        });
+        Harness {
+            out_dir,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Open a named group of related benches.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        eprintln!("== {name}");
+        Group {
+            harness: self,
+            report: GroupReport {
+                name: name.to_string(),
+                records: Vec::new(),
+            },
+            samples: env_u64("LWT_BENCH_SAMPLES", 15) as usize,
+            warmup: Duration::from_millis(env_u64("LWT_BENCH_WARMUP_MS", 300)),
+            measurement: Duration::from_millis(env_u64("LWT_BENCH_TIME_MS", 1500)),
+        }
+    }
+
+    /// Write one `BENCH_<group>.json` per group and print their paths.
+    pub fn finish(self) {
+        if self.reports.is_empty() {
+            return;
+        }
+        if let Err(e) = std::fs::create_dir_all(&self.out_dir) {
+            eprintln!("lwt-bench: cannot create {}: {e}", self.out_dir.display());
+            return;
+        }
+        for report in &self.reports {
+            let path = self.out_dir.join(format!("BENCH_{}.json", report.name));
+            match std::fs::write(&path, render_json(report)) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("lwt-bench: cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(report: &GroupReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"group\": \"{}\",", json_escape(&report.name));
+    let _ = writeln!(out, "  \"benches\": [");
+    for (i, rec) in report.records.iter().enumerate() {
+        let s = rec.stats;
+        let comma = if i + 1 == report.records.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"median_ns\": {}, \"p99_ns\": {}, \
+             \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+             \"samples\": {}, \"iters_per_sample\": {}}}{comma}",
+            json_escape(&rec.id),
+            s.median.as_nanos(),
+            s.p99.as_nanos(),
+            s.mean.as_nanos(),
+            s.min.as_nanos(),
+            s.max.as_nanos(),
+            s.samples,
+            s.iters_per_sample,
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// A group of related benches sharing sampling parameters.
+#[derive(Debug)]
+pub struct Group<'h> {
+    harness: &'h mut Harness,
+    report: GroupReport,
+    samples: usize,
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Group<'_> {
+    /// Number of timed samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Total measurement window per bench, split evenly across the
+    /// samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Calibration window before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Run one bench. The closure receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] or [`Bencher::iter_custom`] exactly once.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnOnce(&mut Bencher)) {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            warmup: self.warmup,
+            sample_time: self.measurement / u32::try_from(self.samples.max(1)).unwrap_or(1),
+            stats: None,
+        };
+        f(&mut b);
+        let stats = b
+            .stats
+            .unwrap_or_else(|| panic!("bench '{id}' never called iter/iter_custom"));
+        eprintln!(
+            "  {id}: median {}  p99 {}  (n={}, k={})",
+            fmt_duration(stats.median),
+            fmt_duration(stats.p99),
+            stats.samples,
+            stats.iters_per_sample,
+        );
+        self.report.records.push(BenchRecord { id, stats });
+    }
+
+    /// [`Group::bench_function`] with an input threaded through —
+    /// Criterion's `bench_with_input` shape.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<String>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Record the group's results into the harness.
+    pub fn finish(self) {
+        self.harness.reports.push(self.report);
+    }
+}
+
+/// Runs the measured closure: calibrates iteration count during
+/// warmup, then times `samples` batches.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    warmup: Duration,
+    sample_time: Duration,
+    stats: Option<BenchStats>,
+}
+
+impl Bencher {
+    /// Time `f` itself. The harness picks a per-sample iteration count
+    /// `k` from the warmup rate, then records `samples` measurements
+    /// of `k` calls each.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup + calibration: run until the window closes.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let k = ((self.sample_time.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+        let mut per_iter_samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..k {
+                black_box(f());
+            }
+            per_iter_samples.push(t0.elapsed() / u32::try_from(k).unwrap_or(u32::MAX));
+        }
+        self.stats = Some(BenchStats::from_samples(per_iter_samples, k));
+    }
+
+    /// Time with a custom measurement routine: `f(k)` must perform `k`
+    /// iterations and return the total elapsed time, like Criterion's
+    /// `iter_custom`. Setup inside `f` is excluded only if `f`
+    /// excludes it from the returned duration.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        // Calibrate from a single-iteration probe (also the warmup).
+        let probe = f(1).max(Duration::from_nanos(1));
+        let k = (self.sample_time.as_nanos() / probe.as_nanos()).max(1) as u64;
+        let mut per_iter_samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let total = f(k);
+            per_iter_samples.push(total / u32::try_from(k).unwrap_or(u32::MAX));
+        }
+        self.stats = Some(BenchStats::from_samples(per_iter_samples, k));
+    }
+}
+
+/// Generate `fn main()` for a `harness = false` bench target: build a
+/// [`Harness`], run each listed bench function against it, then write
+/// the reports.
+#[macro_export]
+macro_rules! bench_main {
+    ($($func:path),+ $(,)?) => {
+        fn main() {
+            let mut harness = $crate::Harness::new();
+            $($func(&mut harness);)+
+            harness.finish();
+        }
+    };
+}

@@ -1,18 +1,24 @@
-//! # lwt-bench — Criterion benchmark harness
+//! # lwt-bench — hermetic benchmark harness
 //!
-//! One Criterion bench target per table/figure of the paper
+//! One bench target per table/figure of the paper
 //! (`benches/fig2_create.rs` … `benches/fig8_nested_task.rs`,
 //! `benches/table1_checks.rs`) plus the ablation benches called out in
-//! `DESIGN.md` §5 (`benches/ablations.rs`).
+//! `DESIGN.md` §5 (`benches/ablations.rs`), all built on the in-repo
+//! [`harness`] (warmup + N samples + median/p99 + `BENCH_*.json`
+//! output) — no Criterion, no external crates, per the workspace's
+//! hermetic-build policy.
 
 #![warn(missing_docs)]
 
 use std::time::Duration;
 
-use criterion::{BenchmarkId, Criterion};
 use lwt_microbench::runners::{measure, Experiment, Series};
 
-/// Thread counts used by the Criterion sweeps: a compact subset that
+pub mod harness;
+
+pub use harness::{black_box, BenchStats, BenchmarkId, Bencher, Group, Harness};
+
+/// Thread counts used by the bench sweeps: a compact subset that
 /// still exposes the scaling trends on small CI machines. Override via
 /// `LWT_THREADS`.
 #[must_use]
@@ -29,9 +35,9 @@ pub fn bench_threads() -> Vec<usize> {
         .unwrap_or_else(|| vec![1, 2, 4])
 }
 
-/// Tighten a Criterion group for the many-point figure sweeps (9 series
-/// × threads): small sample counts, short windows.
-pub fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+/// Tighten a group for the many-point figure sweeps (9 series ×
+/// threads): small sample counts, short windows.
+pub fn tune(group: &mut Group<'_>) {
     group
         .sample_size(10)
         .measurement_time(Duration::from_millis(600))
@@ -40,8 +46,8 @@ pub fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::Wa
 
 /// Benchmark one figure: every series × every thread count, using the
 /// exact measurement code behind the `lwt-microbench` figure binaries.
-pub fn run_figure(c: &mut Criterion, figure: &str, experiment: Experiment) {
-    let mut group = c.benchmark_group(figure);
+pub fn run_figure(h: &mut Harness, figure: &str, experiment: Experiment) {
+    let mut group = h.benchmark_group(figure);
     tune(&mut group);
     for &threads in &bench_threads() {
         for series in Series::ALL {

@@ -1,0 +1,465 @@
+//! # lwt-check — minimal in-repo property-based testing
+//!
+//! A tiny, hermetic replacement for the slice of `proptest` this
+//! workspace used: seeded random case generation over composable
+//! [`Strategy`] values, a fixed number of cases per property, and
+//! greedy shrink-on-failure so a falsified property reports a minimal
+//! counterexample instead of a 200-element operation vector.
+//!
+//! All randomness comes from `lwt_sync::rng` (deterministic
+//! `SplitMix64`/`xoshiro256**`), so a failing run is replayable: the
+//! failure message prints the per-case seed, and setting
+//! `LWT_CHECK_SEED` re-runs the whole property from that seed.
+//! `LWT_CHECK_CASES` scales the case count without recompiling.
+//!
+//! ```
+//! use lwt_check::{check, range, vec_of, prop_assert};
+//!
+//! check("reverse twice is identity", 64, vec_of(range(0u8..255), 0..32), |v| {
+//!     let mut w = v.clone();
+//!     w.reverse();
+//!     w.reverse();
+//!     prop_assert!(w == *v, "mismatch: {w:?}");
+//!     Ok(())
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub use lwt_sync::rng::{Rng, SplitMix64, UniformInt, Xoshiro256StarStar};
+
+/// A generator of random test cases plus a shrinker toward simpler
+/// cases. Mirrors the `proptest` strategy concept at one percent of
+/// the surface.
+pub trait Strategy {
+    /// The concrete case type produced.
+    type Value: Clone + Debug;
+
+    /// Draw one random case.
+    fn generate(&self, rng: &mut Xoshiro256StarStar) -> Self::Value;
+
+    /// Candidate simplifications of `value`, simplest first. Returning
+    /// an empty vector means `value` is already minimal.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value>;
+}
+
+/// Uniform integer draw from a half-open range; shrinks toward the
+/// range start.
+#[derive(Debug, Clone)]
+pub struct IntRange<T> {
+    range: Range<T>,
+}
+
+/// Strategy for `range.start <= v < range.end` (like proptest's
+/// `lo..hi`).
+///
+/// # Panics
+///
+/// [`Strategy::generate`] panics if the range is empty.
+pub fn range<T: UniformInt + Debug>(range: Range<T>) -> IntRange<T> {
+    IntRange { range }
+}
+
+impl<T: UniformInt + Debug> Strategy for IntRange<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Xoshiro256StarStar) -> T {
+        rng.gen_range(self.range.start..self.range.end)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        let lo = self.range.start.to_u64();
+        let v = value.to_u64();
+        let mut out = Vec::new();
+        // Toward the minimum: the minimum itself, the midpoint, one
+        // step down — a bisection that converges in O(log) rounds.
+        for cand in [lo, lo + (v - lo) / 2, v.saturating_sub(1)] {
+            if cand >= lo && cand < v && !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+        out.into_iter().map(T::from_u64).collect()
+    }
+}
+
+/// Full-width `u64` draw (like proptest's `any::<u64>()`); shrinks
+/// toward zero.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyU64;
+
+/// Strategy over all of `u64`.
+#[must_use]
+pub fn any_u64() -> AnyU64 {
+    AnyU64
+}
+
+impl Strategy for AnyU64 {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut Xoshiro256StarStar) -> u64 {
+        rng.next_u64()
+    }
+
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        let v = *value;
+        [0, v >> 1, v.saturating_sub(1)]
+            .into_iter()
+            .filter(|&c| c < v)
+            .collect()
+    }
+}
+
+/// Random-length vector of cases from an element strategy; shrinks by
+/// dropping elements (respecting the minimum length), then by
+/// shrinking individual elements.
+#[derive(Debug, Clone)]
+pub struct VecOf<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// Strategy for vectors with `len` in the given half-open range (like
+/// proptest's `collection::vec(elem, lo..hi)`).
+pub fn vec_of<S: Strategy>(elem: S, len: Range<usize>) -> VecOf<S> {
+    VecOf { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Xoshiro256StarStar) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.start..self.len.end);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let min = self.len.start;
+        // Structural shrinks first: halve, drop tail, drop head.
+        if value.len() > min {
+            let half = min.max(value.len() / 2);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[..value.len() - 1].to_vec());
+            out.push(value[1..].to_vec());
+        }
+        // Then element-wise: first shrink candidate at each position.
+        for (i, v) in value.iter().enumerate() {
+            if let Some(smaller) = self.elem.shrink(v).into_iter().next() {
+                let mut next = value.clone();
+                next[i] = smaller;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut Xoshiro256StarStar) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(&value.0)
+            .into_iter()
+            .map(|a| (a, value.1.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink(&value.1)
+                .into_iter()
+                .map(|b| (value.0.clone(), b)),
+        );
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut Xoshiro256StarStar) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let (a, b, c) = value;
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(a)
+            .into_iter()
+            .map(|x| (x, b.clone(), c.clone()))
+            .collect();
+        out.extend(self.1.shrink(b).into_iter().map(|x| (a.clone(), x, c.clone())));
+        out.extend(self.2.shrink(c).into_iter().map(|x| (a.clone(), b.clone(), x)));
+        out
+    }
+}
+
+/// Runner knobs. [`Config::default`] reads `LWT_CHECK_CASES` and
+/// `LWT_CHECK_SEED` so CI can scale effort or replay a failure without
+/// recompiling.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Random cases per property.
+    pub cases: u32,
+    /// Base seed for the per-case seed stream.
+    pub seed: u64,
+    /// Upper bound on property evaluations spent shrinking.
+    pub max_shrinks: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let env_u64 = |k: &str| std::env::var(k).ok().and_then(|v| v.parse().ok());
+        Config {
+            cases: env_u64("LWT_CHECK_CASES").map_or(32, |v: u64| v as u32),
+            seed: env_u64("LWT_CHECK_SEED").unwrap_or(0x1C3A_11ED_5EED_0001),
+            max_shrinks: 512,
+        }
+    }
+}
+
+/// The outcome of one property evaluation: `Ok(())` or a failure
+/// message (from an explicit `Err`, a [`prop_assert!`], or a caught
+/// panic in the code under test).
+pub type PropResult = Result<(), String>;
+
+fn run_one<V: Clone + Debug>(prop: &impl Fn(&V) -> PropResult, case: &V) -> PropResult {
+    match catch_unwind(AssertUnwindSafe(|| prop(case))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Run `prop` against `cases` random cases from `strategy` under the
+/// given config; on failure, shrink to a minimal counterexample and
+/// panic with a replayable report.
+///
+/// # Panics
+///
+/// Panics when the property is falsified — that is the failure
+/// mechanism that makes the enclosing `#[test]` fail.
+pub fn check_with<S: Strategy>(
+    cfg: &Config,
+    name: &str,
+    strategy: &S,
+    prop: impl Fn(&S::Value) -> PropResult,
+) {
+    let mut seeds = SplitMix64::new(cfg.seed);
+    for case_no in 0..cfg.cases {
+        let case_seed = seeds.next_u64();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(case_seed);
+        let case = strategy.generate(&mut rng);
+        let Err(first_msg) = run_one(&prop, &case) else {
+            continue;
+        };
+
+        // Greedy shrink: take the first simplification that still
+        // fails, repeat until none does or the budget runs out.
+        let mut best = case;
+        let mut best_msg = first_msg;
+        let mut budget = cfg.max_shrinks;
+        'shrinking: while budget > 0 {
+            for cand in strategy.shrink(&best) {
+                budget = budget.saturating_sub(1);
+                if let Err(msg) = run_one(&prop, &cand) {
+                    best = cand;
+                    best_msg = msg;
+                    continue 'shrinking;
+                }
+                if budget == 0 {
+                    break;
+                }
+            }
+            break;
+        }
+
+        panic!(
+            "property '{name}' falsified (case {case_no} of {total}, \
+             case seed {case_seed:#x})\n  minimal counterexample: {best:?}\n  \
+             error: {best_msg}\n  replay: LWT_CHECK_SEED={seed} (base seed)",
+            total = cfg.cases,
+            seed = cfg.seed,
+        );
+    }
+}
+
+/// [`check_with`] under the default [`Config`] with an explicit case
+/// count — the common entry point for test files.
+pub fn check<S: Strategy>(
+    name: &str,
+    cases: u32,
+    strategy: S,
+    prop: impl Fn(&S::Value) -> PropResult,
+) {
+    let cfg = Config {
+        cases,
+        ..Config::default()
+    };
+    check_with(&cfg, name, &strategy, prop);
+}
+
+/// Fail the property with a formatted message unless `cond` holds.
+/// Only usable inside a closure returning [`PropResult`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fail the property unless the two expressions are equal, reporting
+/// both values. Only usable inside a closure returning [`PropResult`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{} != {}: {l:?} vs {r:?}",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{}: {l:?} vs {r:?}",
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let hits = std::cell::Cell::new(0u32);
+        check("sum under bound", 17, range(0u32..10), |&v| {
+            hits.set(hits.get() + 1);
+            prop_assert!(v < 10, "out of range: {v}");
+            Ok(())
+        });
+        assert_eq!(hits.get(), 17);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_case() {
+        // Property: v < 120. Minimal counterexample is exactly 120.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            check("v below 120", 64, range(0u32..1000), |&v| {
+                prop_assert!(v < 120, "too big: {v}");
+                Ok(())
+            });
+        }))
+        .expect_err("property must be falsified");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("panic message")
+            .clone();
+        assert!(
+            msg.contains("minimal counterexample: 120"),
+            "did not shrink to 120: {msg}"
+        );
+    }
+
+    #[test]
+    fn vector_shrinking_drops_irrelevant_elements() {
+        // Property fails iff the vec contains a 7; minimal case: [7].
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            check("no sevens", 200, vec_of(range(0u8..10), 0..20), |v| {
+                prop_assert!(!v.contains(&7), "found 7 in {v:?}");
+                Ok(())
+            });
+        }))
+        .expect_err("property must be falsified");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("panic message")
+            .clone();
+        assert!(
+            msg.contains("minimal counterexample: [7]"),
+            "did not shrink to [7]: {msg}"
+        );
+    }
+
+    #[test]
+    fn panics_in_the_property_are_caught_and_reported() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            check("no panics", 8, range(0u32..4), |&v| {
+                assert!(v < 100, "impossible");
+                if v == 0 {
+                    panic!("boom at zero");
+                }
+                Ok(())
+            });
+        }))
+        .expect_err("property must be falsified");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("panic message")
+            .clone();
+        assert!(msg.contains("boom at zero"), "panic not captured: {msg}");
+        assert!(msg.contains("minimal counterexample: 0"), "{msg}");
+    }
+
+    #[test]
+    fn tuples_generate_and_shrink_componentwise() {
+        check("tuple bounds", 32, (range(1usize..8), range(0u8..4)), |&(n, b)| {
+            prop_assert!((1..8).contains(&n));
+            prop_assert!(b < 4);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn fixed_base_seed_reproduces_cases() {
+        let cfg = Config {
+            cases: 16,
+            seed: 0xABCD,
+            max_shrinks: 0,
+        };
+        let first = std::cell::RefCell::new(Vec::new());
+        check_with(&cfg, "collect A", &range(0u64..1_000_000), |&v| {
+            first.borrow_mut().push(v);
+            Ok(())
+        });
+        let second = std::cell::RefCell::new(Vec::new());
+        check_with(&cfg, "collect B", &range(0u64..1_000_000), |&v| {
+            second.borrow_mut().push(v);
+            Ok(())
+        });
+        assert_eq!(first.into_inner(), second.into_inner());
+    }
+}

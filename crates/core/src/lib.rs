@@ -56,3 +56,13 @@ pub use caps::{
 };
 pub use glt::{BackendKind, Glt, GltHandle};
 pub use pm::{Pm, TaskScope};
+
+/// Deterministic PRNGs (`SplitMix64`, `Xoshiro256StarStar`) with a
+/// `rand`-like `gen_range`/`shuffle` surface.
+///
+/// The implementation lives in `lwt-sync` — the dependency-free
+/// substrate crate — so the scheduler layers below this API (victim
+/// selection in `lwt-sched`, the MassiveThreads-style stealers) can
+/// draw from the same generators without a dependency cycle; this
+/// re-export is the canonical public path.
+pub use lwt_sync::rng;

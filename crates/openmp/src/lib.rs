@@ -617,24 +617,48 @@ mod tests {
     #[test]
     fn nested_parallel_icc_reuses_pool() {
         let rt = omp(2, Flavor::Icc);
+        let outer_ids = SpinLock::new(HashSet::new());
         let first = SpinLock::new(HashSet::new());
         let second = SpinLock::new(HashSet::new());
         rt.parallel(|_| {
+            outer_ids.lock().insert(std::thread::current().id());
             rt.parallel_n(2, |_| {
                 first.lock().insert(std::thread::current().id());
             });
         });
         rt.parallel(|_| {
+            outer_ids.lock().insert(std::thread::current().id());
             rt.parallel_n(2, |_| {
                 second.lock().insert(std::thread::current().id());
             });
         });
-        // Pool reuse: the second round should introduce no new ids.
+        let outer = outer_ids.into_inner();
         let first = first.into_inner();
         let second = second.into_inner();
+        assert_eq!(outer.len(), 2);
+        // icc semantics: the nested pool grows only to the peak
+        // *concurrent* demand (here 2 regions × 1 extra member) and
+        // idle threads are reused. How many distinct pool threads each
+        // round touches depends on whether the two regions overlapped
+        // (a region ending before its sibling starts hands its thread
+        // straight back for reuse within the round), so we bound the
+        // union rather than demand round 2 ⊆ round 1. gcc-style fresh
+        // spawning would show 4 distinct pool ids here.
+        let first_pool: HashSet<_> = first.difference(&outer).copied().collect();
+        let second_pool: HashSet<_> = second.difference(&outer).copied().collect();
+        let all_pool: HashSet<_> = first_pool.union(&second_pool).copied().collect();
         assert!(
-            second.is_subset(&first),
-            "icc nested must reuse idle threads: {first:?} vs {second:?}"
+            all_pool.len() <= 2,
+            "icc nested pool must not exceed peak concurrent demand: \
+             outer {outer:?}, pool {all_pool:?}"
+        );
+        // Reuse must actually happen: every round-1 pool thread
+        // re-queues itself as idle before the region's end barrier, so
+        // round 2 finds the pool populated and at least one round-1
+        // thread serves again instead of a fresh spawn.
+        assert!(
+            !first_pool.is_disjoint(&second_pool),
+            "icc nested must reuse idle threads: {first_pool:?} vs {second_pool:?}"
         );
         rt.shutdown();
     }

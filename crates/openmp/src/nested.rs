@@ -50,8 +50,9 @@ pub(crate) fn run_nested_pooled(rt: &OpenMp, size: usize, f: &(dyn Fn(&Ctx) + Sy
         });
     }
     team.member(0, f);
-    // End barrier passed ⇒ all pooled members finished their job and
-    // have re-queued themselves as idle.
+    // End barrier passed ⇒ all pooled members re-queued themselves as
+    // idle before arriving at it (the `before_join` hook in the worker
+    // loop), so the next region sees them in the pool.
 }
 
 pub(crate) struct NestedJob {
@@ -138,11 +139,20 @@ impl NestedPool {
                     me.parker.park_timeout(std::time::Duration::from_millis(50));
                 }
                 let job = me.slot.lock().take().expect("job vanished");
+                // Re-queue into the idle pool *before* arriving at the
+                // end barrier (the `before_join` hook): the region's
+                // master cannot pass the barrier until this member
+                // arrives, so a back-to-back region is guaranteed to
+                // find this thread idle instead of spawning a fresh
+                // one. A premature `assign` from that next region just
+                // parks in the slot until this loop comes back around.
+                //
                 // SAFETY: the region caller blocks until the end
                 // barrier; the erased body is alive.
-                unsafe { job.job.run_member(job.index) };
-                // Back to the idle pool for reuse.
-                idle.lock().push(me.clone());
+                unsafe {
+                    job.job
+                        .run_member_with(job.index, || idle.lock().push(me.clone()));
+                }
             })
             .expect("spawn nested pool thread");
         self.join.lock().push(handle);

@@ -106,6 +106,20 @@ impl Team {
     /// Run one member of the region: fork barrier, body, task drain,
     /// join barrier.
     pub(crate) fn member(self: &Arc<Team>, index: usize, f: &(dyn Fn(&Ctx) + Sync)) {
+        self.member_with(index, f, || {});
+    }
+
+    /// [`Team::member`] with a hook that runs after this member is
+    /// task-quiescent but *before* it arrives at the end barrier.
+    /// Everything the hook does is therefore visible to the other
+    /// members once they pass the barrier — the ordering the nested
+    /// pool relies on to re-queue workers race-free.
+    pub(crate) fn member_with(
+        self: &Arc<Team>,
+        index: usize,
+        f: &(dyn Fn(&Ctx) + Sync),
+        before_join: impl FnOnce(),
+    ) {
         let worker = match self.flavor {
             Flavor::Gcc => None,
             Flavor::Icc => {
@@ -129,6 +143,7 @@ impl Team {
 
         // Implicit end barrier, draining outstanding tasks first.
         drain_tasks(&member);
+        before_join();
         self.barrier.wait(|| self.relax());
 
         CURRENT.with(|c| c.set(prev));
@@ -380,7 +395,20 @@ impl RegionJob {
     /// holds while the region's caller is blocked in its own member.
     pub(crate) unsafe fn run_member(&self, index: usize) {
         // SAFETY: forwarded contract.
+        unsafe { self.run_member_with(index, || {}) }
+    }
+
+    /// Run member `index` of the region; `before_join` fires after the
+    /// member drains its tasks, just before the end barrier (see
+    /// [`Team::member_with`]).
+    ///
+    /// # Safety
+    ///
+    /// See [`RegionJob::erase`]: the body must still be alive, which
+    /// holds while the region's caller is blocked in its own member.
+    pub(crate) unsafe fn run_member_with(&self, index: usize, before_join: impl FnOnce()) {
+        // SAFETY: forwarded contract.
         let f = unsafe { &*self.f };
-        self.team.member(index, f);
+        self.team.member_with(index, f, before_join);
     }
 }

@@ -108,7 +108,7 @@ pub fn par_sum(rt: &Runtime, data: &[u64]) -> u64 {
 mod tests {
     use super::*;
     use crate::Config;
-    use rand::{Rng, SeedableRng};
+    use lwt_sync::rng::{Rng, Xoshiro256StarStar};
 
     fn rt() -> Runtime {
         Runtime::init(Config {
@@ -120,7 +120,7 @@ mod tests {
     #[test]
     fn sort_small_and_large() {
         let rt = rt();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(42);
         for n in [0usize, 1, 2, 100, SORT_GRAIN + 1, 10_000] {
             let mut v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
             let mut expect = v.clone();
@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn max_and_sum_match_sequential() {
         let rt = rt();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
         let v: Vec<u64> = (0..20_000).map(|_| rng.gen_range(0..1_000_000)).collect();
         assert_eq!(par_max(&rt, &v), v.iter().copied().max());
         assert_eq!(par_sum(&rt, &v), v.iter().sum::<u64>());

@@ -25,6 +25,9 @@
 //! * [`Channel`] — a Go-style MPMC channel with pluggable waiting.
 //! * [`CountLatch`] / [`Event`] — join counters and one-shot flags.
 //! * [`Parker`] — an OS-thread parker (OpenMP "passive" wait policy).
+//! * [`rng`] — deterministic in-repo PRNGs ([`rng::SplitMix64`],
+//!   [`rng::Xoshiro256StarStar`]) behind the hermetic no-external-deps
+//!   policy; used by victim selection, tests, and benches.
 //!
 //! ## Waiting without blocking the worker
 //!
@@ -42,6 +45,7 @@ mod channel;
 mod feb;
 mod latch;
 mod parking;
+pub mod rng;
 mod spin;
 
 pub use backoff::{AdaptiveRelax, Backoff};

@@ -1,17 +1,17 @@
-//! Property-based tests over the substrates and runtimes.
+//! Property-based tests over the substrates and runtimes, running on
+//! the in-repo `lwt-check` harness (seeded generation + shrinking)
+//! instead of an external property-test crate.
 
-use proptest::prelude::*;
+use lwt_check::{any_u64, check, prop_assert, prop_assert_eq, range, vec_of};
 
 use lwt::fiber::{yield_now, Fiber, StackSize};
 use lwt::sched::{ChaseLev, Steal};
 use lwt::sync::{Channel, CountLatch, FebCell, SenseBarrier};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// A fiber that yields `k` times needs exactly `k + 1` resumes.
-    #[test]
-    fn fiber_resume_count_matches_yields(k in 0usize..32) {
+/// A fiber that yields `k` times needs exactly `k + 1` resumes.
+#[test]
+fn fiber_resume_count_matches_yields() {
+    check("fiber resume count", 32, range(0usize..32), |&k| {
         let mut f = Fiber::new(StackSize(16 * 1024), move || {
             for _ in 0..k {
                 yield_now();
@@ -24,150 +24,193 @@ proptest! {
         }
         prop_assert_eq!(resumes, k + 1);
         prop_assert!(f.stack_canary_intact());
-    }
-
-    /// Sequential Chase–Lev behaves as a deque: owner sees LIFO, thief
-    /// sees FIFO, and the multiset of elements is preserved under any
-    /// operation interleaving.
-    #[test]
-    fn chase_lev_sequential_model(ops in proptest::collection::vec(0u8..4, 1..200)) {
-        let (w, s) = ChaseLev::with_capacity(2);
-        let mut model: std::collections::VecDeque<u64> = Default::default();
-        let mut next = 0u64;
-        for op in ops {
-            match op {
-                // push
-                0 | 1 => {
-                    w.push(next);
-                    model.push_back(next);
-                    next += 1;
-                }
-                // owner pop (newest)
-                2 => prop_assert_eq!(w.pop(), model.pop_back()),
-                // thief steal (oldest)
-                _ => match s.steal_once() {
-                    Steal::Success(v) => prop_assert_eq!(Some(v), model.pop_front()),
-                    Steal::Empty => prop_assert!(model.is_empty()),
-                    Steal::Retry => {}
-                },
-            }
-        }
-        prop_assert_eq!(w.len(), model.len());
-    }
-
-    /// FEB cells: any sequence of writeEF/readFE pairs transfers every
-    /// value exactly once, in order, across a thread boundary.
-    #[test]
-    fn feb_transfers_in_order(values in proptest::collection::vec(any::<u64>(), 1..64)) {
-        let cell = std::sync::Arc::new(FebCell::new());
-        let tx = cell.clone();
-        let vs = values.clone();
-        let producer = std::thread::spawn(move || {
-            for v in vs {
-                tx.write_ef(v, std::thread::yield_now);
-            }
-        });
-        let mut got = Vec::with_capacity(values.len());
-        for _ in 0..values.len() {
-            got.push(cell.read_fe(std::thread::yield_now));
-        }
-        producer.join().unwrap();
-        prop_assert_eq!(got, values);
-    }
-
-    /// Channels preserve the multiset of messages for any producer
-    /// split and capacity.
-    #[test]
-    fn channel_multiset_preserved(
-        cap in 1usize..32,
-        counts in proptest::collection::vec(1usize..40, 1..4),
-    ) {
-        let ch = std::sync::Arc::new(Channel::bounded(cap));
-        let total: usize = counts.iter().sum();
-        let producers: Vec<_> = counts
-            .iter()
-            .enumerate()
-            .map(|(p, &n)| {
-                let ch = ch.clone();
-                std::thread::spawn(move || {
-                    for i in 0..n {
-                        ch.send(p * 1000 + i, std::thread::yield_now).unwrap();
-                    }
-                })
-            })
-            .collect();
-        let mut got = Vec::with_capacity(total);
-        for _ in 0..total {
-            got.push(ch.recv(std::thread::yield_now).unwrap());
-        }
-        for p in producers {
-            p.join().unwrap();
-        }
-        got.sort_unstable();
-        let mut expect: Vec<usize> = counts
-            .iter()
-            .enumerate()
-            .flat_map(|(p, &n)| (0..n).map(move |i| p * 1000 + i))
-            .collect();
-        expect.sort_unstable();
-        prop_assert_eq!(got, expect);
-    }
-
-    /// A latch with arbitrary add/count_down interleavings releases
-    /// exactly when the ledger hits zero.
-    #[test]
-    fn latch_ledger(extra in 0usize..16, base in 1usize..16) {
-        let latch = CountLatch::new(base);
-        latch.add(extra);
-        for i in 0..(base + extra) {
-            prop_assert!(!latch.is_released(), "released early at {i}");
-            latch.count_down();
-        }
-        prop_assert!(latch.is_released());
-    }
-
-    /// Barriers of any size release exactly one leader per episode.
-    #[test]
-    fn barrier_single_leader(parties in 1usize..6, episodes in 1usize..8) {
-        let barrier = std::sync::Arc::new(SenseBarrier::new(parties));
-        let leaders = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
-        let handles: Vec<_> = (0..parties)
-            .map(|_| {
-                let b = barrier.clone();
-                let l = leaders.clone();
-                std::thread::spawn(move || {
-                    for _ in 0..episodes {
-                        if b.wait(std::thread::yield_now) {
-                            l.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        }
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
-        }
-        prop_assert_eq!(
-            leaders.load(std::sync::atomic::Ordering::Relaxed),
-            episodes
-        );
-    }
+        Ok(())
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+/// Sequential Chase–Lev behaves as a deque: owner sees LIFO, thief
+/// sees FIFO, and the multiset of elements is preserved under any
+/// operation interleaving.
+#[test]
+fn chase_lev_sequential_model() {
+    check(
+        "chase-lev sequential model",
+        32,
+        vec_of(range(0u8..4), 1..200),
+        |ops| {
+            let (w, s) = ChaseLev::with_capacity(2);
+            let mut model: std::collections::VecDeque<u64> = Default::default();
+            let mut next = 0u64;
+            for &op in ops {
+                match op {
+                    // push
+                    0 | 1 => {
+                        w.push(next);
+                        model.push_back(next);
+                        next += 1;
+                    }
+                    // owner pop (newest)
+                    2 => prop_assert_eq!(w.pop(), model.pop_back()),
+                    // thief steal (oldest)
+                    _ => match s.steal_once() {
+                        Steal::Success(v) => prop_assert_eq!(Some(v), model.pop_front()),
+                        Steal::Empty => prop_assert!(model.is_empty()),
+                        Steal::Retry => {}
+                    },
+                }
+            }
+            prop_assert_eq!(w.len(), model.len());
+            Ok(())
+        },
+    );
+}
 
-    /// Any spawn count on any backend completes with an exact sum —
-    /// the cross-backend fan-out invariant under randomized sizes.
-    #[test]
-    fn glt_fanout_exact(n in 1usize..120, threads in 1usize..4) {
-        use lwt::{BackendKind, Glt};
-        for kind in BackendKind::ALL {
-            let glt = Glt::init(kind, threads);
-            let handles: Vec<_> = (0..n).map(|i| glt.ult_create(move || i)).collect();
-            let sum: usize = handles.into_iter().map(|h| h.join()).sum();
-            prop_assert_eq!(sum, n * (n - 1) / 2, "backend {}", kind);
-            glt.finalize();
-        }
-    }
+/// FEB cells: any sequence of writeEF/readFE pairs transfers every
+/// value exactly once, in order, across a thread boundary.
+#[test]
+fn feb_transfers_in_order() {
+    check(
+        "feb in-order transfer",
+        32,
+        vec_of(any_u64(), 1..64),
+        |values| {
+            let cell = std::sync::Arc::new(FebCell::new());
+            let tx = cell.clone();
+            let vs = values.clone();
+            let producer = std::thread::spawn(move || {
+                for v in vs {
+                    tx.write_ef(v, std::thread::yield_now);
+                }
+            });
+            let mut got = Vec::with_capacity(values.len());
+            for _ in 0..values.len() {
+                got.push(cell.read_fe(std::thread::yield_now));
+            }
+            producer.join().unwrap();
+            prop_assert_eq!(&got, values);
+            Ok(())
+        },
+    );
+}
+
+/// Channels preserve the multiset of messages for any producer split
+/// and capacity.
+#[test]
+fn channel_multiset_preserved() {
+    check(
+        "channel multiset",
+        32,
+        (range(1usize..32), vec_of(range(1usize..40), 1..4)),
+        |(cap, counts)| {
+            let ch = std::sync::Arc::new(Channel::bounded(*cap));
+            let total: usize = counts.iter().sum();
+            let producers: Vec<_> = counts
+                .iter()
+                .enumerate()
+                .map(|(p, &n)| {
+                    let ch = ch.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..n {
+                            ch.send(p * 1000 + i, std::thread::yield_now).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            let mut got = Vec::with_capacity(total);
+            for _ in 0..total {
+                got.push(ch.recv(std::thread::yield_now).unwrap());
+            }
+            for p in producers {
+                p.join().unwrap();
+            }
+            got.sort_unstable();
+            let mut expect: Vec<usize> = counts
+                .iter()
+                .enumerate()
+                .flat_map(|(p, &n)| (0..n).map(move |i| p * 1000 + i))
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect);
+            Ok(())
+        },
+    );
+}
+
+/// A latch with arbitrary add/count_down interleavings releases
+/// exactly when the ledger hits zero.
+#[test]
+fn latch_ledger() {
+    check(
+        "latch ledger",
+        32,
+        (range(0usize..16), range(1usize..16)),
+        |&(extra, base)| {
+            let latch = CountLatch::new(base);
+            latch.add(extra);
+            for i in 0..(base + extra) {
+                prop_assert!(!latch.is_released(), "released early at {i}");
+                latch.count_down();
+            }
+            prop_assert!(latch.is_released());
+            Ok(())
+        },
+    );
+}
+
+/// Barriers of any size release exactly one leader per episode.
+#[test]
+fn barrier_single_leader() {
+    check(
+        "barrier single leader",
+        32,
+        (range(1usize..6), range(1usize..8)),
+        |&(parties, episodes)| {
+            let barrier = std::sync::Arc::new(SenseBarrier::new(parties));
+            let leaders = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let handles: Vec<_> = (0..parties)
+                .map(|_| {
+                    let b = barrier.clone();
+                    let l = leaders.clone();
+                    std::thread::spawn(move || {
+                        for _ in 0..episodes {
+                            if b.wait(std::thread::yield_now) {
+                                l.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            prop_assert_eq!(
+                leaders.load(std::sync::atomic::Ordering::Relaxed),
+                episodes
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Any spawn count on any backend completes with an exact sum — the
+/// cross-backend fan-out invariant under randomized sizes. Fewer cases
+/// than the rest: every case spins up all six backends.
+#[test]
+fn glt_fanout_exact() {
+    check(
+        "glt fan-out sum",
+        8,
+        (range(1usize..120), range(1usize..4)),
+        |&(n, threads)| {
+            use lwt::{BackendKind, Glt};
+            for kind in BackendKind::ALL {
+                let glt = Glt::init(kind, threads);
+                let handles: Vec<_> = (0..n).map(|i| glt.ult_create(move || i)).collect();
+                let sum: usize = handles.into_iter().map(|h| h.join()).sum();
+                prop_assert_eq!(sum, n * (n - 1) / 2, "backend {}", kind);
+                glt.finalize();
+            }
+            Ok(())
+        },
+    );
 }
