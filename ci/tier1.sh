@@ -42,4 +42,27 @@ cargo build --release --offline --all-targets
 echo "== tier1: offline tests (workspace)"
 cargo test -q --offline --workspace
 
+echo "== tier1: trace-export smoke (LWT_TRACE=1)"
+# One real microbench run with tracing on must produce a parseable
+# Chrome-trace JSON with events from more than one worker thread.
+TRACE_OUT="target/lwt-trace/fig2_create.json"
+rm -f "$TRACE_OUT"
+LWT_TRACE=1 LWT_THREADS=2 LWT_REPS=3 \
+    cargo run --release --offline -q -p lwt-microbench --bin fig2_create >/dev/null
+python3 - "$TRACE_OUT" <<'PY'
+import collections, json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+events = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
+assert events, f"{path}: no instant events"
+per_tid = collections.Counter(e["tid"] for e in events)
+assert all(n >= 1 for n in per_tid.values())
+assert len(per_tid) >= 2, f"{path}: events from only {len(per_tid)} worker(s)"
+for e in events:
+    assert "ts" in e and "pid" in e and "name" in e, f"malformed event: {e}"
+print(f"   ok: {len(events)} events across {len(per_tid)} workers in {path}")
+PY
+
 echo "tier1: green"

@@ -5,6 +5,8 @@ use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use lwt_fiber::{init_context, Stack, StackSize};
+use lwt_metrics::registry::{emit, timestamp_if_tracing, COUNTERS};
+use lwt_metrics::EventKind;
 use lwt_sync::SpinLock;
 
 use crate::pool::{Pool, PoolPolicy, PoolShared};
@@ -117,6 +119,7 @@ impl Runtime {
             mailbox: SpinLock::new(Vec::new()),
         });
         let s2 = shared.clone();
+        COUNTERS.os_threads_spawned.inc();
         let thread = std::thread::Builder::new()
             .name(format!("abt-es-{id}"))
             .spawn(move || es_main(&s2))
@@ -213,6 +216,8 @@ impl Runtime {
             // SAFETY: sole writer; readers wait for TERMINATED.
             unsafe { *slot.0.get() = Some(value) };
         });
+        COUNTERS.ults_created.inc();
+        emit(EventKind::UltSpawn, 0);
         let stack = Stack::new(self.inner.stack_size);
         let inner = Arc::new(UltInner {
             state: AtomicU8::new(READY),
@@ -221,6 +226,7 @@ impl Runtime {
             entry: UnsafeCell::new(Some(entry)),
             home: UnsafeCell::new(Some(pool.clone())),
             panic: UnsafeCell::new(None),
+            spawn_ns: std::sync::atomic::AtomicU64::new(timestamp_if_tracing()),
         });
         // SAFETY: `ult_entry` never returns; the data pointer stays
         // valid because the pool hint + handle hold the Arc; the stack
@@ -279,10 +285,14 @@ impl Runtime {
             // SAFETY: sole writer; readers wait for TERMINATED.
             unsafe { *slot.0.get() = Some(value) };
         });
+        COUNTERS.tasklets_created.inc();
+        // arg = 1 distinguishes tasklet spawns from ULT spawns.
+        emit(EventKind::UltSpawn, 1);
         let inner = Arc::new(TaskletInner {
             state: AtomicU8::new(READY),
             entry: UnsafeCell::new(Some(entry)),
             panic: UnsafeCell::new(None),
+            spawn_ns: std::sync::atomic::AtomicU64::new(timestamp_if_tracing()),
         });
         pool.push(Unit::Tasklet(inner.clone()));
         TaskletHandle { inner, result }

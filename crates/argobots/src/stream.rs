@@ -21,11 +21,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use lwt_fiber::{switch, switch_final, RawContext};
+use lwt_metrics::registry::{emit, COUNTERS};
+use lwt_metrics::EventKind;
 use lwt_sync::{Backoff, SpinLock};
 
 use crate::pool::PoolShared;
 use crate::sched::{BasicScheduler, Pick, SchedContext, Scheduler};
-use crate::unit::{Unit, UltHandle, UltInner, READY, RUNNING, TERMINATED};
+use crate::unit::{record_spawn_latency, Unit, UltHandle, UltInner, READY, RUNNING, TERMINATED};
 
 /// Deferred action executed by whoever gains control after a switch.
 pub(crate) enum Post {
@@ -78,6 +80,7 @@ pub(crate) fn es_main(shared: &StreamShared) {
         stream_id: shared.id,
     }));
     ES.with(|c| c.set(es));
+    emit(EventKind::EsStart, shared.id as u64);
 
     let ctx = SchedContext {
         pools: shared.pools.clone(),
@@ -131,6 +134,7 @@ pub(crate) fn es_main(shared: &StreamShared) {
         }
     }
 
+    emit(EventKind::EsStop, shared.id as u64);
     ES.with(|c| c.set(std::ptr::null_mut()));
     // SAFETY: `es` came from Box::into_raw above; no ULT still runs on
     // this stream (the loop exits only when idle).
@@ -148,6 +152,8 @@ unsafe fn execute(es: *mut EsCtx, unit: Unit) {
             if !t.claim() {
                 return; // stale hint
             }
+            record_spawn_latency(&t.spawn_ns);
+            emit(EventKind::TaskletExec, 0);
             // SAFETY: the claim grants exclusive access to `entry`.
             let f = unsafe { (*t.entry.get()).take().expect("tasklet entry missing") };
             if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
@@ -160,6 +166,8 @@ unsafe fn execute(es: *mut EsCtx, unit: Unit) {
             if !u.claim() {
                 return; // stale hint
             }
+            record_spawn_latency(&u.spawn_ns);
+            emit(EventKind::UltRun, 0);
             // SAFETY: the claim grants exclusive execution; `ctx` holds
             // the ULT's suspended (or bootstrap) context.
             unsafe {
@@ -237,6 +245,8 @@ pub fn yield_now() {
         !es.is_null() && unsafe { (*es).current.is_some() },
         "lwt_argobots::yield_now() outside a ULT"
     );
+    COUNTERS.yields.inc();
+    emit(EventKind::Yield, 0);
     // SAFETY: es live; `me` stays alive through the Arc moved into
     // `post` plus the pool hint; my ctx slot outlives the suspension.
     unsafe {
@@ -277,6 +287,10 @@ pub fn yield_to<T>(target: &UltHandle<T>) {
         // Lost the claim race; degrade to a plain yield.
         return yield_now();
     }
+    COUNTERS.yields.inc();
+    emit(EventKind::Yield, 0);
+    record_spawn_latency(&target.inner.spawn_ns);
+    emit(EventKind::UltRun, 0);
     // SAFETY: same protocol as yield_now, except control lands in the
     // claimed target instead of the scheduler; the target's resume path
     // (or entry) performs our requeue.

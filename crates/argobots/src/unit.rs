@@ -2,10 +2,11 @@
 
 use std::any::Any;
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use lwt_fiber::{RawContext, Stack};
+use lwt_metrics::registry::SPAWN_LATENCY;
 
 use crate::pool::PoolShared;
 
@@ -35,6 +36,20 @@ fn state_from_u8(v: u8) -> UnitState {
 /// Type-erased entry closure.
 pub(crate) type Entry = Box<dyn FnOnce() + Send + 'static>;
 
+/// Feed the spawn-to-first-run histogram when a unit is first
+/// dispatched. `spawn_ns` is zero when tracing was off at creation or
+/// the stamp was already consumed — that fast path is one relaxed
+/// load.
+#[inline]
+pub(crate) fn record_spawn_latency(spawn_ns: &AtomicU64) {
+    if spawn_ns.load(Ordering::Relaxed) != 0 {
+        let t0 = spawn_ns.swap(0, Ordering::Relaxed);
+        if t0 != 0 {
+            SPAWN_LATENCY.record(lwt_metrics::clock::now_ns().saturating_sub(t0));
+        }
+    }
+}
+
 /// Shared state of a ULT.
 pub(crate) struct UltInner {
     pub(crate) state: AtomicU8,
@@ -49,6 +64,9 @@ pub(crate) struct UltInner {
     pub(crate) home: UnsafeCell<Option<Arc<PoolShared>>>,
     /// Panic payload captured from the entry closure, re-raised at join.
     pub(crate) panic: UnsafeCell<Option<Box<dyn Any + Send>>>,
+    /// Creation timestamp for the spawn-to-first-run histogram; zero
+    /// when tracing is off or already consumed.
+    pub(crate) spawn_ns: AtomicU64,
 }
 
 // SAFETY: interior fields follow the claim protocol — `ctx`, `entry`
@@ -82,6 +100,8 @@ pub(crate) struct TaskletInner {
     pub(crate) state: AtomicU8,
     pub(crate) entry: UnsafeCell<Option<Entry>>,
     pub(crate) panic: UnsafeCell<Option<Box<dyn Any + Send>>>,
+    /// See [`UltInner::spawn_ns`].
+    pub(crate) spawn_ns: AtomicU64,
 }
 
 // SAFETY: same claim protocol as UltInner, minus the context fields.

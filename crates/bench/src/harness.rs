@@ -17,6 +17,8 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use lwt_metrics::registry::CounterSnapshot;
+
 pub use std::hint::black_box;
 
 /// Two-part benchmark id rendered as `label/param` — the shape
@@ -102,6 +104,9 @@ fn fmt_duration(d: Duration) -> String {
 struct BenchRecord {
     id: String,
     stats: BenchStats,
+    /// Runtime-counter movement across the whole bench (warmup +
+    /// samples): what the scheduler *did*, next to how long it took.
+    metrics: CounterSnapshot,
 }
 
 #[derive(Debug)]
@@ -208,11 +213,16 @@ fn render_json(report: &GroupReport) -> String {
     for (i, rec) in report.records.iter().enumerate() {
         let s = rec.stats;
         let comma = if i + 1 == report.records.len() { "" } else { "," };
+        let m = rec.metrics;
         let _ = writeln!(
             out,
             "    {{\"id\": \"{}\", \"median_ns\": {}, \"p99_ns\": {}, \
              \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
-             \"samples\": {}, \"iters_per_sample\": {}}}{comma}",
+             \"samples\": {}, \"iters_per_sample\": {}, \
+             \"metrics\": {{\"ults_created\": {}, \"tasklets_created\": {}, \
+             \"yields\": {}, \"steals\": {}, \"steal_attempts\": {}, \
+             \"os_threads_spawned\": {}, \"feb_blocks\": {}, \
+             \"messages_executed\": {}, \"nested_regions\": {}}}}}{comma}",
             json_escape(&rec.id),
             s.median.as_nanos(),
             s.p99.as_nanos(),
@@ -221,6 +231,15 @@ fn render_json(report: &GroupReport) -> String {
             s.max.as_nanos(),
             s.samples,
             s.iters_per_sample,
+            m.ults_created,
+            m.tasklets_created,
+            m.yields,
+            m.steal_hits,
+            m.steal_attempts,
+            m.os_threads_spawned,
+            m.feb_blocks,
+            m.messages_executed,
+            m.nested_regions,
         );
     }
     let _ = writeln!(out, "  ]");
@@ -268,7 +287,9 @@ impl Group<'_> {
             sample_time: self.measurement / u32::try_from(self.samples.max(1)).unwrap_or(1),
             stats: None,
         };
+        let before = lwt_metrics::registry::snapshot().counters;
         f(&mut b);
+        let metrics = lwt_metrics::registry::snapshot().counters.delta(&before);
         let stats = b
             .stats
             .unwrap_or_else(|| panic!("bench '{id}' never called iter/iter_custom"));
@@ -279,7 +300,7 @@ impl Group<'_> {
             stats.samples,
             stats.iters_per_sample,
         );
-        self.report.records.push(BenchRecord { id, stats });
+        self.report.records.push(BenchRecord { id, stats, metrics });
     }
 
     /// [`Group::bench_function`] with an input threaded through —

@@ -51,6 +51,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use lwt_fiber::StackSize;
+use lwt_metrics::registry::{emit, COUNTERS};
+use lwt_metrics::EventKind;
 use lwt_sched::{RoundRobin, SharedQueue};
 use lwt_sync::{SenseBarrier, SpinLock};
 use lwt_ultcore::{enter_worker, run_ult, wait_until, ResultCell, Requeue, UltCore};
@@ -207,6 +209,7 @@ impl Runtime {
         let mut threads = rt.inner.threads.lock();
         for p in 0..config.num_processors {
             let inner = rt.inner.clone();
+            COUNTERS.os_threads_spawned.inc();
             threads.push(Some(
                 std::thread::Builder::new()
                     .name(format!("cvt-p{p}"))
@@ -277,6 +280,7 @@ impl Runtime {
             unsafe { slot.put(value) };
         });
         self.inner.outstanding.fetch_add(1, Ordering::AcqRel);
+        emit(EventKind::UltSpawn, proc as u64);
         self.inner.procs[proc].queue.push(ConvUnit::Ult(ult.clone()));
         UltHandle {
             ult,
@@ -353,6 +357,8 @@ fn proc_main(inner: &Arc<RtInner>, p: usize) {
             Some(ConvUnit::Message(f)) => {
                 backoff.reset();
                 // Messages execute atomically on the processor's stack.
+                COUNTERS.messages_executed.inc();
+                emit(EventKind::TaskletExec, 0);
                 f();
                 inner.outstanding.fetch_sub(1, Ordering::AcqRel);
             }

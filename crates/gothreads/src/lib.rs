@@ -51,6 +51,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use lwt_fiber::StackSize;
+use lwt_metrics::registry::{emit, COUNTERS};
+use lwt_metrics::EventKind;
 use lwt_sched::SharedQueue;
 use lwt_sync::{Channel, CountLatch, RecvError, SendError, SpinLock};
 use lwt_ultcore::{enter_worker, in_ult, run_ult, wait_until, Requeue, UltCore};
@@ -106,6 +108,7 @@ impl Runtime {
         let mut threads = rt.inner.threads.lock();
         for t in 0..config.num_threads {
             let inner = rt.inner.clone();
+            COUNTERS.os_threads_spawned.inc();
             threads.push(Some(
                 std::thread::Builder::new()
                     .name(format!("go-m{t}"))
@@ -136,6 +139,7 @@ impl Runtime {
         F: FnOnce() + Send + 'static,
     {
         let ult = UltCore::new(GO_STACK, f);
+        emit(EventKind::UltSpawn, 0);
         self.inner.queue.push(ult);
     }
 

@@ -44,6 +44,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use lwt_fiber::StackSize;
+use lwt_metrics::registry::{emit, COUNTERS, STEAL_DWELL};
+use lwt_metrics::{clock, EventKind};
 use lwt_sched::{RandomVictim, StealableDeque};
 use lwt_sync::SpinLock;
 use lwt_ultcore::{
@@ -162,6 +164,7 @@ impl Runtime {
         let mut threads = rt.inner.threads.lock();
         for w in 0..config.num_workers {
             let inner = rt.inner.clone();
+            COUNTERS.os_threads_spawned.inc();
             threads.push(Some(
                 std::thread::Builder::new()
                     .name(format!("myth-w{w}"))
@@ -210,6 +213,7 @@ impl Runtime {
             // SAFETY: sole writer, before TERMINATED.
             unsafe { slot.put(value) };
         });
+        emit(EventKind::UltSpawn, 0);
         self.inner.deques[0].push(ult.clone());
         wait_until(|| ult.is_terminated());
         if let Some(p) = ult.take_panic() {
@@ -242,6 +246,12 @@ impl Runtime {
             // SAFETY: sole writer, before TERMINATED.
             unsafe { slot.put(value) };
         });
+        // `arg` records the spawn path the paper benchmarks separately:
+        // 1 = work-first ("(W)"), 0 = help-first ("(H)").
+        emit(
+            EventKind::UltSpawn,
+            u64::from(policy == Policy::WorkFirst),
+        );
         match (policy, current_worker()) {
             (Policy::WorkFirst, Some(_)) if in_ult() => {
                 // Work-first from inside a ULT: run the child now; the
@@ -319,6 +329,9 @@ fn worker_main(inner: &Arc<RtInner>, w: usize) {
     let _guard = enter_worker(w, requeue);
     let victims = RandomVictim::new(inner.deques.len(), 0x9E3779B9 ^ (w as u64) << 17 | 1);
     let mut backoff = lwt_sync::Backoff::new();
+    // Timestamp of the moment this worker ran dry; 0 while it has
+    // work. Feeds the steal-loop dwell histogram on the next acquire.
+    let mut idle_since_ns: u64 = 0;
     loop {
         // Own deque first (depth-first), then random stealing.
         let unit = my_deque.pop().or_else(|| {
@@ -326,15 +339,29 @@ fn worker_main(inner: &Arc<RtInner>, w: usize) {
             if v == w {
                 None
             } else {
-                inner.deques[v].steal()
+                COUNTERS.steal_attempts.inc();
+                emit(EventKind::StealAttempt, v as u64);
+                let stolen = inner.deques[v].steal();
+                if stolen.is_some() {
+                    COUNTERS.steal_hits.inc();
+                    emit(EventKind::StealHit, v as u64);
+                }
+                stolen
             }
         });
         match unit {
             Some(u) => {
+                if idle_since_ns != 0 {
+                    STEAL_DWELL.record(clock::now_ns().saturating_sub(idle_since_ns));
+                    idle_since_ns = 0;
+                }
                 backoff.reset();
                 run_ult(&u);
             }
             None => {
+                if idle_since_ns == 0 {
+                    idle_since_ns = clock::now_ns();
+                }
                 if inner.stop.load(Ordering::Acquire) {
                     break;
                 }

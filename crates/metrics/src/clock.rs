@@ -1,0 +1,50 @@
+//! Monotonic nanosecond clock shared by every ring and histogram.
+//!
+//! All timestamps are nanoseconds since a process-wide epoch (the
+//! first call to [`now_ns`]), so events recorded on different worker
+//! threads merge onto one timeline. `Instant` is monotonic per the
+//! std contract, which is what makes per-worker event streams
+//! monotone in the exported trace.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide trace epoch.
+///
+/// The epoch is pinned lazily on first use; call [`init`] early (e.g.
+/// at runtime init) to anchor it before any worker starts.
+#[inline]
+#[must_use]
+pub fn now_ns() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    // A u64 of nanoseconds covers ~584 years of process uptime.
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// Pin the trace epoch to "now" if it isn't pinned yet.
+pub fn init() {
+    let _ = EPOCH.get_or_init(Instant::now);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        let c = now_ns();
+        assert!(a <= b && b <= c);
+    }
+
+    #[test]
+    fn init_is_idempotent() {
+        init();
+        let a = now_ns();
+        init();
+        assert!(now_ns() >= a);
+    }
+}

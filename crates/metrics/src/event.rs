@@ -1,0 +1,119 @@
+//! Typed scheduler events.
+//!
+//! One fixed vocabulary shared by all six runtimes, so merged traces
+//! can be compared across them: the same `StealHit` event means "a
+//! work unit migrated" whether massivethreads' random victim loop or
+//! openmp's icc task sweep produced it.
+
+/// What happened. The `arg` field of an [`Event`] carries a
+/// kind-specific payload (documented per variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A ULT was created. `arg`: runtime-specific spawn context —
+    /// qthreads: target shepherd; massivethreads: 1 for work-first,
+    /// 0 for help-first; converse: target processor; argobots/go: 0.
+    UltSpawn = 0,
+    /// A worker began (or resumed) running a ULT. `arg`: 0.
+    UltRun = 1,
+    /// A ULT yielded back to its scheduler. `arg`: 0.
+    Yield = 2,
+    /// A worker probed a victim's deque. `arg`: victim worker id.
+    StealAttempt = 3,
+    /// A probe found work. `arg`: victim worker id.
+    StealHit = 4,
+    /// A join blocked on an empty full/empty bit. `arg`: 0.
+    FebBlock = 5,
+    /// A blocked FEB reader resumed. `arg`: 0.
+    FebWake = 6,
+    /// A stackless unit ran to completion on the worker's own stack
+    /// (argobots tasklet, converse message, openmp task). `arg`: 0.
+    TaskletExec = 7,
+    /// An execution stream / worker thread entered its scheduler
+    /// loop. `arg`: worker id.
+    EsStart = 8,
+    /// An execution stream / worker thread left its scheduler loop.
+    /// `arg`: worker id.
+    EsStop = 9,
+    /// A nested parallel region opened (openmp). `arg`: region width.
+    NestedRegionOpen = 10,
+}
+
+impl EventKind {
+    /// All kinds, in discriminant order.
+    pub const ALL: [EventKind; 11] = [
+        EventKind::UltSpawn,
+        EventKind::UltRun,
+        EventKind::Yield,
+        EventKind::StealAttempt,
+        EventKind::StealHit,
+        EventKind::FebBlock,
+        EventKind::FebWake,
+        EventKind::TaskletExec,
+        EventKind::EsStart,
+        EventKind::EsStop,
+        EventKind::NestedRegionOpen,
+    ];
+
+    /// Stable display name (used as the Chrome-trace event `name`).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventKind::UltSpawn => "UltSpawn",
+            EventKind::UltRun => "UltRun",
+            EventKind::Yield => "Yield",
+            EventKind::StealAttempt => "StealAttempt",
+            EventKind::StealHit => "StealHit",
+            EventKind::FebBlock => "FebBlock",
+            EventKind::FebWake => "FebWake",
+            EventKind::TaskletExec => "TaskletExec",
+            EventKind::EsStart => "EsStart",
+            EventKind::EsStop => "EsStop",
+            EventKind::NestedRegionOpen => "NestedRegionOpen",
+        }
+    }
+
+    /// Inverse of the `repr(u8)` discriminant; `None` for unknown
+    /// values (a torn ring slot read mid-overwrite).
+    #[must_use]
+    pub const fn from_u8(v: u8) -> Option<EventKind> {
+        if (v as usize) < EventKind::ALL.len() {
+            Some(EventKind::ALL[v as usize])
+        } else {
+            None
+        }
+    }
+}
+
+/// One recorded scheduler event, as read back out of a ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the process trace epoch ([`crate::clock`]).
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific payload (see [`EventKind`] variant docs).
+    pub arg: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discriminant_round_trips() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::from_u8(kind as u8), Some(kind));
+        }
+        assert_eq!(EventKind::from_u8(EventKind::ALL.len() as u8), None);
+        assert_eq!(EventKind::from_u8(u8::MAX), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EventKind::ALL.len());
+    }
+}

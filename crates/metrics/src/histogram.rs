@@ -1,0 +1,232 @@
+//! Log2-bucketed latency histograms.
+//!
+//! HPC latency distributions span orders of magnitude (a warm
+//! spawn-to-first-run is tens of ns; a cold steal-dwell is tens of
+//! µs), so fixed-width buckets either truncate or blur. A power-of-two
+//! bucket per value magnitude gives ≤2× quantile error over the whole
+//! `u64` range with 64 counters — the same shape HdrHistogram-style
+//! recorders use at their coarsest setting, but cheap enough (one
+//! relaxed `fetch_add` per axis) to leave on unconditionally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 64;
+
+/// A concurrent histogram with one bucket per power of two.
+///
+/// `record` is wait-free (four relaxed atomic RMWs). Quantiles are
+/// upper bounds of the containing bucket, so they over-report by at
+/// most 2×, never under-report.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A point-in-time read of a [`Histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (ns).
+    pub sum: u64,
+    /// Median upper bound (ns).
+    pub p50: u64,
+    /// 99th-percentile upper bound (ns).
+    pub p99: u64,
+    /// Largest recorded value (ns), exact.
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    /// Mean of the recorded values, zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum / self.count
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram, usable in `static`s.
+    #[must_use]
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a value: floor(log2), with 0 sharing bucket 0.
+    /// Bucket `b` holds values in `[2^b, 2^(b+1))`.
+    #[inline]
+    fn bucket(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Upper bound (inclusive) of bucket `b` — what quantiles report.
+    fn bucket_upper(b: usize) -> u64 {
+        if b >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << (b + 1)) - 1
+        }
+    }
+
+    /// Record one value (nanoseconds by convention).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0.0–1.0).
+    /// Zero when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Never report past the true maximum.
+                return Self::bucket_upper(b).min(self.max.load(Ordering::Relaxed));
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the distribution. Individually consistent fields; a
+    /// concurrent `record` may straddle them (use
+    /// [`crate::registry::scoped`] for exact readings).
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every bucket and statistic. Not atomic as a whole: racing
+    /// `record`s may land in either epoch (see [`crate::Counter`]'s
+    /// reset-race contract).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s, HistogramSummary::default());
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn bucketing_is_log2() {
+        assert_eq!(Histogram::bucket(0), 0);
+        assert_eq!(Histogram::bucket(1), 0);
+        assert_eq!(Histogram::bucket(2), 1);
+        assert_eq!(Histogram::bucket(3), 1);
+        assert_eq!(Histogram::bucket(4), 2);
+        assert_eq!(Histogram::bucket(1023), 9);
+        assert_eq!(Histogram::bucket(1024), 10);
+        assert_eq!(Histogram::bucket(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_bound_the_data_within_2x() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.mean(), 500);
+        // True p50 = 500 → bucket [256,512) → upper 511.
+        assert!(s.p50 >= 500 && s.p50 < 1000, "p50 = {}", s.p50);
+        // True p99 = 990 → bucket [512,1024) → capped at max.
+        assert!(s.p99 >= 990 && s.p99 <= 1000, "p99 = {}", s.p99);
+    }
+
+    #[test]
+    fn max_is_exact_and_quantiles_never_exceed_it() {
+        let h = Histogram::new();
+        h.record(7);
+        h.record(100_000);
+        let s = h.summary();
+        assert_eq!(s.max, 100_000);
+        assert!(s.p99 <= s.max);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(42);
+        h.reset();
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        static H: Histogram = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        H.record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(H.count(), 40_000);
+    }
+}

@@ -1,22 +1,73 @@
-//! # lwt-metrics — always-on lightweight counters
+//! # lwt-metrics — runtime-wide observability: counters, histograms,
+//! event rings, and Chrome-trace export
 //!
 //! The paper quantifies several of its claims with *counts*, not times:
 //! "with 36 threads, [gcc] spawns **35,036 threads** (36 for the main
 //! team, and 35 for each outer loop iteration)" while "icc reuses the
-//! idle threads but it still creates … **1,296**" (§IX-C). To check
-//! such claims mechanically, the runtimes expose a few [`Counter`]s
-//! (OS threads spawned, nested regions opened, …) that tests can
-//! [`Counter::reset`] around a workload and assert exact formulas on.
+//! idle threads but it still creates … **1,296**" (§IX-C). And its
+//! *scheduler-behavior* claims — where work units run, how often they
+//! migrate, who steals from whom — are only explainable with per-event
+//! telemetry. This crate provides both layers:
 //!
-//! Counters are single relaxed atomic increments: cheap enough to stay
-//! on unconditionally.
+//! * **Always-on counters** ([`Counter`], [`Gauge`]): single relaxed
+//!   atomic increments, cheap enough to never turn off. The well-known
+//!   runtime-wide set lives in [`registry::COUNTERS`].
+//! * **Always-on histograms** ([`Histogram`]): log2-bucketed latency
+//!   distributions (spawn-to-first-run, steal-loop dwell) with
+//!   p50/p99/max summaries.
+//! * **Opt-in event rings** ([`EventRing`]): per-worker fixed-capacity
+//!   lock-free rings of typed scheduler events ([`EventKind`]) with
+//!   monotonic nanosecond timestamps. Ring writes hide behind one
+//!   relaxed load of the `LWT_TRACE` enabled flag, so the disabled
+//!   cost is near zero.
+//! * **Snapshot API** ([`registry::snapshot`], [`registry::scoped`]):
+//!   scope-reset a workload and read back a structured
+//!   [`MetricsSnapshot`], race-free against other suites in the same
+//!   process.
+//! * **Chrome trace-event export** ([`trace::export`]): merge every
+//!   worker's ring into a Perfetto-loadable JSON under
+//!   `target/lwt-trace/<run>.json`, gated by `LWT_TRACE=<path|1>`.
+//!
+//! This crate deliberately has **zero dependencies** (std only) so any
+//! workspace crate — including `lwt-sync` users — can depend on it
+//! without cycles.
 
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+pub mod clock;
+pub mod event;
+pub mod histogram;
+pub mod registry;
+pub mod ring;
+pub mod trace;
+
+pub use event::{Event, EventKind};
+pub use histogram::{Histogram, HistogramSummary};
+pub use registry::{
+    emit, snapshot, scoped, set_tracing, tracing_enabled, CounterSnapshot, Counters,
+    MetricsSnapshot, COUNTERS,
+};
+pub use ring::EventRing;
+
 /// A monotonically increasing event counter (resettable for tests).
+///
+/// # Reset races
+///
+/// `reset`/`get` pairs from concurrently running test suites can
+/// interleave (suite A resets between suite B's reset and read,
+/// stealing B's events). Don't hand-roll that protocol: use
+/// [`registry::scoped`], which serializes reset → workload → snapshot
+/// under a process-wide lock, or [`Counter::reset`]'s returned value
+/// (an atomic swap, so every event is observed exactly once).
+///
+/// Cache-line aligned: the well-known counters sit side by side in
+/// [`registry::COUNTERS`], and hot-path increments from different
+/// workers (a spawner bumping `ults_created` while an idle worker
+/// bumps `steal_attempts`) must not false-share a line.
 #[derive(Debug, Default)]
+#[repr(align(64))]
 pub struct Counter(AtomicU64);
 
 impl Counter {
@@ -45,6 +96,10 @@ impl Counter {
     }
 
     /// Zero the counter, returning the previous value.
+    ///
+    /// The swap is atomic: concurrent `inc`s land either in the
+    /// returned value or in the fresh epoch, never both and never
+    /// neither.
     pub fn reset(&self) -> u64 {
         self.0.swap(0, Ordering::Relaxed)
     }
@@ -52,7 +107,13 @@ impl Counter {
 
 /// A high-water-mark gauge: tracks the maximum of a level that can
 /// rise and fall (e.g. pool size, concurrent regions).
+///
+/// See [`Counter`] for the reset-race contract; [`registry::scoped`]
+/// covers gauges too. Cache-line aligned for the same reason as
+/// [`Counter`] (`level` and `high` stay together by design — they are
+/// always touched by the same `rise`).
 #[derive(Debug, Default)]
+#[repr(align(64))]
 pub struct Gauge {
     level: AtomicU64,
     high: AtomicU64,
@@ -74,9 +135,20 @@ impl Gauge {
         self.high.fetch_max(now, Ordering::Relaxed);
     }
 
-    /// Lower the level by one.
+    /// Lower the level by one, saturating at zero.
+    ///
+    /// Saturation matters: a bare `fetch_sub` on a zero level (easy to
+    /// hit when a `reset` races a worker's rise/fall pair) wraps to
+    /// `u64::MAX`, and the next `rise` would then poison `high_water`
+    /// forever.
     pub fn fall(&self) {
-        self.level.fetch_sub(1, Ordering::Relaxed);
+        // fetch_update retries on contention; the level only changes
+        // by ±1 so the loop is short.
+        let _ = self
+            .level
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
     }
 
     /// Current level.
@@ -141,5 +213,27 @@ mod tests {
         assert_eq!(g.high_water(), 4);
         g.reset();
         assert_eq!(g.high_water(), 0);
+    }
+
+    /// Regression: `fall` on an empty gauge used to wrap the level to
+    /// `u64::MAX`, so the next `rise` recorded a poisoned high-water
+    /// mark. It must saturate instead.
+    #[test]
+    fn gauge_fall_saturates_at_zero() {
+        let g = Gauge::new();
+        g.fall();
+        assert_eq!(g.level(), 0);
+        g.rise();
+        assert_eq!(g.level(), 1);
+        assert_eq!(g.high_water(), 1, "high_water poisoned by underflow");
+
+        // The reset-race shape: rise, reset (level forced to 0), then
+        // the worker's matching fall arrives late.
+        g.reset();
+        g.rise();
+        g.reset();
+        g.fall();
+        g.rise();
+        assert_eq!(g.high_water(), 1);
     }
 }

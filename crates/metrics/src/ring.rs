@@ -1,0 +1,208 @@
+//! Per-worker fixed-capacity lock-free event ring.
+//!
+//! Each worker thread owns one [`EventRing`] and is its **single
+//! producer**; a push is three relaxed stores plus one release store
+//! of the head index — no CAS, no lock, no allocation. When the ring
+//! is full, new events overwrite the oldest ones (tracing keeps the
+//! *recent* window, like a flight recorder), and the overwritten
+//! count is reported by [`EventRing::dropped`].
+//!
+//! Readers ([`EventRing::snapshot`], used by the trace exporter and
+//! tests) may run on any thread at any time: every slot field is an
+//! atomic, so a racing read observes some pair of (old, new) field
+//! values — possibly a *torn* event if it lands mid-overwrite, never
+//! undefined behavior. Drain while the workload is quiescent (after
+//! a join/barrier) for an exact snapshot; the exporter does.
+
+use crate::event::{Event, EventKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Slot {
+    ts: AtomicU64,
+    kind: AtomicU64,
+    arg: AtomicU64,
+}
+
+/// A single-producer, multi-reader ring of scheduler [`Event`]s.
+pub struct EventRing {
+    worker: u32,
+    label: String,
+    /// `slots.len() - 1`; capacity is a power of two so the slot
+    /// index is a mask, not a modulo.
+    mask: usize,
+    slots: Box<[Slot]>,
+    /// Total events ever pushed (monotone). `head % capacity` is the
+    /// next write position; publication point for readers.
+    head: AtomicU64,
+}
+
+impl EventRing {
+    /// A ring for worker `worker` labelled `label` (shown as the
+    /// Perfetto thread name). `capacity` is rounded up to the next
+    /// power of two, minimum 8.
+    #[must_use]
+    pub fn new(worker: u32, label: impl Into<String>, capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        let slots = (0..cap)
+            .map(|_| Slot {
+                ts: AtomicU64::new(0),
+                kind: AtomicU64::new(u64::MAX),
+                arg: AtomicU64::new(0),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        EventRing {
+            worker,
+            label: label.into(),
+            mask: cap - 1,
+            slots,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one event. **Single producer**: only the owning worker
+    /// thread may call this.
+    #[inline]
+    pub fn push(&self, ts_ns: u64, kind: EventKind, arg: u64) {
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(head as usize) & self.mask];
+        slot.ts.store(ts_ns, Ordering::Relaxed);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.arg.store(arg, Ordering::Relaxed);
+        // Release pairs with the Acquire in `snapshot`: a reader that
+        // observes head > i also observes slot i's field stores.
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    /// Worker id this ring belongs to (the trace `tid`).
+    #[must_use]
+    pub fn worker(&self) -> u32 {
+        self.worker
+    }
+
+    /// Human-readable producer label (the trace thread name).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Ring capacity in events (a power of two).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever pushed, including overwritten ones.
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events lost to wraparound (oldest-first overwrite).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.pushed().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// The retained window of events, oldest first.
+    ///
+    /// Exact when the producer is quiescent; during a race the oldest
+    /// few entries may be torn (see module docs) — a slot whose kind
+    /// byte is mid-overwrite garbage is silently skipped.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Event> {
+        let head = self.head.load(Ordering::Acquire);
+        let start = head.saturating_sub(self.slots.len() as u64);
+        (start..head)
+            .filter_map(|i| {
+                let slot = &self.slots[(i as usize) & self.mask];
+                let kind = EventKind::from_u8(slot.kind.load(Ordering::Relaxed) as u8)?;
+                Some(Event {
+                    ts_ns: slot.ts.load(Ordering::Relaxed),
+                    kind,
+                    arg: slot.arg.load(Ordering::Relaxed),
+                })
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("worker", &self.worker)
+            .field("label", &self.label)
+            .field("capacity", &self.capacity())
+            .field("pushed", &self.pushed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(EventRing::new(0, "t", 0).capacity(), 8);
+        assert_eq!(EventRing::new(0, "t", 8).capacity(), 8);
+        assert_eq!(EventRing::new(0, "t", 9).capacity(), 16);
+        assert_eq!(EventRing::new(0, "t", 1000).capacity(), 1024);
+    }
+
+    #[test]
+    fn push_then_snapshot_in_order() {
+        let ring = EventRing::new(3, "w3", 16);
+        for i in 0..5 {
+            ring.push(100 + i, EventKind::Yield, i);
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 5);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.ts_ns, 100 + i as u64);
+            assert_eq!(e.kind, EventKind::Yield);
+            assert_eq!(e.arg, i as u64);
+        }
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    /// Single-producer wraparound: the ring keeps exactly the last
+    /// `capacity` events, oldest first, and accounts for the rest.
+    #[test]
+    fn wraparound_keeps_newest_window() {
+        let ring = EventRing::new(0, "w0", 8);
+        let total = 8 * 3 + 5; // wraps three times, lands mid-ring
+        for i in 0..total {
+            ring.push(i, EventKind::UltRun, i);
+        }
+        assert_eq!(ring.pushed(), total);
+        assert_eq!(ring.dropped(), total - 8);
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 8);
+        for (j, e) in events.iter().enumerate() {
+            assert_eq!(e.arg, total - 8 + j as u64, "window must be the newest 8");
+        }
+        // Timestamps stay monotone across the wrap seam.
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    /// A racing reader must never crash or observe out-of-vocabulary
+    /// kinds — torn slots are dropped, not invented.
+    #[test]
+    fn concurrent_snapshot_is_safe() {
+        let ring = EventRing::new(0, "w0", 32);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..50_000u64 {
+                    ring.push(i, EventKind::StealAttempt, i);
+                }
+            });
+            for _ in 0..200 {
+                for e in ring.snapshot() {
+                    assert!(EventKind::from_u8(e.kind as u8).is_some());
+                }
+            }
+        });
+        assert_eq!(ring.pushed(), 50_000);
+    }
+}

@@ -1,0 +1,188 @@
+//! Chrome trace-event JSON export (Perfetto-loadable).
+//!
+//! Merges every registered worker ring into one JSON object in the
+//! [Trace Event Format]: each scheduler event becomes an *instant*
+//! event (`"ph":"i"`, thread scope) with `ts` in microseconds, `pid`
+//! fixed at 1, and `tid` = the worker's ring id; each ring also
+//! contributes a `thread_name` metadata record so Perfetto's track
+//! labels read `abt-es-0`, `myth-w1`, `qth-s0-w0`, … — the thread
+//! names the runtimes already assign.
+//!
+//! Open the output at <https://ui.perfetto.dev> (or
+//! `chrome://tracing`) via *Open trace file*.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::registry;
+use crate::ring::EventRing;
+use std::fmt::Write as _;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Fixed Chrome-trace process id (the whole runtime is one process).
+const PID: u32 = 1;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microseconds with nanosecond precision, as Chrome's `ts` expects.
+fn ts_us(ts_ns: u64) -> String {
+    format!("{}.{:03}", ts_ns / 1_000, ts_ns % 1_000)
+}
+
+/// Render the given rings as a Chrome trace-event JSON document.
+#[must_use]
+pub fn render(rings: &[Arc<EventRing>]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |line: String| {
+        if first {
+            first = false;
+        } else {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+    };
+    push(format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\
+         \"args\":{{\"name\":\"lwt\"}}}}"
+    ));
+    for ring in rings {
+        let tid = ring.worker();
+        push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(ring.label())
+        ));
+        if ring.dropped() > 0 {
+            // Surface wraparound loss in the trace itself.
+            push(format!(
+                "{{\"name\":\"ring_dropped\",\"cat\":\"meta\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":0.000,\"pid\":{PID},\"tid\":{tid},\
+                 \"args\":{{\"dropped\":{}}}}}",
+                ring.dropped()
+            ));
+        }
+        for e in ring.snapshot() {
+            push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{},\"pid\":{PID},\"tid\":{tid},\"args\":{{\"arg\":{}}}}}",
+                e.kind.name(),
+                ts_us(e.ts_ns),
+                e.arg
+            ));
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render every registered ring to `path`, creating parent
+/// directories as needed.
+pub fn write_to(path: &std::path::Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, render(&registry::rings()))
+}
+
+/// Where `export(run)` will write, honoring `LWT_TRACE`.
+///
+/// `LWT_TRACE=<path>` (anything other than a bare enable token like
+/// `1`/`true`) is used verbatim; otherwise the default is
+/// `target/lwt-trace/<run>.json` relative to the current directory.
+#[must_use]
+pub fn destination(run: &str) -> PathBuf {
+    match std::env::var("LWT_TRACE") {
+        Ok(v) if !v.is_empty() && v != "0" && v != "1" && v != "true" => PathBuf::from(v),
+        _ => PathBuf::from("target")
+            .join("lwt-trace")
+            .join(format!("{run}.json")),
+    }
+}
+
+/// Export the merged trace for run `run` if tracing is enabled.
+///
+/// Returns `Ok(None)` when tracing is off (the common, free case),
+/// `Ok(Some(path))` after a successful write. Call this once, after
+/// the workload has quiesced (rings are drained racily otherwise —
+/// see [`crate::ring`]).
+pub fn export(run: &str) -> io::Result<Option<PathBuf>> {
+    if !registry::tracing_enabled() {
+        return Ok(None);
+    }
+    let path = destination(run);
+    write_to(&path)?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ring_with(worker: u32, label: &str, events: &[(u64, EventKind, u64)]) -> Arc<EventRing> {
+        let ring = Arc::new(EventRing::new(worker, label, 64));
+        for &(ts, kind, arg) in events {
+            ring.push(ts, kind, arg);
+        }
+        ring
+    }
+
+    #[test]
+    fn render_emits_metadata_and_instant_events() {
+        let rings = vec![
+            ring_with(0, "abt-es-0", &[(1_500, EventKind::UltSpawn, 0)]),
+            ring_with(1, "abt-es-1", &[(2_750, EventKind::StealHit, 0)]),
+        ];
+        let json = render(&rings);
+        assert!(json.contains("\"name\":\"process_name\""));
+        assert!(json.contains("\"name\":\"abt-es-0\""));
+        assert!(json.contains("\"name\":\"abt-es-1\""));
+        assert!(json.contains("\"name\":\"UltSpawn\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"ts\":2.750"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn render_escapes_labels() {
+        let rings = vec![ring_with(0, "weird\"label\\", &[])];
+        let json = render(&rings);
+        assert!(json.contains("weird\\\"label\\\\"));
+    }
+
+    #[test]
+    fn ts_formats_with_ns_precision() {
+        assert_eq!(ts_us(0), "0.000");
+        assert_eq!(ts_us(999), "0.999");
+        assert_eq!(ts_us(1_000), "1.000");
+        assert_eq!(ts_us(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn dropped_events_are_surfaced() {
+        let ring = Arc::new(EventRing::new(0, "w", 8));
+        for i in 0..20 {
+            ring.push(i, EventKind::Yield, 0);
+        }
+        let json = render(&[ring]);
+        assert!(json.contains("\"name\":\"ring_dropped\""));
+        assert!(json.contains("\"dropped\":12"));
+    }
+}

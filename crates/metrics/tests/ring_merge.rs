@@ -1,0 +1,58 @@
+//! Concurrent multi-worker ring test: several named threads emit into
+//! the shared registry at once; the merged view must show one ring per
+//! worker, distinct worker ids, monotone per-worker timestamps, and
+//! no lost events.
+
+use lwt_metrics::{registry, EventKind};
+
+#[test]
+fn concurrent_workers_merge_with_monotone_timestamps() {
+    registry::set_tracing(true);
+
+    const WORKERS: usize = 4;
+    const EVENTS: u64 = 500; // < default ring capacity: nothing drops
+
+    std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            std::thread::Builder::new()
+                .name(format!("merge-w{w}"))
+                .spawn_scoped(s, move || {
+                    for i in 0..EVENTS {
+                        registry::emit(EventKind::UltRun, i);
+                        if i % 7 == 0 {
+                            registry::emit(EventKind::Yield, w as u64);
+                        }
+                    }
+                })
+                .expect("spawn worker");
+        }
+    });
+
+    let rings: Vec<_> = registry::rings()
+        .into_iter()
+        .filter(|r| r.label().starts_with("merge-w"))
+        .collect();
+    assert_eq!(rings.len(), WORKERS, "one ring per worker thread");
+
+    let mut ids: Vec<_> = rings.iter().map(|r| r.worker()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), WORKERS, "worker ids must be distinct");
+
+    let mut total = 0u64;
+    for ring in &rings {
+        let events = ring.snapshot();
+        assert_eq!(ring.dropped(), 0);
+        assert!(
+            events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns),
+            "per-worker timestamps must be monotone ({})",
+            ring.label()
+        );
+        let yields = events.iter().filter(|e| e.kind == EventKind::Yield).count() as u64;
+        let runs = events.iter().filter(|e| e.kind == EventKind::UltRun).count() as u64;
+        assert_eq!(runs, EVENTS);
+        assert_eq!(yields, EVENTS.div_ceil(7));
+        total += events.len() as u64;
+    }
+    assert_eq!(total, WORKERS as u64 * (EVENTS + EVENTS.div_ceil(7)));
+}

@@ -1,0 +1,81 @@
+//! lwt-check property: for any random sequence of instrument
+//! operations, the `scoped` snapshot deltas equal the per-kind
+//! operation counts, and the calling thread's ring grows by exactly
+//! the number of emitted events.
+
+use lwt_check::{check, prop_assert, range, vec_of};
+use lwt_metrics::{registry, EventKind, COUNTERS};
+
+fn rings_pushed_total() -> u64 {
+    registry::rings().iter().map(|r| r.pushed()).sum()
+}
+
+#[test]
+fn snapshot_deltas_equal_emitted_counts() {
+    registry::set_tracing(true);
+
+    // Op encoding: 0 = spawn, 1 = yield, 2 = steal attempt, 3 = FEB
+    // block. Each op bumps its counter and emits the matching event.
+    check(
+        "snapshot deltas equal emitted event counts",
+        48,
+        vec_of(range(0u8..4), 0..64),
+        |ops| {
+            let pushed_before = rings_pushed_total();
+            let ((), snap) = registry::scoped(|| {
+                for &op in ops {
+                    match op {
+                        0 => {
+                            COUNTERS.ults_created.inc();
+                            registry::emit(EventKind::UltSpawn, 0);
+                        }
+                        1 => {
+                            COUNTERS.yields.inc();
+                            registry::emit(EventKind::Yield, 0);
+                        }
+                        2 => {
+                            COUNTERS.steal_attempts.inc();
+                            registry::emit(EventKind::StealAttempt, 0);
+                        }
+                        _ => {
+                            COUNTERS.feb_blocks.inc();
+                            registry::emit(EventKind::FebBlock, 0);
+                        }
+                    }
+                }
+            });
+            let want = |k: u8| ops.iter().filter(|&&op| op == k).count() as u64;
+            prop_assert!(
+                snap.counters.ults_created == want(0),
+                "ults_created {} != {}",
+                snap.counters.ults_created,
+                want(0)
+            );
+            prop_assert!(
+                snap.counters.yields == want(1),
+                "yields {} != {}",
+                snap.counters.yields,
+                want(1)
+            );
+            prop_assert!(
+                snap.counters.steal_attempts == want(2),
+                "steal_attempts {} != {}",
+                snap.counters.steal_attempts,
+                want(2)
+            );
+            prop_assert!(
+                snap.counters.feb_blocks == want(3),
+                "feb_blocks {} != {}",
+                snap.counters.feb_blocks,
+                want(3)
+            );
+            let emitted = rings_pushed_total() - pushed_before;
+            prop_assert!(
+                emitted == ops.len() as u64,
+                "ring grew by {emitted}, emitted {}",
+                ops.len()
+            );
+            Ok(())
+        },
+    );
+}

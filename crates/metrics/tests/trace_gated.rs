@@ -1,0 +1,49 @@
+//! The tracing gate: with tracing off, `emit` must leave no trace
+//! (no ring registration, no events) and `export` must be a no-op;
+//! once enabled, emitted events must round-trip into the rendered
+//! Chrome-trace JSON.
+//!
+//! Own integration binary: this test owns the process-global flag.
+
+use lwt_metrics::{registry, trace, EventKind};
+
+#[test]
+fn tracing_gate_controls_emission_and_export() {
+    // Phase 1: off — emits are invisible and export declines.
+    registry::set_tracing(false);
+    assert!(!registry::tracing_enabled());
+    registry::emit(EventKind::UltSpawn, 0);
+    registry::emit(EventKind::Yield, 0);
+    let pushed: u64 = registry::rings().iter().map(|r| r.pushed()).sum();
+    assert_eq!(pushed, 0, "disabled emit must not touch any ring");
+    assert_eq!(registry::timestamp_if_tracing(), 0);
+    assert!(trace::export("gated").expect("export").is_none());
+
+    // Phase 2: on — events land and render as valid trace JSON.
+    registry::set_tracing(true);
+    registry::emit(EventKind::UltSpawn, 7);
+    registry::emit(EventKind::UltRun, 0);
+    registry::emit(EventKind::EsStop, 3);
+    let rings = registry::rings();
+    let pushed: u64 = rings.iter().map(|r| r.pushed()).sum();
+    assert_eq!(pushed, 3);
+
+    let json = trace::render(&rings);
+    for needle in [
+        "\"traceEvents\"",
+        "\"name\":\"UltSpawn\"",
+        "\"name\":\"UltRun\"",
+        "\"name\":\"EsStop\"",
+        "\"ph\":\"i\"",
+        "\"ph\":\"M\"",
+        "\"pid\":1",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in {json}");
+    }
+
+    // write_to round-trips through the filesystem.
+    let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("trace_gated.json");
+    trace::write_to(&path).expect("write trace");
+    let on_disk = std::fs::read_to_string(&path).expect("read trace back");
+    assert_eq!(on_disk, json);
+}

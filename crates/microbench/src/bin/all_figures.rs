@@ -81,4 +81,5 @@ fn main() {
         std::fs::write(format!("{dir}/{name}.csv"), csv).expect("write figure csv");
         eprintln!("wrote {dir}/{name}.csv in {:?}", t0.elapsed());
     }
+    lwt_microbench::export_trace("all_figures");
 }

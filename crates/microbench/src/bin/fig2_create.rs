@@ -13,4 +13,5 @@ fn main() {
             print_csv_row("fig2", series.label(), threads, &stats);
         }
     }
+    lwt_microbench::export_trace("fig2_create");
 }

@@ -13,4 +13,5 @@ fn main() {
             print_csv_row("fig4", series.label(), threads, &stats);
         }
     }
+    lwt_microbench::export_trace("fig4_for_loop");
 }

@@ -13,4 +13,5 @@ fn main() {
             print_csv_row("fig5", series.label(), threads, &stats);
         }
     }
+    lwt_microbench::export_trace("fig5_task_single");
 }

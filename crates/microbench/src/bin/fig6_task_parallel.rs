@@ -13,4 +13,5 @@ fn main() {
             print_csv_row("fig6", series.label(), threads, &stats);
         }
     }
+    lwt_microbench::export_trace("fig6_task_parallel");
 }

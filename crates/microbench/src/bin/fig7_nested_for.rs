@@ -13,4 +13,5 @@ fn main() {
             print_csv_row("fig7", series.label(), threads, &stats);
         }
     }
+    lwt_microbench::export_trace("fig7_nested_for");
 }

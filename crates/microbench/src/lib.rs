@@ -85,6 +85,18 @@ pub fn as_us(d: Duration) -> f64 {
     d.as_secs_f64() * 1e6
 }
 
+/// Export the per-worker event rings accumulated during this run as a
+/// Chrome/Perfetto trace, if `LWT_TRACE` is set (see
+/// [`lwt_metrics::trace::export`]). Every figure binary calls this at
+/// the end of `main`; it is a no-op when tracing is off.
+pub fn export_trace(figure: &str) {
+    match lwt_metrics::trace::export(figure) {
+        Ok(Some(path)) => eprintln!("trace written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("lwt-microbench: trace export failed: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

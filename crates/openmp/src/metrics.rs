@@ -6,21 +6,32 @@
 //! formulas generalize to `T + regions × (T − 1)` (gcc) vs a pool
 //! high-water mark ≤ `T × (T − 1)` (icc); `tests/metrics_fidelity.rs`
 //! asserts them against these counters.
+//!
+//! The statics are aliases into the runtime-wide registry
+//! ([`lwt_metrics::registry::COUNTERS`]) so openmp thread counts show
+//! up in the same [`lwt_metrics::registry::snapshot`] every other
+//! runtime reports into — this module only preserves the historical
+//! openmp-local names.
 
+use lwt_metrics::registry::COUNTERS;
 use lwt_metrics::{Counter, Gauge};
 
 /// Every OS thread this runtime ever spawned (persistent pool workers,
-/// scope extras, nested fresh threads, nested pool threads).
-pub static THREADS_SPAWNED: Counter = Counter::new();
+/// scope extras, nested fresh threads, nested pool threads). Alias of
+/// the registry-wide `os_threads_spawned`.
+pub static THREADS_SPAWNED: &Counter = &COUNTERS.os_threads_spawned;
 
-/// Nested parallel regions opened.
-pub static NESTED_REGIONS: Counter = Counter::new();
+/// Nested parallel regions opened. Alias of the registry-wide
+/// `nested_regions`.
+pub static NESTED_REGIONS: &Counter = &COUNTERS.nested_regions;
 
-/// Live size of the icc-style nested thread pool.
-pub static NESTED_POOL_SIZE: Gauge = Gauge::new();
+/// Live size of the icc-style nested thread pool. Alias of the
+/// registry-wide `nested_pool_size`.
+pub static NESTED_POOL_SIZE: &Gauge = &COUNTERS.nested_pool_size;
 
-/// Reset all counters (tests only; not synchronized with running
-/// regions).
+/// Reset these counters (tests only; not synchronized with running
+/// regions — prefer [`lwt_metrics::registry::scoped`], which
+/// serializes reset→run→read windows process-wide).
 pub fn reset() {
     THREADS_SPAWNED.reset();
     NESTED_REGIONS.reset();

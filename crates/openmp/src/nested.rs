@@ -22,6 +22,7 @@ use crate::OpenMp;
 /// gcc-style nested region: fresh OS threads, joined at region end.
 pub(crate) fn run_nested_fresh(rt: &OpenMp, size: usize, f: &(dyn Fn(&Ctx) + Sync)) {
     crate::metrics::NESTED_REGIONS.inc();
+    lwt_metrics::registry::emit(lwt_metrics::EventKind::NestedRegionOpen, size as u64);
     let team = Team::new(size, rt.flavor(), crate::WaitPolicy::Passive);
     std::thread::scope(|scope| {
         for i in 1..size {
@@ -38,6 +39,7 @@ pub(crate) fn run_nested_fresh(rt: &OpenMp, size: usize, f: &(dyn Fn(&Ctx) + Syn
 /// matching icc's 1,296-thread high-water mark in the paper).
 pub(crate) fn run_nested_pooled(rt: &OpenMp, size: usize, f: &(dyn Fn(&Ctx) + Sync)) {
     crate::metrics::NESTED_REGIONS.inc();
+    lwt_metrics::registry::emit(lwt_metrics::EventKind::NestedRegionOpen, size as u64);
     let team = Team::new(size, rt.flavor(), crate::WaitPolicy::Passive);
     // SAFETY: we block in `member(0, …)` below until the whole team
     // passes the end barrier, so the erased borrow cannot dangle.

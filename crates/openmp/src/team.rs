@@ -169,7 +169,14 @@ fn next_task(member: &MemberCtx) -> Option<Task> {
             for off in 1..n {
                 let v = (member.index + off) % n;
                 if let Some(Some(s)) = stealers.get(v) {
+                    lwt_metrics::registry::COUNTERS.steal_attempts.inc();
+                    lwt_metrics::registry::emit(
+                        lwt_metrics::EventKind::StealAttempt,
+                        v as u64,
+                    );
                     if let Some(t) = s.steal() {
+                        lwt_metrics::registry::COUNTERS.steal_hits.inc();
+                        lwt_metrics::registry::emit(lwt_metrics::EventKind::StealHit, v as u64);
                         return Some(t);
                     }
                 }

@@ -46,6 +46,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use lwt_fiber::StackSize;
+use lwt_metrics::registry::{emit, COUNTERS};
+use lwt_metrics::EventKind;
 use lwt_sched::{RoundRobin, SharedQueue};
 use lwt_sync::{FebCell, FebTable, SpinLock};
 use lwt_ultcore::{enter_worker, run_ult, wait_until, ResultCell, Requeue, UltCore};
@@ -116,7 +118,15 @@ impl<T> Handle<T> {
     /// Re-raises a panic that escaped the work unit's closure.
     pub fn join(self) -> T {
         // The FEB is the paper-faithful join signal …
-        self.ret.read_ff(relax());
+        if self.ret.is_full() {
+            self.ret.read_ff(relax());
+        } else {
+            COUNTERS.feb_blocks.inc();
+            emit(EventKind::FebBlock, 0);
+            self.ret.read_ff(relax());
+            COUNTERS.feb_wakes.inc();
+            emit(EventKind::FebWake, 0);
+        }
         // … and TERMINATED is the memory-safety contract for the slot.
         wait_until(|| self.ult.is_terminated());
         if let Some(p) = self.ult.take_panic() {
@@ -190,6 +200,7 @@ impl Runtime {
         let mut threads = rt.inner.threads.lock();
         for (worker_id, &shep) in rt.inner.worker_shepherd.iter().enumerate() {
             let inner = rt.inner.clone();
+            COUNTERS.os_threads_spawned.inc();
             threads.push(Some(
                 std::thread::Builder::new()
                     .name(format!("qth-s{shep}-w{worker_id}"))
@@ -279,6 +290,8 @@ impl Runtime {
             // SAFETY: sole writer, before TERMINATED.
             unsafe { slot.put(value) };
         });
+        // `arg` = target shepherd: the fork_to dispatch decision.
+        emit(EventKind::UltSpawn, shepherd as u64);
         self.inner.shepherds[shepherd].queue.push(ult.clone());
         Handle { ult, result, ret }
     }

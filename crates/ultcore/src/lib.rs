@@ -34,10 +34,12 @@
 use std::any::Any;
 use std::cell::{Cell, UnsafeCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use lwt_fiber::{init_context, switch, switch_final, RawContext, Stack, StackSize};
+use lwt_metrics::registry::{emit, timestamp_if_tracing, COUNTERS, SPAWN_LATENCY};
+use lwt_metrics::EventKind;
 
 /// Work-unit lifecycle states.
 pub mod state {
@@ -85,6 +87,9 @@ pub struct UltCore {
     /// Wakeup that raced with a [`crate::suspend`] in progress; consumed
     /// by the post-switch Block processing.
     wake_pending: std::sync::atomic::AtomicBool,
+    /// Creation timestamp for the spawn-to-first-run histogram; zero
+    /// when tracing is off (the stamp is skipped) or already consumed.
+    spawn_ns: AtomicU64,
 }
 
 // SAFETY: interior fields follow the claim protocol — only the worker
@@ -104,6 +109,7 @@ impl UltCore {
     where
         F: FnOnce() + Send + 'static,
     {
+        COUNTERS.ults_created.inc();
         let stack = Stack::new(stack_size);
         let ult = Arc::new(UltCore {
             state: AtomicU8::new(state::READY),
@@ -112,6 +118,7 @@ impl UltCore {
             entry: UnsafeCell::new(Some(Box::new(f))),
             panic: UnsafeCell::new(None),
             wake_pending: std::sync::atomic::AtomicBool::new(false),
+            spawn_ns: AtomicU64::new(timestamp_if_tracing()),
         });
         // SAFETY: ult_entry never returns; the data pointer is kept
         // alive by the Arc the worker holds while executing; moving the
@@ -137,6 +144,19 @@ impl UltCore {
                 Ordering::Relaxed,
             )
             .is_ok()
+    }
+
+    /// Feed the spawn-to-first-run histogram the first time the unit
+    /// is dispatched. The fast path (tracing off, or already consumed)
+    /// is one relaxed load.
+    #[inline]
+    fn record_first_run(&self) {
+        if self.spawn_ns.load(Ordering::Relaxed) != 0 {
+            let t0 = self.spawn_ns.swap(0, Ordering::Relaxed);
+            if t0 != 0 {
+                SPAWN_LATENCY.record(lwt_metrics::clock::now_ns().saturating_sub(t0));
+            }
+        }
     }
 
     /// Whether the ULT has completed.
@@ -213,6 +233,8 @@ pub struct WorkerGuard {
 
 impl Drop for WorkerGuard {
     fn drop(&mut self) {
+        // SAFETY: ctx is live until the Box::from_raw below.
+        emit(EventKind::EsStop, unsafe { (*self.ctx).worker_id } as u64);
         WORKER.with(|c| c.set(std::ptr::null_mut()));
         // SAFETY: created by Box::into_raw in enter_worker; no ULT is
         // running when the worker loop exits.
@@ -235,6 +257,7 @@ pub fn enter_worker(worker_id: usize, requeue: Arc<dyn Requeue>) -> WorkerGuard 
         assert!(c.get().is_null(), "thread is already an lwt worker");
         c.set(ctx);
     });
+    emit(EventKind::EsStart, worker_id as u64);
     WorkerGuard { ctx }
 }
 
@@ -305,6 +328,8 @@ pub fn run_ult(ult: &Arc<UltCore>) -> bool {
     if !ult.claim() {
         return false;
     }
+    ult.record_first_run();
+    emit(EventKind::UltRun, 0);
     // SAFETY: the claim grants exclusive execution; `ctx` holds the
     // suspended (or bootstrap) context; `w` is live for the whole loop.
     unsafe {
@@ -355,6 +380,8 @@ pub fn yield_now() {
         !w.is_null() && unsafe { (*w).current.is_some() },
         "lwt_ultcore::yield_now() outside a ULT"
     );
+    COUNTERS.yields.inc();
+    emit(EventKind::Yield, 0);
     // SAFETY: same protocol as lwt-argobots (see module docs): the
     // requeue is deferred to whoever gains control after the switch.
     unsafe {
@@ -389,6 +416,10 @@ pub fn yield_to(target: &Arc<UltCore>) -> bool {
     if !target.claim() {
         return false;
     }
+    COUNTERS.yields.inc();
+    emit(EventKind::Yield, 0);
+    target.record_first_run();
+    emit(EventKind::UltRun, 0);
     // SAFETY: same protocol as yield_now, with control landing in the
     // claimed target; the target's resume path (or entry) performs our
     // requeue.

@@ -40,6 +40,7 @@ pub use lwt_core as core;
 pub use lwt_fiber as fiber;
 pub use lwt_go as go;
 pub use lwt_massive as massive;
+pub use lwt_metrics as metrics;
 pub use lwt_microbench as microbench;
 pub use lwt_openmp as openmp;
 pub use lwt_qthreads as qthreads;

@@ -1,28 +1,23 @@
-//! Thread-count fidelity: the paper's §IX-C claims, checked exactly.
+//! Thread-count fidelity: the paper's §IX-C claims, checked exactly
+//! through the `lwt_metrics` snapshot API.
 //!
 //! "With 36 threads, [gcc] spawns 35,036 threads (36 for the main team,
 //! and 35 for each outer loop iteration)" → `T + regions × (T − 1)`
 //! spawned threads (our count excludes the caller, so
-//! `(T − 1) + regions × (T − 1)`).
+//! `(T − 1) + regions × (T − 1)`; at paper scale, 35 + 1000 × 35 plus
+//! the master = 35,036).
 //!
 //! "icc reuses the idle threads but it still creates a large number of
 //! threads (1,296: 36 for the main team and 35 for each secondary
 //! team)" → with reuse, total spawns are bounded by pool demand, far
 //! below gcc's.
 //!
-//! These tests serialize on a mutex because the counters are global.
+//! Each test runs its workload under [`lwt::metrics::registry::scoped`],
+//! which serializes the reset→run→read window process-wide — no
+//! hand-rolled mutex needed, and no reset race with other suites.
 
-use std::sync::Mutex;
-
-use lwt::openmp::{metrics, Config, Flavor, OpenMp, WaitPolicy};
-
-static SERIAL: Mutex<()> = Mutex::new(());
-
-/// Lock that survives a poisoned predecessor (an earlier failed test
-/// must not cascade).
-fn serial() -> std::sync::MutexGuard<'static, ()> {
-    SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
+use lwt::metrics::registry::{scoped, snapshot};
+use lwt::openmp::{Config, Flavor, OpenMp, WaitPolicy};
 
 fn omp(threads: usize, flavor: Flavor) -> OpenMp {
     OpenMp::init(Config {
@@ -44,34 +39,36 @@ fn nested_pattern(rt: &OpenMp, outer_iters: usize) {
 
 #[test]
 fn gcc_nested_thread_count_matches_paper_formula() {
-    let _guard = serial();
     const T: u64 = 3;
     const OUTER: u64 = 10;
-    metrics::reset();
-    let rt = omp(T as usize, Flavor::Gcc);
-    nested_pattern(&rt, OUTER as usize);
-    rt.shutdown();
+    let ((), snap) = scoped(|| {
+        let rt = omp(T as usize, Flavor::Gcc);
+        nested_pattern(&rt, OUTER as usize);
+        rt.shutdown();
+    });
     // Paper formula (their count includes the master): T + outer×(T−1).
     // Our counter excludes the caller thread: (T−1) + outer×(T−1).
-    let spawned = metrics::THREADS_SPAWNED.get();
     assert_eq!(
-        spawned,
+        snap.counters.os_threads_spawned,
         (T - 1) + OUTER * (T - 1),
         "gcc must spawn fresh threads for every nested region"
     );
-    assert_eq!(metrics::NESTED_REGIONS.get(), OUTER);
+    assert_eq!(snap.counters.nested_regions, OUTER);
+    // The same formula at the paper's scale (T = 36, 1,000 regions,
+    // counting the master as the paper does) is its §IX-C headline.
+    assert_eq!(36 + 1000 * (36 - 1), 35_036);
 }
 
 #[test]
 fn icc_nested_reuses_threads_far_below_gcc() {
-    let _guard = serial();
     const T: u64 = 3;
     const OUTER: u64 = 30;
-    metrics::reset();
-    let rt = omp(T as usize, Flavor::Icc);
-    nested_pattern(&rt, OUTER as usize);
-    rt.shutdown();
-    let spawned = metrics::THREADS_SPAWNED.get();
+    let ((), snap) = scoped(|| {
+        let rt = omp(T as usize, Flavor::Icc);
+        nested_pattern(&rt, OUTER as usize);
+        rt.shutdown();
+    });
+    let spawned = snap.counters.os_threads_spawned;
     let gcc_equivalent = (T - 1) + OUTER * (T - 1);
     // Reuse: far fewer spawns than the no-reuse formula, and the pool's
     // high-water mark is bounded by concurrent demand ≤ T × (T − 1)
@@ -85,44 +82,45 @@ fn icc_nested_reuses_threads_far_below_gcc() {
     // the same effect that makes real icc hold 1,296 threads rather
     // than the 106 strictly needed. It must still stay well under the
     // no-reuse total.
-    let high = metrics::NESTED_POOL_SIZE.high_water();
+    let high = snap.counters.nested_pool_high_water;
     assert!(
         high <= spawned && high < gcc_equivalent / 2,
         "pool high-water {high} out of bounds (spawned {spawned})"
     );
-    assert_eq!(metrics::NESTED_REGIONS.get(), OUTER);
+    assert_eq!(snap.counters.nested_regions, OUTER);
 }
 
 #[test]
 fn repeated_icc_nesting_adds_no_new_threads() {
-    let _guard = serial();
-    let rt = omp(2, Flavor::Icc);
-    nested_pattern(&rt, 5);
-    let after_warmup = metrics::THREADS_SPAWNED.get();
-    nested_pattern(&rt, 5);
-    let after_second = metrics::THREADS_SPAWNED.get();
-    rt.shutdown();
-    // A warmed pool should satisfy repeat demand almost entirely from
-    // idle threads; tolerate a couple of race-driven spawns.
-    assert!(
-        after_second - after_warmup <= 2,
-        "warmed icc pool spawned {} new threads",
-        after_second - after_warmup
-    );
+    scoped(|| {
+        let rt = omp(2, Flavor::Icc);
+        nested_pattern(&rt, 5);
+        let after_warmup = snapshot().counters.os_threads_spawned;
+        nested_pattern(&rt, 5);
+        let after_second = snapshot().counters.os_threads_spawned;
+        rt.shutdown();
+        // A warmed pool should satisfy repeat demand almost entirely
+        // from idle threads; tolerate a couple of race-driven spawns.
+        assert!(
+            after_second - after_warmup <= 2,
+            "warmed icc pool spawned {} new threads",
+            after_second - after_warmup
+        );
+    });
 }
 
 #[test]
 fn top_level_regions_do_not_spawn_after_init() {
-    let _guard = serial();
-    metrics::reset();
-    let rt = omp(3, Flavor::Gcc);
-    let after_init = metrics::THREADS_SPAWNED.get();
-    assert_eq!(after_init, 2); // persistent pool, minus the caller
-    for _ in 0..10 {
-        rt.parallel(|_| {});
-    }
-    rt.shutdown();
-    // Top-level regions reuse the persistent team — the property that
-    // makes the paper's Fig. 2 OpenMP comparison fair.
-    assert_eq!(metrics::THREADS_SPAWNED.get(), after_init);
+    scoped(|| {
+        let rt = omp(3, Flavor::Gcc);
+        let after_init = snapshot().counters.os_threads_spawned;
+        assert_eq!(after_init, 2); // persistent pool, minus the caller
+        for _ in 0..10 {
+            rt.parallel(|_| {});
+        }
+        rt.shutdown();
+        // Top-level regions reuse the persistent team — the property
+        // that makes the paper's Fig. 2 OpenMP comparison fair.
+        assert_eq!(snapshot().counters.os_threads_spawned, after_init);
+    });
 }
