@@ -65,4 +65,46 @@ for e in events:
 print(f"   ok: {len(events)} events across {len(per_tid)} workers in {path}")
 PY
 
+echo "== tier1: spawn-path smoke (fig2_create vs committed baseline)"
+# One quick fig2_create bench run; the spawn path must not regress
+# >25% (geometric mean of per-series median ratios) against the
+# committed results/BENCH_fig2_create.json. A single series may jitter
+# on a loaded box, so individual series only fail at 2x. Tolerances
+# overridable for slower/faster CI hosts.
+# Absolute: cargo runs the bench with cwd = the package dir, so a
+# relative LWT_BENCH_DIR would land under crates/bench/.
+SMOKE_DIR="$PWD/target/lwt-bench-smoke"
+rm -f "$SMOKE_DIR/BENCH_fig2_create.json"
+LWT_BENCH_DIR="$SMOKE_DIR" LWT_THREADS=1 \
+    cargo bench --offline -q -p lwt-bench --bench fig2_create >/dev/null
+python3 - results/BENCH_fig2_create.json "$SMOKE_DIR/BENCH_fig2_create.json" <<'PY'
+import json, math, os, sys
+
+base_path, fresh_path = sys.argv[1], sys.argv[2]
+geo_tol = float(os.environ.get("LWT_SPAWN_SMOKE_TOLERANCE", "1.25"))
+per_tol = float(os.environ.get("LWT_SPAWN_SMOKE_SERIES_TOLERANCE", "2.0"))
+
+def medians(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["id"]: b["median_ns"] for b in doc["benches"] if b["median_ns"] > 0}
+
+base, fresh = medians(base_path), medians(fresh_path)
+shared = sorted(set(base) & set(fresh))
+assert shared, f"no common bench ids between {base_path} and {fresh_path}"
+
+ratios = {bid: fresh[bid] / base[bid] for bid in shared}
+geomean = math.exp(sum(math.log(r) for r in ratios.values()) / len(ratios))
+worst = max(ratios, key=ratios.get)
+print(f"   {len(shared)} series; geomean ratio {geomean:.3f} "
+      f"(worst {worst}: {ratios[worst]:.2f}x)")
+if geomean > geo_tol:
+    sys.exit(f"FAIL: spawn medians regressed {geomean:.2f}x > {geo_tol}x vs baseline")
+gross = {bid: r for bid, r in ratios.items() if r > per_tol}
+if gross:
+    lines = ", ".join(f"{bid}: {r:.2f}x" for bid, r in sorted(gross.items()))
+    sys.exit(f"FAIL: series regressed beyond {per_tol}x: {lines}")
+print("   ok: spawn path within tolerance of committed baseline")
+PY
+
 echo "tier1: green"

@@ -63,3 +63,5 @@ pub use sched::{BasicScheduler, Pick, SchedContext, Scheduler, WorkUnit};
 pub use stream::{current_stream, in_ult, yield_now, yield_to};
 pub use sync::{AbtBarrier, AbtCond, AbtFuture, AbtMutex, AbtMutexGuard, Eventual};
 pub use unit::{TaskletHandle, UltHandle, UnitState};
+
+pub use lwt_ultcore::JoinError;

@@ -1,6 +1,6 @@
 //! Work-unit pools and pool topology policies.
 
-use lwt_sched::SharedQueue;
+use lwt_sched::{Injector, SharedQueue};
 
 use crate::unit::Unit;
 
@@ -20,32 +20,51 @@ pub enum PoolPolicy {
     SharedSingle,
 }
 
-/// Internal pool representation: a mutex-protected FIFO of unit hints.
+/// Internal pool representation.
 ///
-/// Even "private" pools need a lock because the *creator* (the main
-/// thread, or any ULT on another stream) pushes into them; privacy
-/// refers to who *consumes*, mirroring `ABT_POOL_ACCESS_MPSC`.
-pub(crate) struct PoolShared {
-    queue: SharedQueue<Unit>,
+/// A *private* pool is a lock-free MPSC [`Injector`]: any creator (the
+/// main thread, or any ULT on another stream) may push, but only the
+/// owning stream consumes — exactly `ABT_POOL_ACCESS_MPSC`, with no
+/// lock on either path. The *shared* pool keeps the mutex-protected
+/// FIFO: every stream pops from it, and the lock they contend on is
+/// precisely what the `ablation_pools` bench quantifies.
+pub(crate) enum PoolShared {
+    /// Lock-free MPSC pool for the private-per-stream layout.
+    Mpsc(Injector<Unit>),
+    /// Mutex-protected MPMC pool for the shared-single layout.
+    Shared(SharedQueue<Unit>),
 }
 
 impl PoolShared {
+    /// Lock-free MPSC pool (private-per-stream layout).
     pub(crate) fn new() -> Self {
-        PoolShared {
-            queue: SharedQueue::new(),
-        }
+        PoolShared::Mpsc(Injector::new())
+    }
+
+    /// Lock-based MPMC pool (shared-single layout).
+    pub(crate) fn new_shared() -> Self {
+        PoolShared::Shared(SharedQueue::new())
     }
 
     pub(crate) fn push(&self, unit: Unit) {
-        self.queue.push(unit);
+        match self {
+            PoolShared::Mpsc(q) => q.push(unit),
+            PoolShared::Shared(q) => q.push(unit),
+        }
     }
 
     pub(crate) fn pop(&self) -> Option<Unit> {
-        self.queue.pop()
+        match self {
+            PoolShared::Mpsc(q) => q.pop(),
+            PoolShared::Shared(q) => q.pop(),
+        }
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.queue.len()
+        match self {
+            PoolShared::Mpsc(q) => q.len(),
+            PoolShared::Shared(q) => q.len(),
+        }
     }
 }
 

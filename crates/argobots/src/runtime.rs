@@ -4,7 +4,7 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use lwt_fiber::{init_context, Stack, StackSize};
+use lwt_fiber::{cache, init_context, StackSize};
 use lwt_metrics::registry::{emit, timestamp_if_tracing, COUNTERS};
 use lwt_metrics::EventKind;
 use lwt_sync::SpinLock;
@@ -84,7 +84,7 @@ impl Runtime {
         });
         let rt = Runtime { inner };
         if config.pool_policy == PoolPolicy::SharedSingle {
-            rt.inner.pools.lock().push(Arc::new(PoolShared::new()));
+            rt.inner.pools.lock().push(Arc::new(PoolShared::new_shared()));
         }
         for _ in 0..config.num_streams {
             rt.stream_create();
@@ -218,7 +218,7 @@ impl Runtime {
         });
         COUNTERS.ults_created.inc();
         emit(EventKind::UltSpawn, 0);
-        let stack = Stack::new(self.inner.stack_size);
+        let stack = cache::acquire(self.inner.stack_size);
         let inner = Arc::new(UltInner {
             state: AtomicU8::new(READY),
             ctx: UnsafeCell::new(lwt_fiber::RawContext::null()),

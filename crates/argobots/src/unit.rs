@@ -5,8 +5,9 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU8, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use lwt_fiber::{RawContext, Stack};
+use lwt_fiber::{CachedStack, RawContext};
 use lwt_metrics::registry::SPAWN_LATENCY;
+use lwt_ultcore::JoinError;
 
 use crate::pool::PoolShared;
 
@@ -55,9 +56,9 @@ pub(crate) struct UltInner {
     pub(crate) state: AtomicU8,
     /// Suspended context; valid whenever the ULT is not running.
     pub(crate) ctx: UnsafeCell<RawContext>,
-    /// Owned stack; dropped with the last Arc (join + handle drop ≙
-    /// `ABT_thread_free`).
-    pub(crate) stack: UnsafeCell<Option<Stack>>,
+    /// Owned stack, recycled through the per-worker stack cache when
+    /// the last Arc drops (join + handle drop ≙ `ABT_thread_free`).
+    pub(crate) stack: UnsafeCell<Option<CachedStack>>,
     /// Entry closure, taken exactly once at first execution.
     pub(crate) entry: UnsafeCell<Option<Entry>>,
     /// Pool this ULT returns to when it yields.
@@ -161,28 +162,39 @@ impl<T> UltHandle<T> {
         self.inner.state()
     }
 
-    /// Wait for completion and take the result.
+    /// Wait for completion and take the result, surfacing a panic that
+    /// escaped the ULT's closure as a [`JoinError`] instead of
+    /// re-raising it.
     ///
     /// Inside a ULT this yields the caller (keeping the stream busy);
     /// from an external thread it spin-yields, matching how the paper's
     /// microbenchmarks join from the master thread.
+    ///
+    /// # Errors
+    ///
+    /// [`JoinError`] carrying the panic payload.
+    pub fn try_join(self) -> Result<T, JoinError> {
+        crate::stream::wait_until(|| self.inner.is_terminated());
+        // SAFETY: TERMINATED observed with Acquire; the unit will never
+        // touch `panic`/result again; we own the handle.
+        unsafe {
+            if let Some(p) = (*self.inner.panic.get()).take() {
+                return Err(JoinError::new(p));
+            }
+            Ok((*self.result.0.get())
+                .take()
+                .expect("ULT result already taken"))
+        }
+    }
+
+    /// Wait for completion and take the result.
     ///
     /// # Panics
     ///
     /// Re-raises a panic that escaped the ULT's closure, and panics if
     /// the result was already taken.
     pub fn join(self) -> T {
-        crate::stream::wait_until(|| self.inner.is_terminated());
-        // SAFETY: TERMINATED observed with Acquire; the unit will never
-        // touch `panic`/result again; we own the handle.
-        unsafe {
-            if let Some(p) = (*self.inner.panic.get()).take() {
-                std::panic::resume_unwind(p);
-            }
-            (*self.result.0.get())
-                .take()
-                .expect("ULT result already taken")
-        }
+        self.try_join().unwrap_or_else(|e| e.resume())
     }
 
     /// Non-consuming completion test.
@@ -213,23 +225,33 @@ impl<T> TaskletHandle<T> {
         self.inner.state()
     }
 
-    /// Wait for completion and take the result (see
-    /// [`UltHandle::join`] for the waiting discipline).
+    /// Wait for completion and take the result, surfacing an escaped
+    /// panic as a [`JoinError`] (see [`UltHandle::try_join`] for the
+    /// waiting discipline).
+    ///
+    /// # Errors
+    ///
+    /// [`JoinError`] carrying the panic payload.
+    pub fn try_join(self) -> Result<T, JoinError> {
+        crate::stream::wait_until(|| self.inner.is_terminated());
+        // SAFETY: as in UltHandle::try_join.
+        unsafe {
+            if let Some(p) = (*self.inner.panic.get()).take() {
+                return Err(JoinError::new(p));
+            }
+            Ok((*self.result.0.get())
+                .take()
+                .expect("tasklet result already taken"))
+        }
+    }
+
+    /// Wait for completion and take the result.
     ///
     /// # Panics
     ///
     /// Re-raises a panic that escaped the tasklet's closure.
     pub fn join(self) -> T {
-        crate::stream::wait_until(|| self.inner.is_terminated());
-        // SAFETY: as in UltHandle::join.
-        unsafe {
-            if let Some(p) = (*self.inner.panic.get()).take() {
-                std::panic::resume_unwind(p);
-            }
-            (*self.result.0.get())
-                .take()
-                .expect("tasklet result already taken")
-        }
+        self.try_join().unwrap_or_else(|e| e.resume())
     }
 
     /// Non-consuming completion test.

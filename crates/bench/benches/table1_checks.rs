@@ -39,7 +39,7 @@ fn yield_cost(h: &mut Harness) {
         }
         group.bench_function(BenchmarkId::new(kind.name(), YIELDS), |b| {
             b.iter_custom(|iters| {
-                let glt = Glt::init(kind, 1);
+                let glt = Glt::builder(kind).workers(1).build();
                 let t0 = std::time::Instant::now();
                 for _ in 0..iters {
                     let h = glt.ult_create(move || {

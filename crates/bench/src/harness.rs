@@ -222,7 +222,9 @@ fn render_json(report: &GroupReport) -> String {
              \"metrics\": {{\"ults_created\": {}, \"tasklets_created\": {}, \
              \"yields\": {}, \"steals\": {}, \"steal_attempts\": {}, \
              \"os_threads_spawned\": {}, \"feb_blocks\": {}, \
-             \"messages_executed\": {}, \"nested_regions\": {}}}}}{comma}",
+             \"messages_executed\": {}, \"nested_regions\": {}, \
+             \"stack_cache_hits\": {}, \"stack_cache_misses\": {}, \
+             \"queue_contention\": {}}}}}{comma}",
             json_escape(&rec.id),
             s.median.as_nanos(),
             s.p99.as_nanos(),
@@ -240,6 +242,9 @@ fn render_json(report: &GroupReport) -> String {
             m.feb_blocks,
             m.messages_executed,
             m.nested_regions,
+            m.stack_cache_hits,
+            m.stack_cache_misses,
+            m.queue_contention,
         );
     }
     let _ = writeln!(out, "  ]");

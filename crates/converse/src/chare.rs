@@ -29,7 +29,7 @@ use crate::Runtime;
 /// ```
 /// use lwt_converse::{Chare, Config, Runtime};
 ///
-/// let rt = Runtime::init(Config { num_processors: 2 });
+/// let rt = Runtime::init(Config { num_processors: 2, ..Config::default() });
 /// let counter = Chare::new(&rt, 1, 0u64);
 /// for _ in 0..10 {
 ///     counter.send(|n| *n += 1);
@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn sends_apply_in_order_from_one_sender() {
-        let rt = Runtime::init(Config { num_processors: 2 });
+        let rt = Runtime::init(Config { num_processors: 2, ..Config::default() });
         let log = Chare::new(&rt, 0, Vec::new());
         for i in 0..20 {
             log.send(move |v: &mut Vec<usize>| v.push(i));
@@ -147,7 +147,7 @@ mod tests {
 
     #[test]
     fn calls_serialize_against_sends() {
-        let rt = Runtime::init(Config { num_processors: 3 });
+        let rt = Runtime::init(Config { num_processors: 3, ..Config::default() });
         let acc = Chare::new(&rt, 1, 0i64);
         for i in 1..=100 {
             acc.send(move |n| *n += i);
@@ -160,7 +160,7 @@ mod tests {
 
     #[test]
     fn concurrent_clients_from_work_units() {
-        let rt = Runtime::init(Config { num_processors: 3 });
+        let rt = Runtime::init(Config { num_processors: 3, ..Config::default() });
         let server = Chare::new(&rt, 0, 0u64);
         let replies = Arc::new(AtomicUsize::new(0));
         // Clients on *other* processors call into the server chare.
@@ -188,7 +188,7 @@ mod tests {
 
     #[test]
     fn chares_on_different_processors_run_concurrently() {
-        let rt = Runtime::init(Config { num_processors: 2 });
+        let rt = Runtime::init(Config { num_processors: 2, ..Config::default() });
         let a = Chare::new(&rt, 0, 0usize);
         let b = Chare::new(&rt, 1, 0usize);
         for _ in 0..50 {
@@ -203,7 +203,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "nonexistent processor")]
     fn bad_home_rejected() {
-        let rt = Runtime::init(Config { num_processors: 1 });
+        let rt = Runtime::init(Config { num_processors: 1, ..Config::default() });
         let _ = Chare::new(&rt, 5, ());
     }
 }

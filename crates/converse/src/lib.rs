@@ -5,6 +5,9 @@
 //! Charm++ and one of the oldest LWT designs:
 //!
 //! * **Processors** — OS threads, each with its own work-unit queue.
+//!   The queue is a lock-free MPSC injector ([`lwt_sched::Injector`]):
+//!   any number of senders, one consumer — exactly the shape the
+//!   insertion rule below prescribes, with no lock on the pop path.
 //! * **Two work-unit types**: stackful **ULTs** (`CthThread`,
 //!   [`Runtime::spawn_ult`]) and stackless **Messages** (
 //!   [`Runtime::send`]) that "are executed atomically" and serve as the
@@ -28,7 +31,7 @@
 //! use std::sync::Arc;
 //! use lwt_converse::{Config, Runtime};
 //!
-//! let rt = Runtime::init(Config { num_processors: 2 });
+//! let rt = Runtime::init(Config { num_processors: 2, ..Config::default() });
 //! let hits = Arc::new(AtomicUsize::new(0));
 //! for _ in 0..10 {
 //!     let hits = hits.clone();
@@ -53,11 +56,11 @@ use std::sync::Arc;
 use lwt_fiber::StackSize;
 use lwt_metrics::registry::{emit, COUNTERS};
 use lwt_metrics::EventKind;
-use lwt_sched::{RoundRobin, SharedQueue};
+use lwt_sched::{Injector, RoundRobin};
 use lwt_sync::{SenseBarrier, SpinLock};
 use lwt_ultcore::{enter_worker, run_ult, wait_until, ResultCell, Requeue, UltCore};
 
-pub use lwt_ultcore::{current_worker as current_processor, in_ult, yield_now};
+pub use lwt_ultcore::{current_worker as current_processor, in_ult, yield_now, JoinError};
 
 /// Park the calling ULT until [`UltHandle::awaken`] (`CthSuspend`).
 ///
@@ -73,19 +76,19 @@ pub fn suspend() {
 pub struct Config {
     /// Number of processors (`+p` in Converse command lines).
     pub num_processors: usize,
+    /// ULT stack size (`CthCreate`'s stack argument; Converse defaults
+    /// to 64 KiB on Linux, the workspace default).
+    pub stack_size: StackSize,
 }
 
 impl Default for Config {
     fn default() -> Self {
         Config {
             num_processors: std::thread::available_parallelism().map_or(4, usize::from),
+            stack_size: StackSize::DEFAULT,
         }
     }
 }
-
-/// ULT stack size (`CthCreate`'s stack argument; Converse defaults to
-/// 64 KiB on Linux).
-const CTH_STACK: StackSize = StackSize::DEFAULT;
 
 /// A queued work unit on a processor.
 enum ConvUnit {
@@ -96,11 +99,13 @@ enum ConvUnit {
 }
 
 struct Proc {
-    queue: SharedQueue<ConvUnit>,
+    /// MPSC: any thread may send, only the owning processor pops.
+    queue: Injector<ConvUnit>,
 }
 
 struct RtInner {
     procs: Vec<Arc<Proc>>,
+    stack_size: StackSize,
     /// Work units created but not yet fully executed; the quiescence
     /// condition for barrier entry.
     outstanding: AtomicUsize,
@@ -132,7 +137,8 @@ pub struct UltHandle<T> {
 
 impl<T> UltHandle<T> {
     /// Wait for completion (yielding when inside a ULT) and take the
-    /// result.
+    /// result, surfacing an escaped panic as a [`JoinError`] instead of
+    /// re-raising it.
     ///
     /// Must be called from a ULT or an external thread — **never from
     /// a message**: messages execute atomically on their processor's
@@ -140,16 +146,25 @@ impl<T> UltHandle<T> {
     /// same rule as in C Converse). Prefer [`Runtime::barrier`] for
     /// message-fanout joins.
     ///
+    /// # Errors
+    ///
+    /// [`JoinError`] carrying the panic payload.
+    pub fn try_join(self) -> Result<T, JoinError> {
+        wait_until(|| self.ult.is_terminated());
+        if let Some(p) = self.ult.take_panic() {
+            return Err(JoinError::new(p));
+        }
+        // SAFETY: TERMINATED observed; sole joiner.
+        Ok(unsafe { self.result.take() }.expect("converse ULT result missing"))
+    }
+
+    /// Wait for completion and take the result.
+    ///
     /// # Panics
     ///
     /// Re-raises a panic that escaped the ULT's closure.
     pub fn join(self) -> T {
-        wait_until(|| self.ult.is_terminated());
-        if let Some(p) = self.ult.take_panic() {
-            std::panic::resume_unwind(p);
-        }
-        // SAFETY: TERMINATED observed; sole joiner.
-        unsafe { self.result.take() }.expect("converse ULT result missing")
+        self.try_join().unwrap_or_else(|e| e.resume())
     }
 
     /// Non-consuming completion test.
@@ -189,12 +204,13 @@ impl Runtime {
         let procs: Vec<Arc<Proc>> = (0..config.num_processors)
             .map(|_| {
                 Arc::new(Proc {
-                    queue: SharedQueue::new(),
+                    queue: Injector::new(),
                 })
             })
             .collect();
         let inner = Arc::new(RtInner {
             procs,
+            stack_size: config.stack_size,
             outstanding: AtomicUsize::new(0),
             barrier_requested: AtomicUsize::new(0),
             barrier_completed: AtomicUsize::new(0),
@@ -274,7 +290,7 @@ impl Runtime {
         );
         let result = ResultCell::new();
         let slot = result.clone();
-        let ult = UltCore::new(CTH_STACK, move || {
+        let ult = UltCore::new(self.inner.stack_size, move || {
             let value = f();
             // SAFETY: sole writer, before TERMINATED.
             unsafe { slot.put(value) };
@@ -400,7 +416,10 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
 
     fn rt(n: usize) -> Runtime {
-        Runtime::init(Config { num_processors: n })
+        Runtime::init(Config {
+            num_processors: n,
+            ..Config::default()
+        })
     }
 
     #[test]
@@ -531,7 +550,10 @@ mod suspend_tests {
 
     #[test]
     fn cth_suspend_awaken_round_trip() {
-        let rt = Runtime::init(Config { num_processors: 2 });
+        let rt = Runtime::init(Config {
+            num_processors: 2,
+            ..Config::default()
+        });
         let progress = Arc::new(AtomicUsize::new(0));
         let handle_cell: Arc<SpinLock<Option<UltHandle<()>>>> =
             Arc::new(SpinLock::new(None));

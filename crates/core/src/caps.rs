@@ -311,7 +311,7 @@ mod tests {
         let m = capability_matrix();
         for kind in BackendKind::ALL {
             let row = m.iter().find(|c| c.name == kind.name()).unwrap();
-            let glt = Glt::init(kind, 1);
+            let glt = Glt::builder(kind).workers(1).build();
             assert_eq!(
                 glt.supports_tasklets(),
                 row.tasklet_support,

@@ -2,7 +2,9 @@
 
 use std::sync::Arc;
 
+use lwt_fiber::StackSize;
 use lwt_sync::{Event, SpinLock};
+use lwt_ultcore::JoinError;
 
 /// Which runtime model executes the work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,6 +51,150 @@ impl std::fmt::Display for BackendKind {
     }
 }
 
+/// Scheduler/pool topology knob of the unified API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Each execution resource owns a private ready queue; cross-worker
+    /// traffic goes through the lock-free injector. Every backend's
+    /// default, and the configuration the paper's evaluation selects.
+    #[default]
+    PrivatePerWorker,
+    /// One shared, mutex-protected queue. Only Argobots exposes this
+    /// topology (`ABT_POOL_ACCESS_MPMC` ≙ `PoolPolicy::SharedSingle`);
+    /// the other backends have no shared-queue mode and ignore the
+    /// knob, keeping their private queues.
+    SharedQueue,
+}
+
+/// Full configuration consumed by [`Glt::with_config`]; normally
+/// assembled through [`Glt::builder`].
+#[derive(Debug, Clone)]
+pub struct GltConfig {
+    /// Which runtime model executes the work.
+    pub backend: BackendKind,
+    /// Number of execution resources (streams / shepherds / workers /
+    /// processors / scheduler threads). Must be non-zero.
+    pub workers: usize,
+    /// Stack size for stackful work units.
+    pub stack_size: StackSize,
+    /// Per-worker stack-cache capacity override. `None` keeps the
+    /// process-wide setting (`LWT_STACK_CACHE_CAP`, default 64);
+    /// `Some(0)` disables recycling. Note the cache is process-global,
+    /// so this override outlives the [`Glt`] instance that set it.
+    pub stack_cache_capacity: Option<usize>,
+    /// Ready-queue topology (see [`SchedPolicy`]).
+    pub scheduler: SchedPolicy,
+}
+
+impl GltConfig {
+    /// Defaults for `backend`: all cores, default stacks, inherited
+    /// stack-cache capacity, private per-worker queues.
+    #[must_use]
+    pub fn new(backend: BackendKind) -> Self {
+        GltConfig {
+            backend,
+            workers: std::thread::available_parallelism().map_or(4, usize::from),
+            stack_size: StackSize::DEFAULT,
+            stack_cache_capacity: None,
+            scheduler: SchedPolicy::default(),
+        }
+    }
+}
+
+/// Builder returned by [`Glt::builder`]; every setter is optional.
+///
+/// ```
+/// use lwt_core::{BackendKind, Glt};
+///
+/// let glt = Glt::builder(BackendKind::Qthreads).workers(2).build();
+/// let h = glt.ult_create(|| 6 * 7);
+/// assert_eq!(h.join(), 42);
+/// glt.finalize();
+/// ```
+#[derive(Debug, Clone)]
+pub struct GltBuilder {
+    cfg: GltConfig,
+}
+
+impl GltBuilder {
+    /// Number of execution resources (streams / shepherds / workers /
+    /// processors / scheduler threads).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.workers = n;
+        self
+    }
+
+    /// Stack size for stackful work units.
+    #[must_use]
+    pub fn stack_size(mut self, size: StackSize) -> Self {
+        self.cfg.stack_size = size;
+        self
+    }
+
+    /// Per-worker stack-cache capacity (see
+    /// [`GltConfig::stack_cache_capacity`]).
+    #[must_use]
+    pub fn stack_cache_capacity(mut self, cap: usize) -> Self {
+        self.cfg.stack_cache_capacity = Some(cap);
+        self
+    }
+
+    /// Ready-queue topology.
+    #[must_use]
+    pub fn scheduler(mut self, policy: SchedPolicy) -> Self {
+        self.cfg.scheduler = policy;
+        self
+    }
+
+    /// The accumulated configuration, without starting a runtime.
+    #[must_use]
+    pub fn config(&self) -> &GltConfig {
+        &self.cfg
+    }
+
+    /// Start the runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn build(self) -> Glt {
+        Glt::with_config(self.cfg)
+    }
+}
+
+/// Error from placement-aware creation ([`Glt::ult_create_to`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The backend exposes no work-unit placement: MassiveThreads
+    /// decides placement with its work-first scheduler, and Go hides
+    /// its processors entirely (paper Table I, "Scheduling Control").
+    Unsupported(BackendKind),
+    /// `worker` is not a valid execution-resource index.
+    OutOfRange {
+        /// Requested worker index.
+        worker: usize,
+        /// Number of execution resources in this runtime.
+        workers: usize,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::Unsupported(kind) => {
+                write!(f, "backend {kind} does not support work-unit placement")
+            }
+            PlacementError::OutOfRange { worker, workers } => {
+                write!(f, "worker {worker} out of range (runtime has {workers})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
 enum Backend {
     Argobots(lwt_argobots::Runtime),
     Qthreads(lwt_qthreads::Runtime),
@@ -82,12 +228,12 @@ impl<T> EventSlot<T> {
         self.done.set();
     }
 
-    fn wait(&self, relax: impl FnMut()) -> T {
+    fn try_wait(&self, relax: impl FnMut()) -> Result<T, JoinError> {
         self.done.wait(relax);
         if let Some(p) = self.panicked.lock().take() {
-            std::panic::resume_unwind(p);
+            return Err(JoinError::new(p));
         }
-        self.value.lock().take().expect("GLT result missing")
+        Ok(self.value.lock().take().expect("GLT result missing"))
     }
 }
 
@@ -118,20 +264,30 @@ impl<T> From<HandleInner<T>> for GltHandle<T> {
 }
 
 impl<T> GltHandle<T> {
-    /// Wait for completion and take the result (the backend's native
-    /// join mechanism underneath).
+    /// Wait for completion (the backend's native join mechanism
+    /// underneath) and take the result, surfacing a panic that escaped
+    /// the work unit as a [`JoinError`] instead of re-raising it.
+    ///
+    /// # Errors
+    ///
+    /// [`JoinError`] carrying the panic payload.
+    pub fn try_join(self) -> Result<T, JoinError> {
+        match self.inner {
+            HandleInner::AbtUlt(h) => h.try_join(),
+            HandleInner::AbtTasklet(h) => h.try_join(),
+            HandleInner::Qth(h) => h.try_join(),
+            HandleInner::Myth(h) => h.try_join(),
+            HandleInner::Event(slot, kind) => slot.try_wait(relax_for(kind)),
+        }
+    }
+
+    /// Wait for completion and take the result.
     ///
     /// # Panics
     ///
     /// Re-raises a panic that escaped the work unit.
     pub fn join(self) -> T {
-        match self.inner {
-            HandleInner::AbtUlt(h) => h.join(),
-            HandleInner::AbtTasklet(h) => h.join(),
-            HandleInner::Qth(h) => h.join(),
-            HandleInner::Myth(h) => h.join(),
-            HandleInner::Event(slot, kind) => slot.wait(relax_for(kind)),
-        }
+        self.try_join().unwrap_or_else(|e| e.resume())
     }
 
     /// Non-consuming completion test.
@@ -183,47 +339,92 @@ fn lwt_go_yield() {
 /// The unified runtime (`GLT_init` … `GLT_finalize`).
 pub struct Glt {
     backend: Backend,
+    workers: usize,
 }
 
 impl Glt {
+    /// Start configuring a runtime for `kind`. Finish with
+    /// [`GltBuilder::build`].
+    #[must_use]
+    pub fn builder(kind: BackendKind) -> GltBuilder {
+        GltBuilder {
+            cfg: GltConfig::new(kind),
+        }
+    }
+
+    /// Initialize a backend from a fully-spelled-out [`GltConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers` is zero.
+    #[must_use]
+    pub fn with_config(cfg: GltConfig) -> Self {
+        assert!(cfg.workers > 0, "GLT needs at least one execution resource");
+        if let Some(cap) = cfg.stack_cache_capacity {
+            lwt_fiber::cache::set_capacity(cap);
+        }
+        let backend = match cfg.backend {
+            BackendKind::Argobots => Backend::Argobots(lwt_argobots::Runtime::init(
+                lwt_argobots::Config {
+                    num_streams: cfg.workers,
+                    pool_policy: match cfg.scheduler {
+                        SchedPolicy::PrivatePerWorker => {
+                            lwt_argobots::PoolPolicy::PrivatePerStream
+                        }
+                        SchedPolicy::SharedQueue => lwt_argobots::PoolPolicy::SharedSingle,
+                    },
+                    stack_size: cfg.stack_size,
+                },
+            )),
+            BackendKind::Qthreads => Backend::Qthreads(lwt_qthreads::Runtime::init(
+                // One worker per shepherd: GLT worker index ≙ shepherd
+                // index, which is what fork_to targets.
+                lwt_qthreads::Config {
+                    num_shepherds: cfg.workers,
+                    workers_per_shepherd: 1,
+                    stack_size: cfg.stack_size,
+                },
+            )),
+            BackendKind::MassiveThreads => Backend::Massive(lwt_massive::Runtime::init(
+                lwt_massive::Config {
+                    num_workers: cfg.workers,
+                    stack_size: cfg.stack_size,
+                    ..Default::default()
+                },
+            )),
+            BackendKind::Converse => Backend::Converse(lwt_converse::Runtime::init(
+                lwt_converse::Config {
+                    num_processors: cfg.workers,
+                    stack_size: cfg.stack_size,
+                },
+            )),
+            BackendKind::Go => Backend::Go(lwt_go::Runtime::init(lwt_go::Config {
+                num_threads: cfg.workers,
+                stack_size: cfg.stack_size,
+            })),
+        };
+        Glt {
+            backend,
+            workers: cfg.workers,
+        }
+    }
+
     /// Initialize the chosen backend with `threads` execution resources
     /// (streams / shepherds / workers / processors / scheduler threads).
     ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
+    #[deprecated(note = "use `Glt::builder(kind).workers(n).build()` or `Glt::with_config`")]
     #[must_use]
     pub fn init(kind: BackendKind, threads: usize) -> Self {
-        let backend = match kind {
-            BackendKind::Argobots => Backend::Argobots(lwt_argobots::Runtime::init(
-                lwt_argobots::Config {
-                    num_streams: threads,
-                    ..Default::default()
-                },
-            )),
-            BackendKind::Qthreads => Backend::Qthreads(lwt_qthreads::Runtime::init(
-                lwt_qthreads::Config {
-                    num_shepherds: threads,
-                    workers_per_shepherd: 1,
-                    ..Default::default()
-                },
-            )),
-            BackendKind::MassiveThreads => Backend::Massive(lwt_massive::Runtime::init(
-                lwt_massive::Config {
-                    num_workers: threads,
-                    ..Default::default()
-                },
-            )),
-            BackendKind::Converse => Backend::Converse(lwt_converse::Runtime::init(
-                lwt_converse::Config {
-                    num_processors: threads,
-                },
-            )),
-            BackendKind::Go => Backend::Go(lwt_go::Runtime::init(lwt_go::Config {
-                num_threads: threads,
-            })),
-        };
-        Glt { backend }
+        Glt::builder(kind).workers(threads).build()
+    }
+
+    /// Number of execution resources this runtime was started with.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Which backend this instance drives.
@@ -275,6 +476,52 @@ impl Glt {
                 HandleInner::Event(slot, BackendKind::Go).into()
             }
         }
+    }
+
+    /// Create a yieldable work unit pinned to execution resource
+    /// `worker` — Argobots ES-targeted creation (`ABT_thread_create` on
+    /// a specific stream's pool), Qthreads `qthread_fork_to` and a
+    /// Converse destination-processor send.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::Unsupported`] on MassiveThreads (the
+    /// work-first scheduler owns placement) and Go (processors are
+    /// hidden); [`PlacementError::OutOfRange`] when `worker` ≥
+    /// [`Glt::workers`].
+    pub fn ult_create_to<T, F>(&self, worker: usize, f: F) -> Result<GltHandle<T>, PlacementError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        match &self.backend {
+            Backend::Massive(_) => {
+                return Err(PlacementError::Unsupported(BackendKind::MassiveThreads))
+            }
+            Backend::Go(_) => return Err(PlacementError::Unsupported(BackendKind::Go)),
+            _ => {}
+        }
+        if worker >= self.workers {
+            return Err(PlacementError::OutOfRange {
+                worker,
+                workers: self.workers,
+            });
+        }
+        Ok(match &self.backend {
+            Backend::Argobots(rt) => HandleInner::AbtUlt(rt.ult_create_to(worker, f)).into(),
+            Backend::Qthreads(rt) => HandleInner::Qth(rt.fork_to(worker, f)).into(),
+            Backend::Converse(rt) => {
+                let slot = EventSlot::new();
+                let s2 = slot.clone();
+                rt.send(worker, move || {
+                    s2.fulfill(std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(f),
+                    ));
+                });
+                HandleInner::Event(slot, BackendKind::Converse).into()
+            }
+            Backend::Massive(_) | Backend::Go(_) => unreachable!("rejected above"),
+        })
     }
 
     /// Create a stackless, atomically-executed work unit where the
@@ -350,7 +597,7 @@ mod tests {
     #[test]
     fn every_backend_runs_ults() {
         for kind in BackendKind::ALL {
-            let glt = Glt::init(kind, 2);
+            let glt = Glt::builder(kind).workers(2).build();
             let hits = Arc::new(AtomicUsize::new(0));
             let handles: Vec<_> = (0..50)
                 .map(|_| {
@@ -371,7 +618,7 @@ mod tests {
     #[test]
     fn every_backend_returns_values() {
         for kind in BackendKind::ALL {
-            let glt = Glt::init(kind, 2);
+            let glt = Glt::builder(kind).workers(2).build();
             let sum: u64 = (0..20)
                 .map(|i| glt.ult_create(move || i as u64))
                 .collect::<Vec<_>>()
@@ -386,7 +633,7 @@ mod tests {
     #[test]
     fn tasklets_run_everywhere_with_fallback() {
         for kind in BackendKind::ALL {
-            let glt = Glt::init(kind, 2);
+            let glt = Glt::builder(kind).workers(2).build();
             let h = glt.tasklet_create(|| 3u32.pow(3));
             assert_eq!(h.join(), 27, "backend {kind}");
             glt.finalize();
@@ -402,7 +649,7 @@ mod tests {
             (BackendKind::Converse, true),
             (BackendKind::Go, false),
         ] {
-            let glt = Glt::init(kind, 1);
+            let glt = Glt::builder(kind).workers(1).build();
             assert_eq!(glt.supports_tasklets(), expect, "backend {kind}");
             glt.finalize();
         }
@@ -411,7 +658,7 @@ mod tests {
     #[test]
     fn panics_propagate_through_the_generic_join() {
         for kind in BackendKind::ALL {
-            let glt = Glt::init(kind, 1);
+            let glt = Glt::builder(kind).workers(1).build();
             let h = glt.ult_create(|| -> () { panic!("glt boom") });
             let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.join()))
                 .expect_err("join must re-raise");
@@ -430,7 +677,7 @@ mod tests {
         // finalize, expressed 1:1 in the generic API.
         const N: usize = 100;
         for kind in BackendKind::ALL {
-            let glt = Glt::init(kind, 2);
+            let glt = Glt::builder(kind).workers(2).build();
             let handles: Vec<_> = (0..N).map(|_| glt.ult_create(|| ())).collect();
             glt.yield_now();
             for h in handles {

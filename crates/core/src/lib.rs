@@ -37,7 +37,7 @@
 //! use lwt_core::{BackendKind, Glt};
 //!
 //! for kind in BackendKind::ALL {
-//!     let glt = Glt::init(kind, 2);
+//!     let glt = Glt::builder(kind).workers(2).build();
 //!     let h: Vec<_> = (0..4).map(|i| glt.ult_create(move || i * i)).collect();
 //!     let sum: usize = h.into_iter().map(|h| h.join()).sum();
 //!     assert_eq!(sum, 14);
@@ -54,8 +54,18 @@ mod pm;
 pub use caps::{
     api_map, capability_matrix, ApiRow, Capabilities, SchedulerPlug,
 };
-pub use glt::{BackendKind, Glt, GltHandle};
+pub use glt::{
+    BackendKind, Glt, GltBuilder, GltConfig, GltHandle, PlacementError, SchedPolicy,
+};
 pub use pm::{Pm, TaskScope};
+
+/// Stack size for stackful work units, re-exported from `lwt-fiber` so
+/// `GltBuilder::stack_size` can be fed without a second dependency.
+pub use lwt_fiber::StackSize;
+/// Panic payload surfaced by the fallible joins (`GltHandle::try_join`
+/// and every backend handle's `try_join`) — one type across all five
+/// runtimes.
+pub use lwt_ultcore::JoinError;
 
 /// Deterministic PRNGs (`SplitMix64`, `Xoshiro256StarStar`) with a
 /// `rand`-like `gen_range`/`shuffle` surface.

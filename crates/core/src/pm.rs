@@ -42,7 +42,7 @@ impl Pm {
     #[must_use]
     pub fn init(kind: BackendKind, threads: usize) -> Self {
         Pm {
-            glt: Glt::init(kind, threads),
+            glt: Glt::builder(kind).workers(threads).build(),
             default_grain: 64,
         }
     }

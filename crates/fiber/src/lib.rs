@@ -19,6 +19,9 @@
 //! * [`stack::Stack`] — an aligned heap allocation with a canary word at
 //!   the low end (there are no guard pages: the workspace is `no-libc`,
 //!   so `mmap`/`mprotect` are unavailable; see `DESIGN.md` §7).
+//! * [`cache`] — recycled-stack free-lists ([`cache::acquire`] /
+//!   [`CachedStack`]) so steady-state ULT spawn never touches the heap
+//!   allocator; tunable with `LWT_STACK_CACHE_CAP`.
 //! * [`ctx`] — [`ctx::RawContext`], [`ctx::switch`],
 //!   [`ctx::switch_final`], and [`ctx::init_context`] for bootstrapping
 //!   a new context that enters a trampoline.
@@ -64,10 +67,12 @@ compile_error!(
 );
 
 mod arch;
+pub mod cache;
 pub mod ctx;
 mod fiber;
 pub mod stack;
 
+pub use cache::CachedStack;
 pub use ctx::{init_context, switch, switch_final, RawContext};
 pub use fiber::{in_fiber, yield_now, Fiber, FiberState};
 pub use stack::{Stack, StackSize};

@@ -1,0 +1,119 @@
+//! Property tests for the fiber stack cache: any interleaving of
+//! acquires, uses and releases over mixed size classes must only ever
+//! hand out canary-intact, correctly-sized, correctly-aligned stacks.
+
+use std::sync::Mutex;
+
+use lwt_check::{check, prop_assert, prop_assert_eq, range, vec_of};
+use lwt_fiber::{cache, CachedStack, StackSize};
+
+// The cache (and its capacity knob) is process-global; serialize the
+// tests in this file so one run's purge can't race another's reuse
+// expectations.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Size classes deliberately disjoint from every other test in the
+/// workspace, so concurrent test binaries can't cross-pollute bins.
+const CLASSES: [StackSize; 3] = [
+    StackSize(40 * 1024),
+    StackSize(72 * 1024),
+    StackSize(136 * 1024),
+];
+
+/// Scribble over the usable region of a stack — everything a fiber
+/// would dirty — without touching the low-end canary words. Reuse must
+/// survive arbitrary prior contents.
+fn dirty(stack: &CachedStack) {
+    let size = stack.size();
+    // The canary occupies a few words at the very bottom; staying in
+    // the top half clears it by a wide margin.
+    let start = size / 2;
+    unsafe {
+        let p = stack.base().add(start);
+        p.write_bytes(0xA5, size - start);
+    }
+}
+
+#[test]
+fn any_acquire_use_release_interleaving_hands_out_sound_stacks() {
+    let _s = serial();
+    cache::purge();
+    // Encoded op stream: 0..3 ⇒ acquire class i, 3..6 ⇒ acquire class
+    // i-3 and dirty it, 6.. ⇒ release the oldest held stack.
+    check(
+        "stack cache interleavings",
+        48,
+        vec_of(range(0u8..9), 1..120),
+        |ops| {
+            let mut held: Vec<(CachedStack, usize)> = Vec::new();
+            for &op in ops {
+                match op {
+                    0..=5 => {
+                        let class = (op as usize) % CLASSES.len();
+                        let want = CLASSES[class].bytes();
+                        let stack = cache::acquire(CLASSES[class]);
+                        prop_assert!(
+                            stack.canary_intact(),
+                            "cache handed out a stack with a torn canary"
+                        );
+                        prop_assert_eq!(stack.size(), want);
+                        prop_assert_eq!(
+                            stack.top() as usize % 16,
+                            0,
+                            "stack top must stay 16-byte aligned for the sysv64 switch"
+                        );
+                        if op >= 3 {
+                            dirty(&stack);
+                        }
+                        held.push((stack, want));
+                    }
+                    _ => {
+                        if !held.is_empty() {
+                            held.remove(0); // drop ⇒ release to cache
+                        }
+                    }
+                }
+            }
+            // Drain: everything still held must be sound on the way out.
+            for (stack, want) in &held {
+                prop_assert!(stack.canary_intact());
+                prop_assert_eq!(stack.size(), *want);
+            }
+            Ok(())
+        },
+    );
+    cache::purge();
+}
+
+#[test]
+fn steady_state_reuse_recycles_rather_than_allocates() {
+    let _s = serial();
+    cache::purge();
+    check(
+        "stack cache steady state",
+        24,
+        range(1usize..24),
+        |&live| {
+            // Warm up: `live` concurrent stacks of one class.
+            let warm: Vec<_> = (0..live).map(|_| cache::acquire(CLASSES[1])).collect();
+            let bases: Vec<_> = warm.iter().map(|s| s.base()).collect();
+            drop(warm);
+            // Steady state at the same concurrency must be served
+            // entirely from the free-list: same allocations, reused.
+            let again: Vec<_> = (0..live).map(|_| cache::acquire(CLASSES[1])).collect();
+            for stack in &again {
+                prop_assert!(stack.canary_intact());
+                prop_assert!(
+                    bases.contains(&stack.base()),
+                    "steady-state acquire allocated instead of recycling"
+                );
+            }
+            Ok(())
+        },
+    );
+    cache::purge();
+}

@@ -7,9 +7,14 @@
 //!
 //! * **Workers** are hardware resources (one OS thread each); their
 //!   count is fixed at init (`MYTH_NUM_WORKERS`).
-//! * Each worker owns a mutex-protected ready deque; **load balance is
-//!   pursued with random work stealing** — an idle worker locks another
-//!   worker's queue and steals its oldest ULT.
+//! * Each worker owns a ready queue ([`lwt_sched::ReadyQueue`]: a
+//!   lock-free Chase-Lev deque plus an MPSC inbox for cross-worker
+//!   submissions); **load balance is pursued with random work
+//!   stealing** — an idle worker steals another worker's oldest ULT
+//!   from the deque's far end. (Real MassiveThreads guards its deque
+//!   with a mutex; the spawn/join fast-path redesign trades that for
+//!   the lock-free structure while keeping the same owner-LIFO /
+//!   thief-FIFO discipline.)
 //! * **Creation policies** ([`Policy`]): *work-first* (`myth_create`
 //!   default — "when a new ULT is created, it is immediately executed,
 //!   and the current ULT is moved into a ready queue") and *help-first*
@@ -46,13 +51,13 @@ use std::sync::Arc;
 use lwt_fiber::StackSize;
 use lwt_metrics::registry::{emit, COUNTERS, STEAL_DWELL};
 use lwt_metrics::{clock, EventKind};
-use lwt_sched::{RandomVictim, StealableDeque};
+use lwt_sched::{RandomVictim, ReadyQueue};
 use lwt_sync::SpinLock;
 use lwt_ultcore::{
     enter_worker, run_ult, wait_until, yield_to, ResultCell, Requeue, UltCore,
 };
 
-pub use lwt_ultcore::{current_worker, in_ult, yield_now};
+pub use lwt_ultcore::{current_worker, in_ult, yield_now, JoinError};
 
 /// ULT creation policy (`MYTH_CHILD_FIRST` / help-first).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,7 +93,7 @@ impl Default for Config {
 }
 
 struct RtInner {
-    deques: Vec<Arc<StealableDeque<Arc<UltCore>>>>,
+    queues: Vec<ReadyQueue<Arc<UltCore>>>,
     threads: SpinLock<Vec<Option<std::thread::JoinHandle<()>>>>,
     stop: AtomicBool,
     policy: Policy,
@@ -109,20 +114,30 @@ pub struct Handle<T> {
 }
 
 impl<T> Handle<T> {
-    /// Wait for completion (`myth_join`) and take the result. Inside a
-    /// ULT the wait yields, letting the worker keep executing (and
-    /// stealing) other work.
+    /// Wait for completion (`myth_join`) and take the result, surfacing
+    /// an escaped panic as a [`JoinError`] instead of re-raising it.
+    /// Inside a ULT the wait yields, letting the worker keep executing
+    /// (and stealing) other work.
+    ///
+    /// # Errors
+    ///
+    /// [`JoinError`] carrying the panic payload.
+    pub fn try_join(self) -> Result<T, JoinError> {
+        wait_until(|| self.ult.is_terminated());
+        if let Some(p) = self.ult.take_panic() {
+            return Err(JoinError::new(p));
+        }
+        // SAFETY: TERMINATED observed; sole joiner.
+        Ok(unsafe { self.result.take() }.expect("massivethreads result missing"))
+    }
+
+    /// Wait for completion and take the result.
     ///
     /// # Panics
     ///
     /// Re-raises a panic that escaped the ULT's closure.
     pub fn join(self) -> T {
-        wait_until(|| self.ult.is_terminated());
-        if let Some(p) = self.ult.take_panic() {
-            std::panic::resume_unwind(p);
-        }
-        // SAFETY: TERMINATED observed; sole joiner.
-        unsafe { self.result.take() }.expect("massivethreads result missing")
+        self.try_join().unwrap_or_else(|e| e.resume())
     }
 
     /// Non-consuming completion test.
@@ -149,11 +164,8 @@ impl Runtime {
     #[must_use]
     pub fn init(config: Config) -> Self {
         assert!(config.num_workers > 0, "need at least one worker");
-        let deques: Vec<Arc<StealableDeque<Arc<UltCore>>>> = (0..config.num_workers)
-            .map(|_| Arc::new(StealableDeque::new()))
-            .collect();
         let inner = Arc::new(RtInner {
-            deques,
+            queues: (0..config.num_workers).map(|_| ReadyQueue::new()).collect(),
             threads: SpinLock::new(Vec::new()),
             stop: AtomicBool::new(false),
             policy: config.policy,
@@ -185,7 +197,7 @@ impl Runtime {
     /// Number of workers.
     #[must_use]
     pub fn num_workers(&self) -> usize {
-        self.inner.deques.len()
+        self.inner.queues.len()
     }
 
     /// The configured default creation policy.
@@ -214,7 +226,7 @@ impl Runtime {
             unsafe { slot.put(value) };
         });
         emit(EventKind::UltSpawn, 0);
-        self.inner.deques[0].push(ult.clone());
+        self.inner.queues[0].inject(ult.clone());
         wait_until(|| ult.is_terminated());
         if let Some(p) = ult.take_panic() {
             std::panic::resume_unwind(p);
@@ -256,21 +268,23 @@ impl Runtime {
             (Policy::WorkFirst, Some(_)) if in_ult() => {
                 // Work-first from inside a ULT: run the child now; the
                 // post-switch protocol requeues the parent into the
-                // current worker's deque, where it can be stolen.
+                // current worker's queue, where it can be stolen.
                 if !yield_to(&ult) {
                     // Claim raced (cannot normally happen for a fresh
                     // ULT); degrade to help-first.
-                    self.inner.deques[0].push(ult.clone());
+                    self.inner.queues[0].inject(ult.clone());
                 }
             }
             (_, Some(w)) => {
-                // Help-first from a worker: into this worker's deque.
-                self.inner.deques[w].push(ult.clone());
+                // Help-first from a worker: straight onto this worker's
+                // own deque (the zero-allocation owner fast path).
+                self.inner.queues[w].push(ult.clone());
             }
             (_, None) => {
-                // External thread: into worker 0's deque, to be stolen
-                // from there (the paper's MassiveThreads (H) shape).
-                self.inner.deques[0].push(ult.clone());
+                // External thread: into worker 0's inbox, to be batched
+                // onto its deque and stolen from there (the paper's
+                // MassiveThreads (H) shape).
+                self.inner.queues[0].inject(ult.clone());
             }
         }
         Handle { ult, result }
@@ -313,35 +327,36 @@ impl std::fmt::Debug for Runtime {
 }
 
 fn worker_main(inner: &Arc<RtInner>, w: usize) {
-    let my_deque = inner.deques[w].clone();
     let requeue: Arc<dyn Requeue> = {
-        let deques = inner.deques.clone();
+        let q = inner.clone();
         Arc::new(move |worker: usize, u: Arc<UltCore>| {
             // Yielded/displaced ULTs go to the *back* of the current
-            // worker's deque: the owner pops the front, so queued
-            // children run before a yield-looping joiner (progress);
-            // thieves steal the back, so the displaced main flow is
-            // exactly what gets stolen — the paper's "another thread
-            // steals the main task".
-            deques[worker].push_back(u);
+            // worker's queue (the inbox): the owner pops its deque
+            // LIFO, so queued children run before a yield-looping
+            // joiner (progress), and the displaced main flow becomes
+            // stealable once the owner batches the inbox onto the
+            // deque — the paper's "another thread steals the main
+            // task".
+            q.queues[worker].inject(u);
         })
     };
     let _guard = enter_worker(w, requeue);
-    let victims = RandomVictim::new(inner.deques.len(), 0x9E3779B9 ^ (w as u64) << 17 | 1);
+    inner.queues[w].bind();
+    let victims = RandomVictim::new(inner.queues.len(), 0x9E3779B9 ^ (w as u64) << 17 | 1);
     let mut backoff = lwt_sync::Backoff::new();
     // Timestamp of the moment this worker ran dry; 0 while it has
     // work. Feeds the steal-loop dwell histogram on the next acquire.
     let mut idle_since_ns: u64 = 0;
     loop {
-        // Own deque first (depth-first), then random stealing.
-        let unit = my_deque.pop().or_else(|| {
+        // Own queue first (depth-first), then random stealing.
+        let unit = inner.queues[w].pop().or_else(|| {
             let v = victims.pick(w);
             if v == w {
                 None
             } else {
                 COUNTERS.steal_attempts.inc();
                 emit(EventKind::StealAttempt, v as u64);
-                let stolen = inner.deques[v].steal();
+                let stolen = inner.queues[v].steal();
                 if stolen.is_some() {
                     COUNTERS.steal_hits.inc();
                     emit(EventKind::StealHit, v as u64);

@@ -37,11 +37,15 @@ pub enum EventKind {
     EsStop = 9,
     /// A nested parallel region opened (openmp). `arg`: region width.
     NestedRegionOpen = 10,
+    /// A ready-queue operation lost a race: Chase-Lev steal `Retry`,
+    /// or an MPSC injector pop that observed a half-linked node.
+    /// `arg`: 0 for an injector pop, 1 for a deque steal.
+    QueueContention = 11,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 11] = [
+    pub const ALL: [EventKind; 12] = [
         EventKind::UltSpawn,
         EventKind::UltRun,
         EventKind::Yield,
@@ -53,6 +57,7 @@ impl EventKind {
         EventKind::EsStart,
         EventKind::EsStop,
         EventKind::NestedRegionOpen,
+        EventKind::QueueContention,
     ];
 
     /// Stable display name (used as the Chrome-trace event `name`).
@@ -70,6 +75,7 @@ impl EventKind {
             EventKind::EsStart => "EsStart",
             EventKind::EsStop => "EsStop",
             EventKind::NestedRegionOpen => "NestedRegionOpen",
+            EventKind::QueueContention => "QueueContention",
         }
     }
 

@@ -51,6 +51,13 @@ pub struct Counters {
     pub nested_regions: Counter,
     /// Live size of the icc-style nested thread pool (openmp).
     pub nested_pool_size: Gauge,
+    /// Fiber stacks served from the recycle cache (lwt-fiber).
+    pub stack_cache_hits: Counter,
+    /// Fiber stacks that had to be freshly allocated (lwt-fiber).
+    pub stack_cache_misses: Counter,
+    /// Ready-queue operations that hit contention: a Chase-Lev steal
+    /// race or an MPSC injector observed mid-push (lwt-sched).
+    pub queue_contention: Counter,
 }
 
 impl Counters {
@@ -67,6 +74,9 @@ impl Counters {
             messages_executed: Counter::new(),
             nested_regions: Counter::new(),
             nested_pool_size: Gauge::new(),
+            stack_cache_hits: Counter::new(),
+            stack_cache_misses: Counter::new(),
+            queue_contention: Counter::new(),
         }
     }
 }
@@ -236,6 +246,12 @@ pub struct CounterSnapshot {
     pub nested_pool_level: u64,
     /// [`Counters::nested_pool_size`] high-water mark.
     pub nested_pool_high_water: u64,
+    /// [`Counters::stack_cache_hits`].
+    pub stack_cache_hits: u64,
+    /// [`Counters::stack_cache_misses`].
+    pub stack_cache_misses: u64,
+    /// [`Counters::queue_contention`].
+    pub queue_contention: u64,
 }
 
 impl CounterSnapshot {
@@ -261,6 +277,11 @@ impl CounterSnapshot {
             nested_regions: self.nested_regions.saturating_sub(earlier.nested_regions),
             nested_pool_level: self.nested_pool_level,
             nested_pool_high_water: self.nested_pool_high_water,
+            stack_cache_hits: self.stack_cache_hits.saturating_sub(earlier.stack_cache_hits),
+            stack_cache_misses: self
+                .stack_cache_misses
+                .saturating_sub(earlier.stack_cache_misses),
+            queue_contention: self.queue_contention.saturating_sub(earlier.queue_contention),
         }
     }
 }
@@ -295,6 +316,9 @@ pub fn snapshot() -> MetricsSnapshot {
             nested_regions: c.nested_regions.get(),
             nested_pool_level: c.nested_pool_size.level(),
             nested_pool_high_water: c.nested_pool_size.high_water(),
+            stack_cache_hits: c.stack_cache_hits.get(),
+            stack_cache_misses: c.stack_cache_misses.get(),
+            queue_contention: c.queue_contention.get(),
         },
         spawn_latency: SPAWN_LATENCY.summary(),
         steal_dwell: STEAL_DWELL.summary(),
@@ -316,6 +340,9 @@ pub fn reset() {
     c.messages_executed.reset();
     c.nested_regions.reset();
     c.nested_pool_size.reset();
+    c.stack_cache_hits.reset();
+    c.stack_cache_misses.reset();
+    c.queue_contention.reset();
     SPAWN_LATENCY.reset();
     STEAL_DWELL.reset();
 }

@@ -19,6 +19,7 @@ impl CvtRunner {
     pub(crate) fn new(threads: usize) -> Self {
         let rt = Runtime::init(Config {
             num_processors: threads,
+            ..Config::default()
         });
         CvtRunner { rt, threads }
     }

@@ -19,6 +19,7 @@ impl GoRunner {
     pub(crate) fn new(threads: usize) -> Self {
         let rt = Runtime::init(Config {
             num_threads: threads,
+            ..Config::default()
         });
         GoRunner { rt, threads }
     }

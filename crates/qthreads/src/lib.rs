@@ -48,12 +48,12 @@ use std::sync::Arc;
 use lwt_fiber::StackSize;
 use lwt_metrics::registry::{emit, COUNTERS};
 use lwt_metrics::EventKind;
-use lwt_sched::{RoundRobin, SharedQueue};
+use lwt_sched::{ReadyQueue, RoundRobin};
 use lwt_sync::{FebCell, FebTable, SpinLock};
 use lwt_ultcore::{enter_worker, run_ult, wait_until, ResultCell, Requeue, UltCore};
 
 pub use lwt_sync::FebTable as Feb;
-pub use lwt_ultcore::{current_worker, in_ult, yield_now};
+pub use lwt_ultcore::{current_worker, in_ult, yield_now, JoinError};
 
 /// Runtime configuration (`qthread_initialize` environment).
 #[derive(Debug, Clone)]
@@ -76,12 +76,15 @@ impl Default for Config {
     }
 }
 
-struct Shepherd {
-    queue: SharedQueue<Arc<UltCore>>,
-}
-
 struct RtInner {
-    shepherds: Vec<Arc<Shepherd>>,
+    /// One ready queue per *worker*; a shepherd's queue of the paper
+    /// is realised as its workers' queues plus same-shepherd stealing,
+    /// so work still never leaves its locality domain.
+    queues: Vec<ReadyQueue<Arc<UltCore>>>,
+    /// Shepherd id → the global worker ids it owns.
+    shepherd_workers: Vec<Vec<usize>>,
+    /// Per-shepherd round-robin for external dispatch into it.
+    shepherd_rr: Vec<RoundRobin>,
     /// Global worker id → shepherd id.
     worker_shepherd: Vec<usize>,
     threads: SpinLock<Vec<Option<std::thread::JoinHandle<()>>>>,
@@ -111,12 +114,13 @@ pub struct Handle<T> {
 
 impl<T> Handle<T> {
     /// Wait for completion (`qthread_readFF` on the return word) and
-    /// take the result.
+    /// take the result, surfacing an escaped panic as a [`JoinError`]
+    /// instead of re-raising it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Re-raises a panic that escaped the work unit's closure.
-    pub fn join(self) -> T {
+    /// [`JoinError`] carrying the panic payload.
+    pub fn try_join(self) -> Result<T, JoinError> {
         // The FEB is the paper-faithful join signal …
         if self.ret.is_full() {
             self.ret.read_ff(relax());
@@ -130,10 +134,19 @@ impl<T> Handle<T> {
         // … and TERMINATED is the memory-safety contract for the slot.
         wait_until(|| self.ult.is_terminated());
         if let Some(p) = self.ult.take_panic() {
-            std::panic::resume_unwind(p);
+            return Err(JoinError::new(p));
         }
         // SAFETY: TERMINATED observed; we consume the only handle.
-        unsafe { self.result.take() }.expect("qthreads result missing")
+        Ok(unsafe { self.result.take() }.expect("qthreads result missing"))
+    }
+
+    /// Wait for completion and take the result.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic that escaped the work unit's closure.
+    pub fn join(self) -> T {
+        self.try_join().unwrap_or_else(|e| e.resume())
     }
 
     /// Non-consuming completion test (`qthread_feb_status`).
@@ -173,21 +186,20 @@ impl Runtime {
     pub fn init(config: Config) -> Self {
         assert!(config.num_shepherds > 0, "need at least one shepherd");
         assert!(config.workers_per_shepherd > 0, "need at least one worker");
-        let shepherds: Vec<Arc<Shepherd>> = (0..config.num_shepherds)
-            .map(|_| {
-                Arc::new(Shepherd {
-                    queue: SharedQueue::new(),
-                })
-            })
-            .collect();
         let mut worker_shepherd = Vec::new();
+        let mut shepherd_workers = vec![Vec::new(); config.num_shepherds];
         for s in 0..config.num_shepherds {
             for _ in 0..config.workers_per_shepherd {
+                shepherd_workers[s].push(worker_shepherd.len());
                 worker_shepherd.push(s);
             }
         }
         let inner = Arc::new(RtInner {
-            shepherds,
+            queues: (0..worker_shepherd.len()).map(|_| ReadyQueue::new()).collect(),
+            shepherd_workers,
+            shepherd_rr: (0..config.num_shepherds)
+                .map(|_| RoundRobin::new(config.workers_per_shepherd))
+                .collect(),
             worker_shepherd,
             threads: SpinLock::new(Vec::new()),
             stop: AtomicBool::new(false),
@@ -222,7 +234,7 @@ impl Runtime {
     /// Number of shepherds.
     #[must_use]
     pub fn num_shepherds(&self) -> usize {
-        self.inner.shepherds.len()
+        self.inner.shepherd_workers.len()
     }
 
     /// Total number of workers.
@@ -292,7 +304,18 @@ impl Runtime {
         });
         // `arg` = target shepherd: the fork_to dispatch decision.
         emit(EventKind::UltSpawn, shepherd as u64);
-        self.inner.shepherds[shepherd].queue.push(ult.clone());
+        // A fork from a worker already inside the target shepherd lands
+        // on that worker's own deque (zero-contention fast path);
+        // everything else is injected round-robin over the shepherd's
+        // workers.
+        let target = match current_worker() {
+            Some(w) if self.inner.worker_shepherd.get(w) == Some(&shepherd) => w,
+            _ => {
+                let workers = &self.inner.shepherd_workers[shepherd];
+                workers[self.inner.shepherd_rr[shepherd].next()]
+            }
+        };
+        self.inner.queues[target].push(ult.clone());
         Handle { ult, result, ret }
     }
 
@@ -406,15 +429,35 @@ impl std::fmt::Debug for Runtime {
 }
 
 fn worker_main(inner: &Arc<RtInner>, worker_id: usize, shep: usize) {
-    let shepherd = inner.shepherds[shep].clone();
     let requeue: Arc<dyn Requeue> = {
-        let s = shepherd.clone();
-        Arc::new(move |_w: usize, u: Arc<UltCore>| s.queue.push(u))
+        let q = inner.clone();
+        // Yielded ULTs go to the *back* of their worker's queue (the
+        // inbox) so forked children run before a yield-looping joiner.
+        Arc::new(move |w: usize, u: Arc<UltCore>| q.queues[w].inject(u))
     };
     let _guard = enter_worker(worker_id, requeue);
+    inner.queues[worker_id].bind();
+    // Stealing stays within the shepherd: work never leaves its
+    // locality domain (the hierarchy the paper's Table I highlights).
+    let siblings: Vec<usize> = inner.shepherd_workers[shep]
+        .iter()
+        .copied()
+        .filter(|&w| w != worker_id)
+        .collect();
     let mut backoff = lwt_sync::Backoff::new();
     loop {
-        match shepherd.queue.pop() {
+        let unit = inner.queues[worker_id].pop().or_else(|| {
+            for &v in &siblings {
+                COUNTERS.steal_attempts.inc();
+                if let Some(u) = inner.queues[v].steal() {
+                    COUNTERS.steal_hits.inc();
+                    emit(EventKind::StealHit, v as u64);
+                    return Some(u);
+                }
+            }
+            None
+        });
+        match unit {
             Some(u) => {
                 backoff.reset();
                 run_ult(&u);

@@ -1,0 +1,387 @@
+//! Lock-free MPSC injector queue for cross-worker work submission.
+//!
+//! The structure is Vyukov's intrusive MPSC queue, the design behind
+//! the "inbox" queues of production schedulers (Go's runqueue
+//! injector, Tokio, Argobots' `ABT_POOL_ACCESS_MPSC` pools): producers
+//! on any thread link a heap node after the current tail with one
+//! `swap` + one `store` (wait-free — a producer never loops), while
+//! the single consumer chases `next` pointers from the head stub.
+//!
+//! The price of the wait-free push is a transient *inconsistent*
+//! window: after a producer has swapped the tail but before it links
+//! `prev.next`, the consumer can observe a non-empty queue whose chain
+//! ends early. [`Injector::pop`] returns `None` for that window and
+//! counts it as `queue_contention` — callers treat it like any other
+//! empty poll and re-poll, which is exactly what scheduler loops do
+//! anyway.
+//!
+//! FIFO: items come out in push order (per producer, and globally up
+//! to the atomicity of the tail swap), which is what Converse's
+//! message queues require.
+//!
+//! `pop` is safe to call from any thread — a lock-free claim flag
+//! rejects (never blocks) concurrent consumers, so misuse degrades to
+//! a missed poll instead of undefined behaviour.
+//!
+//! Nodes are recycled through an opportunistic spare pool rather than
+//! round-tripping the allocator on every push/pop: the consumer parks
+//! retired stubs in a bounded `try_lock` pool and producers draw from
+//! it. A contended `try_lock` simply falls back to `Box::new`/`drop`,
+//! so no path ever blocks — steady-state spawn loops run
+//! allocation-free while the queue keeps its progress guarantees.
+
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+
+use lwt_metrics::registry::{emit, COUNTERS};
+use lwt_metrics::EventKind;
+use lwt_sync::SpinLock;
+
+/// Upper bound on parked spare nodes per queue; beyond this, retired
+/// nodes go back to the allocator.
+const SPARE_CAP: usize = 256;
+
+struct Node<T> {
+    next: AtomicPtr<Node<T>>,
+    /// `None` only for the stub node (and a consumed node that became
+    /// the new stub).
+    value: Option<T>,
+}
+
+impl<T> Node<T> {
+    fn boxed(value: Option<T>) -> *mut Node<T> {
+        Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            value,
+        }))
+    }
+}
+
+/// Multi-producer single-consumer lock-free queue. See module docs.
+pub struct Injector<T> {
+    /// Consumer end: the current stub; its `next` chain holds the
+    /// queued values in FIFO order.
+    head: AtomicPtr<Node<T>>,
+    /// Producer end: the most recently pushed node.
+    tail: AtomicPtr<Node<T>>,
+    /// Approximate occupancy (relaxed; diagnostics and idle checks).
+    len: AtomicUsize,
+    /// Lock-free single-consumer claim: `pop` is a no-op for any
+    /// thread that loses this try-claim.
+    popping: AtomicBool,
+    /// Retired stub nodes awaiting reuse (value already taken, so they
+    /// hold no `T`). Accessed only via `try_lock`; a miss falls back to
+    /// the allocator.
+    spares: SpinLock<Vec<*mut Node<T>>>,
+    _owns: PhantomData<T>,
+}
+
+// SAFETY: values of T are moved through the queue, never shared
+// between threads while inside it; nodes are only freed by the single
+// consumer or by `Drop` (exclusive access). Spare nodes carry no `T`
+// (their value was taken before retirement) and are handed between
+// threads only under the `spares` lock.
+unsafe impl<T: Send> Send for Injector<T> {}
+// SAFETY: as above — `&Injector` only hands out `T` by value.
+unsafe impl<T: Send> Sync for Injector<T> {}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// New empty queue (allocates the stub node).
+    #[must_use]
+    pub fn new() -> Self {
+        let stub = Node::boxed(None);
+        Injector {
+            head: AtomicPtr::new(stub),
+            tail: AtomicPtr::new(stub),
+            len: AtomicUsize::new(0),
+            popping: AtomicBool::new(false),
+            spares: SpinLock::new(Vec::new()),
+            _owns: PhantomData,
+        }
+    }
+
+    /// Get a node carrying `value`: reuse a parked spare when the pool
+    /// lock is free, otherwise allocate.
+    fn node_for(&self, value: T) -> *mut Node<T> {
+        if let Some(node) = self.spares.try_lock().and_then(|mut pool| pool.pop()) {
+            // SAFETY: spares hold live, retired nodes this queue owns;
+            // nobody else references them once parked. Publication to
+            // other threads happens via the Release in push.
+            unsafe {
+                (*node).next.store(ptr::null_mut(), Ordering::Relaxed);
+                (*node).value = Some(value);
+            }
+            node
+        } else {
+            Node::boxed(Some(value))
+        }
+    }
+
+    /// Retire a consumed node: park it for reuse, or free it when the
+    /// pool is full or its lock is contended.
+    fn retire(&self, node: *mut Node<T>) {
+        if let Some(mut pool) = self.spares.try_lock() {
+            if pool.len() < SPARE_CAP {
+                pool.push(node);
+                return;
+            }
+        }
+        // SAFETY: node came off the consumed end of the chain; it is a
+        // live Box nothing else references (value already taken).
+        unsafe { drop(Box::from_raw(node)) };
+    }
+
+    /// Enqueue `value`. Wait-free; callable from any thread.
+    pub fn push(&self, value: T) {
+        let node = self.node_for(value);
+        self.len.fetch_add(1, Ordering::Relaxed);
+        // AcqRel: acquire the previous producer's node writes, release
+        // our own node initialization to whoever links after us.
+        let prev = self.tail.swap(node, Ordering::AcqRel);
+        // The queue is "inconsistent" (chain broken at prev) until
+        // this store; pop handles that window.
+        // SAFETY: prev came out of tail, so it is a live node — only
+        // the consumer frees nodes, and it never frees the node that
+        // tail still reaches.
+        unsafe { (*prev).next.store(node, Ordering::Release) };
+    }
+
+    /// Dequeue the oldest value, or `None` when the queue is empty,
+    /// mid-push, or another thread is already popping (both counted
+    /// as `queue_contention`).
+    pub fn pop(&self) -> Option<T> {
+        if self
+            .popping
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.note_contention();
+            return None;
+        }
+        let value = self.pop_claimed();
+        self.popping.store(false, Ordering::Release);
+        value
+    }
+
+    /// Core single-consumer pop; caller holds the `popping` claim.
+    fn pop_claimed(&self) -> Option<T> {
+        // Only the claim holder touches head, so Relaxed is enough.
+        let head = self.head.load(Ordering::Relaxed);
+        // SAFETY: head is a live node (frees only happen below, after
+        // head has been moved past it).
+        let next = unsafe { (*head).next.load(Ordering::Acquire) };
+        if next.is_null() {
+            if self.tail.load(Ordering::Acquire) != head {
+                // A producer swapped tail but hasn't linked yet.
+                self.note_contention();
+            }
+            return None;
+        }
+        // SAFETY: next is fully initialized (Acquire above pairs with
+        // the producer's Release store) and holds a value: every node
+        // but the original stub is pushed with `Some`.
+        let value = unsafe { (*next).value.take() };
+        debug_assert!(value.is_some(), "non-stub node must carry a value");
+        self.head.store(next, Ordering::Relaxed);
+        // The old stub is now unreachable from head and tail (tail is
+        // at or past `next`, and the one producer whose swap returned
+        // it has finished linking), so it can be recycled.
+        self.retire(head);
+        self.len.fetch_sub(1, Ordering::Relaxed);
+        value
+    }
+
+    fn note_contention(&self) {
+        COUNTERS.queue_contention.inc();
+        emit(EventKind::QueueContention, 0);
+    }
+
+    /// Approximate number of queued values (relaxed read; exact only
+    /// in quiescence).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the queue looks empty (same caveat as [`Self::len`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Injector<T> {
+    fn drop(&mut self) {
+        // Exclusive access: walk the chain, dropping values and nodes
+        // (the first node is the stub, value = None).
+        let mut node = *self.head.get_mut();
+        while !node.is_null() {
+            // SAFETY: every node in the chain is a live Box we own.
+            let boxed = unsafe { Box::from_raw(node) };
+            node = boxed.next.load(Ordering::Relaxed);
+        }
+        for spare in self.spares.get_mut().drain(..) {
+            // SAFETY: parked spares are live Boxes we own, disjoint
+            // from the chain (they were unlinked before retirement).
+            unsafe { drop(Box::from_raw(spare)) };
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Injector<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Injector").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_one_producer() {
+        let q = Injector::new();
+        for i in 0..100 {
+            q.push(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_occupancy_in_quiescence() {
+        let q = Injector::new();
+        assert_eq!(q.len(), 0);
+        q.push("a");
+        q.push("b");
+        assert_eq!(q.len(), 2);
+        let _ = q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn multi_producer_delivers_everything() {
+        const PRODUCERS: usize = 4;
+        const PER: u64 = 5_000;
+        let q = Arc::new(Injector::new());
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        q.push((p as u64) << 32 | i);
+                    }
+                })
+            })
+            .collect();
+        let mut got = Vec::new();
+        let mut last_seen = [None::<u64>; PRODUCERS];
+        while got.len() < PRODUCERS * PER as usize {
+            if let Some(v) = q.pop() {
+                let (p, i) = ((v >> 32) as usize, v & 0xffff_ffff);
+                // Per-producer FIFO must hold even across interleaving.
+                assert!(last_seen[p].is_none_or(|prev| i == prev + 1));
+                last_seen[p] = Some(i);
+                got.push(v);
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(q.pop(), None);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), PRODUCERS * PER as usize, "no loss, no dupes");
+    }
+
+    #[test]
+    fn steady_state_recycles_nodes_instead_of_allocating() {
+        let q = Injector::new();
+        // A ping-pong workload cycles between the stub and one pushed
+        // node; recycling means no third node is ever minted.
+        let mut nodes = std::collections::HashSet::new();
+        for i in 0..100u64 {
+            q.push(i);
+            nodes.insert(q.tail.load(Ordering::Relaxed) as usize);
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(
+            nodes.len() <= 2,
+            "ping-pong touched {} distinct nodes; recycling is broken",
+            nodes.len()
+        );
+    }
+
+    #[test]
+    fn spare_pool_stays_bounded() {
+        let q = Injector::new();
+        for i in 0..(SPARE_CAP as u64 * 4) {
+            q.push(i);
+        }
+        while q.pop().is_some() {}
+        assert!(q.spares.lock().len() <= SPARE_CAP);
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_values() {
+        let marker = Arc::new(());
+        {
+            let q = Injector::new();
+            for _ in 0..10 {
+                q.push(Arc::clone(&marker));
+            }
+            let _ = q.pop();
+        }
+        assert_eq!(Arc::strong_count(&marker), 1, "queued Arcs must drop");
+    }
+
+    #[test]
+    fn concurrent_pop_claim_rejects_instead_of_corrupting() {
+        let q = Arc::new(Injector::new());
+        for i in 0..20_000u64 {
+            q.push(i);
+        }
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let mut prev = None::<u64>;
+                    loop {
+                        match q.pop() {
+                            Some(v) => {
+                                // Whoever holds the claim sees FIFO.
+                                assert!(prev.is_none_or(|p| v > p));
+                                prev = Some(v);
+                                got.push(v);
+                            }
+                            None if q.is_empty() => break,
+                            None => std::hint::spin_loop(),
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 20_000, "every value popped exactly once");
+    }
+}

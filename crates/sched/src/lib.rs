@@ -24,17 +24,28 @@
 //!   pools).
 //! * [`RandomVictim`] — uniform victim selection for work stealing
 //!   (MassiveThreads' "random Work-Stealing mechanism").
+//! * [`Injector`] — a lock-free MPSC queue (Vyukov) for cross-worker
+//!   submission: Converse message sends, `qthread_fork_to`, and every
+//!   external spawn land here instead of on a lock.
+//! * [`ReadyQueue`] — the composite per-worker structure the runtimes
+//!   now schedule from: Chase-Lev deque for the owner + thieves,
+//!   [`Injector`] inbox for everyone else, with a fairness tick that
+//!   keeps the old end live under LIFO pressure.
 
 #![warn(missing_docs)]
 
 mod chase_lev;
+mod injector;
 mod private;
+mod ready;
 mod shared;
 mod stealable;
 mod victim;
 
 pub use chase_lev::{ChaseLev, Steal, Stealer, Worker};
+pub use injector::Injector;
 pub use private::PrivateDeque;
+pub use ready::{ReadyQueue, FAIRNESS};
 pub use shared::SharedQueue;
 pub use stealable::StealableDeque;
 pub use victim::{RandomVictim, RoundRobin};

@@ -37,7 +37,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use lwt_fiber::{init_context, switch, switch_final, RawContext, Stack, StackSize};
+use lwt_fiber::{cache, init_context, switch, switch_final, CachedStack, RawContext, StackSize};
 use lwt_metrics::registry::{emit, timestamp_if_tracing, COUNTERS, SPAWN_LATENCY};
 use lwt_metrics::EventKind;
 
@@ -77,8 +77,9 @@ pub struct UltCore {
     state: AtomicU8,
     /// Saved context; valid whenever not RUNNING.
     ctx: UnsafeCell<RawContext>,
-    /// Owned stack, dropped with the last Arc.
-    stack: UnsafeCell<Option<Stack>>,
+    /// Owned stack, on loan from the recycle cache; returned to it
+    /// when the last Arc drops.
+    stack: UnsafeCell<Option<CachedStack>>,
     /// Entry closure, taken at first execution.
     entry: UnsafeCell<Option<Box<dyn FnOnce() + Send + 'static>>>,
     /// Panic escaped from the entry closure; re-raised by the join
@@ -110,7 +111,7 @@ impl UltCore {
         F: FnOnce() + Send + 'static,
     {
         COUNTERS.ults_created.inc();
-        let stack = Stack::new(stack_size);
+        let stack = cache::acquire(stack_size);
         let ult = Arc::new(UltCore {
             state: AtomicU8::new(state::READY),
             ctx: UnsafeCell::new(RawContext::null()),
@@ -548,6 +549,63 @@ pub fn wait_until(cond: impl Fn() -> bool) {
     }
 }
 
+/// Why a fallible join (`try_join`) failed: the joined work unit
+/// panicked instead of completing.
+///
+/// Every runtime's `Handle::try_join` (and the GLT layer's
+/// `GltHandle::try_join`) returns this one type, so cross-backend
+/// code handles child panics uniformly. The infallible `join`s are
+/// thin wrappers that [`JoinError::resume`] the payload.
+pub struct JoinError(Box<dyn Any + Send>);
+
+impl JoinError {
+    /// Wrap a captured panic payload.
+    #[must_use]
+    pub fn new(payload: Box<dyn Any + Send>) -> Self {
+        JoinError(payload)
+    }
+
+    /// The panic payload, for inspection or re-raising by hand.
+    #[must_use]
+    pub fn into_panic(self) -> Box<dyn Any + Send> {
+        self.0
+    }
+
+    /// Re-raise the child's panic on the calling thread — the behavior
+    /// of the infallible `join`s.
+    pub fn resume(self) -> ! {
+        std::panic::resume_unwind(self.0)
+    }
+
+    /// Panic message, when the payload is a string (the common case).
+    #[must_use]
+    pub fn message(&self) -> Option<&str> {
+        self.0
+            .downcast_ref::<&'static str>()
+            .copied()
+            .or_else(|| self.0.downcast_ref::<String>().map(String::as_str))
+    }
+}
+
+impl std::fmt::Debug for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("JoinError")
+            .field(&self.message().unwrap_or("<non-string panic payload>"))
+            .finish()
+    }
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.message() {
+            Some(msg) => write!(f, "joined work unit panicked: {msg}"),
+            None => write!(f, "joined work unit panicked"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
 /// Result slot shared between a spawned closure and its join handle;
 /// synchronized by the ULT's TERMINATED transition.
 pub struct ResultCell<T>(UnsafeCell<Option<T>>);
@@ -590,34 +648,41 @@ impl<T> ResultCell<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lwt_sync::SpinLock;
-    use std::collections::VecDeque;
+    use lwt_sched::ReadyQueue;
     use std::sync::atomic::{AtomicBool, AtomicUsize};
 
-    /// Minimal single-queue runtime over the core, for testing.
+    /// Minimal runtime over the core: one [`ReadyQueue`] per worker,
+    /// round-robin external injection, work stealing between workers.
     struct MiniRt {
-        queue: Arc<SpinLock<VecDeque<Arc<UltCore>>>>,
+        queues: Arc<Vec<ReadyQueue<Arc<UltCore>>>>,
+        next: AtomicUsize,
         stop: Arc<AtomicBool>,
         workers: Vec<std::thread::JoinHandle<()>>,
     }
 
     impl MiniRt {
         fn new(nworkers: usize) -> Self {
-            let queue: Arc<SpinLock<VecDeque<Arc<UltCore>>>> = Arc::default();
+            let queues: Arc<Vec<ReadyQueue<Arc<UltCore>>>> =
+                Arc::new((0..nworkers).map(|_| ReadyQueue::new()).collect());
             let stop = Arc::new(AtomicBool::new(false));
             let workers = (0..nworkers)
                 .map(|id| {
-                    let queue = queue.clone();
+                    let queues = queues.clone();
                     let stop = stop.clone();
                     std::thread::spawn(move || {
-                        let rq = queue.clone();
+                        queues[id].bind();
+                        let rq = queues.clone();
                         let requeue: Arc<dyn Requeue> =
-                            Arc::new(move |_w: usize, u: Arc<UltCore>| {
-                                rq.lock().push_back(u);
+                            Arc::new(move |w: usize, u: Arc<UltCore>| {
+                                rq[w].push(u);
                             });
                         let _guard = enter_worker(id, requeue);
                         loop {
-                            let next = queue.lock().pop_front();
+                            let next = queues[id].pop().or_else(|| {
+                                (0..queues.len())
+                                    .filter(|&v| v != id)
+                                    .find_map(|v| queues[v].steal())
+                            });
                             match next {
                                 Some(u) => {
                                     run_ult(&u);
@@ -634,7 +699,8 @@ mod tests {
                 })
                 .collect();
             MiniRt {
-                queue,
+                queues,
+                next: AtomicUsize::new(0),
                 stop,
                 workers,
             }
@@ -642,7 +708,8 @@ mod tests {
 
         fn spawn(&self, f: impl FnOnce() + Send + 'static) -> Arc<UltCore> {
             let u = UltCore::new(StackSize(32 * 1024), f);
-            self.queue.lock().push_back(u.clone());
+            let target = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+            self.queues[target].inject(u.clone());
             u
         }
 
@@ -750,35 +817,40 @@ mod tests {
 #[cfg(test)]
 mod suspend_tests {
     use super::*;
-    use lwt_sync::SpinLock;
-    use std::collections::VecDeque;
+    use lwt_sched::ReadyQueue;
     use std::sync::atomic::{AtomicBool, AtomicUsize};
 
-    /// Single-queue runtime reused from the main tests, with awaken
-    /// support.
+    /// The [`ReadyQueue`] runtime reused from the main tests, with
+    /// awaken support.
     struct MiniRt {
-        queue: Arc<SpinLock<VecDeque<Arc<UltCore>>>>,
+        queues: Arc<Vec<ReadyQueue<Arc<UltCore>>>>,
         stop: Arc<AtomicBool>,
         workers: Vec<std::thread::JoinHandle<()>>,
     }
 
     impl MiniRt {
         fn new(nworkers: usize) -> Self {
-            let queue: Arc<SpinLock<VecDeque<Arc<UltCore>>>> = Arc::default();
+            let queues: Arc<Vec<ReadyQueue<Arc<UltCore>>>> =
+                Arc::new((0..nworkers).map(|_| ReadyQueue::new()).collect());
             let stop = Arc::new(AtomicBool::new(false));
             let workers = (0..nworkers)
                 .map(|id| {
-                    let queue = queue.clone();
+                    let queues = queues.clone();
                     let stop = stop.clone();
                     std::thread::spawn(move || {
-                        let rq = queue.clone();
+                        queues[id].bind();
+                        let rq = queues.clone();
                         let requeue: Arc<dyn Requeue> =
-                            Arc::new(move |_w: usize, u: Arc<UltCore>| {
-                                rq.lock().push_back(u);
+                            Arc::new(move |w: usize, u: Arc<UltCore>| {
+                                rq[w].push(u);
                             });
                         let _guard = enter_worker(id, requeue);
                         loop {
-                            let next = queue.lock().pop_front();
+                            let next = queues[id].pop().or_else(|| {
+                                (0..queues.len())
+                                    .filter(|&v| v != id)
+                                    .find_map(|v| queues[v].steal())
+                            });
                             match next {
                                 Some(u) => {
                                     run_ult(&u);
@@ -795,7 +867,7 @@ mod suspend_tests {
                 })
                 .collect();
             MiniRt {
-                queue,
+                queues,
                 stop,
                 workers,
             }
@@ -803,13 +875,13 @@ mod suspend_tests {
 
         fn spawn(&self, f: impl FnOnce() + Send + 'static) -> Arc<UltCore> {
             let u = UltCore::new(lwt_fiber::StackSize(32 * 1024), f);
-            self.queue.lock().push_back(u.clone());
+            self.queues[0].inject(u.clone());
             u
         }
 
         fn awaken(&self, u: &Arc<UltCore>) -> bool {
-            let q = self.queue.clone();
-            awaken(u, move |u| q.lock().push_back(u))
+            let q = self.queues.clone();
+            awaken(u, move |u| q[0].inject(u))
         }
 
         fn shutdown(mut self) {

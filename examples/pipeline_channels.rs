@@ -16,6 +16,7 @@ const SQUARERS: usize = 4;
 fn main() {
     let rt = Runtime::init(Config {
         num_threads: std::thread::available_parallelism().map_or(4, usize::from),
+        ..Config::default()
     });
 
     let (raw_tx, raw_rx) = rt.channel::<u64>(64);

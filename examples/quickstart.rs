@@ -20,7 +20,7 @@ const N: usize = 100;
 
 fn main() {
     for kind in BackendKind::ALL {
-        let glt = Glt::init(kind, 4);
+        let glt = Glt::builder(kind).workers(4).build();
 
         let greetings = Arc::new(AtomicUsize::new(0));
         let handles: Vec<_> = (0..N)

@@ -27,7 +27,7 @@
 //! ```
 //! use lwt::{BackendKind, Glt};
 //!
-//! let glt = Glt::init(BackendKind::Argobots, 2);
+//! let glt = Glt::builder(BackendKind::Argobots).workers(2).build();
 //! let handles: Vec<_> = (0..8).map(|i| glt.ult_create(move || i * i)).collect();
 //! let sum: usize = handles.into_iter().map(|h| h.join()).sum();
 //! assert_eq!(sum, 140);
@@ -48,4 +48,6 @@ pub use lwt_sched as sched;
 pub use lwt_sync as sync;
 pub use lwt_ultcore as ultcore;
 
-pub use lwt_core::{BackendKind, Glt, GltHandle};
+pub use lwt_core::{
+    BackendKind, Glt, GltBuilder, GltConfig, GltHandle, JoinError, PlacementError, SchedPolicy,
+};

@@ -10,7 +10,7 @@ use lwt::{BackendKind, Glt};
 fn fan_out_fan_in_large() {
     const N: usize = 500;
     for kind in BackendKind::ALL {
-        let glt = Glt::init(kind, 3);
+        let glt = Glt::builder(kind).workers(3).build();
         let counter = Arc::new(AtomicUsize::new(0));
         let handles: Vec<_> = (0..N)
             .map(|i| {
@@ -32,7 +32,7 @@ fn fan_out_fan_in_large() {
 #[test]
 fn mixed_ults_and_tasklets() {
     for kind in BackendKind::ALL {
-        let glt = Glt::init(kind, 2);
+        let glt = Glt::builder(kind).workers(2).build();
         let ults: Vec<_> = (0..20).map(|i| glt.ult_create(move || i)).collect();
         let tasklets: Vec<_> = (0..20).map(|i| glt.tasklet_create(move || i)).collect();
         let a: i32 = ults.into_iter().map(|h| h.join()).sum();
@@ -45,7 +45,7 @@ fn mixed_ults_and_tasklets() {
 #[test]
 fn join_out_of_creation_order() {
     for kind in BackendKind::ALL {
-        let glt = Glt::init(kind, 2);
+        let glt = Glt::builder(kind).workers(2).build();
         let mut handles: Vec<_> = (0..64).map(|i| glt.ult_create(move || i)).collect();
         // Join newest-first: completion order must not matter.
         let mut sum = 0;
@@ -60,7 +60,7 @@ fn join_out_of_creation_order() {
 #[test]
 fn is_finished_becomes_true() {
     for kind in BackendKind::ALL {
-        let glt = Glt::init(kind, 1);
+        let glt = Glt::builder(kind).workers(1).build();
         let h = glt.ult_create(|| 1);
         // Spin externally until the unit completes, then join.
         while !h.is_finished() {
@@ -74,7 +74,7 @@ fn is_finished_becomes_true() {
 #[test]
 fn sequential_batches_reuse_the_runtime() {
     for kind in BackendKind::ALL {
-        let glt = Glt::init(kind, 2);
+        let glt = Glt::builder(kind).workers(2).build();
         for batch in 0..5 {
             let handles: Vec<_> = (0..32)
                 .map(|i| glt.ult_create(move || batch * 100 + i))
@@ -91,7 +91,7 @@ fn single_resource_still_completes_everything() {
     // One stream/shepherd/worker/processor/thread: everything must
     // still run (cooperative progress, no lost wakeups).
     for kind in BackendKind::ALL {
-        let glt = Glt::init(kind, 1);
+        let glt = Glt::builder(kind).workers(1).build();
         let handles: Vec<_> = (0..100).map(|i| glt.ult_create(move || i)).collect();
         let sum: usize = handles.into_iter().map(|h| h.join()).sum();
         assert_eq!(sum, 4950, "backend {kind}");

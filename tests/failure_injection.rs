@@ -9,7 +9,7 @@ use lwt::{BackendKind, Glt};
 #[test]
 fn panicking_units_do_not_poison_the_runtime() {
     for kind in BackendKind::ALL {
-        let glt = Glt::init(kind, 2);
+        let glt = Glt::builder(kind).workers(2).build();
         // Interleave panicking and healthy units; every healthy unit
         // must still complete and every panic must surface at its own
         // join only.
@@ -42,7 +42,7 @@ fn panicking_units_do_not_poison_the_runtime() {
 #[test]
 fn shutdown_with_unjoined_completed_work_is_clean() {
     for kind in BackendKind::ALL {
-        let glt = Glt::init(kind, 2);
+        let glt = Glt::builder(kind).workers(2).build();
         let done = Arc::new(AtomicUsize::new(0));
         let handles: Vec<_> = (0..50)
             .map(|_| {
@@ -84,7 +84,7 @@ fn deep_chain_of_dependent_spawns() {
 
 #[test]
 fn zero_sized_and_huge_payloads() {
-    let glt = Glt::init(BackendKind::Qthreads, 2);
+    let glt = Glt::builder(BackendKind::Qthreads).workers(2).build();
     // ZST result.
     glt.ult_create(|| ()).join();
     // Large result moved through the completion slot.
@@ -99,7 +99,7 @@ fn rapid_init_shutdown_cycles() {
     // Runtime lifecycle churn: no leaked threads or poisoned state.
     for kind in BackendKind::ALL {
         for _ in 0..5 {
-            let glt = Glt::init(kind, 1);
+            let glt = Glt::builder(kind).workers(1).build();
             assert_eq!(glt.ult_create(|| 2 + 2).join(), 4);
             glt.finalize();
         }

@@ -1,0 +1,199 @@
+//! Cross-backend conformance for the redesigned GLT surface: the
+//! builder flow, spawn/join, the fallible `try_join`, placement
+//! (`ult_create_to`) and yield must behave identically — in results,
+//! not mechanism — over all five runtime models.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use lwt::{BackendKind, Glt, PlacementError, SchedPolicy};
+
+#[test]
+fn builder_spawn_join_roundtrip_every_backend() {
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind).workers(2).build();
+        assert_eq!(glt.workers(), 2, "backend {kind}");
+        let handles: Vec<_> = (0..64).map(|i| glt.ult_create(move || i * 3)).collect();
+        let sum: usize = handles.into_iter().map(|h| h.join()).sum();
+        assert_eq!(sum, 3 * 63 * 64 / 2, "backend {kind}");
+        glt.finalize();
+    }
+}
+
+#[test]
+fn builder_accepts_every_knob() {
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind)
+            .workers(2)
+            .stack_size(lwt::core::StackSize(128 * 1024))
+            .stack_cache_capacity(32)
+            .scheduler(SchedPolicy::PrivatePerWorker)
+            .build();
+        // Deep-ish recursion exercises the configured larger stack.
+        fn rec(n: usize) -> usize {
+            if n == 0 {
+                0
+            } else {
+                std::hint::black_box(rec(n - 1) + 1)
+            }
+        }
+        assert_eq!(glt.ult_create(|| rec(500)).join(), 500, "backend {kind}");
+        glt.finalize();
+    }
+}
+
+#[test]
+fn shared_queue_policy_still_computes() {
+    // Only Argobots has a shared-pool mode; everyone else must accept
+    // and ignore the knob.
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind)
+            .workers(2)
+            .scheduler(SchedPolicy::SharedQueue)
+            .build();
+        let handles: Vec<_> = (0..32).map(|i| glt.ult_create(move || i)).collect();
+        let sum: usize = handles.into_iter().map(|h| h.join()).sum();
+        assert_eq!(sum, 31 * 32 / 2, "backend {kind}");
+        glt.finalize();
+    }
+}
+
+#[test]
+fn try_join_returns_ok_on_success() {
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind).workers(2).build();
+        let h = glt.ult_create(|| "payload".len());
+        assert_eq!(h.try_join().expect("clean ULT must join Ok"), 7, "backend {kind}");
+        glt.finalize();
+    }
+}
+
+#[test]
+fn try_join_surfaces_panics_as_join_errors() {
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind).workers(1).build();
+        let h = glt.ult_create(|| -> () { panic!("conformance boom") });
+        let err = h.try_join().expect_err("panicking ULT must join Err");
+        assert_eq!(err.message(), Some("conformance boom"), "backend {kind}");
+        glt.finalize();
+    }
+}
+
+#[test]
+fn tasklet_try_join_matches_ult_semantics() {
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind).workers(2).build();
+        assert_eq!(glt.tasklet_create(|| 11 * 11).try_join().unwrap(), 121);
+        let err = glt
+            .tasklet_create(|| -> () { panic!("tasklet boom") })
+            .try_join()
+            .expect_err("panicking tasklet must join Err");
+        assert_eq!(err.message(), Some("tasklet boom"), "backend {kind}");
+        glt.finalize();
+    }
+}
+
+#[test]
+fn placement_lands_on_the_requested_worker() {
+    // The three backends with native placement must actually run the
+    // work unit on the requested execution resource.
+    for kind in [
+        BackendKind::Argobots,
+        BackendKind::Qthreads,
+        BackendKind::Converse,
+    ] {
+        let glt = Glt::builder(kind).workers(3).build();
+        for target in 0..3 {
+            let observed = glt
+                .ult_create_to(target, move || match kind {
+                    BackendKind::Argobots => lwt::argobots::current_stream(),
+                    BackendKind::Converse => lwt::converse::current_processor(),
+                    // One worker per shepherd under the GLT, so the
+                    // global worker index is the shepherd index.
+                    _ => lwt::qthreads::current_worker(),
+                })
+                .unwrap_or_else(|e| panic!("placement on {kind} failed: {e}"))
+                .join();
+            assert_eq!(observed, Some(target), "backend {kind} target {target}");
+        }
+        glt.finalize();
+    }
+}
+
+#[test]
+fn placement_is_unsupported_where_the_model_hides_workers() {
+    for (kind, expect) in [
+        (BackendKind::MassiveThreads, BackendKind::MassiveThreads),
+        (BackendKind::Go, BackendKind::Go),
+    ] {
+        let glt = Glt::builder(kind).workers(2).build();
+        match glt.ult_create_to(0, || 1) {
+            Err(PlacementError::Unsupported(k)) => assert_eq!(k, expect),
+            other => panic!("backend {kind}: expected Unsupported, got {other:?}"),
+        }
+        glt.finalize();
+    }
+}
+
+#[test]
+fn placement_rejects_out_of_range_workers() {
+    for kind in [
+        BackendKind::Argobots,
+        BackendKind::Qthreads,
+        BackendKind::Converse,
+    ] {
+        let glt = Glt::builder(kind).workers(2).build();
+        match glt.ult_create_to(2, || 1) {
+            Err(PlacementError::OutOfRange { worker: 2, workers: 2 }) => {}
+            other => panic!("backend {kind}: expected OutOfRange, got {other:?}"),
+        }
+        glt.finalize();
+    }
+}
+
+/// Yield from inside a GLT work unit, using whatever the backend's
+/// native mechanism is (mirrors `Glt::yield_now`, which the closure
+/// cannot reach because the handle owns no `&Glt`).
+fn yield_from_within(kind: BackendKind) {
+    match kind {
+        BackendKind::Argobots => {
+            if lwt::argobots::in_ult() {
+                lwt::argobots::yield_now();
+            }
+        }
+        _ => {
+            if lwt::ultcore::in_ult() {
+                lwt::ultcore::yield_now();
+            }
+        }
+    }
+}
+
+#[test]
+fn yield_interleaves_rather_than_wedges() {
+    // A spinning work unit that yields must not starve its sibling:
+    // the sibling's store unblocks it. One worker everywhere except
+    // Converse, whose GLT work units are messages that execute
+    // atomically — a same-processor spin would wedge by design, so it
+    // gets a second processor.
+    for kind in BackendKind::ALL {
+        let workers = if kind == BackendKind::Converse { 2 } else { 1 };
+        let glt = Glt::builder(kind).workers(workers).build();
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f2 = flag.clone();
+        let waiter = glt.ult_create(move || {
+            let mut spins = 0usize;
+            while f2.load(Ordering::Acquire) == 0 {
+                yield_from_within(kind);
+                std::thread::yield_now();
+                spins += 1;
+                assert!(spins < 50_000_000, "waiter starved on {kind}");
+            }
+        });
+        let f3 = flag.clone();
+        let setter = glt.ult_create(move || f3.store(1, Ordering::Release));
+        setter.join();
+        waiter.join();
+        glt.finalize();
+    }
+}

@@ -111,7 +111,10 @@ fn massivethreads_divide_and_conquer_sum() {
 fn converse_message_fanout_quiesces() {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
-    let rt = lwt::converse::Runtime::init(lwt::converse::Config { num_processors: 3 });
+    let rt = lwt::converse::Runtime::init(lwt::converse::Config {
+        num_processors: 3,
+        ..Default::default()
+    });
     let count = Arc::new(AtomicUsize::new(0));
     // Three waves of messages spawning messages; one barrier must
     // cover the entire transitive fanout.
@@ -140,7 +143,10 @@ fn converse_message_fanout_quiesces() {
 
 #[test]
 fn go_select_like_multiplexing() {
-    let rt = lwt::go::Runtime::init(lwt::go::Config { num_threads: 2 });
+    let rt = lwt::go::Runtime::init(lwt::go::Config {
+        num_threads: 2,
+        ..Default::default()
+    });
     let (tx_a, rx) = rt.channel::<u32>(16);
     let tx_b = tx_a.clone();
     rt.go(move || {

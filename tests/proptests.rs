@@ -204,7 +204,7 @@ fn glt_fanout_exact() {
         |&(n, threads)| {
             use lwt::{BackendKind, Glt};
             for kind in BackendKind::ALL {
-                let glt = Glt::init(kind, threads);
+                let glt = Glt::builder(kind).workers(threads).build();
                 let handles: Vec<_> = (0..n).map(|i| glt.ult_create(move || i)).collect();
                 let sum: usize = handles.into_iter().map(|h| h.join()).sum();
                 prop_assert_eq!(sum, n * (n - 1) / 2, "backend {}", kind);

@@ -138,7 +138,10 @@ fn massivethreads_configure_policy_row() {
 /// caller's own processor — and never from outside.
 #[test]
 fn converse_insertion_rule_row() {
-    let rt = lwt::converse::Runtime::init(lwt::converse::Config { num_processors: 2 });
+    let rt = lwt::converse::Runtime::init(lwt::converse::Config {
+        num_processors: 2,
+        ..Default::default()
+    });
     // Messages: externally targetable at any processor. ✓
     let seen = Arc::new(AtomicUsize::new(0));
     for p in 0..2 {
@@ -167,7 +170,10 @@ fn converse_insertion_rule_row() {
 /// function* — the generic API's yield is a no-op on the Go backend.
 #[test]
 fn go_global_queue_and_no_yield_rows() {
-    let rt = lwt::go::Runtime::init(lwt::go::Config { num_threads: 3 });
+    let rt = lwt::go::Runtime::init(lwt::go::Config {
+        num_threads: 3,
+        ..Default::default()
+    });
     let (tx, rx) = rt.channel::<std::thread::ThreadId>(64);
     for _ in 0..60 {
         let tx = tx.clone();
@@ -187,7 +193,7 @@ fn go_global_queue_and_no_yield_rows() {
     rt.shutdown();
 
     // No yield: Glt::yield_now on Go is a no-op even inside a goroutine.
-    let glt = lwt::Glt::init(lwt::BackendKind::Go, 1);
+    let glt = lwt::Glt::builder(lwt::BackendKind::Go).workers(1).build();
     glt.ult_create(|| {
         // Must not panic, must not reschedule visibly.
         // (Reaching here at all is the assertion.)
