@@ -42,6 +42,24 @@ cargo build --release --offline --all-targets
 echo "== tier1: offline tests (workspace)"
 cargo test -q --offline --workspace
 
+echo "== tier1: doctests (workspace)"
+# Also covered by the workspace run above, but kept as an explicit
+# gate: the public API examples (Glt quickstart, try_join, FEB,
+# lwt-model) must keep compiling and passing.
+cargo test -q --offline --workspace --doc
+
+echo "== tier1: concurrency model check (--cfg lwt_model, bounded)"
+# Deterministic loom-style exploration of the real lock-free core
+# (Chase-Lev deque, MPSC injector, SpinLock, FEB, fiber stack cache)
+# under crates/model. The cfg swap rebuilds the checked crates with
+# the shim facade, so it gets its own target dir to leave the main
+# build cache untouched. Each Checker bounds itself (preemption bound
+# 2, per-test execution/time caps); `timeout` is the hard backstop.
+CARGO_TARGET_DIR=target/lwt-model \
+    RUSTFLAGS="${RUSTFLAGS:-} --cfg lwt_model" \
+    timeout 600 cargo test -q --offline -p lwt-model
+echo "   ok: model suites green (engine + chase_lev + injector + sync + stack cache)"
+
 echo "== tier1: trace-export smoke (LWT_TRACE=1)"
 # One real microbench run with tracing on must produce a parseable
 # Chrome-trace JSON with events from more than one worker thread.

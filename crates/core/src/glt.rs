@@ -68,6 +68,17 @@ pub enum SchedPolicy {
 
 /// Full configuration consumed by [`Glt::with_config`]; normally
 /// assembled through [`Glt::builder`].
+///
+/// ```
+/// use lwt_core::{BackendKind, Glt, GltConfig, SchedPolicy};
+///
+/// let mut cfg = GltConfig::new(BackendKind::Argobots);
+/// cfg.workers = 2;
+/// cfg.scheduler = SchedPolicy::SharedQueue; // ABT_POOL_ACCESS_MPMC
+/// let glt = Glt::with_config(cfg);
+/// assert_eq!(glt.workers(), 2);
+/// glt.finalize();
+/// ```
 #[derive(Debug, Clone)]
 pub struct GltConfig {
     /// Which runtime model executes the work.
@@ -267,6 +278,18 @@ impl<T> GltHandle<T> {
     /// Wait for completion (the backend's native join mechanism
     /// underneath) and take the result, surfacing a panic that escaped
     /// the work unit as a [`JoinError`] instead of re-raising it.
+    ///
+    /// ```
+    /// use lwt_core::{BackendKind, Glt};
+    ///
+    /// let glt = Glt::builder(BackendKind::Argobots).workers(1).build();
+    /// assert_eq!(glt.ult_create(|| 6 * 7).try_join().unwrap(), 42);
+    /// // A panic inside the work unit comes back as a JoinError
+    /// // instead of tearing down the joiner:
+    /// let boom = glt.ult_create(|| -> u32 { panic!("unit failed") });
+    /// assert!(boom.try_join().is_err());
+    /// glt.finalize();
+    /// ```
     ///
     /// # Errors
     ///
@@ -482,6 +505,21 @@ impl Glt {
     /// `worker` — Argobots ES-targeted creation (`ABT_thread_create` on
     /// a specific stream's pool), Qthreads `qthread_fork_to` and a
     /// Converse destination-processor send.
+    ///
+    /// ```
+    /// use lwt_core::{BackendKind, Glt, PlacementError};
+    ///
+    /// let glt = Glt::builder(BackendKind::Qthreads).workers(2).build();
+    /// // qthread_fork_to: pin the unit to shepherd 1.
+    /// let pinned = glt.ult_create_to(1, || 7).expect("worker 1 exists");
+    /// assert_eq!(pinned.join(), 7);
+    /// // Out-of-range placement is rejected up front, not wrapped.
+    /// assert!(matches!(
+    ///     glt.ult_create_to(9, || 0),
+    ///     Err(PlacementError::OutOfRange { .. })
+    /// ));
+    /// glt.finalize();
+    /// ```
     ///
     /// # Errors
     ///

@@ -40,9 +40,10 @@
 use std::cell::RefCell;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use lwt_metrics::registry::COUNTERS;
+
+use crate::sysapi::{Mutex, MutexGuard};
 
 use crate::stack::{Stack, StackSize};
 
@@ -111,7 +112,7 @@ fn bin_push(bins: &mut Bins, stack: Stack, cap: usize) -> Option<Stack> {
 
 static GLOBAL: Mutex<Bins> = Mutex::new(Vec::new());
 
-fn global_lock() -> std::sync::MutexGuard<'static, Bins> {
+fn global_lock() -> MutexGuard<'static, Bins> {
     GLOBAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
@@ -251,7 +252,7 @@ mod tests {
     // The cache (and its capacity knob) is process-global; these tests
     // serialize against each other so one test's `set_capacity(0)` or
     // `purge` can't invalidate another's acquire/release expectations.
-    static SERIAL: Mutex<()> = Mutex::new(());
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn serial() -> std::sync::MutexGuard<'static, ()> {
         SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)

@@ -71,6 +71,7 @@ pub mod cache;
 pub mod ctx;
 mod fiber;
 pub mod stack;
+mod sysapi;
 
 pub use cache::CachedStack;
 pub use ctx::{init_context, switch, switch_final, RawContext};

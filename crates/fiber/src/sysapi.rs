@@ -1,0 +1,15 @@
+//! System-primitive facade (the loom pattern).
+//!
+//! The stack cache's global overflow pool ([`crate::cache`]) takes its
+//! `Mutex` from this module. Under a normal build the aliases resolve
+//! to `std::sync` and compile away; under `RUSTFLAGS="--cfg lwt_model"`
+//! they resolve to the `lwt-model` shims, so the real local-pool →
+//! global-pool handoff (including the TLS-destructor donation path)
+//! runs inside the deterministic model checker
+//! (`crates/model/tests/`).
+
+#[cfg(not(lwt_model))]
+pub(crate) use std::sync::{Mutex, MutexGuard};
+
+#[cfg(lwt_model)]
+pub(crate) use lwt_model::sync::{Mutex, MutexGuard};

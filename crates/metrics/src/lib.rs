@@ -158,9 +158,22 @@ impl Gauge {
     }
 
     /// Highest level seen since the last reset.
+    ///
+    /// [`Gauge::rise`] bumps `level` and `high` with two separate
+    /// relaxed RMWs, so a reader landing between them could observe a
+    /// mark *below* the level it just read — a torn observation the
+    /// model-checker work documented (DESIGN.md §10). Clamping to the
+    /// level observed inside this call restores the invariant readers
+    /// actually rely on: `high_water() >= level()` when the two reads
+    /// happen in that order (as [`registry::snapshot`] does, reading
+    /// the level first). A residual window remains only if a `fall`
+    /// also lands between a `rise`'s two RMWs — then both reads can
+    /// miss the peak by one; the mark is still never below the final
+    /// level.
     #[must_use]
     pub fn high_water(&self) -> u64 {
-        self.high.load(Ordering::Relaxed)
+        let high = self.high.load(Ordering::Relaxed);
+        high.max(self.level.load(Ordering::Relaxed))
     }
 
     /// Reset level and high-water mark to zero.
@@ -213,6 +226,38 @@ mod tests {
         assert_eq!(g.high_water(), 4);
         g.reset();
         assert_eq!(g.high_water(), 0);
+    }
+
+    /// Regression: `high_water` must never report below a level read
+    /// inside the same call — `rise` updates `level` and `high` with
+    /// two separate relaxed RMWs, and a reader between them used to
+    /// see the stale mark. Exercised concurrently: a riser climbs
+    /// while a reader checks the invariant after every observation.
+    #[test]
+    fn gauge_high_water_never_trails_its_own_level_read() {
+        static G: Gauge = Gauge::new();
+        G.reset();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..50_000 {
+                    G.rise();
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..50_000 {
+                    // level() first: the mark reported afterwards must
+                    // cover it (the snapshot read order).
+                    let level = G.level();
+                    let mark = G.high_water();
+                    assert!(
+                        mark >= level,
+                        "torn gauge observation: high_water {mark} < level {level}"
+                    );
+                }
+            });
+        });
+        assert_eq!(G.level(), 50_000);
+        assert_eq!(G.high_water(), 50_000);
     }
 
     /// Regression: `fall` on an empty gauge used to wrap the level to

@@ -302,6 +302,13 @@ pub struct MetricsSnapshot {
 #[must_use]
 pub fn snapshot() -> MetricsSnapshot {
     let c = &COUNTERS;
+    // Gauge pair: read the level first and clamp the mark with that
+    // same observation. `rise` bumps level and high in two separate
+    // relaxed RMWs, so an unclamped pair could report
+    // high_water < level (DESIGN.md §10); the level read here is one
+    // the gauge really held, so the clamp never overstates the peak.
+    let pool_level = c.nested_pool_size.level();
+    let pool_high = c.nested_pool_size.high_water().max(pool_level);
     MetricsSnapshot {
         counters: CounterSnapshot {
             ults_created: c.ults_created.get(),
@@ -314,8 +321,8 @@ pub fn snapshot() -> MetricsSnapshot {
             feb_wakes: c.feb_wakes.get(),
             messages_executed: c.messages_executed.get(),
             nested_regions: c.nested_regions.get(),
-            nested_pool_level: c.nested_pool_size.level(),
-            nested_pool_high_water: c.nested_pool_size.high_water(),
+            nested_pool_level: pool_level,
+            nested_pool_high_water: pool_high,
             stack_cache_hits: c.stack_cache_hits.get(),
             stack_cache_misses: c.stack_cache_misses.get(),
             queue_contention: c.queue_contention.get(),

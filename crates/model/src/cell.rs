@@ -1,0 +1,42 @@
+//! Interior-mutability shim.
+//!
+//! v1 is a transparent pass-through: it does **not** detect data
+//! races on the cell contents. That is deliberate — the Chase-Lev
+//! deque's speculative slot read is an intentional benign race (the
+//! value is discarded when the subsequent CAS fails), and a checked
+//! cell would flag it on every steal. Atomic-ordering bugs are still
+//! caught through the value histories of the shim atomics guarding
+//! the cells.
+
+/// Drop-in for [`std::cell::UnsafeCell`] in model-checked code.
+#[repr(transparent)]
+#[derive(Default)]
+pub struct UnsafeCell<T: ?Sized>(std::cell::UnsafeCell<T>);
+
+// Mirror std's auto-traits exactly: the wrapper adds nothing.
+unsafe impl<T: ?Sized + Send> Send for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    /// Construct a cell holding `value`.
+    pub const fn new(value: T) -> Self {
+        UnsafeCell(std::cell::UnsafeCell::new(value))
+    }
+
+    /// Unwrap the cell, returning the contents.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+impl<T: ?Sized> UnsafeCell<T> {
+    /// Raw pointer to the contents; same contract as
+    /// [`std::cell::UnsafeCell::get`].
+    pub const fn get(&self) -> *mut T {
+        self.0.get()
+    }
+
+    /// Exclusive reference to the contents.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut()
+    }
+}

@@ -1,0 +1,61 @@
+//! Fixed-width vector clocks.
+//!
+//! Every model thread carries a [`VClock`]; every recorded store is
+//! stamped with the storing thread's clock at the time of the store.
+//! Happens-before between operations is exactly `stamp ⊑ clock`
+//! (pointwise ≤), which is all the weak-memory simulation in
+//! `exec.rs` needs: a thread may read any store in a location's
+//! history that is not hidden by a *newer* store it already
+//! happens-after.
+
+use crate::exec::MAX_THREADS;
+
+/// A vector clock over the (bounded) set of model threads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub(crate) struct VClock([u32; MAX_THREADS]);
+
+impl VClock {
+    /// Pointwise maximum: after `self.join(o)`, everything that
+    /// happened-before `o` also happens-before `self`.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// `self ⊑ other` — true iff every component of `self` is ≤ the
+    /// matching component of `other` (i.e. `self` happens-before or
+    /// equals `other`'s knowledge).
+    pub(crate) fn leq(&self, other: &VClock) -> bool {
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a <= b)
+    }
+
+    /// Advance this thread's own component (one tick per operation).
+    pub(crate) fn bump(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max_and_leq_orders() {
+        let mut a = VClock::default();
+        let mut b = VClock::default();
+        a.bump(0);
+        a.bump(0);
+        b.bump(1);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        let mut j = a;
+        j.join(&b);
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+        b.join(&a);
+        assert_eq!(b, j);
+    }
+}

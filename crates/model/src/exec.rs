@@ -1,0 +1,1029 @@
+//! The execution engine: runs one interleaving of a model program.
+//!
+//! Model threads are real OS threads serialized by a baton: exactly
+//! one thread is `active` at a time, and it hands the baton over only
+//! at *schedule points* (every shim atomic op, `yield_now`, blocking
+//! join, thread exit). At each schedule point the engine consults the
+//! DFS decision path recorded by the explorer — replaying the chosen
+//! prefix and extending it with default (first-option) decisions —
+//! so a given decision path always reproduces the same interleaving.
+//!
+//! ## Weak-memory simulation
+//!
+//! Besides scheduling, loads are decision points too. Each atomic
+//! location keeps its full store history; a load may observe any
+//! store not hidden from the loading thread by happens-before
+//! (tracked with vector clocks) or by that thread's own previous
+//! reads (per-location observation floors, which also give us
+//! per-location coherence). `SeqCst` operations and fences join a
+//! global `sc` clock in both directions, which makes the model
+//! *stronger* than C11 `SeqCst` semantics — the checker can miss
+//! exotic weak behaviors but never reports one that C11 forbids,
+//! i.e. no false positives from the memory model. See
+//! `crates/model/README.md` for the full contract.
+//!
+//! ## Failure and free-running
+//!
+//! On a failure (assertion panic in the program, deadlock, livelock
+//! step budget, replay divergence) the engine records the decision
+//! path plus a rendered event trace, flips `aborted`, and releases
+//! every thread to *free-run*: shim ops stop consulting the engine
+//! and hit the real primitives so all threads can unwind and exit,
+//! letting the driver harvest the failure.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AOrd};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::clock::VClock;
+
+/// Upper bound on threads in one model execution (root included).
+/// Small programs are the point: state space is exponential in both
+/// threads and operations.
+pub(crate) const MAX_THREADS: usize = 8;
+
+/// How many consecutive *stale* (non-latest) reads of one location a
+/// single thread may make before the engine forces it to observe the
+/// latest store. Without this cap, spin loops that re-read a stale
+/// value forever (e.g. polling an empty-queue null) would livelock
+/// the search; real hardware propagates stores in finite time, so
+/// bounding staleness loses no interesting behavior.
+const STALE_CAP: u32 = 2;
+
+/// Free-run escape hatch: after this many free-run yields a thread
+/// assumes the program can make no progress without the (now aborted)
+/// scheduler and unwinds with [`Abort`].
+const FREE_RUN_YIELD_CAP: u32 = 200_000;
+
+/// Panic payload used to unwind model threads after an abort. The
+/// thread wrapper recognizes and swallows it.
+pub(crate) struct Abort;
+
+/// Sequencing decisions recorded on the DFS path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ChoiceKind {
+    /// Which thread runs next (index into the options list).
+    Sched,
+    /// Which store a load observes (0 = newest candidate).
+    Value,
+}
+
+/// One node of the decision path: `chosen` out of `n` options.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    pub chosen: u16,
+    pub n: u16,
+    pub kind: ChoiceKind,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    /// Voluntarily yielded; the scheduler must prefer someone else.
+    Yielded,
+    /// Waiting for the given thread to finish.
+    Blocked(usize),
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    clock: VClock,
+    /// Per-location index of the newest store this thread has
+    /// observed (coherence floor: it may never read older again).
+    obs: HashMap<u32, usize>,
+    /// Per-location count of consecutive stale reads (see STALE_CAP).
+    stale: HashMap<u32, u32>,
+}
+
+impl ThreadState {
+    fn new(clock: VClock) -> Self {
+        ThreadState { status: Status::Runnable, clock, obs: HashMap::new(), stale: HashMap::new() }
+    }
+}
+
+struct StoreRec {
+    value: u64,
+    /// Storing thread's clock at the store — the happens-before stamp.
+    stamp: VClock,
+    /// For release-ish stores (and RMWs continuing a release
+    /// sequence): the clock an acquire-load of this store joins.
+    release: Option<VClock>,
+}
+
+struct Location {
+    name: &'static str,
+    stores: Vec<StoreRec>,
+}
+
+/// Identifies one shim atomic: its address plus a per-object token
+/// cell the engine uses to detect address reuse (a freed atomic's
+/// address being recycled for a new one must not inherit history).
+pub(crate) struct LocKey<'a> {
+    pub addr: usize,
+    pub token: &'a AtomicU64,
+    pub name: &'static str,
+}
+
+/// Trace events, rendered into the failure report.
+enum Ev {
+    Load { tid: usize, loc: u32, value: u64, stale: bool },
+    Store { tid: usize, loc: u32, value: u64 },
+    Rmw { tid: usize, loc: u32, old: u64, new: u64 },
+    CasFail { tid: usize, loc: u32, expect: u64, found: u64 },
+    Fence { tid: usize },
+    Yield { tid: usize },
+    Switch { to: usize, preempt: bool },
+    Spawn { tid: usize, child: usize },
+    JoinWait { tid: usize, target: usize },
+    Finish { tid: usize },
+    MutexLock { tid: usize, loc: u32 },
+    MutexUnlock { tid: usize, loc: u32 },
+}
+
+pub(crate) struct Failure {
+    pub message: String,
+    pub schedule: Vec<Choice>,
+    pub trace: String,
+}
+
+pub(crate) struct ExecCfg {
+    pub preemption_bound: u32,
+    pub max_steps: u64,
+}
+
+struct ExecInner {
+    threads: Vec<ThreadState>,
+    active: usize,
+    /// DFS decision path: replayed prefix + default extensions.
+    path: Vec<Choice>,
+    cursor: usize,
+    preemptions: u32,
+    steps: u64,
+    /// addr -> (token, loc id); see [`LocKey`].
+    loc_ids: HashMap<usize, (u64, u32)>,
+    locs: Vec<Location>,
+    next_token: u64,
+    /// Global SeqCst clock: every SC op and fence joins it both ways.
+    sc: VClock,
+    trace: Vec<Ev>,
+    failure: Option<Failure>,
+    finished: usize,
+    /// Depth of sysapi::Mutex critical sections per thread; model ops
+    /// inside one are unsupported (see `mutex_lock`).
+    in_critical: [u32; MAX_THREADS],
+}
+
+pub(crate) struct Execution {
+    cfg: ExecCfg,
+    m: Mutex<ExecInner>,
+    cv: Condvar,
+    aborted: AtomicBool,
+}
+
+// ---------------------------------------------------------------------------
+// Current-thread context
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+    static FREE_YIELDS: RefCell<u32> = const { RefCell::new(0) };
+}
+
+/// The executing model thread's engine handle, or `None` when the
+/// calling OS thread is not part of a model execution (shims then
+/// fall through to the real primitives).
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+struct CurrentGuard;
+
+impl CurrentGuard {
+    fn set(exec: Arc<Execution>, tid: usize) -> CurrentGuard {
+        CURRENT.with(|c| *c.borrow_mut() = Some((exec, tid)));
+        CurrentGuard
+    }
+}
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = None);
+    }
+}
+
+/// Yield while free-running (after abort, or from a finished thread's
+/// TLS destructors). Panics with [`Abort`] once it is clear the
+/// program cannot progress without the scheduler.
+pub(crate) fn free_run_yield() {
+    let n = FREE_YIELDS.with(|c| {
+        let mut b = c.borrow_mut();
+        *b += 1;
+        *b
+    });
+    if n > FREE_RUN_YIELD_CAP {
+        std::panic::panic_any(Abort);
+    }
+    std::thread::yield_now();
+}
+
+fn is_acq(o: AOrd) -> bool {
+    matches!(o, AOrd::Acquire | AOrd::AcqRel | AOrd::SeqCst)
+}
+
+fn is_rel(o: AOrd) -> bool {
+    matches!(o, AOrd::Release | AOrd::AcqRel | AOrd::SeqCst)
+}
+
+fn fmt_val(v: u64) -> String {
+    if v > 0xffff_ffff {
+        format!("{:#x}", v)
+    } else {
+        format!("{}", v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+enum Mode {
+    /// Ordinary op: continuing is an option, switching costs a preemption.
+    Continue,
+    /// Voluntary yield: switching is free and preferred.
+    Yield,
+    /// Blocked on a join: must switch.
+    Block(usize),
+}
+
+impl Execution {
+    pub(crate) fn new(cfg: ExecCfg, prefix: Vec<Choice>) -> Arc<Execution> {
+        Arc::new(Execution {
+            cfg,
+            m: Mutex::new(ExecInner {
+                threads: Vec::new(),
+                active: 0,
+                path: prefix,
+                cursor: 0,
+                preemptions: 0,
+                steps: 0,
+                loc_ids: HashMap::new(),
+                locs: Vec::new(),
+                next_token: 1,
+                sc: VClock::default(),
+                trace: Vec::new(),
+                failure: None,
+                finished: 0,
+                in_critical: [0; MAX_THREADS],
+            }),
+            cv: Condvar::new(),
+            aborted: AtomicBool::new(false),
+        })
+    }
+
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.aborted.load(AOrd::Relaxed)
+    }
+
+    fn fail(&self, g: &mut MutexGuard<'_, ExecInner>, message: String) {
+        if g.failure.is_none() {
+            let trace = render_trace(&g.trace, &g.locs);
+            let schedule = g.path[..g.cursor].to_vec();
+            g.failure = Some(Failure { message, schedule, trace });
+        }
+        self.aborted.store(true, AOrd::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// Record a failure from outside a schedule point (user panic).
+    pub(crate) fn fail_external(&self, message: String) {
+        let mut g = self.m.lock().unwrap();
+        self.fail(&mut g, message);
+    }
+
+    pub(crate) fn take_failure(&self) -> Option<Failure> {
+        self.m.lock().unwrap().failure.take()
+    }
+
+    pub(crate) fn recorded_path(&self) -> Vec<Choice> {
+        self.m.lock().unwrap().path.clone()
+    }
+
+    // -- decision path ------------------------------------------------------
+
+    fn decide(
+        &self,
+        g: &mut MutexGuard<'_, ExecInner>,
+        n: usize,
+        kind: ChoiceKind,
+    ) -> Option<usize> {
+        debug_assert!(n >= 2);
+        if g.cursor < g.path.len() {
+            let c = g.path[g.cursor];
+            if c.kind != kind || (c.n != 0 && c.n as usize != n) || (c.chosen as usize) >= n {
+                self.fail(
+                    g,
+                    format!(
+                        "replay divergence at decision {}: recorded {:?} {}/{} but live \
+                         execution offers {:?} with {} options — the program is \
+                         nondeterministic outside the model (wall-clock, addresses, \
+                         un-shimmed synchronization?)",
+                        g.cursor, c.kind, c.chosen, c.n, kind, n
+                    ),
+                );
+                return None;
+            }
+            g.cursor += 1;
+            Some(c.chosen as usize)
+        } else {
+            g.path.push(Choice { chosen: 0, n: n as u16, kind });
+            g.cursor += 1;
+            Some(0)
+        }
+    }
+
+    // -- scheduling ---------------------------------------------------------
+
+    /// Schedule point. Returns the guard with the baton (re)held by
+    /// `tid`, or `None` if the execution aborted (caller free-runs).
+    fn schedule_point<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, ExecInner>,
+        tid: usize,
+        mode: Mode,
+    ) -> Option<MutexGuard<'a, ExecInner>> {
+        g.steps += 1;
+        if g.steps > self.cfg.max_steps {
+            self.fail(
+                &mut g,
+                format!(
+                    "step budget ({}) exceeded — livelock, or raise LWT_MODEL_STEPS",
+                    self.cfg.max_steps
+                ),
+            );
+            return None;
+        }
+
+        let eligible: Vec<usize> = (0..g.threads.len())
+            .filter(|&t| {
+                t != tid && matches!(g.threads[t].status, Status::Runnable | Status::Yielded)
+            })
+            .collect();
+
+        let (options, free_switch): (Vec<usize>, bool) = match mode {
+            Mode::Continue => {
+                if !eligible.is_empty() && g.preemptions < self.cfg.preemption_bound {
+                    let mut o = vec![tid];
+                    o.extend_from_slice(&eligible);
+                    (o, false)
+                } else {
+                    (vec![tid], false)
+                }
+            }
+            Mode::Yield => {
+                g.threads[tid].status = Status::Yielded;
+                if eligible.is_empty() {
+                    (vec![tid], true)
+                } else {
+                    (eligible, true)
+                }
+            }
+            Mode::Block(target) => {
+                g.threads[tid].status = Status::Blocked(target);
+                if eligible.is_empty() {
+                    self.fail(
+                        &mut g,
+                        format!(
+                            "deadlock: thread {} blocked joining thread {} with no \
+                             runnable thread left",
+                            tid, target
+                        ),
+                    );
+                    return None;
+                }
+                (eligible, true)
+            }
+        };
+
+        let idx = if options.len() > 1 {
+            self.decide(&mut g, options.len(), ChoiceKind::Sched)?
+        } else {
+            0
+        };
+        let next = options[idx];
+
+        if next == tid {
+            g.threads[tid].status = Status::Runnable;
+            return Some(g);
+        }
+
+        if !free_switch {
+            // Preempting a thread that could have continued.
+            g.preemptions += 1;
+        }
+        if matches!(mode, Mode::Continue) {
+            g.threads[tid].status = Status::Runnable;
+        }
+        g.threads[next].status = Status::Runnable;
+        g.active = next;
+        g.trace.push(Ev::Switch { to: next, preempt: !free_switch });
+        self.cv.notify_all();
+        self.wait_for_baton(g, tid)
+    }
+
+    fn wait_for_baton<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, ExecInner>,
+        tid: usize,
+    ) -> Option<MutexGuard<'a, ExecInner>> {
+        loop {
+            if self.is_aborted() {
+                return None;
+            }
+            if g.active == tid && matches!(g.threads[tid].status, Status::Runnable) {
+                return Some(g);
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    /// Common prologue for every shim operation: bail to free-run if
+    /// appropriate, take a schedule point, tick the thread's clock.
+    fn op_entry(&self, tid: usize) -> Option<MutexGuard<'_, ExecInner>> {
+        if self.is_aborted() {
+            return None;
+        }
+        let g = self.m.lock().unwrap();
+        if matches!(g.threads[tid].status, Status::Finished) {
+            // TLS destructors running after thread exit free-run.
+            return None;
+        }
+        if g.in_critical[tid] > 0 {
+            let mut g = g;
+            self.fail(
+                &mut g,
+                format!(
+                    "thread {} performed a model op inside a sysapi::Mutex critical \
+                     section — unsupported in v1 (would deadlock TLS destructors); \
+                     keep Mutex-protected sections free of shim atomics",
+                    tid
+                ),
+            );
+            return None;
+        }
+        let mut g = self.schedule_point(g, tid, Mode::Continue)?;
+        g.threads[tid].clock.bump(tid);
+        Some(g)
+    }
+
+    // -- locations ----------------------------------------------------------
+
+    fn loc_of(&self, g: &mut MutexGuard<'_, ExecInner>, key: &LocKey<'_>, current: u64) -> u32 {
+        let tok = key.token.load(AOrd::Relaxed);
+        if tok != 0 {
+            if let Some(&(etok, lid)) = g.loc_ids.get(&key.addr) {
+                if etok == tok {
+                    return lid;
+                }
+            }
+        }
+        // First touch this execution, or the address was recycled by
+        // a newer atomic: (re)register with a fresh history seeded
+        // from the real value. The init store has an empty stamp so
+        // every thread may observe it.
+        let tok = if tok == 0 {
+            let t = g.next_token;
+            g.next_token += 1;
+            key.token.store(t, AOrd::Relaxed);
+            t
+        } else {
+            tok
+        };
+        let lid = g.locs.len() as u32;
+        g.locs.push(Location {
+            name: key.name,
+            stores: vec![StoreRec { value: current, stamp: VClock::default(), release: None }],
+        });
+        g.loc_ids.insert(key.addr, (tok, lid));
+        lid
+    }
+
+    fn sc_join(g: &mut MutexGuard<'_, ExecInner>, tid: usize) {
+        let clock = g.threads[tid].clock;
+        g.sc.join(&clock);
+        let sc = g.sc;
+        g.threads[tid].clock.join(&sc);
+    }
+
+    // -- atomic ops ---------------------------------------------------------
+
+    /// Model a load. Returns the observed value, or `None` to make
+    /// the caller fall through to the real primitive (free-run).
+    pub(crate) fn load(
+        &self,
+        tid: usize,
+        key: &LocKey<'_>,
+        ord: AOrd,
+        current: u64,
+    ) -> Option<u64> {
+        let mut g = self.op_entry(tid)?;
+        if ord == AOrd::SeqCst {
+            Self::sc_join(&mut g, tid);
+        }
+        let lid = self.loc_of(&mut g, key, current);
+        let clock = g.threads[tid].clock;
+        let floor_obs = g.threads[tid].obs.get(&lid).copied().unwrap_or(0);
+        let stores = &g.locs[lid as usize].stores;
+        let latest = stores.len() - 1;
+        // Happens-before floor: the newest store whose stamp the
+        // loading thread already covers; anything older is hidden.
+        let mut floor_hb = 0;
+        for (i, s) in stores.iter().enumerate() {
+            if s.stamp.leq(&clock) {
+                floor_hb = i;
+            }
+        }
+        let floor = floor_obs.max(floor_hb);
+        let stale_run = g.threads[tid].stale.get(&lid).copied().unwrap_or(0);
+        let forced_latest = stale_run >= STALE_CAP;
+        let lo = if forced_latest { latest } else { floor };
+        // Candidates are lo..=latest, newest first (choice 0 = newest).
+        let n = latest - lo + 1;
+        let pick = if n > 1 { self.decide(&mut g, n, ChoiceKind::Value)? } else { 0 };
+        let idx = latest - pick;
+        let rec = &g.locs[lid as usize].stores[idx];
+        let value = rec.value;
+        let rel = if is_acq(ord) { rec.release } else { None };
+        if let Some(rvc) = rel {
+            g.threads[tid].clock.join(&rvc);
+        }
+        let th = &mut g.threads[tid];
+        th.obs.insert(lid, idx);
+        if idx == latest {
+            th.stale.insert(lid, 0);
+        } else {
+            th.stale.insert(lid, stale_run + 1);
+        }
+        g.trace.push(Ev::Load { tid, loc: lid, value, stale: idx != latest });
+        Some(value)
+    }
+
+    /// Model a store. Returns `true` if recorded (the caller must
+    /// mirror the value into the real atomic — the baton is still
+    /// held, so that write is exclusive), `false` to free-run.
+    /// `current` is the real pre-store value, needed to seed a
+    /// first-touch location history (the old value must stay
+    /// observable by threads without a happens-before edge).
+    pub(crate) fn store(
+        &self,
+        tid: usize,
+        key: &LocKey<'_>,
+        ord: AOrd,
+        value: u64,
+        current: u64,
+    ) -> bool {
+        let Some(mut g) = self.op_entry(tid) else { return false };
+        if ord == AOrd::SeqCst {
+            Self::sc_join(&mut g, tid);
+        }
+        let lid = self.loc_of(&mut g, key, current);
+        let clock = g.threads[tid].clock;
+        let release = if is_rel(ord) { Some(clock) } else { None };
+        let loc = &mut g.locs[lid as usize];
+        loc.stores.push(StoreRec { value, stamp: clock, release });
+        let latest = loc.stores.len() - 1;
+        let th = &mut g.threads[tid];
+        th.obs.insert(lid, latest);
+        th.stale.insert(lid, 0);
+        g.trace.push(Ev::Store { tid, loc: lid, value });
+        true
+    }
+
+    /// Model a read-modify-write (swap / fetch_add / fetch_sub …).
+    /// RMWs always operate on the latest store. Returns the old
+    /// value, or `None` to free-run. The caller mirrors `f(old)`.
+    pub(crate) fn rmw(
+        &self,
+        tid: usize,
+        key: &LocKey<'_>,
+        ord: AOrd,
+        current: u64,
+        f: &mut dyn FnMut(u64) -> u64,
+    ) -> Option<u64> {
+        let mut g = self.op_entry(tid)?;
+        if ord == AOrd::SeqCst {
+            Self::sc_join(&mut g, tid);
+        }
+        let lid = self.loc_of(&mut g, key, current);
+        let latest = g.locs[lid as usize].stores.len() - 1;
+        let (old, old_rel) = {
+            let rec = &g.locs[lid as usize].stores[latest];
+            (rec.value, rec.release)
+        };
+        if is_acq(ord) {
+            if let Some(rvc) = old_rel {
+                g.threads[tid].clock.join(&rvc);
+            }
+        }
+        let new = f(old);
+        let clock = g.threads[tid].clock;
+        // RMWs continue the release sequence of the store they
+        // replace: an acquire-load of the new value synchronizes with
+        // the original releaser even if this RMW is relaxed.
+        let release = match (is_rel(ord), old_rel) {
+            (true, Some(mut r)) => {
+                r.join(&clock);
+                Some(r)
+            }
+            (true, None) => Some(clock),
+            (false, keep) => keep,
+        };
+        let loc = &mut g.locs[lid as usize];
+        loc.stores.push(StoreRec { value: new, stamp: clock, release });
+        let idx = loc.stores.len() - 1;
+        let th = &mut g.threads[tid];
+        th.obs.insert(lid, idx);
+        th.stale.insert(lid, 0);
+        g.trace.push(Ev::Rmw { tid, loc: lid, old, new });
+        Some(old)
+    }
+
+    /// Model a compare-exchange. `Some(Ok(old))` on success (caller
+    /// mirrors `new`), `Some(Err(found))` on failure, `None` to
+    /// free-run. Like hardware, CAS reads the *latest* store.
+    pub(crate) fn cas(
+        &self,
+        tid: usize,
+        key: &LocKey<'_>,
+        success: AOrd,
+        failure: AOrd,
+        expect: u64,
+        new: u64,
+        current: u64,
+    ) -> Option<Result<u64, u64>> {
+        let mut g = self.op_entry(tid)?;
+        if success == AOrd::SeqCst || failure == AOrd::SeqCst {
+            Self::sc_join(&mut g, tid);
+        }
+        let lid = self.loc_of(&mut g, key, current);
+        let latest = g.locs[lid as usize].stores.len() - 1;
+        let (found, old_rel) = {
+            let rec = &g.locs[lid as usize].stores[latest];
+            (rec.value, rec.release)
+        };
+        if found != expect {
+            if is_acq(failure) {
+                if let Some(rvc) = old_rel {
+                    g.threads[tid].clock.join(&rvc);
+                }
+            }
+            let th = &mut g.threads[tid];
+            th.obs.insert(lid, latest);
+            th.stale.insert(lid, 0);
+            g.trace.push(Ev::CasFail { tid, loc: lid, expect, found });
+            return Some(Err(found));
+        }
+        if is_acq(success) {
+            if let Some(rvc) = old_rel {
+                g.threads[tid].clock.join(&rvc);
+            }
+        }
+        let clock = g.threads[tid].clock;
+        let release = match (is_rel(success), old_rel) {
+            (true, Some(mut r)) => {
+                r.join(&clock);
+                Some(r)
+            }
+            (true, None) => Some(clock),
+            (false, keep) => keep,
+        };
+        let loc = &mut g.locs[lid as usize];
+        loc.stores.push(StoreRec { value: new, stamp: clock, release });
+        let idx = loc.stores.len() - 1;
+        let th = &mut g.threads[tid];
+        th.obs.insert(lid, idx);
+        th.stale.insert(lid, 0);
+        g.trace.push(Ev::Rmw { tid, loc: lid, old: expect, new });
+        Some(Ok(expect))
+    }
+
+    /// Model a fence. All fences join the global SC clock both ways
+    /// (stronger than C11 for non-SC fences — sound, never racy).
+    /// Returns `false` to free-run.
+    pub(crate) fn fence(&self, tid: usize, _ord: AOrd) -> bool {
+        let Some(mut g) = self.op_entry(tid) else { return false };
+        Self::sc_join(&mut g, tid);
+        g.trace.push(Ev::Fence { tid });
+        true
+    }
+
+    /// Model `yield_now` / `spin_loop`: a free switch away from this
+    /// thread. Returns `false` to free-run.
+    pub(crate) fn yield_now(&self, tid: usize) -> bool {
+        if self.is_aborted() {
+            return false;
+        }
+        let g = self.m.lock().unwrap();
+        if matches!(g.threads[tid].status, Status::Finished) {
+            return false;
+        }
+        let Some(mut g) = self.schedule_point(g, tid, Mode::Yield) else { return false };
+        g.trace.push(Ev::Yield { tid });
+        true
+    }
+
+    // -- threads ------------------------------------------------------------
+
+    /// Register the root thread (tid 0). Driver-side, before spawn.
+    pub(crate) fn register_root(&self) {
+        let mut g = self.m.lock().unwrap();
+        debug_assert!(g.threads.is_empty());
+        let mut clock = VClock::default();
+        clock.bump(0);
+        g.threads.push(ThreadState::new(clock));
+        g.active = 0;
+    }
+
+    /// Register a child thread spawned by `parent`; returns its tid.
+    pub(crate) fn spawn_thread(&self, parent: usize) -> usize {
+        let mut g = self.m.lock().unwrap();
+        let tid = g.threads.len();
+        assert!(
+            tid < MAX_THREADS,
+            "model programs are capped at {} threads — shrink the test",
+            MAX_THREADS
+        );
+        g.threads[parent].clock.bump(parent);
+        let mut clock = g.threads[parent].clock;
+        clock.bump(tid);
+        g.threads.push(ThreadState::new(clock));
+        g.trace.push(Ev::Spawn { tid: parent, child: tid });
+        tid
+    }
+
+    /// Park until the scheduler first hands this thread the baton.
+    pub(crate) fn wait_first_baton(&self, tid: usize) {
+        let g = self.m.lock().unwrap();
+        let _ = self.wait_for_baton(g, tid);
+    }
+
+    /// Block until `target` finishes, then join its clock. Returns
+    /// `false` if the caller must free-run (abort happened).
+    pub(crate) fn join_wait(&self, tid: usize, target: usize) -> bool {
+        if self.is_aborted() {
+            return false;
+        }
+        let g = self.m.lock().unwrap();
+        if matches!(g.threads[tid].status, Status::Finished) {
+            return false;
+        }
+        let mut g = if matches!(g.threads[target].status, Status::Finished) {
+            g
+        } else {
+            let mut g = g;
+            g.trace.push(Ev::JoinWait { tid, target });
+            match self.schedule_point(g, tid, Mode::Block(target)) {
+                Some(g) => g,
+                None => return false,
+            }
+        };
+        let tclock = g.threads[target].clock;
+        g.threads[tid].clock.join(&tclock);
+        true
+    }
+
+    /// Thread epilogue: mark finished, wake joiners, pass the baton.
+    pub(crate) fn finish_thread(&self, tid: usize) {
+        let mut g = self.m.lock().unwrap();
+        if matches!(g.threads[tid].status, Status::Finished) {
+            return;
+        }
+        g.threads[tid].status = Status::Finished;
+        g.threads[tid].clock.bump(tid);
+        g.finished += 1;
+        g.trace.push(Ev::Finish { tid });
+        for t in 0..g.threads.len() {
+            if g.threads[t].status == Status::Blocked(tid) {
+                g.threads[t].status = Status::Runnable;
+            }
+        }
+        if g.finished == g.threads.len() {
+            self.cv.notify_all();
+            return;
+        }
+        if self.is_aborted() {
+            self.cv.notify_all();
+            return;
+        }
+        if tid == 0 {
+            self.fail(
+                &mut g,
+                "root closure returned with live spawned threads — every model \
+                 thread must be joined before the closure ends"
+                    .to_string(),
+            );
+            return;
+        }
+        let eligible: Vec<usize> = (0..g.threads.len())
+            .filter(|&t| matches!(g.threads[t].status, Status::Runnable | Status::Yielded))
+            .collect();
+        if eligible.is_empty() {
+            self.fail(
+                &mut g,
+                format!("deadlock: thread {} finished and no thread is runnable", tid),
+            );
+            return;
+        }
+        let idx = if eligible.len() > 1 {
+            match self.decide(&mut g, eligible.len(), ChoiceKind::Sched) {
+                Some(i) => i,
+                None => return,
+            }
+        } else {
+            0
+        };
+        let next = eligible[idx];
+        g.threads[next].status = Status::Runnable;
+        g.active = next;
+        g.trace.push(Ev::Switch { to: next, preempt: false });
+        self.cv.notify_all();
+    }
+
+    /// Driver-side: wait until every registered thread has finished
+    /// (they free-run to completion after an abort). Panics if the
+    /// execution wedges past the watchdog.
+    pub(crate) fn wait_all_finished(&self) {
+        let mut g = self.m.lock().unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+        while g.finished < g.threads.len() {
+            let (ng, timeout) = self
+                .cv
+                .wait_timeout(g, std::time::Duration::from_millis(200))
+                .unwrap();
+            g = ng;
+            if timeout.timed_out() && std::time::Instant::now() > deadline {
+                panic!(
+                    "lwt-model: execution wedged ({} of {} threads finished) — \
+                     a model thread is stuck outside the engine",
+                    g.finished,
+                    g.threads.len()
+                );
+            }
+        }
+    }
+
+    // -- sysapi::Mutex ------------------------------------------------------
+
+    /// Model a mutex lock. Loops (with scheduling) until the model
+    /// lock word reads unlocked *and* the real `try_lock` succeeds;
+    /// returns `false` if the caller must fall back to a blocking
+    /// real lock (free-run). On success the calling thread enters a
+    /// critical section in which shim ops are forbidden — this keeps
+    /// the real lock's hold times schedule-point-free, so a blocked
+    /// TLS destructor can never deadlock against a suspended holder.
+    pub(crate) fn mutex_lock(
+        &self,
+        tid: usize,
+        key: &LocKey<'_>,
+        try_real: &mut dyn FnMut() -> bool,
+    ) -> bool {
+        loop {
+            let Some(mut g) = self.op_entry(tid) else { return false };
+            let lid = self.loc_of(&mut g, key, 0);
+            let latest = g.locs[lid as usize].stores.len() - 1;
+            let (locked, rel) = {
+                let rec = &g.locs[lid as usize].stores[latest];
+                (rec.value != 0, rec.release)
+            };
+            if !locked && try_real() {
+                if let Some(rvc) = rel {
+                    g.threads[tid].clock.join(&rvc);
+                }
+                let clock = g.threads[tid].clock;
+                let loc = &mut g.locs[lid as usize];
+                loc.stores.push(StoreRec { value: 1, stamp: clock, release: Some(clock) });
+                g.in_critical[tid] += 1;
+                g.trace.push(Ev::MutexLock { tid, loc: lid });
+                return true;
+            }
+            // Model-locked, or a free-running TLS destructor holds
+            // the real lock: behave like a contended lock and yield.
+            drop(g);
+            if !self.yield_now(tid) {
+                return false;
+            }
+        }
+    }
+
+    /// Model a mutex unlock (no schedule point; the release edge is
+    /// what matters). `false` means the lock was taken in free-run.
+    pub(crate) fn mutex_unlock(&self, tid: usize, key: &LocKey<'_>) -> bool {
+        if self.is_aborted() {
+            return false;
+        }
+        let mut g = self.m.lock().unwrap();
+        if matches!(g.threads[tid].status, Status::Finished) {
+            return false;
+        }
+        if g.in_critical[tid] == 0 {
+            return false;
+        }
+        g.threads[tid].clock.bump(tid);
+        let lid = self.loc_of(&mut g, key, 1);
+        let clock = g.threads[tid].clock;
+        let loc = &mut g.locs[lid as usize];
+        loc.stores.push(StoreRec { value: 0, stamp: clock, release: Some(clock) });
+        g.in_critical[tid] -= 1;
+        g.trace.push(Ev::MutexUnlock { tid, loc: lid });
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread wrapper
+
+/// Body shared by the root and every spawned model thread.
+pub(crate) fn run_thread<T: Send + 'static>(
+    exec: Arc<Execution>,
+    tid: usize,
+    slot: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    done: Arc<AtomicBool>,
+    f: impl FnOnce() -> T + Send + 'static,
+) {
+    let _cur = CurrentGuard::set(exec.clone(), tid);
+    exec.wait_first_baton(tid);
+    let r = catch_unwind(AssertUnwindSafe(f));
+    if let Err(p) = &r {
+        if !p.is::<Abort>() {
+            let msg = if let Some(s) = p.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = p.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "model thread panicked (non-string payload)".to_string()
+            };
+            exec.fail_external(format!("thread {} panicked: {}", tid, msg));
+        }
+    }
+    *slot.lock().unwrap() = Some(r);
+    done.store(true, AOrd::SeqCst);
+    exec.finish_thread(tid);
+}
+
+// ---------------------------------------------------------------------------
+// Trace rendering
+
+fn render_trace(trace: &[Ev], locs: &[Location]) -> String {
+    let name = |l: &u32| -> String {
+        let l = *l as usize;
+        if l < locs.len() {
+            format!("{}#{}", locs[l].name, l)
+        } else {
+            format!("loc#{}", l)
+        }
+    };
+    let mut out = String::new();
+    for ev in trace {
+        let line = match ev {
+            Ev::Load { tid, loc, value, stale } => format!(
+                "[t{}] load   {} -> {}{}",
+                tid,
+                name(loc),
+                fmt_val(*value),
+                if *stale { "  (stale)" } else { "" }
+            ),
+            Ev::Store { tid, loc, value } => {
+                format!("[t{}] store  {} <- {}", tid, name(loc), fmt_val(*value))
+            }
+            Ev::Rmw { tid, loc, old, new } => format!(
+                "[t{}] rmw    {} {} -> {}",
+                tid,
+                name(loc),
+                fmt_val(*old),
+                fmt_val(*new)
+            ),
+            Ev::CasFail { tid, loc, expect, found } => format!(
+                "[t{}] cas!   {} expected {} found {}",
+                tid,
+                name(loc),
+                fmt_val(*expect),
+                fmt_val(*found)
+            ),
+            Ev::Fence { tid } => format!("[t{}] fence", tid),
+            Ev::Yield { tid } => format!("[t{}] yield", tid),
+            Ev::Switch { to, preempt } => format!(
+                "       ---- switch to t{}{} ----",
+                to,
+                if *preempt { " (preemption)" } else { "" }
+            ),
+            Ev::Spawn { tid, child } => format!("[t{}] spawn  t{}", tid, child),
+            Ev::JoinWait { tid, target } => format!("[t{}] join   t{} (blocks)", tid, target),
+            Ev::Finish { tid } => format!("[t{}] finished", tid),
+            Ev::MutexLock { tid, loc } => format!("[t{}] lock   {}", tid, name(loc)),
+            Ev::MutexUnlock { tid, loc } => format!("[t{}] unlock {}", tid, name(loc)),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}

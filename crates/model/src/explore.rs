@@ -1,0 +1,328 @@
+//! The exploration driver: depth-first search over decision paths.
+//!
+//! Each execution follows a recorded *prefix* of decisions and
+//! extends it with default (option 0) choices; after a passing
+//! execution the deepest non-exhausted decision is advanced and the
+//! search re-runs. With a preemption bound `p` (CHESS-style: only
+//! switches away from a thread that could have continued count) the
+//! state space is small enough to exhaust for the intended programs
+//! — a handful of threads, a handful of operations each.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::exec::{run_thread, Choice, ChoiceKind, ExecCfg, Execution, Failure};
+
+/// Result of a [`Checker`] search.
+#[derive(Debug)]
+pub enum Outcome {
+    /// No failing interleaving found.
+    Pass {
+        /// Number of executions explored.
+        executions: u64,
+        /// `true` iff the decision tree was exhausted; `false` means
+        /// the search stopped at an execution/time cap and weaker
+        /// guarantees apply.
+        complete: bool,
+    },
+    /// A failing interleaving was found.
+    Fail {
+        /// Number of executions explored, failing one included.
+        executions: u64,
+        /// What went wrong (assertion message, deadlock, livelock…).
+        message: String,
+        /// Replayable schedule string — feed to [`replay`] or the
+        /// `LWT_MODEL_REPLAY` environment variable.
+        schedule: String,
+        /// Human-readable event trace of the failing execution.
+        trace: String,
+    },
+}
+
+impl Outcome {
+    /// Render a full failure report (message, trace, replay line).
+    /// Empty string for passes.
+    pub fn report(&self) -> String {
+        match self {
+            Outcome::Pass { .. } => String::new(),
+            Outcome::Fail { executions, message, schedule, trace } => format!(
+                "lwt-model: failing interleaving found (execution #{})\n\
+                 \n{}\n\
+                 --- trace ---------------------------------------------------\n\
+                 {}\
+                 --- replay --------------------------------------------------\n\
+                 LWT_MODEL_REPLAY=\"{}\"\n",
+                executions, message, trace, schedule
+            ),
+        }
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Configurable model-checking session.
+///
+/// Defaults (each overridable by environment variable):
+///
+/// | knob | env | default |
+/// |---|---|---|
+/// | preemption bound | `LWT_MODEL_PREEMPTIONS` | 2 |
+/// | step budget per execution | `LWT_MODEL_STEPS` | 20 000 |
+/// | execution cap | `LWT_MODEL_MAX_EXECS` | 1 000 000 |
+/// | wall-clock cap | `LWT_MODEL_TIME_MS` | 60 000 |
+///
+/// Setting `LWT_MODEL_REPLAY="<schedule>"` makes [`Checker::run`]
+/// execute exactly one interleaving — the one a failure report
+/// printed — instead of searching.
+pub struct Checker {
+    preemption_bound: u32,
+    max_steps: u64,
+    max_execs: u64,
+    time_budget: Duration,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker {
+            preemption_bound: env_u64("LWT_MODEL_PREEMPTIONS", 2) as u32,
+            max_steps: env_u64("LWT_MODEL_STEPS", 20_000),
+            max_execs: env_u64("LWT_MODEL_MAX_EXECS", 1_000_000),
+            time_budget: Duration::from_millis(env_u64("LWT_MODEL_TIME_MS", 60_000)),
+        }
+    }
+}
+
+impl Checker {
+    /// A checker with the documented defaults.
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// Set the preemption bound (see crate docs; ≥ 2 recommended).
+    pub fn preemptions(mut self, p: u32) -> Checker {
+        self.preemption_bound = p;
+        self
+    }
+
+    /// Set the per-execution step budget (livelock backstop).
+    pub fn steps(mut self, s: u64) -> Checker {
+        self.max_steps = s;
+        self
+    }
+
+    /// Cap the number of executions explored.
+    pub fn max_executions(mut self, n: u64) -> Checker {
+        self.max_execs = n;
+        self
+    }
+
+    /// Cap the wall-clock search time.
+    pub fn time_budget_ms(mut self, ms: u64) -> Checker {
+        self.time_budget = Duration::from_millis(ms);
+        self
+    }
+
+    /// Explore interleavings of `f` until the tree is exhausted, a
+    /// failure is found, or a cap is hit.
+    pub fn run<F>(&self, f: F) -> Outcome
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        if let Ok(s) = std::env::var("LWT_MODEL_REPLAY") {
+            if !s.is_empty() {
+                let prefix = parse_schedule(&s)
+                    .unwrap_or_else(|| panic!("unparseable LWT_MODEL_REPLAY: {:?}", s));
+                let (_, failure) = self.run_one(f, prefix);
+                return match failure {
+                    Some(fl) => Outcome::Fail {
+                        executions: 1,
+                        message: fl.message,
+                        schedule: format_schedule(&fl.schedule),
+                        trace: fl.trace,
+                    },
+                    None => Outcome::Pass { executions: 1, complete: false },
+                };
+            }
+        }
+        let start = Instant::now();
+        let mut prefix = Vec::new();
+        let mut execs = 0u64;
+        loop {
+            execs += 1;
+            let (mut path, failure) = self.run_one(f.clone(), prefix);
+            if let Some(fl) = failure {
+                return Outcome::Fail {
+                    executions: execs,
+                    message: fl.message,
+                    schedule: format_schedule(&fl.schedule),
+                    trace: fl.trace,
+                };
+            }
+            // Backtrack: advance the deepest non-exhausted decision.
+            loop {
+                match path.pop() {
+                    None => return Outcome::Pass { executions: execs, complete: true },
+                    Some(c) if (c.chosen as usize) + 1 < c.n as usize => {
+                        path.push(Choice { chosen: c.chosen + 1, ..c });
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+            prefix = path;
+            if execs >= self.max_execs || start.elapsed() >= self.time_budget {
+                return Outcome::Pass { executions: execs, complete: false };
+            }
+        }
+    }
+
+    /// Like [`Checker::run`] but panics with a full report if a
+    /// failing interleaving is found — the convenient form for
+    /// `#[test]` functions.
+    pub fn check<F>(&self, f: F) -> Outcome
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let outcome = self.run(f);
+        match &outcome {
+            Outcome::Fail { .. } => panic!("{}", outcome.report()),
+            Outcome::Pass { executions, complete } => {
+                if !*complete {
+                    eprintln!(
+                        "lwt-model: search capped after {} executions (pass so far, \
+                         not exhaustive)",
+                        executions
+                    );
+                }
+            }
+        }
+        outcome
+    }
+
+    fn run_one<F>(&self, f: Arc<F>, prefix: Vec<Choice>) -> (Vec<Choice>, Option<Failure>)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let exec = Execution::new(
+            ExecCfg { preemption_bound: self.preemption_bound, max_steps: self.max_steps },
+            prefix,
+        );
+        exec.register_root();
+        let slot = Arc::new(Mutex::new(None::<std::thread::Result<()>>));
+        let done = Arc::new(AtomicBool::new(false));
+        let (e2, s2, d2) = (exec.clone(), slot.clone(), done.clone());
+        let os = std::thread::Builder::new()
+            .name("lwt-model-0".to_string())
+            .spawn(move || run_thread(e2, 0, s2, d2, move || f()))
+            .expect("failed to spawn model root thread");
+        exec.wait_all_finished();
+        // Full OS join of the root: by the join-before-return rule it
+        // transitively waits out every model thread *and* their TLS
+        // destructors, so no state leaks into the next execution.
+        let _ = os.join();
+        (exec.recorded_path(), exec.take_failure())
+    }
+}
+
+/// One-line exhaustive check with default bounds; panics with a
+/// replayable report on failure. The `#[test]` workhorse.
+pub fn check<F>(f: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Checker::new().check(f)
+}
+
+/// Re-execute a single recorded interleaving (from a failure
+/// report's `schedule` / `LWT_MODEL_REPLAY` line) and return the
+/// outcome. Panics on an unparseable schedule string.
+pub fn replay<F>(schedule: &str, f: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let prefix =
+        parse_schedule(schedule).unwrap_or_else(|| panic!("unparseable schedule: {:?}", schedule));
+    let checker = Checker::new();
+    let f = Arc::new(f);
+    // A panic inside the replayed execution is converted into a
+    // Failure by the engine, so catch-free invocation is fine; but
+    // the run itself may also panic on internal errors — surface as
+    // a Fail either way.
+    let result = catch_unwind(AssertUnwindSafe(|| checker.run_one(f, prefix)));
+    match result {
+        Ok((_, Some(fl))) => Outcome::Fail {
+            executions: 1,
+            message: fl.message,
+            schedule: format_schedule(&fl.schedule),
+            trace: fl.trace,
+        },
+        Ok((_, None)) => Outcome::Pass { executions: 1, complete: false },
+        Err(p) => std::panic::resume_unwind(p),
+    }
+}
+
+pub(crate) fn format_schedule(path: &[Choice]) -> String {
+    let mut out = String::new();
+    for (i, c) in path.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let k = match c.kind {
+            ChoiceKind::Sched => 's',
+            ChoiceKind::Value => 'v',
+        };
+        out.push(k);
+        out.push_str(&format!("{}/{}", c.chosen, c.n));
+    }
+    out
+}
+
+pub(crate) fn parse_schedule(s: &str) -> Option<Vec<Choice>> {
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (kind, rest) = match part.as_bytes()[0] {
+            b's' => (ChoiceKind::Sched, &part[1..]),
+            b'v' => (ChoiceKind::Value, &part[1..]),
+            _ => return None,
+        };
+        let (chosen, n) = match rest.split_once('/') {
+            Some((c, n)) => (c.parse().ok()?, n.parse().ok()?),
+            None => (rest.parse().ok()?, 0),
+        };
+        out.push(Choice { chosen, n, kind });
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_round_trips() {
+        let path = vec![
+            Choice { chosen: 0, n: 3, kind: ChoiceKind::Sched },
+            Choice { chosen: 2, n: 4, kind: ChoiceKind::Value },
+            Choice { chosen: 1, n: 2, kind: ChoiceKind::Sched },
+        ];
+        let s = format_schedule(&path);
+        assert_eq!(s, "s0/3,v2/4,s1/2");
+        let back = parse_schedule(&s).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[1].chosen, 2);
+        assert_eq!(back[1].n, 4);
+        assert!(matches!(back[1].kind, ChoiceKind::Value));
+        // Bare indices (hand-written schedules) parse too.
+        let loose = parse_schedule("s1,v0").unwrap();
+        assert_eq!(loose[0].n, 0);
+    }
+}

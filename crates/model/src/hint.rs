@@ -1,0 +1,13 @@
+//! Spin-hint shim.
+
+/// Drop-in for [`std::hint::spin_loop`] in model-checked code.
+///
+/// A spin iteration is only meaningful if some *other* thread can
+/// run, so the model treats it exactly like a yield: a free switch
+/// away from the spinner. This bounds spin loops (a spinner whose
+/// condition can never be satisfied ends up exhausting the step
+/// budget and is reported as a livelock) instead of burning the
+/// search on millions of no-op iterations.
+pub fn spin_loop() {
+    crate::sync::yield_like()
+}

@@ -1,0 +1,63 @@
+//! # lwt-model — a deterministic concurrency model checker
+//!
+//! A hermetic, zero-dependency, loom-style checker for the lock-free
+//! core of this workspace. Small concurrent programs written against
+//! the shim types ([`sync::atomic`], [`cell::UnsafeCell`],
+//! [`sync::Mutex`], [`thread::spawn`]) are executed under a
+//! controlled scheduler that *exhaustively* explores
+//!
+//! * **thread interleavings** — every shim operation is a schedule
+//!   point; a depth-bounded DFS with CHESS-style preemption bounding
+//!   walks the decision tree, and
+//! * **weak-memory behaviors** — each atomic location keeps its full
+//!   store history with vector-clock stamps, and a load may observe
+//!   any store that happens-before allows, so stale reads that real
+//!   hardware can produce are explored too (the model is strictly
+//!   *stronger* than C11 where they differ, so it never reports a
+//!   behavior C11 forbids).
+//!
+//! Failing interleavings are reported with a human-readable event
+//! trace and a **replayable schedule string**: re-run the exact
+//! interleaving with [`replay`] or `LWT_MODEL_REPLAY="…"`.
+//!
+//! The real `lwt-sync`/`lwt-sched`/`lwt-fiber` structures — not
+//! rewrites — are checked by compiling the workspace with
+//! `RUSTFLAGS="--cfg lwt_model"`, which switches their internal
+//! `sysapi` facades onto these shims (the same trick loom uses).
+//! The suites live in `crates/model/tests/`; see
+//! `crates/model/README.md` for how to write one and how to read a
+//! failure.
+//!
+//! ## Example
+//!
+//! A store/load race on two locations — the classic demonstration
+//! that both orders and stale reads are explored:
+//!
+//! ```
+//! use lwt_model::sync::atomic::{AtomicUsize, Ordering};
+//! use lwt_model::{thread, Checker, Outcome};
+//! use std::sync::Arc;
+//!
+//! let outcome = Checker::new().max_executions(10_000).run(|| {
+//!     let a = Arc::new(AtomicUsize::new(0));
+//!     let b = a.clone();
+//!     let t = thread::spawn(move || b.store(1, Ordering::Release));
+//!     let seen = a.load(Ordering::Acquire);
+//!     assert!(seen == 0 || seen == 1);
+//!     t.join();
+//! });
+//! assert!(matches!(outcome, Outcome::Pass { complete: true, .. }));
+//! ```
+
+#![warn(missing_docs)]
+
+mod clock;
+mod exec;
+mod explore;
+
+pub mod cell;
+pub mod hint;
+pub mod sync;
+pub mod thread;
+
+pub use explore::{check, replay, Checker, Outcome};

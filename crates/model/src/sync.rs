@@ -1,0 +1,600 @@
+//! Shim synchronization primitives: atomics, `fence`, and a `Mutex`.
+//!
+//! Each shim atomic wraps the *real* std atomic (so `get_mut` /
+//! `into_inner` and free-running code keep working) plus a token cell
+//! the engine uses to identify the location across address reuse.
+//! Inside a model execution every operation is a schedule point, and
+//! loads may observe any store permitted by the engine's memory
+//! model; outside one (or after an abort) the ops fall through to
+//! the real primitives untouched.
+
+use std::sync::atomic::AtomicU64 as RawToken;
+use std::sync::Arc;
+
+use crate::exec::{current, free_run_yield, Execution, LocKey};
+
+pub mod atomic {
+    //! Drop-ins for [`std::sync::atomic`] types used by the checked
+    //! crates.
+
+    pub use std::sync::atomic::Ordering;
+
+    use super::*;
+
+    macro_rules! model_atomic {
+        ($(#[$meta:meta])* $Name:ident, $Std:ident, $Raw:ty) => {
+            $(#[$meta])*
+            pub struct $Name {
+                real: std::sync::atomic::$Std,
+                token: RawToken,
+            }
+
+            impl $Name {
+                /// Construct with an initial value.
+                pub const fn new(v: $Raw) -> Self {
+                    $Name { real: std::sync::atomic::$Std::new(v), token: RawToken::new(0) }
+                }
+
+                fn key(&self) -> LocKey<'_> {
+                    LocKey {
+                        addr: &self.real as *const _ as usize,
+                        token: &self.token,
+                        name: stringify!($Name),
+                    }
+                }
+
+                fn enc(v: $Raw) -> u64 {
+                    v as u64
+                }
+
+                fn dec(v: u64) -> $Raw {
+                    v as $Raw
+                }
+
+                /// Atomic load; inside the model this is a schedule
+                /// point and may observe a stale-but-legal store.
+                pub fn load(&self, ord: Ordering) -> $Raw {
+                    if let Some((exec, tid)) = current() {
+                        let cur = Self::enc(self.real.load(Ordering::Relaxed));
+                        if let Some(v) = exec.load(tid, &self.key(), ord, cur) {
+                            return Self::dec(v);
+                        }
+                    }
+                    self.real.load(ord)
+                }
+
+                /// Atomic store.
+                pub fn store(&self, v: $Raw, ord: Ordering) {
+                    if let Some((exec, tid)) = current() {
+                        let cur = Self::enc(self.real.load(Ordering::Relaxed));
+                        if exec.store(tid, &self.key(), ord, Self::enc(v), cur) {
+                            self.real.store(v, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                    self.real.store(v, ord)
+                }
+
+                /// Atomic swap; returns the previous value.
+                pub fn swap(&self, v: $Raw, ord: Ordering) -> $Raw {
+                    if let Some((exec, tid)) = current() {
+                        let cur = Self::enc(self.real.load(Ordering::Relaxed));
+                        if let Some(old) =
+                            exec.rmw(tid, &self.key(), ord, cur, &mut |_| Self::enc(v))
+                        {
+                            self.real.store(v, Ordering::Relaxed);
+                            return Self::dec(old);
+                        }
+                    }
+                    self.real.swap(v, ord)
+                }
+
+                /// Atomic compare-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    expect: $Raw,
+                    new: $Raw,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$Raw, $Raw> {
+                    if let Some((exec, tid)) = current() {
+                        let cur = Self::enc(self.real.load(Ordering::Relaxed));
+                        match exec.cas(
+                            tid,
+                            &self.key(),
+                            success,
+                            failure,
+                            Self::enc(expect),
+                            Self::enc(new),
+                            cur,
+                        ) {
+                            Some(Ok(old)) => {
+                                self.real.store(new, Ordering::Relaxed);
+                                return Ok(Self::dec(old));
+                            }
+                            Some(Err(found)) => return Err(Self::dec(found)),
+                            None => {}
+                        }
+                    }
+                    self.real.compare_exchange(expect, new, success, failure)
+                }
+
+                /// Atomic compare-exchange, weak form. The model
+                /// never fails spuriously (a real weak CAS is allowed
+                /// to, so this explores a subset — documented in the
+                /// crate README).
+                pub fn compare_exchange_weak(
+                    &self,
+                    expect: $Raw,
+                    new: $Raw,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$Raw, $Raw> {
+                    self.compare_exchange(expect, new, success, failure)
+                }
+
+                /// Exclusive read, no synchronization needed.
+                pub fn get_mut(&mut self) -> &mut $Raw {
+                    self.real.get_mut()
+                }
+
+                /// Consume and return the value.
+                pub fn into_inner(self) -> $Raw {
+                    self.real.into_inner()
+                }
+            }
+
+            impl std::fmt::Debug for $Name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.debug_tuple(stringify!($Name))
+                        .field(&self.real.load(Ordering::Relaxed))
+                        .finish()
+                }
+            }
+
+            impl Default for $Name {
+                fn default() -> Self {
+                    Self::new(Default::default())
+                }
+            }
+        };
+    }
+
+    macro_rules! model_atomic_arith {
+        ($Name:ident, $Raw:ty) => {
+            impl $Name {
+                /// Atomic wrapping add; returns the previous value.
+                pub fn fetch_add(&self, v: $Raw, ord: Ordering) -> $Raw {
+                    if let Some((exec, tid)) = current() {
+                        let cur = Self::enc(self.real.load(Ordering::Relaxed));
+                        if let Some(old) = exec.rmw(tid, &self.key(), ord, cur, &mut |o| {
+                            Self::enc(Self::dec(o).wrapping_add(v))
+                        }) {
+                            let new = Self::dec(old).wrapping_add(v);
+                            self.real.store(new, Ordering::Relaxed);
+                            return Self::dec(old);
+                        }
+                    }
+                    self.real.fetch_add(v, ord)
+                }
+
+                /// Atomic wrapping subtract; returns the previous value.
+                pub fn fetch_sub(&self, v: $Raw, ord: Ordering) -> $Raw {
+                    if let Some((exec, tid)) = current() {
+                        let cur = Self::enc(self.real.load(Ordering::Relaxed));
+                        if let Some(old) = exec.rmw(tid, &self.key(), ord, cur, &mut |o| {
+                            Self::enc(Self::dec(o).wrapping_sub(v))
+                        }) {
+                            let new = Self::dec(old).wrapping_sub(v);
+                            self.real.store(new, Ordering::Relaxed);
+                            return Self::dec(old);
+                        }
+                    }
+                    self.real.fetch_sub(v, ord)
+                }
+            }
+        };
+    }
+
+    model_atomic!(
+        /// Model-checked drop-in for [`std::sync::atomic::AtomicUsize`].
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+    model_atomic!(
+        /// Model-checked drop-in for [`std::sync::atomic::AtomicIsize`].
+        AtomicIsize,
+        AtomicIsize,
+        isize
+    );
+    model_atomic!(
+        /// Model-checked drop-in for [`std::sync::atomic::AtomicU64`].
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    model_atomic!(
+        /// Model-checked drop-in for [`std::sync::atomic::AtomicU8`].
+        AtomicU8,
+        AtomicU8,
+        u8
+    );
+    model_atomic_arith!(AtomicUsize, usize);
+    model_atomic_arith!(AtomicIsize, isize);
+    model_atomic_arith!(AtomicU64, u64);
+    model_atomic_arith!(AtomicU8, u8);
+
+    /// Model-checked drop-in for [`std::sync::atomic::AtomicBool`].
+    pub struct AtomicBool {
+        real: std::sync::atomic::AtomicBool,
+        token: RawToken,
+    }
+
+    impl AtomicBool {
+        /// Construct with an initial value.
+        pub const fn new(v: bool) -> Self {
+            AtomicBool { real: std::sync::atomic::AtomicBool::new(v), token: RawToken::new(0) }
+        }
+
+        fn key(&self) -> LocKey<'_> {
+            LocKey {
+                addr: &self.real as *const _ as usize,
+                token: &self.token,
+                name: "AtomicBool",
+            }
+        }
+
+        /// Atomic load.
+        pub fn load(&self, ord: Ordering) -> bool {
+            if let Some((exec, tid)) = current() {
+                let cur = self.real.load(Ordering::Relaxed) as u64;
+                if let Some(v) = exec.load(tid, &self.key(), ord, cur) {
+                    return v != 0;
+                }
+            }
+            self.real.load(ord)
+        }
+
+        /// Atomic store.
+        pub fn store(&self, v: bool, ord: Ordering) {
+            if let Some((exec, tid)) = current() {
+                let cur = self.real.load(Ordering::Relaxed) as u64;
+                if exec.store(tid, &self.key(), ord, v as u64, cur) {
+                    self.real.store(v, Ordering::Relaxed);
+                    return;
+                }
+            }
+            self.real.store(v, ord)
+        }
+
+        /// Atomic swap; returns the previous value.
+        pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+            if let Some((exec, tid)) = current() {
+                let cur = self.real.load(Ordering::Relaxed) as u64;
+                if let Some(old) = exec.rmw(tid, &self.key(), ord, cur, &mut |_| v as u64) {
+                    self.real.store(v, Ordering::Relaxed);
+                    return old != 0;
+                }
+            }
+            self.real.swap(v, ord)
+        }
+
+        /// Atomic compare-exchange.
+        pub fn compare_exchange(
+            &self,
+            expect: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            if let Some((exec, tid)) = current() {
+                let cur = self.real.load(Ordering::Relaxed) as u64;
+                match exec.cas(
+                    tid,
+                    &self.key(),
+                    success,
+                    failure,
+                    expect as u64,
+                    new as u64,
+                    cur,
+                ) {
+                    Some(Ok(old)) => {
+                        self.real.store(new, Ordering::Relaxed);
+                        return Ok(old != 0);
+                    }
+                    Some(Err(found)) => return Err(found != 0),
+                    None => {}
+                }
+            }
+            self.real.compare_exchange(expect, new, success, failure)
+        }
+
+        /// Atomic compare-exchange, weak form (never fails spuriously
+        /// under the model).
+        pub fn compare_exchange_weak(
+            &self,
+            expect: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            self.compare_exchange(expect, new, success, failure)
+        }
+
+        /// Exclusive read, no synchronization needed.
+        pub fn get_mut(&mut self) -> &mut bool {
+            self.real.get_mut()
+        }
+
+        /// Consume and return the value.
+        pub fn into_inner(self) -> bool {
+            self.real.into_inner()
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_tuple("AtomicBool").field(&self.real.load(Ordering::Relaxed)).finish()
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    /// Model-checked drop-in for [`std::sync::atomic::AtomicPtr`].
+    pub struct AtomicPtr<T> {
+        real: std::sync::atomic::AtomicPtr<T>,
+        token: RawToken,
+    }
+
+    impl<T> AtomicPtr<T> {
+        /// Construct with an initial pointer.
+        pub const fn new(p: *mut T) -> Self {
+            AtomicPtr { real: std::sync::atomic::AtomicPtr::new(p), token: RawToken::new(0) }
+        }
+
+        fn key(&self) -> LocKey<'_> {
+            LocKey {
+                addr: &self.real as *const _ as usize,
+                token: &self.token,
+                name: "AtomicPtr",
+            }
+        }
+
+        /// Atomic load.
+        pub fn load(&self, ord: Ordering) -> *mut T {
+            if let Some((exec, tid)) = current() {
+                let cur = self.real.load(Ordering::Relaxed) as usize as u64;
+                if let Some(v) = exec.load(tid, &self.key(), ord, cur) {
+                    return v as usize as *mut T;
+                }
+            }
+            self.real.load(ord)
+        }
+
+        /// Atomic store.
+        pub fn store(&self, p: *mut T, ord: Ordering) {
+            if let Some((exec, tid)) = current() {
+                let cur = self.real.load(Ordering::Relaxed) as usize as u64;
+                if exec.store(tid, &self.key(), ord, p as usize as u64, cur) {
+                    self.real.store(p, Ordering::Relaxed);
+                    return;
+                }
+            }
+            self.real.store(p, ord)
+        }
+
+        /// Atomic swap; returns the previous pointer.
+        pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+            if let Some((exec, tid)) = current() {
+                let cur = self.real.load(Ordering::Relaxed) as usize as u64;
+                if let Some(old) = exec.rmw(tid, &self.key(), ord, cur, &mut |_| p as usize as u64)
+                {
+                    self.real.store(p, Ordering::Relaxed);
+                    return old as usize as *mut T;
+                }
+            }
+            self.real.swap(p, ord)
+        }
+
+        /// Atomic compare-exchange.
+        pub fn compare_exchange(
+            &self,
+            expect: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            if let Some((exec, tid)) = current() {
+                let cur = self.real.load(Ordering::Relaxed) as usize as u64;
+                match exec.cas(
+                    tid,
+                    &self.key(),
+                    success,
+                    failure,
+                    expect as usize as u64,
+                    new as usize as u64,
+                    cur,
+                ) {
+                    Some(Ok(old)) => {
+                        self.real.store(new, Ordering::Relaxed);
+                        return Ok(old as usize as *mut T);
+                    }
+                    Some(Err(found)) => return Err(found as usize as *mut T),
+                    None => {}
+                }
+            }
+            self.real.compare_exchange(expect, new, success, failure)
+        }
+
+        /// Atomic compare-exchange, weak form (never fails spuriously
+        /// under the model).
+        pub fn compare_exchange_weak(
+            &self,
+            expect: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            self.compare_exchange(expect, new, success, failure)
+        }
+
+        /// Exclusive read, no synchronization needed.
+        pub fn get_mut(&mut self) -> &mut *mut T {
+            self.real.get_mut()
+        }
+
+        /// Consume and return the pointer.
+        pub fn into_inner(self) -> *mut T {
+            self.real.into_inner()
+        }
+    }
+
+    impl<T> std::fmt::Debug for AtomicPtr<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_tuple("AtomicPtr").field(&self.real.load(Ordering::Relaxed)).finish()
+        }
+    }
+
+    /// Model-checked drop-in for [`std::sync::atomic::fence`]. Every
+    /// model fence joins the global SC clock both ways — stronger
+    /// than a C11 acquire/release fence, never weaker.
+    pub fn fence(ord: Ordering) {
+        if let Some((exec, tid)) = current() {
+            if exec.fence(tid, ord) {
+                return;
+            }
+        }
+        std::sync::atomic::fence(ord)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+
+/// Model-checked drop-in for [`std::sync::Mutex`].
+///
+/// Lock acquisition is a schedule point (looping, so contention
+/// orders are explored); the release edge from unlock to the next
+/// lock is modeled with the holder's clock. One restriction, checked
+/// at runtime: the critical section must not perform shim-atomic
+/// operations. This keeps real hold times schedule-point-free so
+/// free-running TLS destructors (e.g. the fiber stack cache donating
+/// to the global pool at thread exit) can never deadlock against a
+/// suspended lock holder.
+pub struct Mutex<T: ?Sized> {
+    token: RawToken,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Construct a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex { token: RawToken::new(0), inner: std::sync::Mutex::new(value) }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn key(&self) -> LocKey<'_> {
+        LocKey { addr: &self.token as *const _ as usize, token: &self.token, name: "Mutex" }
+    }
+
+    /// Acquire the lock, blocking (model: scheduling) until held.
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        if let Some((exec, tid)) = current() {
+            let mut held: Option<(std::sync::MutexGuard<'_, T>, bool)> = None;
+            let acquired = exec.mutex_lock(tid, &self.key(), &mut || {
+                match self.inner.try_lock() {
+                    Ok(g) => {
+                        held = Some((g, false));
+                        true
+                    }
+                    Err(std::sync::TryLockError::Poisoned(pe)) => {
+                        held = Some((pe.into_inner(), true));
+                        true
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => false,
+                }
+            });
+            if acquired {
+                let (g, poisoned) = held.expect("model mutex_lock returned without real lock");
+                let guard =
+                    MutexGuard { lock: self, inner: Some(g), model: Some((exec, tid)) };
+                return if poisoned {
+                    Err(std::sync::PoisonError::new(guard))
+                } else {
+                    Ok(guard)
+                };
+            }
+            drop(held);
+        }
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard { lock: self, inner: Some(g), model: None }),
+            Err(pe) => Err(std::sync::PoisonError::new(MutexGuard {
+                lock: self,
+                inner: Some(pe.into_inner()),
+                model: None,
+            })),
+        }
+    }
+
+    /// Exclusive access without locking.
+    pub fn get_mut(&mut self) -> std::sync::LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(Arc<Execution>, usize)>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((exec, tid)) = self.model.take() {
+            exec.mutex_unlock(tid, &self.lock.key());
+        }
+        // The real std guard drops after the model release is
+        // recorded; other model threads cannot run until the next
+        // schedule point anyway.
+        self.inner = None;
+    }
+}
+
+/// Free-run helper re-exported for the thread shim.
+pub(crate) fn yield_like() {
+    if let Some((exec, tid)) = current() {
+        if exec.yield_now(tid) {
+            return;
+        }
+        free_run_yield();
+        return;
+    }
+    std::thread::yield_now()
+}

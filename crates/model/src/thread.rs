@@ -1,0 +1,101 @@
+//! Thread shim: `spawn`, `yield_now`, and a joinable handle.
+//!
+//! Model threads are real OS threads, but only one runs at a time —
+//! the engine's baton serializes them, and spawn/join/yield are all
+//! schedule points. Every spawned thread **must** be joined before
+//! the model closure returns (the engine fails the execution
+//! otherwise); this is what lets the driver guarantee that TLS
+//! destructors from one execution never leak into the next, which
+//! matters for code with thread-exit hooks like the fiber stack
+//! cache.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::exec::{current, free_run_yield, run_thread, Abort, Execution};
+
+/// Handle to a spawned model thread; see [`spawn`].
+pub struct JoinHandle<T> {
+    os: Option<std::thread::JoinHandle<()>>,
+    slot: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    done: Arc<AtomicBool>,
+    model: Option<(Arc<Execution>, usize)>,
+}
+
+/// Spawn a model thread. Drop-in for [`std::thread::spawn`] within
+/// model-checked code; outside an execution it degrades to a real
+/// thread.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot = Arc::new(Mutex::new(None));
+    let done = Arc::new(AtomicBool::new(false));
+    if let Some((exec, me)) = current() {
+        if !exec.is_aborted() {
+            let tid = exec.spawn_thread(me);
+            let (e2, s2, d2) = (exec.clone(), slot.clone(), done.clone());
+            let os = std::thread::Builder::new()
+                .name(format!("lwt-model-{}", tid))
+                .spawn(move || run_thread(e2, tid, s2, d2, f))
+                .expect("failed to spawn model thread");
+            return JoinHandle { os: Some(os), slot, done, model: Some((exec, tid)) };
+        }
+    }
+    let (s2, d2) = (slot.clone(), done.clone());
+    let os = std::thread::Builder::new()
+        .name("lwt-model-free".to_string())
+        .spawn(move || {
+            let r = catch_unwind(AssertUnwindSafe(f));
+            *s2.lock().unwrap() = Some(r);
+            d2.store(true, Ordering::SeqCst);
+        })
+        .expect("failed to spawn thread");
+    JoinHandle { os: Some(os), slot, done, model: None }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result,
+    /// propagating panics like [`std::thread::JoinHandle::join`]
+    /// does — except that model failures unwind instead of returning
+    /// `Err`, since the checker harvests them itself.
+    pub fn join(mut self) -> T {
+        let scheduled = match (current(), &self.model) {
+            (Some((exec, me)), Some((_, tid))) => exec.join_wait(me, *tid),
+            _ => false,
+        };
+        if !scheduled && current().is_some() {
+            // Free-running (post-abort): spin politely until the
+            // target's wrapper has published its result.
+            while !self.done.load(Ordering::SeqCst) {
+                free_run_yield();
+            }
+        }
+        // Full OS join: waits out TLS destructors too, so effects
+        // like the fiber cache's exit-time donation are ordered
+        // before this join returns — matching std semantics.
+        let os = self.os.take().expect("thread already joined");
+        let _ = os.join();
+        let r = self.slot.lock().unwrap().take();
+        match r {
+            Some(Ok(v)) => v,
+            Some(Err(p)) => std::panic::resume_unwind(p),
+            None => std::panic::panic_any(Abort),
+        }
+    }
+
+    /// Whether the thread has published its result (its TLS
+    /// destructors may still be running).
+    pub fn is_finished(&self) -> bool {
+        self.done.load(Ordering::SeqCst)
+    }
+}
+
+/// Yield the model scheduler (drop-in for
+/// [`std::thread::yield_now`]): a free switch to another runnable
+/// thread, explored like any other decision.
+pub fn yield_now() {
+    crate::sync::yield_like()
+}

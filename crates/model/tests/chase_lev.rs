@@ -1,0 +1,173 @@
+//! Model-checked Chase–Lev deque: the *real* `lwt_sched::ChaseLev`
+//! (routed through its `sysapi` facade onto the `lwt-model` shims)
+//! explored under the deterministic scheduler.
+//!
+//! Build and run with:
+//! `RUSTFLAGS="--cfg lwt_model" cargo test -p lwt-model --test chase_lev`
+#![cfg(lwt_model)]
+
+use lwt_model::thread;
+use lwt_model::{replay, Checker, Outcome};
+use lwt_sched::{ChaseLev, Steal, Stealer, Worker};
+use lwt_sync::rng::{Rng, Xoshiro256StarStar};
+
+/// Bounded search: exhaustive for these programs at the default
+/// preemption bound (2); the caps are backstops for CI time.
+fn quick() -> Checker {
+    Checker::new().max_executions(400_000).time_budget_ms(45_000)
+}
+
+/// The classic size-1 race: owner `pop` and one thief fight over the
+/// last element through the `top` CAS. Exactly one side may win —
+/// never both (duplication), never neither (loss).
+#[test]
+fn size_one_pop_vs_steal_has_exactly_one_winner() {
+    quick().check(|| {
+        let (w, s) = ChaseLev::with_capacity(2);
+        w.push(7u64);
+        let thief = thread::spawn(move || match s.steal_once() {
+            Steal::Success(v) => Some(v),
+            Steal::Retry | Steal::Empty => None,
+        });
+        let popped = w.pop();
+        let stolen = thief.join();
+        let delivered = popped.iter().chain(stolen.iter()).count();
+        assert_eq!(
+            delivered, 1,
+            "size-1 race must deliver exactly once (pop={popped:?}, steal={stolen:?})"
+        );
+    });
+}
+
+/// Drain every unit left in the deque (single-threaded epilogue).
+fn drain(w: &Worker<u64>, into: &mut Vec<u64>) {
+    while let Some(v) = w.pop() {
+        into.push(v);
+    }
+}
+
+/// Thief helper: steal until the deque reports empty.
+fn steal_all(s: Stealer<u64>) -> Vec<u64> {
+    let mut got = Vec::new();
+    loop {
+        match s.steal_once() {
+            Steal::Success(v) => got.push(v),
+            Steal::Retry => thread::yield_now(),
+            Steal::Empty => return got,
+        }
+    }
+}
+
+/// Two pushes, a concurrent stealing loop, one owner pop: whatever
+/// the interleaving, the multiset of delivered + leftover units is
+/// exactly what was pushed (linearizable transfer, no loss, no dup).
+#[test]
+fn push_steal_pop_preserves_the_multiset() {
+    quick().check(|| {
+        let (w, s) = ChaseLev::with_capacity(2);
+        w.push(10);
+        w.push(20);
+        let thief = thread::spawn(move || steal_all(s));
+        let mut got = Vec::new();
+        got.extend(w.pop());
+        got.extend(thief.join());
+        drain(&w, &mut got);
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 20], "lost or duplicated a unit");
+    });
+}
+
+/// The seeded-bug scenario (shared by the two tests below), with the
+/// owner using `pop_seeded_missing_fence` — `pop` minus the `SeqCst`
+/// fence between the `bottom` store and the `top` load.
+fn seeded_bug_scenario() {
+    let (w, s) = ChaseLev::with_capacity(4);
+    w.push(1);
+    w.push(2);
+    let thief = thread::spawn(move || steal_all(s));
+    let mut got = Vec::new();
+    got.extend(w.pop_seeded_missing_fence());
+    got.extend(thief.join());
+    drain(&w, &mut got);
+    got.sort_unstable();
+    assert_eq!(got, vec![1, 2], "fence-less pop lost or duplicated a unit");
+}
+
+/// Acceptance demonstration: the checker finds the missing-fence
+/// duplication (owner's stale `top` read hands out an index a thief
+/// already claimed), and the printed schedule replays to the same
+/// failure deterministically.
+#[test]
+fn seeded_missing_fence_bug_is_caught_with_replayable_trace() {
+    let outcome = quick().run(seeded_bug_scenario);
+    let Outcome::Fail { message, schedule, trace, .. } = outcome else {
+        panic!("checker missed the seeded missing-fence bug: {outcome:?}");
+    };
+    assert!(!trace.is_empty(), "failure must carry an event trace");
+    assert!(!schedule.is_empty(), "failure must carry a replay schedule");
+    let Outcome::Fail { message: replayed, .. } = replay(&schedule, seeded_bug_scenario) else {
+        panic!("schedule {schedule:?} did not reproduce the failure");
+    };
+    assert_eq!(message, replayed, "replay must reproduce the same failure");
+}
+
+/// Control for the seeded test: the same scenario with the real
+/// (fenced) `pop` passes exhaustively — the fence is the fix.
+#[test]
+fn fenced_pop_passes_the_seeded_scenario() {
+    quick().check(|| {
+        let (w, s) = ChaseLev::with_capacity(4);
+        w.push(1);
+        w.push(2);
+        let thief = thread::spawn(move || steal_all(s));
+        let mut got = Vec::new();
+        got.extend(w.pop());
+        got.extend(thief.join());
+        drain(&w, &mut got);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2], "lost or duplicated a unit");
+    });
+}
+
+/// The differential suite's seeded op streams
+/// (`crates/sched/tests/chase_lev_differential.rs`, seeds 42 and 7,
+/// op map 0|1 = push, 2 = pop, 3 = steal) re-pointed at the model
+/// checker: the owner replays the push/pop ops while a concurrent
+/// thief performs one steal attempt per steal op, and every
+/// interleaving must preserve the pushed multiset.
+#[test]
+fn differential_seed_streams_hold_under_the_model() {
+    for seed in [42u64, 7] {
+        quick().check(move || {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+            let ops: Vec<u8> = (0..6).map(|_| rng.gen_range(0u8..4)).collect();
+            let steal_ops = ops.iter().filter(|&&op| op == 3).count();
+            let (w, s) = ChaseLev::with_capacity(2);
+            let thief = thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..steal_ops {
+                    if let Steal::Success(v) = s.steal_once() {
+                        got.push(v);
+                    }
+                }
+                got
+            });
+            let mut next = 0u64;
+            let mut got = Vec::new();
+            for op in ops {
+                match op {
+                    0 | 1 => {
+                        w.push(next);
+                        next += 1;
+                    }
+                    2 => got.extend(w.pop()),
+                    _ => {} // steal ops run on the thief
+                }
+            }
+            got.extend(thief.join());
+            drain(&w, &mut got);
+            got.sort_unstable();
+            assert_eq!(got, (0..next).collect::<Vec<_>>(), "seed {seed}: multiset diverged");
+        });
+    }
+}

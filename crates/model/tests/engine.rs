@@ -1,0 +1,232 @@
+//! Self-tests of the model-checking engine, using only the shim
+//! types — no `--cfg lwt_model` required. These validate that the
+//! checker finds bugs it must find, passes programs it must pass,
+//! and that failing schedules replay deterministically.
+
+use std::sync::Arc;
+
+use lwt_model::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use lwt_model::sync::Mutex;
+use lwt_model::{thread, Checker, Outcome};
+
+fn quick() -> Checker {
+    Checker::new().max_executions(200_000).time_budget_ms(30_000)
+}
+
+/// Release/acquire message passing is correct: the flag's release
+/// store makes the data store visible. Must pass exhaustively.
+#[test]
+fn message_passing_release_acquire_passes() {
+    let outcome = quick().check(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join();
+    });
+    assert!(matches!(outcome, Outcome::Pass { complete: true, .. }), "{:?}", outcome);
+}
+
+/// The same program with a relaxed flag is broken: the reader can
+/// see the flag without the data. The checker must find it and the
+/// recorded schedule must replay to the same failure.
+#[test]
+fn message_passing_relaxed_is_caught_and_replays() {
+    let program = || {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(true, Ordering::Relaxed); // BUG: no release edge
+        });
+        if flag.load(Ordering::Relaxed) {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join();
+    };
+    let outcome = quick().run(program);
+    let Outcome::Fail { schedule, message, trace, .. } = outcome else {
+        panic!("checker missed the relaxed message-passing bug: {:?}", outcome);
+    };
+    assert!(message.contains("assertion"), "unexpected message: {}", message);
+    assert!(trace.contains("stale"), "trace should show the stale read:\n{}", trace);
+    // Replay the printed schedule: same bug, deterministically.
+    let replayed = lwt_model::replay(&schedule, program);
+    let Outcome::Fail { message: m2, .. } = replayed else {
+        panic!("replay of {:?} did not reproduce the failure", schedule);
+    };
+    assert_eq!(message, m2);
+}
+
+/// Store buffering (Dekker): without SeqCst both threads can read 0.
+/// With SeqCst fences the outcome `r1 == r2 == 0` is forbidden —
+/// the checker must agree (this pins the global SC-clock logic).
+#[test]
+fn dekker_with_fences_passes() {
+    let outcome = quick().check(|| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let r1 = Arc::new(AtomicUsize::new(7));
+        let (x2, y2, r) = (x.clone(), y.clone(), r1.clone());
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            r.store(y2.load(Ordering::Relaxed), Ordering::Relaxed);
+        });
+        y.store(1, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let r2 = x.load(Ordering::Relaxed);
+        t.join();
+        let r1v = r1.load(Ordering::Relaxed);
+        assert!(!(r1v == 0 && r2 == 0), "both critical sections entered");
+    });
+    assert!(matches!(outcome, Outcome::Pass { complete: true, .. }), "{:?}", outcome);
+}
+
+/// Dekker *without* fences is broken and the checker must produce
+/// the r1 == r2 == 0 weak behavior via stale reads.
+#[test]
+fn dekker_without_fences_is_caught() {
+    let outcome = quick().run(|| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let r1 = Arc::new(AtomicUsize::new(7));
+        let (x2, y2, r) = (x.clone(), y.clone(), r1.clone());
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            r.store(y2.load(Ordering::Relaxed), Ordering::Relaxed);
+        });
+        y.store(1, Ordering::Relaxed);
+        let r2 = x.load(Ordering::Relaxed);
+        t.join();
+        let r1v = r1.load(Ordering::Relaxed);
+        assert!(!(r1v == 0 && r2 == 0), "both critical sections entered");
+    });
+    assert!(matches!(outcome, Outcome::Fail { .. }), "missed store-buffering: {:?}", outcome);
+}
+
+/// A lost-update race (load; add; store instead of fetch_add) must
+/// be caught.
+#[test]
+fn lost_update_is_caught() {
+    let outcome = quick().run(|| {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = c.clone();
+        let t = thread::spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = c.load(Ordering::SeqCst);
+        c.store(v + 1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "an increment was lost");
+    });
+    assert!(matches!(outcome, Outcome::Fail { .. }), "missed lost update: {:?}", outcome);
+}
+
+/// fetch_add is atomic: the same program with RMWs passes.
+#[test]
+fn rmw_increments_pass() {
+    let outcome = quick().check(|| {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = c.clone();
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        c.fetch_add(1, Ordering::Relaxed);
+        t.join();
+        assert_eq!(c.load(Ordering::Acquire), 2);
+    });
+    assert!(matches!(outcome, Outcome::Pass { complete: true, .. }), "{:?}", outcome);
+}
+
+/// The shim Mutex provides mutual exclusion and its release edge
+/// publishes the protected data.
+#[test]
+fn mutex_counter_passes() {
+    let outcome = quick().check(|| {
+        let m = Arc::new(Mutex::new(0u64));
+        let m2 = m.clone();
+        let t = thread::spawn(move || {
+            *m2.lock().unwrap() += 1;
+        });
+        *m.lock().unwrap() += 1;
+        t.join();
+        assert_eq!(*m.lock().unwrap(), 2);
+    });
+    assert!(matches!(outcome, Outcome::Pass { complete: true, .. }), "{:?}", outcome);
+}
+
+/// A spin loop whose condition can never be satisfied is reported
+/// as a livelock via the step budget, not an infinite hang.
+#[test]
+fn hopeless_spin_reports_livelock() {
+    let outcome = Checker::new().steps(500).max_executions(50).run(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = flag.clone();
+        let t = thread::spawn(move || {
+            while !f2.load(Ordering::Acquire) {
+                thread::yield_now();
+            }
+        });
+        // Nobody ever sets the flag.
+        t.join();
+    });
+    let Outcome::Fail { message, .. } = outcome else {
+        panic!("hopeless spin not reported: {:?}", outcome);
+    };
+    assert!(
+        message.contains("step budget") || message.contains("deadlock"),
+        "unexpected message: {}",
+        message
+    );
+}
+
+/// Leaking a spawned thread past the closure is an error: the
+/// drained-execution guarantee depends on join-before-return.
+#[test]
+fn leaked_thread_is_reported() {
+    let outcome = Checker::new().max_executions(50).run(|| {
+        let h = thread::spawn(|| {});
+        std::mem::forget(h);
+    });
+    let Outcome::Fail { message, .. } = outcome else {
+        panic!("leaked thread not reported: {:?}", outcome);
+    };
+    assert!(message.contains("join"), "unexpected message: {}", message);
+}
+
+/// Three threads, exhaustive: an atomic flag claimed by CAS is won
+/// exactly once.
+#[test]
+fn cas_claim_is_exclusive() {
+    let outcome = quick().check(|| {
+        let claim = Arc::new(AtomicBool::new(false));
+        let wins = Arc::new(AtomicUsize::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let (c2, w2) = (claim.clone(), wins.clone());
+                thread::spawn(move || {
+                    if c2
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        w2.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+        assert_eq!(wins.load(Ordering::Acquire), 1);
+    });
+    assert!(matches!(outcome, Outcome::Pass { complete: true, .. }), "{:?}", outcome);
+}

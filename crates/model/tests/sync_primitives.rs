@@ -1,0 +1,109 @@
+//! Model-checked lwt-sync primitives: the *real* `SpinLock` and
+//! `FebCell` (routed through the crate's `sysapi` facade onto the
+//! `lwt-model` shims) explored under the deterministic scheduler.
+//!
+//! Build and run with:
+//! `RUSTFLAGS="--cfg lwt_model" cargo test -p lwt-model --test sync_primitives`
+#![cfg(lwt_model)]
+
+use std::sync::Arc;
+
+use lwt_model::sync::atomic::{AtomicUsize, Ordering};
+use lwt_model::thread;
+use lwt_model::Checker;
+use lwt_sync::{FebCell, SpinLock};
+
+fn quick() -> Checker {
+    Checker::new().max_executions(400_000).time_budget_ms(45_000)
+}
+
+/// Mutual exclusion: a shim-atomic holder count makes any overlap of
+/// the two critical sections observable to the checker (the increment
+/// is a schedule point, so a broken lock would interleave here).
+#[test]
+fn spinlock_critical_sections_never_overlap() {
+    quick().check(|| {
+        let lock = Arc::new(SpinLock::new(0u64));
+        let holders = Arc::new(AtomicUsize::new(0));
+        let (l2, h2) = (Arc::clone(&lock), Arc::clone(&holders));
+        let other = thread::spawn(move || {
+            let mut g = l2.lock();
+            assert_eq!(h2.fetch_add(1, Ordering::SeqCst), 0, "two SpinLock holders");
+            *g += 1;
+            h2.fetch_sub(1, Ordering::SeqCst);
+        });
+        {
+            let mut g = lock.lock();
+            assert_eq!(holders.fetch_add(1, Ordering::SeqCst), 0, "two SpinLock holders");
+            *g += 1;
+            holders.fetch_sub(1, Ordering::SeqCst);
+        }
+        other.join();
+        assert_eq!(*lock.lock(), 2, "lost update under SpinLock");
+    });
+}
+
+/// `try_lock` while the lock is held must fail — in every
+/// interleaving, because the guard is held across the whole child.
+#[test]
+fn spinlock_try_lock_respects_a_held_lock() {
+    quick().check(|| {
+        let lock = Arc::new(SpinLock::new(()));
+        let guard = lock.lock();
+        let l2 = Arc::clone(&lock);
+        let contender = thread::spawn(move || l2.try_lock().is_some());
+        let acquired = contender.join();
+        assert!(!acquired, "try_lock succeeded while the lock was held");
+        drop(guard);
+        assert!(lock.try_lock().is_some(), "lock must be free after unlock");
+    });
+}
+
+/// FEB wake ordering: `read_ff` must block until the matching
+/// `write_ef`, observe exactly the written value (the Release store
+/// of FULL publishes it), and leave the cell full.
+#[test]
+fn feb_read_ff_waits_for_write_ef_and_leaves_full() {
+    quick().check(|| {
+        let cell = Arc::new(FebCell::new());
+        let c2 = Arc::clone(&cell);
+        let reader = thread::spawn(move || c2.read_ff(thread::yield_now));
+        cell.write_ef(42u64, thread::yield_now);
+        assert_eq!(reader.join(), 42, "read_ff returned without the written value");
+        assert!(cell.is_full(), "read_ff must leave the cell full");
+    });
+}
+
+/// `read_fe` hands the value to exactly one taker and empties the
+/// cell; a concurrent `write_ef` can then refill it (the FEB mutex
+/// handoff pattern from the Qthreads paper).
+#[test]
+fn feb_read_fe_is_an_exclusive_take() {
+    quick().check(|| {
+        let cell = Arc::new(FebCell::full(5u64));
+        let c2 = Arc::clone(&cell);
+        let taker = thread::spawn(move || c2.try_read_fe());
+        let mine = cell.try_read_fe();
+        let theirs = taker.join();
+        let taken = mine.iter().chain(theirs.iter()).count();
+        assert_eq!(taken, 1, "read_fe must hand the value to exactly one taker");
+        assert!(!cell.is_full(), "a successful read_fe leaves the cell empty");
+    });
+}
+
+/// Full handoff chain: writer fills, middle thread takes and refills,
+/// root joins on the final value — the ULT join idiom end to end.
+#[test]
+fn feb_write_take_rewrite_chain() {
+    quick().check(|| {
+        let cell = Arc::new(FebCell::new());
+        let c2 = Arc::clone(&cell);
+        let relay = thread::spawn(move || {
+            let v = c2.read_fe(thread::yield_now);
+            c2.write_ef(v + 1, thread::yield_now);
+        });
+        cell.write_ef(1u64, thread::yield_now);
+        relay.join();
+        assert_eq!(cell.read_ff(thread::yield_now), 2, "relay handoff broke");
+    });
+}

@@ -17,12 +17,13 @@
 //! *keeps* its copy if its CAS on `top` succeeds, and at most one CAS
 //! per index ever succeeds.
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use lwt_sync::SpinLock;
+
+use crate::sysapi::{fence, AtomicIsize, AtomicPtr, UnsafeCell};
 
 /// Result of a [`Stealer::steal_once`] attempt.
 #[derive(Debug, PartialEq, Eq)]
@@ -204,6 +205,45 @@ impl<T: Send> Worker<T> {
         }
     }
 
+    /// **Seeded bug, model builds only.** [`Worker::pop`] with the
+    /// `SeqCst` fence between the `bottom` store and the `top` load
+    /// deleted. Without the fence the owner's `top` read may miss a
+    /// thief's completed CAS, so for `top < bottom - 1` the owner
+    /// returns an element a thief already took — duplicate delivery.
+    /// Exists so `crates/model/tests/chase_lev.rs` can demonstrate the
+    /// checker catching the classic Chase–Lev ordering bug with a
+    /// replayable trace; never compiled into real builds.
+    #[cfg(lwt_model)]
+    pub fn pop_seeded_missing_fence(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = inner.buffer.load(Ordering::Relaxed);
+        inner.bottom.store(b, Ordering::Relaxed);
+        // BUG (seeded): no fence(Ordering::SeqCst) here.
+        let t = inner.top.load(Ordering::Relaxed);
+        if t <= b {
+            if t == b {
+                let claimed = inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+                if claimed {
+                    // SAFETY: as in `pop` — the CAS grants index b == t.
+                    Some(unsafe { (*buf).read(b) })
+                } else {
+                    None
+                }
+            } else {
+                // SAFETY: *unsound* when `t` is stale — that is the bug.
+                Some(unsafe { (*buf).read(b) })
+            }
+        } else {
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
     /// Number of units currently queued (racy; diagnostics only).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -307,7 +347,7 @@ impl<T: Send> Stealer<T> {
             match self.steal_once() {
                 Steal::Success(v) => return Some(v),
                 Steal::Empty => return None,
-                Steal::Retry => std::hint::spin_loop(),
+                Steal::Retry => crate::sysapi::spin_hint(),
             }
         }
     }

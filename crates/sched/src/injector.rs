@@ -32,11 +32,13 @@
 
 use std::marker::PhantomData;
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 
 use lwt_metrics::registry::{emit, COUNTERS};
 use lwt_metrics::EventKind;
 use lwt_sync::SpinLock;
+
+use crate::sysapi::{AtomicBool, AtomicPtr, AtomicUsize};
 
 /// Upper bound on parked spare nodes per queue; beyond this, retired
 /// nodes go back to the allocator.
@@ -333,6 +335,25 @@ mod tests {
         }
         while q.pop().is_some() {}
         assert!(q.spares.lock().len() <= SPARE_CAP);
+    }
+
+    #[test]
+    fn push_pop_progress_while_spare_pool_lock_is_held() {
+        // Regression for the never-blocks contract: node_for/retire use
+        // try_lock on the spare pool, so a contended pool must degrade
+        // to the allocator, not spin. With lock() instead of try_lock()
+        // this test would hang.
+        let q = Injector::new();
+        q.push(1u32);
+        assert_eq!(q.pop(), Some(1)); // parks one retired node
+        let pool = q.spares.lock(); // contend the pool from this thread
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        drop(pool);
+        // Pool untouched while contended: still exactly one spare.
+        assert_eq!(q.spares.lock().len(), 1);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 mod chase_lev;
 mod injector;
+mod sysapi;
 mod private;
 mod ready;
 mod shared;

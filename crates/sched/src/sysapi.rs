@@ -1,0 +1,29 @@
+//! System-primitive facade (the loom pattern).
+//!
+//! The lock-free structures in this crate ([`crate::ChaseLev`] and
+//! [`crate::Injector`]) reach their atomics and `UnsafeCell`s through
+//! this module. Under a normal build the aliases resolve to `std` and
+//! compile away; under `RUSTFLAGS="--cfg lwt_model"` they resolve to
+//! the `lwt-model` shims, so the *real* deque and injector code — not
+//! a rewrite — runs inside the deterministic model checker
+//! (`crates/model/tests/`).
+
+#[cfg(not(lwt_model))]
+pub(crate) use std::cell::UnsafeCell;
+#[cfg(not(lwt_model))]
+pub(crate) use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicUsize};
+
+#[cfg(lwt_model)]
+pub(crate) use lwt_model::cell::UnsafeCell;
+#[cfg(lwt_model)]
+pub(crate) use lwt_model::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicUsize};
+
+/// One spin-wait hint. Model: a scheduler yield, so retry loops are
+/// explored (and bounded) instead of burning the search.
+#[inline]
+pub(crate) fn spin_hint() {
+    #[cfg(not(lwt_model))]
+    std::hint::spin_loop();
+    #[cfg(lwt_model)]
+    lwt_model::hint::spin_loop();
+}

@@ -8,6 +8,14 @@
 //! Hermetic by design: `std::thread` plus the in-repo PRNG
 //! (`lwt_sync::rng`), seeds 42 and 7, so every differential run is
 //! bit-for-bit reproducible — no `crossbeam`, no `rand`.
+//!
+//! These same seed streams are also *model-checked*: the
+//! `differential_seed_streams_hold_under_the_model` test in
+//! `crates/model/tests/chase_lev.rs` replays a prefix of each stream
+//! (same op map: 0|1 = push, 2 = pop, 3 = steal) against the real
+//! deque under the deterministic scheduler, exploring every
+//! interleaving at the preemption bound instead of the one the OS
+//! happens to produce here.
 
 use lwt_sched::{ChaseLev, Steal};
 use lwt_sync::rng::{Rng, Xoshiro256StarStar};

@@ -33,9 +33,15 @@ impl Backoff {
     /// Busy-wait for the current delay and double it (up to the cap).
     #[inline]
     pub fn spin(&mut self) {
+        // Under the model checker one logical spin hint (= one
+        // scheduler yield) per call is enough — repeating it 2^step
+        // times would only multiply schedule points.
+        #[cfg(not(lwt_model))]
         for _ in 0..(1u32 << self.step.min(Self::SPIN_LIMIT)) {
             std::hint::spin_loop();
         }
+        #[cfg(lwt_model)]
+        crate::sysapi::spin_hint();
         if self.step <= Self::SPIN_LIMIT {
             self.step += 1;
         }
@@ -124,11 +130,11 @@ impl AdaptiveRelax {
     #[inline]
     pub fn relax(&mut self) {
         if self.rounds < Self::SPIN_ROUNDS {
-            std::hint::spin_loop();
+            crate::sysapi::spin_hint();
         } else if self.rounds < Self::YIELD_ROUNDS {
-            std::thread::yield_now();
+            crate::sysapi::yield_thread();
         } else {
-            std::thread::sleep(Self::NAP);
+            crate::sysapi::nap(Self::NAP);
         }
         self.rounds = self.rounds.saturating_add(1);
     }

@@ -9,13 +9,13 @@
 //! this "hidden synchronization … may severely impact performance", an
 //! effect [`FebTable`] reproduces faithfully.
 
-use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crate::spin::SpinLock;
+use crate::sysapi::{AtomicU8, UnsafeCell};
 
 const EMPTY: u8 = 0;
 const FULL: u8 = 1;

@@ -47,6 +47,7 @@ mod latch;
 mod parking;
 pub mod rng;
 mod spin;
+mod sysapi;
 
 pub use backoff::{AdaptiveRelax, Backoff};
 pub use barrier::SenseBarrier;
@@ -62,7 +63,7 @@ pub use spin::{SpinLock, SpinLockGuard};
 /// within nanoseconds; pathological under oversubscription.
 #[inline]
 pub fn spin_relax() {
-    std::hint::spin_loop();
+    sysapi::spin_hint();
 }
 
 /// Relax strategy that yields the OS thread to the kernel scheduler.
@@ -71,5 +72,5 @@ pub fn spin_relax() {
 /// in its task benchmarks to cut shared-queue contention.
 #[inline]
 pub fn thread_yield_relax() {
-    std::thread::yield_now();
+    sysapi::yield_thread();
 }

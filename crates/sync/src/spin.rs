@@ -8,11 +8,11 @@
 //! lock must also be safe to take from ULT context, where blocking the
 //! OS thread in a futex could deadlock the worker.
 
-use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 
 use crate::backoff::Backoff;
+use crate::sysapi::{self, AtomicBool, UnsafeCell};
 
 /// A spin lock protecting a `T`.
 ///
@@ -64,7 +64,7 @@ impl<T: ?Sized> SpinLock<T> {
             while self.locked.load(Ordering::Relaxed) {
                 backoff.spin();
                 if backoff.is_saturated() {
-                    std::thread::yield_now();
+                    sysapi::yield_thread();
                 }
             }
         }
