@@ -83,6 +83,34 @@ for e in events:
 print(f"   ok: {len(events)} events across {len(per_tid)} workers in {path}")
 PY
 
+echo "== tier1: chaos stage (fault injection under pinned seeds)"
+# The failure-injection suite must stay green with the chaos engine
+# live: forced steal failures, victim misdirection, stack-cache
+# misses, FEB wake perturbations, and injected yields at the default
+# rate. Three pinned seeds; identical seeds replay identical fault
+# schedules (crates/chaos/tests/determinism.rs pins that property).
+for seed in 7 1234 3735928559; do
+    echo "   seed $seed"
+    LWT_CHAOS_SEED=$seed \
+        cargo test -q --offline --test failure_injection >/dev/null
+done
+echo "   ok: failure-injection suite green under 3 chaos seeds"
+
+echo "== tier1: watchdog smoke (LWT_WATCHDOG=1, healthy workload)"
+# The stall watchdog on a healthy tier-1 workload must report nothing:
+# zero false positives is part of the acceptance bar. Stall reports go
+# to stderr prefixed "lwt-watchdog:".
+WATCHDOG_LOG="target/lwt-watchdog-smoke.log"
+LWT_WATCHDOG=1 LWT_THREADS=2 LWT_REPS=3 \
+    cargo run --release --offline -q -p lwt-microbench --bin fig2_create \
+    >/dev/null 2>"$WATCHDOG_LOG"
+if grep -q "lwt-watchdog:" "$WATCHDOG_LOG"; then
+    echo "FAIL: watchdog false positives on healthy workload:" >&2
+    grep "lwt-watchdog:" "$WATCHDOG_LOG" >&2
+    exit 1
+fi
+echo "   ok: zero stall reports on healthy workload"
+
 echo "== tier1: spawn-path smoke (fig2_create vs committed baseline)"
 # One quick fig2_create bench run; the spawn path must not regress
 # >25% (geometric mean of per-series median ratios) against the

@@ -8,6 +8,7 @@ use lwt_fiber::{cache, init_context, StackSize};
 use lwt_metrics::registry::{emit, timestamp_if_tracing, COUNTERS};
 use lwt_metrics::EventKind;
 use lwt_sync::SpinLock;
+use lwt_ultcore::{join_within, DrainError, Straggler, ABANDON_GRACE};
 
 use crate::pool::{Pool, PoolPolicy, PoolShared};
 use crate::sched::Scheduler;
@@ -115,6 +116,7 @@ impl Runtime {
         let shared = Arc::new(StreamShared {
             id,
             stop: AtomicBool::new(false),
+            abandon: AtomicBool::new(false),
             pools: vec![pool],
             mailbox: SpinLock::new(Vec::new()),
         });
@@ -303,6 +305,8 @@ impl Runtime {
     ///
     /// Queued-but-unjoined work units may or may not have run; join
     /// handles before shutting down for deterministic completion.
+    /// Waits unboundedly; see [`Runtime::shutdown_within`] for a drain
+    /// with a deadline.
     pub fn shutdown(&self) {
         if self.inner.shut.swap(true, Ordering::AcqRel) {
             return;
@@ -315,6 +319,68 @@ impl Runtime {
             if let Some(t) = s.thread.take() {
                 t.join().expect("execution stream panicked");
             }
+        }
+    }
+
+    /// [`Runtime::shutdown`] with a drain deadline: streams get
+    /// `deadline` to go idle; past it they are told to abandon their
+    /// pools (no thread is ever killed) and the residue is reported.
+    ///
+    /// # Errors
+    ///
+    /// [`DrainError`] listing per-pool unit-hint residue when the
+    /// deadline expired before every stream went idle.
+    pub fn shutdown_within(&self, deadline: std::time::Duration) -> Result<(), DrainError> {
+        if self.inner.shut.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        let (shareds, handles): (Vec<_>, Vec<_>) = {
+            let mut streams = self.inner.streams.lock();
+            for s in streams.iter() {
+                s.shared.stop.store(true, Ordering::Release);
+            }
+            streams
+                .iter_mut()
+                .filter_map(|s| s.thread.take().map(|t| (s.shared.clone(), t)))
+                .unzip()
+        };
+        let timed_out = !join_within(&handles, deadline);
+        if timed_out {
+            for s in &shareds {
+                s.abandon.store(true, Ordering::Release);
+            }
+            // Grace for streams parked between units to notice the flag.
+            join_within(&handles, ABANDON_GRACE);
+        }
+        for t in handles {
+            if t.is_finished() {
+                t.join().expect("execution stream panicked");
+            } else {
+                // Wedged inside a unit: detach rather than hang (never
+                // kill); the thread's Arcs keep its shared state alive.
+                drop(t);
+            }
+        }
+        if timed_out {
+            let stragglers = self
+                .inner
+                .pools
+                .lock()
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.len() > 0)
+                .map(|(worker, p)| Straggler {
+                    worker,
+                    pending: p.len(),
+                    what: "stream pool",
+                })
+                .collect();
+            Err(DrainError {
+                waited: deadline,
+                stragglers,
+            })
+        } else {
+            Ok(())
         }
     }
 }

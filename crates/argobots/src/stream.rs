@@ -64,6 +64,10 @@ fn es_ptr() -> *mut EsCtx {
 pub(crate) struct StreamShared {
     pub(crate) id: usize,
     pub(crate) stop: AtomicBool,
+    /// Degradation switch: when the [`crate::Runtime::shutdown_within`]
+    /// drain deadline expires, the stream breaks out of its loop even
+    /// with units still pooled (between units — never mid-ULT).
+    pub(crate) abandon: AtomicBool,
     /// Pools this stream drains, own pool first. Fixed at creation.
     pub(crate) pools: Vec<Arc<PoolShared>>,
     /// Schedulers pushed by `Runtime::push_scheduler`, adopted by the
@@ -86,8 +90,13 @@ pub(crate) fn es_main(shared: &StreamShared) {
         pools: shared.pools.clone(),
     };
     let mut scheds: Vec<Box<dyn Scheduler>> = vec![Box::new(BasicScheduler::new())];
+    let heartbeat = lwt_chaos::register_worker("argobots", shared.id);
     let mut backoff = Backoff::new();
     loop {
+        heartbeat.beat();
+        if shared.abandon.load(Ordering::Acquire) {
+            break;
+        }
         {
             let mut mb = shared.mailbox.lock();
             while let Some(s) = mb.pop() {
@@ -101,6 +110,9 @@ pub(crate) fn es_main(shared: &StreamShared) {
         match pick {
             Pick::Run(unit) => {
                 backoff.reset();
+                if lwt_chaos::should_inject(lwt_chaos::FaultSite::YieldPoint) {
+                    std::thread::yield_now();
+                }
                 // SAFETY: `es` is live for the whole loop; no aliasing
                 // &mut exists while execute runs (ULTs reach it only
                 // via the same raw pointer).
@@ -329,6 +341,13 @@ pub fn current_stream() -> Option<usize> {
 /// Wait for `cond`, yielding the ULT when inside one and spin-yielding
 /// the OS thread otherwise — the join discipline of `ABT_thread_free`.
 pub(crate) fn wait_until(cond: impl Fn() -> bool) {
+    if cond() {
+        return;
+    }
+    let _watch = lwt_chaos::block_enter(
+        lwt_chaos::BlockKind::Join,
+        std::ptr::from_ref(&cond) as u64,
+    );
     if in_ult() {
         // Yield so the stream runs other units; escalate to napping if
         // the wait drags on (see lwt_sync::AdaptiveRelax for why pure

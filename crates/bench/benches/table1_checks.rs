@@ -50,7 +50,7 @@ fn yield_cost(h: &mut Harness) {
                     h.join();
                 }
                 let dt = t0.elapsed();
-                glt.finalize();
+                glt.finalize().expect("clean drain");
                 dt
             });
         });

@@ -1,0 +1,39 @@
+//! Deterministic chaos engineering for the lwt runtimes.
+//!
+//! Three subsystems live here, all designed around the same cost
+//! contract as `LWT_TRACE`: **fully disabled, each probe is one
+//! relaxed atomic load**.
+//!
+//! * [`engine`] — seeded fault injection. Runtime decision points
+//!   (steal attempts, victim selection, stack-cache lookups, FEB
+//!   wakes, dispatch yield points) ask [`should_inject`] whether to
+//!   fail artificially. The schedule is a pure function of
+//!   `(seed, site, per-site index)`, so the same `LWT_CHAOS_SEED`
+//!   replays the same fault schedule regardless of thread
+//!   interleaving.
+//! * [`watchdog`] — per-worker heartbeats and a detector thread that
+//!   *flags* (never kills) stalled workers and over-deadline waits,
+//!   reporting through `lwt-metrics` and a blocked-unit table.
+//! * [`rng`] — the workspace PRNG (SplitMix64 + xoshiro256**),
+//!   relocated here from `lwt-sync` so injection can live inside
+//!   `lwt-sync` itself without a dependency cycle; `lwt_sync::rng`
+//!   re-exports it at the old path.
+//!
+//! This crate depends only on `lwt-metrics`, placing it below every
+//! runtime crate in the workspace DAG.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod rng;
+pub mod watchdog;
+
+pub use engine::{
+    chaos_enabled, current_seed, decide, disable_chaos, force_chaos, pack_fault, reset_schedule,
+    reset_to_env, should_inject, unpack_fault, FaultSite, DEFAULT_RATE_PERCENT,
+};
+pub use watchdog::{
+    block_enter, disable_watchdog, force_watchdog, register_worker, reports, reset_watchdog_to_env,
+    take_reports, watchdog_enabled, BlockGuard, BlockKind, Heartbeat, StallReport, StallSubject,
+    WatchdogConfig, DEFAULT_THRESHOLD_MS,
+};

@@ -58,7 +58,10 @@ use lwt_metrics::registry::{emit, COUNTERS};
 use lwt_metrics::EventKind;
 use lwt_sched::{Injector, RoundRobin};
 use lwt_sync::{SenseBarrier, SpinLock};
-use lwt_ultcore::{enter_worker, run_ult, wait_until, ResultCell, Requeue, UltCore};
+use lwt_ultcore::{
+    enter_worker, join_within, run_ult, wait_until, DrainError, Requeue, ResultCell, Straggler,
+    UltCore, ABANDON_GRACE,
+};
 
 pub use lwt_ultcore::{current_worker as current_processor, in_ult, yield_now, JoinError};
 
@@ -117,6 +120,10 @@ struct RtInner {
     rr: RoundRobin,
     stop: AtomicBool,
     shut: AtomicBool,
+    /// Degradation switch: set by [`Runtime::shutdown_within`] when the
+    /// drain deadline expires; processors break out of their loop even
+    /// with work still queued.
+    abandon: AtomicBool,
 }
 
 /// The Converse-model runtime. Cheap to clone.
@@ -220,6 +227,7 @@ impl Runtime {
             rr: RoundRobin::new(config.num_processors),
             stop: AtomicBool::new(false),
             shut: AtomicBool::new(false),
+            abandon: AtomicBool::new(false),
         });
         let rt = Runtime { inner };
         let mut threads = rt.inner.threads.lock();
@@ -320,8 +328,30 @@ impl Runtime {
         }
     }
 
+    /// Wait up to `deadline` for global quiescence (no outstanding work
+    /// units), the precondition for [`Runtime::barrier`] to complete.
+    /// Returns whether quiescence was reached — entering the barrier
+    /// after a `false` would hang the master on a wedged unit.
+    #[must_use]
+    pub fn quiesce_within(&self, deadline: std::time::Duration) -> bool {
+        let until = std::time::Instant::now() + deadline;
+        let _watch = lwt_chaos::block_enter(
+            lwt_chaos::BlockKind::Finalize,
+            Arc::as_ptr(&self.inner) as u64,
+        );
+        let mut relax = lwt_sync::AdaptiveRelax::new();
+        while self.inner.outstanding.load(Ordering::Acquire) != 0 {
+            if std::time::Instant::now() >= until {
+                return false;
+            }
+            relax.relax();
+        }
+        true
+    }
+
     /// Stop all processors and join their threads (`ConverseExit`).
-    /// Idempotent.
+    /// Idempotent. Waits unboundedly; see [`Runtime::shutdown_within`]
+    /// for a drain with a deadline.
     pub fn shutdown(&self) {
         if self.inner.shut.swap(true, Ordering::AcqRel) {
             return;
@@ -332,6 +362,61 @@ impl Runtime {
             if let Some(t) = t.take() {
                 t.join().expect("converse processor panicked");
             }
+        }
+    }
+
+    /// [`Runtime::shutdown`] with a drain deadline: processors get
+    /// `deadline` to finish queued work; past it they are told to
+    /// abandon their queues (no thread is ever killed) and the
+    /// leftovers are reported.
+    ///
+    /// # Errors
+    ///
+    /// [`DrainError`] listing per-processor queue residue when the
+    /// deadline expired before quiescence.
+    pub fn shutdown_within(&self, deadline: std::time::Duration) -> Result<(), DrainError> {
+        if self.inner.shut.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        self.inner.stop.store(true, Ordering::Release);
+        let handles: Vec<_> = {
+            let mut threads = self.inner.threads.lock();
+            threads.iter_mut().filter_map(Option::take).collect()
+        };
+        let timed_out = !join_within(&handles, deadline);
+        if timed_out {
+            self.inner.abandon.store(true, Ordering::Release);
+            // Grace for workers parked between units to notice the flag.
+            join_within(&handles, ABANDON_GRACE);
+        }
+        for t in handles {
+            if t.is_finished() {
+                t.join().expect("converse processor panicked");
+            } else {
+                // Wedged inside a unit: detach rather than hang (never
+                // kill); the thread's Arcs keep its shared state alive.
+                drop(t);
+            }
+        }
+        if timed_out {
+            let stragglers = self
+                .inner
+                .procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| !p.queue.is_empty())
+                .map(|(worker, p)| Straggler {
+                    worker,
+                    pending: p.queue.len(),
+                    what: "processor queue",
+                })
+                .collect();
+            Err(DrainError {
+                waited: deadline,
+                stragglers,
+            })
+        } else {
+            Ok(())
         }
     }
 }
@@ -367,9 +452,18 @@ fn proc_main(inner: &Arc<RtInner>, p: usize) {
         })
     };
     let _guard = enter_worker(p, requeue);
+    let heartbeat = lwt_chaos::register_worker("converse", p);
     let mut backoff = lwt_sync::Backoff::new();
     loop {
-        match proc.queue.pop() {
+        heartbeat.beat();
+        if inner.abandon.load(Ordering::Acquire) {
+            break;
+        }
+        let unit = proc.queue.pop();
+        if unit.is_some() && lwt_chaos::should_inject(lwt_chaos::FaultSite::YieldPoint) {
+            std::thread::yield_now();
+        }
+        match unit {
             Some(ConvUnit::Message(f)) => {
                 backoff.reset();
                 // Messages execute atomically on the processor's stack.

@@ -317,7 +317,7 @@ mod tests {
                 row.tasklet_support,
                 "backend {kind}"
             );
-            glt.finalize();
+            glt.finalize().expect("clean drain");
         }
     }
 }

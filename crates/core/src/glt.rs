@@ -1,10 +1,11 @@
 //! The generic LWT interface over the five runtime backends.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use lwt_fiber::StackSize;
 use lwt_sync::{Event, SpinLock};
-use lwt_ultcore::JoinError;
+use lwt_ultcore::{DrainError, JoinError};
 
 /// Which runtime model executes the work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,7 +78,7 @@ pub enum SchedPolicy {
 /// cfg.scheduler = SchedPolicy::SharedQueue; // ABT_POOL_ACCESS_MPMC
 /// let glt = Glt::with_config(cfg);
 /// assert_eq!(glt.workers(), 2);
-/// glt.finalize();
+/// glt.finalize().expect("clean drain");
 /// ```
 #[derive(Debug, Clone)]
 pub struct GltConfig {
@@ -95,6 +96,11 @@ pub struct GltConfig {
     pub stack_cache_capacity: Option<usize>,
     /// Ready-queue topology (see [`SchedPolicy`]).
     pub scheduler: SchedPolicy,
+    /// How long [`Glt::finalize`] waits for in-flight work to drain
+    /// before abandoning wedged workers and reporting a
+    /// [`DrainError`]. Generous by default (30 s) so healthy workloads
+    /// never see it; shrink it in tests that provoke hangs.
+    pub drain_timeout: Duration,
 }
 
 impl GltConfig {
@@ -108,6 +114,7 @@ impl GltConfig {
             stack_size: StackSize::DEFAULT,
             stack_cache_capacity: None,
             scheduler: SchedPolicy::default(),
+            drain_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -120,7 +127,7 @@ impl GltConfig {
 /// let glt = Glt::builder(BackendKind::Qthreads).workers(2).build();
 /// let h = glt.ult_create(|| 6 * 7);
 /// assert_eq!(h.join(), 42);
-/// glt.finalize();
+/// glt.finalize().expect("clean drain");
 /// ```
 #[derive(Debug, Clone)]
 pub struct GltBuilder {
@@ -155,6 +162,14 @@ impl GltBuilder {
     #[must_use]
     pub fn scheduler(mut self, policy: SchedPolicy) -> Self {
         self.cfg.scheduler = policy;
+        self
+    }
+
+    /// Drain deadline for [`Glt::finalize`] (see
+    /// [`GltConfig::drain_timeout`]).
+    #[must_use]
+    pub fn drain_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.drain_timeout = timeout;
         self
     }
 
@@ -288,7 +303,7 @@ impl<T> GltHandle<T> {
     /// // instead of tearing down the joiner:
     /// let boom = glt.ult_create(|| -> u32 { panic!("unit failed") });
     /// assert!(boom.try_join().is_err());
-    /// glt.finalize();
+    /// glt.finalize().expect("clean drain");
     /// ```
     ///
     /// # Errors
@@ -322,6 +337,54 @@ impl<T> GltHandle<T> {
             HandleInner::Qth(h) => h.is_finished(),
             HandleInner::Myth(h) => h.is_finished(),
             HandleInner::Event(slot, _) => slot.done.is_set(),
+        }
+    }
+
+    /// Bounded join: wait at most `timeout` for completion, yielding
+    /// cooperatively when called from inside a work unit.
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use lwt_core::{BackendKind, Glt};
+    ///
+    /// let glt = Glt::builder(BackendKind::Qthreads).workers(1).build();
+    /// let h = glt.ult_create(|| 7);
+    /// let out = match h.join_timeout(Duration::from_secs(5)) {
+    ///     Ok(joined) => joined.expect("no panic"),
+    ///     Err(_handle) => panic!("trivial unit should finish in 5s"),
+    /// };
+    /// assert_eq!(out, 7);
+    /// glt.finalize().expect("clean drain");
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` — the still-usable handle — when the unit
+    /// had not completed within `timeout`, so the caller can retry,
+    /// keep polling [`GltHandle::is_finished`], or drop it.
+    pub fn join_timeout(self, timeout: Duration) -> Result<Result<T, JoinError>, Self> {
+        let until = Instant::now() + timeout;
+        let mut relax = lwt_sync::AdaptiveRelax::new();
+        loop {
+            if self.is_finished() {
+                return Ok(self.try_join());
+            }
+            if Instant::now() >= until {
+                return Err(self);
+            }
+            match &self.inner {
+                HandleInner::AbtUlt(_) | HandleInner::AbtTasklet(_) => {
+                    if lwt_argobots::in_ult() {
+                        lwt_argobots::yield_now();
+                    }
+                }
+                _ => {
+                    if lwt_ultcore::in_ult() {
+                        lwt_ultcore::yield_now();
+                    }
+                }
+            }
+            relax.relax();
         }
     }
 }
@@ -363,6 +426,7 @@ fn lwt_go_yield() {
 pub struct Glt {
     backend: Backend,
     workers: usize,
+    drain_timeout: Duration,
 }
 
 impl Glt {
@@ -429,6 +493,7 @@ impl Glt {
         Glt {
             backend,
             workers: cfg.workers,
+            drain_timeout: cfg.drain_timeout,
         }
     }
 
@@ -518,7 +583,7 @@ impl Glt {
     ///     glt.ult_create_to(9, || 0),
     ///     Err(PlacementError::OutOfRange { .. })
     /// ));
-    /// glt.finalize();
+    /// glt.finalize().expect("clean drain");
     /// ```
     ///
     /// # Errors
@@ -606,17 +671,35 @@ impl Glt {
         }
     }
 
-    /// Shut the backend down (`finalize_function`).
-    pub fn finalize(self) {
+    /// Shut the backend down (`finalize_function`), waiting at most
+    /// [`GltConfig::drain_timeout`] for in-flight work to drain. Past
+    /// the deadline the backend's workers are told to abandon their
+    /// queues (wedged ones are detached — never killed) and the
+    /// leftovers come back as a [`DrainError`] straggler table instead
+    /// of the historical hang.
+    ///
+    /// Converse note: its return-mode join needs global quiescence
+    /// before the exit barrier, so the deadline bounds *each* of the
+    /// quiescence wait and the processor join (worst case ~2×).
+    ///
+    /// # Errors
+    ///
+    /// [`DrainError`] when work was still pending at the deadline.
+    pub fn finalize(self) -> Result<(), DrainError> {
+        let deadline = self.drain_timeout;
         match self.backend {
-            Backend::Argobots(rt) => rt.shutdown(),
-            Backend::Qthreads(rt) => rt.shutdown(),
-            Backend::Massive(rt) => rt.shutdown(),
+            Backend::Argobots(rt) => rt.shutdown_within(deadline),
+            Backend::Qthreads(rt) => rt.shutdown_within(deadline),
+            Backend::Massive(rt) => rt.shutdown_within(deadline),
             Backend::Converse(rt) => {
-                rt.barrier();
-                rt.shutdown();
+                // Entering the barrier while a unit is wedged would
+                // hang the master: the barrier requires quiescence.
+                if rt.quiesce_within(deadline) {
+                    rt.barrier();
+                }
+                rt.shutdown_within(deadline)
             }
-            Backend::Go(rt) => rt.shutdown(),
+            Backend::Go(rt) => rt.shutdown_within(deadline),
         }
     }
 }
@@ -649,7 +732,7 @@ mod tests {
                 h.join();
             }
             assert_eq!(hits.load(Ordering::Relaxed), 50, "backend {kind}");
-            glt.finalize();
+            glt.finalize().expect("clean drain");
         }
     }
 
@@ -664,7 +747,7 @@ mod tests {
                 .map(GltHandle::join)
                 .sum();
             assert_eq!(sum, 190, "backend {kind}");
-            glt.finalize();
+            glt.finalize().expect("clean drain");
         }
     }
 
@@ -674,7 +757,7 @@ mod tests {
             let glt = Glt::builder(kind).workers(2).build();
             let h = glt.tasklet_create(|| 3u32.pow(3));
             assert_eq!(h.join(), 27, "backend {kind}");
-            glt.finalize();
+            glt.finalize().expect("clean drain");
         }
     }
 
@@ -689,7 +772,7 @@ mod tests {
         ] {
             let glt = Glt::builder(kind).workers(1).build();
             assert_eq!(glt.supports_tasklets(), expect, "backend {kind}");
-            glt.finalize();
+            glt.finalize().expect("clean drain");
         }
     }
 
@@ -705,7 +788,7 @@ mod tests {
                 Some(&"glt boom"),
                 "backend {kind}"
             );
-            glt.finalize();
+            glt.finalize().expect("clean drain");
         }
     }
 
@@ -721,7 +804,7 @@ mod tests {
             for h in handles {
                 h.join();
             }
-            glt.finalize();
+            glt.finalize().expect("clean drain");
         }
     }
 }

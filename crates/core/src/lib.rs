@@ -41,7 +41,7 @@
 //!     let h: Vec<_> = (0..4).map(|i| glt.ult_create(move || i * i)).collect();
 //!     let sum: usize = h.into_iter().map(|h| h.join()).sum();
 //!     assert_eq!(sum, 14);
-//!     glt.finalize();
+//!     glt.finalize().expect("clean drain");
 //! }
 //! ```
 
@@ -66,13 +66,18 @@ pub use lwt_fiber::StackSize;
 /// and every backend handle's `try_join`) — one type across all five
 /// runtimes.
 pub use lwt_ultcore::JoinError;
+/// Bounded-drain failure from [`Glt::finalize`] (and every backend's
+/// `shutdown_within`): the deadline expired with work still pending,
+/// and the straggler table says where.
+pub use lwt_ultcore::{DrainError, Straggler};
 
 /// Deterministic PRNGs (`SplitMix64`, `Xoshiro256StarStar`) with a
 /// `rand`-like `gen_range`/`shuffle` surface.
 ///
-/// The implementation lives in `lwt-sync` — the dependency-free
-/// substrate crate — so the scheduler layers below this API (victim
-/// selection in `lwt-sched`, the MassiveThreads-style stealers) can
-/// draw from the same generators without a dependency cycle; this
-/// re-export is the canonical public path.
+/// The implementation lives in `lwt-chaos` — the dependency-free
+/// substrate crate (it also seeds the fault-injection schedule) — and
+/// is re-exported through `lwt-sync`, so the scheduler layers below
+/// this API (victim selection in `lwt-sched`, the MassiveThreads-style
+/// stealers) can draw from the same generators without a dependency
+/// cycle; this re-export is the canonical public path.
 pub use lwt_sync::rng;

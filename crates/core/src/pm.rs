@@ -30,7 +30,7 @@ use crate::glt::{BackendKind, Glt, GltHandle};
 ///     s.fetch_add(i, Ordering::Relaxed);
 /// });
 /// assert_eq!(sum.load(Ordering::Relaxed), 4950);
-/// pm.finalize();
+/// pm.finalize().expect("clean drain");
 /// ```
 pub struct Pm {
     glt: Glt,
@@ -154,9 +154,16 @@ impl Pm {
         self.glt.yield_now();
     }
 
-    /// Shut the backend down.
-    pub fn finalize(self) {
-        self.glt.finalize();
+    /// Shut the backend down, waiting at most the underlying
+    /// [`GltConfig::drain_timeout`](crate::GltConfig::drain_timeout)
+    /// for in-flight work.
+    ///
+    /// # Errors
+    ///
+    /// [`DrainError`](crate::DrainError) when work was still pending at
+    /// the deadline (see [`Glt::finalize`]).
+    pub fn finalize(self) -> Result<(), lwt_ultcore::DrainError> {
+        self.glt.finalize()
     }
 }
 
@@ -218,7 +225,7 @@ mod tests {
                 hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
                 "backend {kind}"
             );
-            pm.finalize();
+            pm.finalize().expect("clean drain");
         }
     }
 
@@ -228,7 +235,7 @@ mod tests {
             let pm = Pm::init(kind, 2);
             let total = pm.parallel_reduce(1..501usize, 50, 0usize, |i| i, |a, b| a + b);
             assert_eq!(total, 500 * 501 / 2 - 0, "backend {kind}");
-            pm.finalize();
+            pm.finalize().expect("clean drain");
         }
     }
 
@@ -236,7 +243,7 @@ mod tests {
     fn reduce_empty_range_is_identity() {
         let pm = Pm::init(BackendKind::Argobots, 1);
         assert_eq!(pm.parallel_reduce(3..3, 0, 42usize, |i| i, |a, b| a + b), 42);
-        pm.finalize();
+        pm.finalize().expect("clean drain");
     }
 
     #[test]
@@ -263,7 +270,7 @@ mod tests {
             assert_eq!(out, "scope-result");
             // All 40 joined by scope exit.
             assert_eq!(count.load(Ordering::Relaxed), 40, "backend {kind}");
-            pm.finalize();
+            pm.finalize().expect("clean drain");
         }
     }
 
@@ -276,6 +283,6 @@ mod tests {
             c.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 10);
-        pm.finalize();
+        pm.finalize().expect("clean drain");
     }
 }

@@ -165,6 +165,11 @@ impl Drop for CachedStack {
 /// Get a stack of (at least) `size`: recycled when the cache has one,
 /// freshly allocated otherwise.
 ///
+/// Chaos decision point: `StackCacheMiss` skips the recycle lookup so
+/// the acquire degrades to the fresh-allocation path — the exact
+/// fallback a cache-exhausted or allocation-starved run takes. Spawns
+/// get slower, never fail; the miss is counted like any real one.
+///
 /// # Panics
 ///
 /// If a recycled stack's canary words were overwritten — a fiber that
@@ -173,7 +178,7 @@ impl Drop for CachedStack {
 #[must_use]
 pub fn acquire(size: StackSize) -> CachedStack {
     let bytes = size.bytes();
-    if capacity() > 0 {
+    if capacity() > 0 && !lwt_chaos::should_inject(lwt_chaos::FaultSite::StackCacheMiss) {
         // try_with: acquire during TLS teardown falls through to the
         // global pool instead of panicking.
         let local = LOCAL

@@ -63,7 +63,8 @@ use lwt_metrics::EventKind;
 use lwt_sched::{RandomVictim, ReadyQueue};
 use lwt_sync::{Channel, CountLatch, RecvError, SendError, SpinLock};
 use lwt_ultcore::{
-    current_worker, enter_worker, in_ult, run_ult, wait_until, Requeue, UltCore,
+    current_worker, enter_worker, in_ult, join_within, run_ult, wait_until, DrainError, Requeue,
+    Straggler, UltCore, ABANDON_GRACE,
 };
 
 /// Runtime configuration.
@@ -93,6 +94,10 @@ struct RtInner {
     stack_size: StackSize,
     threads: SpinLock<Vec<Option<std::thread::JoinHandle<()>>>>,
     stop: AtomicBool,
+    /// Bounded-drain escape hatch: set when a `shutdown_within`
+    /// deadline expires so workers exit even with queued (wedged)
+    /// goroutines still rotating through their queues.
+    abandon: AtomicBool,
     shut: AtomicBool,
 }
 
@@ -117,6 +122,7 @@ impl Runtime {
             stack_size: config.stack_size,
             threads: SpinLock::new(Vec::new()),
             stop: AtomicBool::new(false),
+            abandon: AtomicBool::new(false),
             shut: AtomicBool::new(false),
         });
         let rt = Runtime { inner };
@@ -185,6 +191,9 @@ impl Runtime {
     /// Stop scheduler threads and join them. Idempotent.
     ///
     /// Goroutines still queued (and never awaited) may not run.
+    /// Unbounded: a goroutine that never finishes (yield-looping on a
+    /// lost channel message) makes this wait forever — use
+    /// [`Runtime::shutdown_within`] to degrade gracefully instead.
     pub fn shutdown(&self) {
         if self.inner.shut.swap(true, Ordering::AcqRel) {
             return;
@@ -195,6 +204,63 @@ impl Runtime {
             if let Some(t) = t.take() {
                 t.join().expect("go scheduler thread panicked");
             }
+        }
+    }
+
+    /// [`Runtime::shutdown`] with a drain deadline: wait up to
+    /// `deadline` for the scheduler threads to finish their queues,
+    /// then order them to abandon whatever is left and report the
+    /// stragglers. The workers are joined either way — on `Err`
+    /// nothing is still running, but the listed goroutines never
+    /// completed. Idempotent (later calls return `Ok`).
+    ///
+    /// # Errors
+    ///
+    /// [`DrainError`] when the deadline expired with goroutines still
+    /// queued or running.
+    pub fn shutdown_within(&self, deadline: std::time::Duration) -> Result<(), DrainError> {
+        if self.inner.shut.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        self.inner.stop.store(true, Ordering::Release);
+        let handles: Vec<_> = {
+            let mut threads = self.inner.threads.lock();
+            threads.iter_mut().filter_map(Option::take).collect()
+        };
+        let timed_out = !join_within(&handles, deadline);
+        if timed_out {
+            self.inner.abandon.store(true, Ordering::Release);
+            // Grace for workers parked between units to notice the flag.
+            join_within(&handles, ABANDON_GRACE);
+        }
+        for t in handles {
+            if t.is_finished() {
+                t.join().expect("go scheduler thread panicked");
+            } else {
+                // Wedged inside a unit: detach rather than hang (never
+                // kill); the thread's Arcs keep its shared state alive.
+                drop(t);
+            }
+        }
+        if timed_out {
+            let stragglers = self
+                .inner
+                .queues
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(worker, q)| Straggler {
+                    worker,
+                    pending: q.len(),
+                    what: "goroutine ready queue",
+                })
+                .collect();
+            Err(DrainError {
+                waited: deadline,
+                stragglers,
+            })
+        } else {
+            Ok(())
         }
     }
 }
@@ -231,7 +297,12 @@ fn worker_main(inner: &Arc<RtInner>, id: usize) {
     inner.queues[id].bind();
     let victims = RandomVictim::new(inner.queues.len(), 0x60_60 ^ id as u64);
     let mut backoff = lwt_sync::Backoff::new();
+    let heartbeat = lwt_chaos::register_worker("go", id);
     loop {
+        heartbeat.beat();
+        if inner.abandon.load(Ordering::Acquire) {
+            break;
+        }
         let unit = inner.queues[id].pop().or_else(|| {
             let n = inner.queues.len();
             for _ in 0..n.saturating_sub(1) {
@@ -247,6 +318,9 @@ fn worker_main(inner: &Arc<RtInner>, id: usize) {
         });
         match unit {
             Some(u) => {
+                if lwt_chaos::should_inject(lwt_chaos::FaultSite::YieldPoint) {
+                    std::thread::yield_now();
+                }
                 backoff.reset();
                 run_ult(&u);
             }

@@ -54,7 +54,8 @@ use lwt_metrics::{clock, EventKind};
 use lwt_sched::{RandomVictim, ReadyQueue};
 use lwt_sync::SpinLock;
 use lwt_ultcore::{
-    enter_worker, run_ult, wait_until, yield_to, ResultCell, Requeue, UltCore,
+    enter_worker, join_within, run_ult, wait_until, yield_to, DrainError, ResultCell, Requeue,
+    Straggler, UltCore, ABANDON_GRACE,
 };
 
 pub use lwt_ultcore::{current_worker, in_ult, yield_now, JoinError};
@@ -96,6 +97,9 @@ struct RtInner {
     queues: Vec<ReadyQueue<Arc<UltCore>>>,
     threads: SpinLock<Vec<Option<std::thread::JoinHandle<()>>>>,
     stop: AtomicBool,
+    /// Bounded-drain escape hatch: workers exit even with (wedged)
+    /// units still queued once a `shutdown_within` deadline expires.
+    abandon: AtomicBool,
     policy: Policy,
     stack_size: StackSize,
     shut: AtomicBool,
@@ -168,6 +172,7 @@ impl Runtime {
             queues: (0..config.num_workers).map(|_| ReadyQueue::new()).collect(),
             threads: SpinLock::new(Vec::new()),
             stop: AtomicBool::new(false),
+            abandon: AtomicBool::new(false),
             policy: config.policy,
             stack_size: config.stack_size,
             shut: AtomicBool::new(false),
@@ -291,7 +296,9 @@ impl Runtime {
     }
 
     /// Stop all workers and join their OS threads (`myth_fini`).
-    /// Idempotent.
+    /// Idempotent. Unbounded: a ULT yield-looping on a join that can
+    /// never be satisfied keeps its queue occupied forever — use
+    /// [`Runtime::shutdown_within`] to degrade gracefully instead.
     pub fn shutdown(&self) {
         if self.inner.shut.swap(true, Ordering::AcqRel) {
             return;
@@ -302,6 +309,63 @@ impl Runtime {
             if let Some(t) = t.take() {
                 t.join().expect("massivethreads worker panicked");
             }
+        }
+    }
+
+    /// [`Runtime::shutdown`] with a drain deadline: wait up to
+    /// `deadline` for the workers to drain their deques, then order
+    /// them to abandon the rest and report stragglers. Workers are
+    /// joined either way — on `Err` nothing is still running, but the
+    /// listed units never completed. Idempotent (later calls return
+    /// `Ok`).
+    ///
+    /// # Errors
+    ///
+    /// [`DrainError`] when the deadline expired with units still
+    /// queued or running.
+    pub fn shutdown_within(&self, deadline: std::time::Duration) -> Result<(), DrainError> {
+        if self.inner.shut.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        self.inner.stop.store(true, Ordering::Release);
+        let handles: Vec<_> = {
+            let mut threads = self.inner.threads.lock();
+            threads.iter_mut().filter_map(Option::take).collect()
+        };
+        let timed_out = !join_within(&handles, deadline);
+        if timed_out {
+            self.inner.abandon.store(true, Ordering::Release);
+            // Grace for workers parked between units to notice the flag.
+            join_within(&handles, ABANDON_GRACE);
+        }
+        for t in handles {
+            if t.is_finished() {
+                t.join().expect("massivethreads worker panicked");
+            } else {
+                // Wedged inside a unit: detach rather than hang (never
+                // kill); the thread's Arcs keep its shared state alive.
+                drop(t);
+            }
+        }
+        if timed_out {
+            let stragglers = self
+                .inner
+                .queues
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(worker, q)| Straggler {
+                    worker,
+                    pending: q.len(),
+                    what: "worker deque",
+                })
+                .collect();
+            Err(DrainError {
+                waited: deadline,
+                stragglers,
+            })
+        } else {
+            Ok(())
         }
     }
 }
@@ -347,7 +411,12 @@ fn worker_main(inner: &Arc<RtInner>, w: usize) {
     // Timestamp of the moment this worker ran dry; 0 while it has
     // work. Feeds the steal-loop dwell histogram on the next acquire.
     let mut idle_since_ns: u64 = 0;
+    let heartbeat = lwt_chaos::register_worker("massivethreads", w);
     loop {
+        heartbeat.beat();
+        if inner.abandon.load(Ordering::Acquire) {
+            break;
+        }
         // Own queue first (depth-first), then random stealing.
         let unit = inner.queues[w].pop().or_else(|| {
             let v = victims.pick(w);
@@ -369,6 +438,9 @@ fn worker_main(inner: &Arc<RtInner>, w: usize) {
                 if idle_since_ns != 0 {
                     STEAL_DWELL.record(clock::now_ns().saturating_sub(idle_since_ns));
                     idle_since_ns = 0;
+                }
+                if lwt_chaos::should_inject(lwt_chaos::FaultSite::YieldPoint) {
+                    std::thread::yield_now();
                 }
                 backoff.reset();
                 run_ult(&u);

@@ -41,11 +41,19 @@ pub enum EventKind {
     /// or an MPSC injector pop that observed a half-linked node.
     /// `arg`: 0 for an injector pop, 1 for a deque steal.
     QueueContention = 11,
+    /// The chaos engine injected a fault at a decision point.
+    /// `arg`: packed `(site << 56) | sequence-index` — see
+    /// `lwt_chaos::unpack_fault`.
+    FaultInjected = 12,
+    /// The stall watchdog flagged a silent worker or an over-deadline
+    /// wait. `arg`: worker id for worker stalls, the caller-supplied
+    /// wait token for blocked units. Nothing was killed.
+    StallDetected = 13,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 14] = [
         EventKind::UltSpawn,
         EventKind::UltRun,
         EventKind::Yield,
@@ -58,6 +66,8 @@ impl EventKind {
         EventKind::EsStop,
         EventKind::NestedRegionOpen,
         EventKind::QueueContention,
+        EventKind::FaultInjected,
+        EventKind::StallDetected,
     ];
 
     /// Stable display name (used as the Chrome-trace event `name`).
@@ -76,6 +86,8 @@ impl EventKind {
             EventKind::EsStop => "EsStop",
             EventKind::NestedRegionOpen => "NestedRegionOpen",
             EventKind::QueueContention => "QueueContention",
+            EventKind::FaultInjected => "FaultInjected",
+            EventKind::StallDetected => "StallDetected",
         }
     }
 

@@ -58,6 +58,11 @@ pub struct Counters {
     /// Ready-queue operations that hit contention: a Chase-Lev steal
     /// race or an MPSC injector observed mid-push (lwt-sched).
     pub queue_contention: Counter,
+    /// Faults deliberately injected by the chaos engine (lwt-chaos).
+    pub faults_injected: Counter,
+    /// Stalls flagged by the watchdog: silent workers plus waits that
+    /// outlived their deadline (lwt-chaos). Flags, never kills.
+    pub stalls_detected: Counter,
 }
 
 impl Counters {
@@ -77,6 +82,8 @@ impl Counters {
             stack_cache_hits: Counter::new(),
             stack_cache_misses: Counter::new(),
             queue_contention: Counter::new(),
+            faults_injected: Counter::new(),
+            stalls_detected: Counter::new(),
         }
     }
 }
@@ -252,6 +259,10 @@ pub struct CounterSnapshot {
     pub stack_cache_misses: u64,
     /// [`Counters::queue_contention`].
     pub queue_contention: u64,
+    /// [`Counters::faults_injected`].
+    pub faults_injected: u64,
+    /// [`Counters::stalls_detected`].
+    pub stalls_detected: u64,
 }
 
 impl CounterSnapshot {
@@ -282,6 +293,8 @@ impl CounterSnapshot {
                 .stack_cache_misses
                 .saturating_sub(earlier.stack_cache_misses),
             queue_contention: self.queue_contention.saturating_sub(earlier.queue_contention),
+            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
+            stalls_detected: self.stalls_detected.saturating_sub(earlier.stalls_detected),
         }
     }
 }
@@ -326,6 +339,8 @@ pub fn snapshot() -> MetricsSnapshot {
             stack_cache_hits: c.stack_cache_hits.get(),
             stack_cache_misses: c.stack_cache_misses.get(),
             queue_contention: c.queue_contention.get(),
+            faults_injected: c.faults_injected.get(),
+            stalls_detected: c.stalls_detected.get(),
         },
         spawn_latency: SPAWN_LATENCY.summary(),
         steal_dwell: STEAL_DWELL.summary(),
@@ -350,6 +365,8 @@ pub fn reset() {
     c.stack_cache_hits.reset();
     c.stack_cache_misses.reset();
     c.queue_contention.reset();
+    c.faults_injected.reset();
+    c.stalls_detected.reset();
     SPAWN_LATENCY.reset();
     STEAL_DWELL.reset();
 }

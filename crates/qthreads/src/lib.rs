@@ -50,7 +50,10 @@ use lwt_metrics::registry::{emit, COUNTERS};
 use lwt_metrics::EventKind;
 use lwt_sched::{ReadyQueue, RoundRobin};
 use lwt_sync::{FebCell, FebTable, SpinLock};
-use lwt_ultcore::{enter_worker, run_ult, wait_until, ResultCell, Requeue, UltCore};
+use lwt_ultcore::{
+    enter_worker, join_within, run_ult, wait_until, DrainError, ResultCell, Requeue, Straggler,
+    UltCore, ABANDON_GRACE,
+};
 
 pub use lwt_sync::FebTable as Feb;
 pub use lwt_ultcore::{current_worker, in_ult, yield_now, JoinError};
@@ -89,6 +92,9 @@ struct RtInner {
     worker_shepherd: Vec<usize>,
     threads: SpinLock<Vec<Option<std::thread::JoinHandle<()>>>>,
     stop: AtomicBool,
+    /// Bounded-drain escape hatch: workers exit even with (wedged)
+    /// units still queued once a `shutdown_within` deadline expires.
+    abandon: AtomicBool,
     rr: RoundRobin,
     stack_size: StackSize,
     feb: FebTable,
@@ -203,6 +209,7 @@ impl Runtime {
             worker_shepherd,
             threads: SpinLock::new(Vec::new()),
             stop: AtomicBool::new(false),
+            abandon: AtomicBool::new(false),
             rr: RoundRobin::new(config.num_shepherds),
             stack_size: config.stack_size,
             feb: FebTable::default(),
@@ -393,7 +400,9 @@ impl Runtime {
     }
 
     /// Stop all workers and join their OS threads
-    /// (`qthread_finalize`). Idempotent.
+    /// (`qthread_finalize`). Idempotent. Unbounded: a ULT wedged on a
+    /// never-filled FEB keeps its queue occupied forever — use
+    /// [`Runtime::shutdown_within`] to degrade gracefully instead.
     pub fn shutdown(&self) {
         if self.inner.shut.swap(true, Ordering::AcqRel) {
             return;
@@ -404,6 +413,63 @@ impl Runtime {
             if let Some(t) = t.take() {
                 t.join().expect("qthreads worker panicked");
             }
+        }
+    }
+
+    /// [`Runtime::shutdown`] with a drain deadline: wait up to
+    /// `deadline` for the workers to drain their queues, then order
+    /// them to abandon the rest and report stragglers. Workers are
+    /// joined either way — on `Err` nothing is still running, but the
+    /// listed units (typically ULTs wedged on never-filled FEBs) never
+    /// completed. Idempotent (later calls return `Ok`).
+    ///
+    /// # Errors
+    ///
+    /// [`DrainError`] when the deadline expired with units still
+    /// queued or running.
+    pub fn shutdown_within(&self, deadline: std::time::Duration) -> Result<(), DrainError> {
+        if self.inner.shut.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        self.inner.stop.store(true, Ordering::Release);
+        let handles: Vec<_> = {
+            let mut threads = self.inner.threads.lock();
+            threads.iter_mut().filter_map(Option::take).collect()
+        };
+        let timed_out = !join_within(&handles, deadline);
+        if timed_out {
+            self.inner.abandon.store(true, Ordering::Release);
+            // Grace for workers parked between units to notice the flag.
+            join_within(&handles, ABANDON_GRACE);
+        }
+        for t in handles {
+            if t.is_finished() {
+                t.join().expect("qthreads worker panicked");
+            } else {
+                // Wedged inside a unit: detach rather than hang (never
+                // kill); the thread's Arcs keep its shared state alive.
+                drop(t);
+            }
+        }
+        if timed_out {
+            let stragglers = self
+                .inner
+                .queues
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(worker, q)| Straggler {
+                    worker,
+                    pending: q.len(),
+                    what: "shepherd ready queue",
+                })
+                .collect();
+            Err(DrainError {
+                waited: deadline,
+                stragglers,
+            })
+        } else {
+            Ok(())
         }
     }
 }
@@ -445,7 +511,12 @@ fn worker_main(inner: &Arc<RtInner>, worker_id: usize, shep: usize) {
         .filter(|&w| w != worker_id)
         .collect();
     let mut backoff = lwt_sync::Backoff::new();
+    let heartbeat = lwt_chaos::register_worker("qthreads", worker_id);
     loop {
+        heartbeat.beat();
+        if inner.abandon.load(Ordering::Acquire) {
+            break;
+        }
         let unit = inner.queues[worker_id].pop().or_else(|| {
             for &v in &siblings {
                 COUNTERS.steal_attempts.inc();
@@ -459,6 +530,9 @@ fn worker_main(inner: &Arc<RtInner>, worker_id: usize, shep: usize) {
         });
         match unit {
             Some(u) => {
+                if lwt_chaos::should_inject(lwt_chaos::FaultSite::YieldPoint) {
+                    std::thread::yield_now();
+                }
                 backoff.reset();
                 run_ult(&u);
             }

@@ -165,7 +165,17 @@ impl<T: Send> ReadyQueue<T> {
 
     /// One steal probe against the deque's old end. `Retry` (a lost
     /// race) is counted as `queue_contention`.
+    ///
+    /// Chaos decision point: `StealFail` makes the probe report
+    /// `Empty` without touching the deque — the thief walks away as if
+    /// the victim had no work (a missed steal, not a lost race). Only
+    /// this cross-worker path is injected; the owner's fairness pass
+    /// in [`Self::pop`] drains the deque directly, so injected
+    /// failures delay migration but can never strand a unit.
     pub fn steal_once(&self) -> Steal<T> {
+        if lwt_chaos::should_inject(lwt_chaos::FaultSite::StealFail) {
+            return Steal::Empty;
+        }
         let result = self.mirror.steal_once();
         if matches!(result, Steal::Retry) {
             COUNTERS.queue_contention.inc();

@@ -86,9 +86,16 @@ impl RandomVictim {
     ///
     /// With a single worker there is nobody to steal from and `me` is
     /// returned (callers treat self-steal as a failed attempt).
+    /// Chaos decision point: `StealMisdirect` returns `me` even with
+    /// other workers available, sending the thief to probe itself —
+    /// callers already treat self-steal as a failed attempt, so a
+    /// misdirected round costs one wasted probe, never correctness.
     pub fn pick(&self, me: usize) -> usize {
         use lwt_sync::rng::Rng;
         if self.n == 1 {
+            return me;
+        }
+        if lwt_chaos::should_inject(lwt_chaos::FaultSite::StealMisdirect) {
             return me;
         }
         let mut rng = self.state.get();

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::mem::MaybeUninit;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::spin::SpinLock;
 use crate::sysapi::{AtomicU8, UnsafeCell};
@@ -21,6 +22,10 @@ const EMPTY: u8 = 0;
 const FULL: u8 = 1;
 /// Transitional state while a writer/reader owns the slot.
 const BUSY: u8 = 2;
+
+/// Cap on chaos-injected stall rounds per acquire: even at a 100%
+/// injection rate a FEB wait only *delays*, it never livelocks.
+const MAX_INJECTED_STALLS: u32 = 3;
 
 /// A typed cell guarded by a full/empty bit.
 ///
@@ -71,15 +76,71 @@ impl<T> FebCell<T> {
     }
 
     /// Acquire the slot by moving `from` → `BUSY`, relaxing in between.
+    ///
+    /// Chaos decision point: `FebStallWake` delays the acquire for up
+    /// to [`MAX_INJECTED_STALLS`] extra relax rounds (a late wake),
+    /// `FebSpuriousWake` adds a relax round after a genuine miss (a
+    /// wake without the condition). Both only reorder/delay — they
+    /// never drop the acquire. Waits that actually miss register with
+    /// the stall watchdog so a never-satisfied FEB shows up in the
+    /// blocked-unit table instead of hanging silently.
     fn acquire_from(&self, from: u8, relax: &mut impl FnMut()) {
+        let mut injected = 0u32;
+        let mut watch: Option<lwt_chaos::BlockGuard> = None;
         loop {
+            if injected < MAX_INJECTED_STALLS
+                && lwt_chaos::should_inject(lwt_chaos::FaultSite::FebStallWake)
+            {
+                injected += 1;
+                relax();
+                continue;
+            }
             match self
                 .state
                 .compare_exchange(from, BUSY, Ordering::Acquire, Ordering::Relaxed)
             {
                 Ok(_) => return,
-                Err(_) => relax(),
+                Err(_) => {
+                    if watch.is_none() {
+                        watch = lwt_chaos::block_enter(
+                            lwt_chaos::BlockKind::Feb,
+                            std::ptr::from_ref(self) as u64,
+                        );
+                    }
+                    relax();
+                    if injected < MAX_INJECTED_STALLS
+                        && lwt_chaos::should_inject(lwt_chaos::FaultSite::FebSpuriousWake)
+                    {
+                        injected += 1;
+                        relax();
+                    }
+                }
             }
+        }
+    }
+
+    /// Wait (via `relax`) until the cell is full or `timeout` elapses;
+    /// `true` iff fullness was observed. The cell is not modified —
+    /// pair with [`FebCell::read_ff`]/[`FebCell::try_read_fe`] after a
+    /// `true` return. This is the degrade-gracefully alternative to
+    /// the unbounded FEB waits: a never-filled cell costs `timeout`,
+    /// not forever.
+    pub fn wait_timeout(&self, timeout: Duration, mut relax: impl FnMut()) -> bool {
+        let deadline = Instant::now() + timeout;
+        let watch = lwt_chaos::block_enter(
+            lwt_chaos::BlockKind::Feb,
+            std::ptr::from_ref(self) as u64,
+        );
+        loop {
+            if self.is_full() {
+                drop(watch);
+                return true;
+            }
+            if Instant::now() >= deadline {
+                drop(watch);
+                return false;
+            }
+            relax();
         }
     }
 
@@ -426,6 +487,26 @@ mod tests {
         });
         assert_eq!(t.read_ff(addr, thread_yield_relax), 77);
         child.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_observes_fullness_or_expires() {
+        let c: FebCell<u64> = FebCell::new();
+        assert!(!c.wait_timeout(Duration::from_millis(20), thread_yield_relax));
+        c.write_ef(9, thread_yield_relax);
+        assert!(c.wait_timeout(Duration::from_millis(20), thread_yield_relax));
+        assert_eq!(c.read_ff(thread_yield_relax), 9); // untouched by the wait
+    }
+
+    #[test]
+    fn injected_feb_stalls_only_delay() {
+        // Even at 100% injection the acquire completes.
+        lwt_chaos::force_chaos(42, 100);
+        let c = FebCell::full(5u64);
+        assert_eq!(c.read_fe(thread_yield_relax), 5);
+        c.write_ef(6, thread_yield_relax);
+        assert_eq!(c.read_ff(thread_yield_relax), 6);
+        lwt_chaos::reset_to_env();
     }
 
     #[test]

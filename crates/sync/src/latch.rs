@@ -7,6 +7,7 @@
 //! relax, so ULTs can yield instead of blocking their worker.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// A one-shot "it happened" flag.
 ///
@@ -46,7 +47,39 @@ impl Event {
 
     /// Wait (via `relax`) until the event fires.
     pub fn wait(&self, mut relax: impl FnMut()) {
+        if self.is_set() {
+            return;
+        }
+        // Slow path only: register with the stall watchdog so a join
+        // stuck on a never-set event lands in the blocked-unit table.
+        let _watch = lwt_chaos::block_enter(
+            lwt_chaos::BlockKind::Event,
+            std::ptr::from_ref(self) as u64,
+        );
         while !self.is_set() {
+            relax();
+        }
+    }
+
+    /// Wait until the event fires or `timeout` elapses; `true` iff it
+    /// fired. The bounded-join building block: callers that would
+    /// otherwise hang on a lost completion degrade to a timeout.
+    pub fn wait_timeout(&self, timeout: Duration, mut relax: impl FnMut()) -> bool {
+        if self.is_set() {
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        let _watch = lwt_chaos::block_enter(
+            lwt_chaos::BlockKind::Event,
+            std::ptr::from_ref(self) as u64,
+        );
+        loop {
+            if self.is_set() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
             relax();
         }
     }
@@ -155,6 +188,16 @@ mod tests {
         // Release/Acquire on the event orders the data store.
         assert_eq!(data.load(Ordering::Relaxed), 123);
         t.join().unwrap();
+    }
+
+    #[test]
+    fn event_wait_timeout_bounds_the_wait() {
+        let e = Event::new();
+        assert!(!e.wait_timeout(Duration::from_millis(20), thread_yield_relax));
+        e.set();
+        assert!(e.wait_timeout(Duration::from_millis(20), || {
+            panic!("must not relax on a set event")
+        }));
     }
 
     #[test]

@@ -45,7 +45,6 @@ mod channel;
 mod feb;
 mod latch;
 mod parking;
-pub mod rng;
 mod spin;
 mod sysapi;
 
@@ -56,6 +55,11 @@ pub use feb::{FebCell, FebTable};
 pub use latch::{CountLatch, Event};
 pub use parking::Parker;
 pub use spin::{SpinLock, SpinLockGuard};
+
+// The PRNG module moved down into lwt-chaos (the chaos engine needs it
+// and sits below this crate in the DAG); re-exported here so every
+// historical `lwt_sync::rng` import keeps compiling unchanged.
+pub use lwt_chaos::rng;
 
 /// Relax strategy that spins with the CPU hint, never yielding.
 ///

@@ -527,7 +527,18 @@ pub fn current_worker() -> Option<usize> {
 /// Wait for `cond`: yielding inside a ULT, spin-then-yield on an OS
 /// thread — the external-master join discipline of the paper's
 /// microbenchmarks.
+///
+/// Slow-path waits register with the stall watchdog (`lwt-chaos`), so
+/// a join on a unit that never completes lands in the blocked-unit
+/// table instead of spinning invisibly.
 pub fn wait_until(cond: impl Fn() -> bool) {
+    if cond() {
+        return;
+    }
+    let _watch = lwt_chaos::block_enter(
+        lwt_chaos::BlockKind::Join,
+        std::ptr::from_ref(&cond) as u64,
+    );
     if in_ult() {
         // Yield the ULT so the worker can run other units; if the wait
         // drags on (the awaited unit lives on an OS thread that is not
@@ -548,6 +559,97 @@ pub fn wait_until(cond: impl Fn() -> bool) {
         }
     }
 }
+
+/// Grace period granted after a drain deadline expires, between
+/// raising the backend's `abandon` flag and detaching workers that
+/// still have not exited: long enough for a worker parked between
+/// units to notice the flag, short enough that a worker wedged
+/// *inside* a unit cannot stall `shutdown_within` indefinitely.
+pub const ABANDON_GRACE: std::time::Duration = std::time::Duration::from_millis(500);
+
+/// Poll `handles` until every thread has finished or `deadline`
+/// elapses; `true` iff all finished in time. The building block of the
+/// backends' `shutdown_within`: the threads are *not* joined (callers
+/// join afterwards, possibly after ordering their loops to abandon).
+pub fn join_within(
+    handles: &[std::thread::JoinHandle<()>],
+    deadline: std::time::Duration,
+) -> bool {
+    let until = std::time::Instant::now() + deadline;
+    let watch = lwt_chaos::block_enter(lwt_chaos::BlockKind::Finalize, handles.len() as u64);
+    loop {
+        if handles.iter().all(std::thread::JoinHandle::is_finished) {
+            drop(watch);
+            return true;
+        }
+        if std::time::Instant::now() >= until {
+            drop(watch);
+            return false;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
+/// One work unit (or queue of them) still pending when a bounded
+/// drain gave up — an entry in [`DrainError`]'s straggler table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Straggler {
+    /// Worker/queue index the pending work was observed on.
+    pub worker: usize,
+    /// How many units were still pending there.
+    pub pending: usize,
+    /// What the pending count measures (backend-specific: "ready
+    /// queue", "pool", "outstanding messages", …).
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for Straggler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker {}: {} pending in {}", self.worker, self.pending, self.what)
+    }
+}
+
+/// A bounded runtime drain (`Glt::finalize`, backend
+/// `shutdown_within`) hit its deadline with work still outstanding.
+///
+/// The runtime's workers were told to abandon their loops and were
+/// joined — nothing is left running — but the listed [`Straggler`]s
+/// never completed. Blocked units were *abandoned in place* (their
+/// stacks and results are freed with the runtime), never unwound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainError {
+    /// How long the drain waited before giving up.
+    pub waited: std::time::Duration,
+    /// Where work was still pending, one entry per non-idle location.
+    /// May be empty: a wedged unit *running* (not queued) on a worker
+    /// leaves no queue residue but still fails the drain.
+    pub stragglers: Vec<Straggler>,
+}
+
+impl std::fmt::Display for DrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "runtime drain incomplete after {:?}: ",
+            self.waited
+        )?;
+        if self.stragglers.is_empty() {
+            write!(f, "workers still busy (no queued stragglers)")
+        } else {
+            let total: usize = self.stragglers.iter().map(|s| s.pending).sum();
+            write!(f, "{total} unit(s) never completed [")?;
+            for (i, s) in self.stragglers.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "; ")?;
+                }
+                write!(f, "{s}")?;
+            }
+            write!(f, "]")
+        }
+    }
+}
+
+impl std::error::Error for DrainError {}
 
 /// Why a fallible join (`try_join`) failed: the joined work unit
 /// panicked instead of completing.

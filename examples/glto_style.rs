@@ -62,6 +62,6 @@ fn main() {
             t_red,
             t_tasks
         );
-        pm.finalize();
+        pm.finalize().expect("clean drain");
     }
 }

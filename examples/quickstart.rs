@@ -41,6 +41,6 @@ fn main() {
         assert_eq!(greetings.load(Ordering::Relaxed), N);
         println!("{kind:<18} ran {N} ULTs through the generic API");
 
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }

@@ -31,10 +31,11 @@
 //! let handles: Vec<_> = (0..8).map(|i| glt.ult_create(move || i * i)).collect();
 //! let sum: usize = handles.into_iter().map(|h| h.join()).sum();
 //! assert_eq!(sum, 140);
-//! glt.finalize();
+//! glt.finalize().expect("clean drain");
 //! ```
 
 pub use lwt_argobots as argobots;
+pub use lwt_chaos as chaos;
 pub use lwt_converse as converse;
 pub use lwt_core as core;
 pub use lwt_fiber as fiber;
@@ -49,5 +50,6 @@ pub use lwt_sync as sync;
 pub use lwt_ultcore as ultcore;
 
 pub use lwt_core::{
-    BackendKind, Glt, GltBuilder, GltConfig, GltHandle, JoinError, PlacementError, SchedPolicy,
+    BackendKind, DrainError, Glt, GltBuilder, GltConfig, GltHandle, JoinError, PlacementError,
+    SchedPolicy, Straggler,
 };

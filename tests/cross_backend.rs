@@ -25,7 +25,7 @@ fn fan_out_fan_in_large() {
         let expect = N * (N - 1) / 2;
         assert_eq!(sum, expect, "backend {kind}");
         assert_eq!(counter.load(Ordering::Relaxed), expect, "backend {kind}");
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }
 
@@ -38,7 +38,7 @@ fn mixed_ults_and_tasklets() {
         let a: i32 = ults.into_iter().map(|h| h.join()).sum();
         let b: i32 = tasklets.into_iter().map(|h| h.join()).sum();
         assert_eq!(a, b, "backend {kind}");
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }
 
@@ -53,7 +53,7 @@ fn join_out_of_creation_order() {
             sum += h.join();
         }
         assert_eq!(sum, 64 * 63 / 2, "backend {kind}");
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }
 
@@ -67,7 +67,7 @@ fn is_finished_becomes_true() {
             std::thread::yield_now();
         }
         assert_eq!(h.join(), 1, "backend {kind}");
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }
 
@@ -82,7 +82,7 @@ fn sequential_batches_reuse_the_runtime() {
             let sum: usize = handles.into_iter().map(|h| h.join()).sum();
             assert_eq!(sum, 32 * batch * 100 + 32 * 31 / 2, "backend {kind}");
         }
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }
 
@@ -95,6 +95,6 @@ fn single_resource_still_completes_everything() {
         let handles: Vec<_> = (0..100).map(|i| glt.ult_create(move || i)).collect();
         let sum: usize = handles.into_iter().map(|h| h.join()).sum();
         assert_eq!(sum, 4950, "backend {kind}");
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }

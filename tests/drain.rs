@@ -1,0 +1,75 @@
+//! Bounded-drain regression: `Glt::finalize` with wedged units must
+//! come back with a `DrainError` after the configured deadline — one
+//! case per backend — instead of the historical hang.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lwt::sync::Event;
+use lwt::{BackendKind, Glt};
+
+/// A unit that parks on `ev`, yielding cooperatively so its worker can
+/// still observe the runtime's abandon flag between resumptions.
+/// (Argobots yields through its own scheduler, the ultcore-based
+/// backends through `lwt_ultcore`; a Converse *message* executes
+/// atomically and can only spin — that path exercises the
+/// detach-wedged-worker degradation instead.)
+fn park(ev: Arc<Event>) -> impl FnOnce() {
+    move || {
+        ev.wait(|| {
+            if lwt::argobots::in_ult() {
+                lwt::argobots::yield_now();
+            } else if lwt::ultcore::in_ult() {
+                lwt::ultcore::yield_now();
+            } else {
+                std::thread::yield_now();
+            }
+        });
+    }
+}
+
+#[test]
+fn finalize_reports_stragglers_instead_of_hanging() {
+    const DRAIN: Duration = Duration::from_millis(200);
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind).workers(2).drain_timeout(DRAIN).build();
+        let ev = Arc::new(Event::new());
+        let handles: Vec<_> = (0..4).map(|_| glt.ult_create(park(ev.clone()))).collect();
+        let start = Instant::now();
+        let err = glt.finalize().expect_err("wedged units must surface as DrainError");
+        assert_eq!(err.waited, DRAIN, "backend {kind}");
+        // Bounded: deadline + quiescence poll + abandon grace, with
+        // headroom for a loaded CI host — but nowhere near a hang.
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "backend {kind}: drain took {:?}",
+            start.elapsed()
+        );
+        // The error formats into a human-readable straggler table.
+        assert!(
+            format!("{err}").contains("drain incomplete"),
+            "backend {kind}: {err}"
+        );
+        // Unpark so abandoned/detached workers wind down; the unjoined
+        // handles must stay droppable.
+        ev.set();
+        drop(handles);
+    }
+}
+
+#[test]
+fn finalize_with_healthy_workload_is_clean_under_short_deadline() {
+    // The inverse guard: a deadline generous only on the scale of
+    // healthy work must NOT produce spurious DrainErrors.
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind)
+            .workers(2)
+            .drain_timeout(Duration::from_secs(10))
+            .build();
+        let handles: Vec<_> = (0..100).map(|i| glt.ult_create(move || i)).collect();
+        let sum: usize = handles.into_iter().map(|h| h.join()).sum();
+        assert_eq!(sum, 4950, "backend {kind}");
+        glt.finalize()
+            .unwrap_or_else(|e| panic!("backend {kind}: spurious {e}"));
+    }
+}

@@ -35,7 +35,7 @@ fn panicking_units_do_not_poison_the_runtime() {
         assert_eq!(oks, 32, "backend {kind}");
         // The runtime is still healthy afterwards.
         assert_eq!(glt.ult_create(|| 1).join(), 1, "backend {kind}");
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }
 
@@ -58,7 +58,7 @@ fn shutdown_with_unjoined_completed_work_is_clean() {
             std::thread::yield_now();
         }
         drop(handles);
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }
 
@@ -91,7 +91,7 @@ fn zero_sized_and_huge_payloads() {
     let big = glt.ult_create(|| vec![7u8; 1 << 20]).join();
     assert_eq!(big.len(), 1 << 20);
     assert!(big.iter().all(|&b| b == 7));
-    glt.finalize();
+    glt.finalize().expect("clean drain");
 }
 
 #[test]
@@ -101,9 +101,137 @@ fn rapid_init_shutdown_cycles() {
         for _ in 0..5 {
             let glt = Glt::builder(kind).workers(1).build();
             assert_eq!(glt.ult_create(|| 2 + 2).join(), 4);
-            glt.finalize();
+            glt.finalize().expect("clean drain");
         }
     }
+}
+
+#[test]
+fn join_error_payload_downcasts() {
+    // The `JoinError` from a fallible join carries the panic payload
+    // verbatim; all three common payload shapes must downcast across
+    // every backend.
+    #[derive(Debug, PartialEq)]
+    struct CustomFault {
+        code: u32,
+    }
+
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind).workers(2).build();
+
+        // `&'static str` — the `panic!("literal")` shape.
+        let err = glt
+            .ult_create(|| -> u32 { panic!("static str fault") })
+            .try_join()
+            .expect_err("unit panicked");
+        assert_eq!(
+            err.into_panic().downcast_ref::<&str>(),
+            Some(&"static str fault"),
+            "backend {kind}"
+        );
+
+        // `String` — the formatted `panic!("...{}...")` shape, also
+        // visible through the `message()` convenience accessor.
+        let err = glt
+            .ult_create(|| -> u32 { panic!("dynamic {}", 6 * 7) })
+            .try_join()
+            .expect_err("unit panicked");
+        assert_eq!(err.message(), Some("dynamic 42"), "backend {kind}");
+        let payload = err
+            .into_panic()
+            .downcast::<String>()
+            .expect("String payload downcasts");
+        assert_eq!(*payload, "dynamic 42", "backend {kind}");
+
+        // Arbitrary typed payload via `panic_any` — no message, but a
+        // clean downcast to the concrete type.
+        let err = glt
+            .ult_create(|| -> u32 { std::panic::panic_any(CustomFault { code: 7 }) })
+            .try_join()
+            .expect_err("unit panicked");
+        assert_eq!(err.message(), None, "backend {kind}");
+        let payload = err
+            .into_panic()
+            .downcast::<CustomFault>()
+            .expect("typed payload downcasts");
+        assert_eq!(*payload, CustomFault { code: 7 }, "backend {kind}");
+
+        glt.finalize().expect("clean drain");
+    }
+}
+
+#[test]
+fn chaos_steal_storm_completes_everything() {
+    // With the chaos engine forcing steal failures, victim
+    // misdirection, stack-cache misses, FEB wake perturbations, and
+    // extra yield points at a high rate, every unit must still run to
+    // completion on every backend — fault injection degrades
+    // performance, never correctness.
+    lwt::chaos::force_chaos(0x00C0_FFEE, 75);
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind).workers(4).build();
+        let done = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..200)
+            .map(|_| {
+                let d = done.clone();
+                glt.ult_create(move || {
+                    d.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(done.load(Ordering::Relaxed), 200, "backend {kind}");
+        glt.finalize().expect("clean drain under chaos");
+    }
+    lwt::chaos::reset_to_env();
+}
+
+#[test]
+fn watchdog_flags_a_seeded_feb_deadlock() {
+    use lwt::chaos::{BlockKind, StallSubject, WatchdogConfig};
+
+    // Seed a deadlock: a reader blocks on an empty FEB cell nobody is
+    // filling. The watchdog must flag the blocked wait within its
+    // configured interval — and kill nothing (the reader completes
+    // normally once the cell is finally written).
+    lwt::chaos::force_watchdog(WatchdogConfig {
+        interval: std::time::Duration::from_millis(5),
+        // Effectively disable worker-stall detection so concurrent
+        // tests in this binary can't add unrelated reports.
+        worker_stall: std::time::Duration::from_secs(3600),
+        blocked_after: std::time::Duration::from_millis(40),
+    });
+
+    let cell = Arc::new(lwt::sync::FebCell::<u32>::new());
+    let reader = {
+        let cell = cell.clone();
+        std::thread::spawn(move || cell.read_ff(std::thread::yield_now))
+    };
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let flagged = loop {
+        let hit = lwt::chaos::reports()
+            .iter()
+            .any(|r| matches!(r.subject, StallSubject::Blocked(BlockKind::Feb, _)));
+        if hit {
+            break true;
+        }
+        if std::time::Instant::now() >= deadline {
+            break false;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    };
+    assert!(flagged, "watchdog never flagged the blocked FEB read");
+
+    // Degradation, not destruction: filling the cell releases the
+    // reader unharmed.
+    cell.write_ef(9, std::thread::yield_now);
+    assert_eq!(reader.join().expect("reader survived being flagged"), 9);
+
+    lwt::chaos::take_reports();
+    lwt::chaos::reset_watchdog_to_env();
 }
 
 #[test]

@@ -16,7 +16,7 @@ fn builder_spawn_join_roundtrip_every_backend() {
         let handles: Vec<_> = (0..64).map(|i| glt.ult_create(move || i * 3)).collect();
         let sum: usize = handles.into_iter().map(|h| h.join()).sum();
         assert_eq!(sum, 3 * 63 * 64 / 2, "backend {kind}");
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }
 
@@ -38,7 +38,7 @@ fn builder_accepts_every_knob() {
             }
         }
         assert_eq!(glt.ult_create(|| rec(500)).join(), 500, "backend {kind}");
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }
 
@@ -54,7 +54,7 @@ fn shared_queue_policy_still_computes() {
         let handles: Vec<_> = (0..32).map(|i| glt.ult_create(move || i)).collect();
         let sum: usize = handles.into_iter().map(|h| h.join()).sum();
         assert_eq!(sum, 31 * 32 / 2, "backend {kind}");
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }
 
@@ -64,7 +64,7 @@ fn try_join_returns_ok_on_success() {
         let glt = Glt::builder(kind).workers(2).build();
         let h = glt.ult_create(|| "payload".len());
         assert_eq!(h.try_join().expect("clean ULT must join Ok"), 7, "backend {kind}");
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }
 
@@ -75,7 +75,7 @@ fn try_join_surfaces_panics_as_join_errors() {
         let h = glt.ult_create(|| -> () { panic!("conformance boom") });
         let err = h.try_join().expect_err("panicking ULT must join Err");
         assert_eq!(err.message(), Some("conformance boom"), "backend {kind}");
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }
 
@@ -89,7 +89,7 @@ fn tasklet_try_join_matches_ult_semantics() {
             .try_join()
             .expect_err("panicking tasklet must join Err");
         assert_eq!(err.message(), Some("tasklet boom"), "backend {kind}");
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }
 
@@ -116,7 +116,7 @@ fn placement_lands_on_the_requested_worker() {
                 .join();
             assert_eq!(observed, Some(target), "backend {kind} target {target}");
         }
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }
 
@@ -131,7 +131,7 @@ fn placement_is_unsupported_where_the_model_hides_workers() {
             Err(PlacementError::Unsupported(k)) => assert_eq!(k, expect),
             other => panic!("backend {kind}: expected Unsupported, got {other:?}"),
         }
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }
 
@@ -147,7 +147,7 @@ fn placement_rejects_out_of_range_workers() {
             Err(PlacementError::OutOfRange { worker: 2, workers: 2 }) => {}
             other => panic!("backend {kind}: expected OutOfRange, got {other:?}"),
         }
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }
 
@@ -194,6 +194,6 @@ fn yield_interleaves_rather_than_wedges() {
         let setter = glt.ult_create(move || f3.store(1, Ordering::Release));
         setter.join();
         waiter.join();
-        glt.finalize();
+        glt.finalize().expect("clean drain");
     }
 }

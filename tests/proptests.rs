@@ -208,7 +208,7 @@ fn glt_fanout_exact() {
                 let handles: Vec<_> = (0..n).map(|i| glt.ult_create(move || i)).collect();
                 let sum: usize = handles.into_iter().map(|h| h.join()).sum();
                 prop_assert_eq!(sum, n * (n - 1) / 2, "backend {}", kind);
-                glt.finalize();
+                glt.finalize().expect("clean drain");
             }
             Ok(())
         },

@@ -200,7 +200,7 @@ fn go_global_queue_and_no_yield_rows() {
     })
     .join();
     glt.yield_now();
-    glt.finalize();
+    glt.finalize().expect("clean drain");
 }
 
 /// Rows "Stackable Scheduler"/"Group Scheduler": a pushed scheduler
