@@ -58,7 +58,7 @@ echo "== tier1: concurrency model check (--cfg lwt_model, bounded)"
 CARGO_TARGET_DIR=target/lwt-model \
     RUSTFLAGS="${RUSTFLAGS:-} --cfg lwt_model" \
     timeout 600 cargo test -q --offline -p lwt-model
-echo "   ok: model suites green (engine + chase_lev + injector + sync + stack cache)"
+echo "   ok: model suites green (engine + chase_lev + injector + sync + stack cache + park)"
 
 echo "== tier1: trace-export smoke (LWT_TRACE=1)"
 # One real microbench run with tracing on must produce a parseable
@@ -110,6 +110,16 @@ if grep -q "lwt-watchdog:" "$WATCHDOG_LOG"; then
     exit 1
 fi
 echo "   ok: zero stall reports on healthy workload"
+
+echo "== tier1: idle-CPU smoke (passive wait policy must not spin)"
+# A quiescent pool in passive mode must burn near-zero process CPU
+# across every backend — the acceptance probe for worker parking —
+# and the park/unpark counters must balance once everything is
+# finalized. The binary asserts both and exits non-zero on violation
+# (tolerances: LWT_IDLE_CPU_TOLERANCE_MS, default 150 ms per 800 ms
+# idle window).
+cargo run --release --offline -q -p lwt-microbench --bin idle_cpu
+echo "   ok: parked pools idle at ~zero CPU; park/unpark counters balance"
 
 echo "== tier1: spawn-path smoke (fig2_create vs committed baseline)"
 # One quick fig2_create bench run; the spawn path must not regress

@@ -1,6 +1,8 @@
 //! Work-unit pools and pool topology policies.
 
-use lwt_sched::{Injector, SharedQueue};
+use std::sync::{Arc, OnceLock};
+
+use lwt_sched::{Injector, ParkGroup, SharedQueue};
 
 use crate::unit::Unit;
 
@@ -20,7 +22,7 @@ pub enum PoolPolicy {
     SharedSingle,
 }
 
-/// Internal pool representation.
+/// The queue behind a pool.
 ///
 /// A *private* pool is a lock-free MPSC [`Injector`]: any creator (the
 /// main thread, or any ULT on another stream) may push, but only the
@@ -28,42 +30,79 @@ pub enum PoolPolicy {
 /// lock on either path. The *shared* pool keeps the mutex-protected
 /// FIFO: every stream pops from it, and the lock they contend on is
 /// precisely what the `ablation_pools` bench quantifies.
-pub(crate) enum PoolShared {
+enum PoolQueue {
     /// Lock-free MPSC pool for the private-per-stream layout.
     Mpsc(Injector<Unit>),
     /// Mutex-protected MPMC pool for the shared-single layout.
     Shared(SharedQueue<Unit>),
 }
 
+/// Internal pool representation: the queue plus the wake hook every
+/// push fires. Routing the notify through the pool covers *all* push
+/// sites at once — creation dispatch, yield requeues, and the
+/// post-switch protocol — so no producer can forget to wake a parked
+/// consumer.
+pub(crate) struct PoolShared {
+    queue: PoolQueue,
+    /// Installed once at registration: the runtime's park group plus
+    /// the owning stream (`None` for the shared pool, where any stream
+    /// may consume and the scanning wake-one applies). Pushes before
+    /// installation skip the wake — at that point no stream has had a
+    /// chance to park.
+    waker: OnceLock<(Arc<ParkGroup>, Option<usize>)>,
+}
+
 impl PoolShared {
     /// Lock-free MPSC pool (private-per-stream layout).
     pub(crate) fn new() -> Self {
-        PoolShared::Mpsc(Injector::new())
+        PoolShared {
+            queue: PoolQueue::Mpsc(Injector::new()),
+            waker: OnceLock::new(),
+        }
     }
 
     /// Lock-based MPMC pool (shared-single layout).
     pub(crate) fn new_shared() -> Self {
-        PoolShared::Shared(SharedQueue::new())
+        PoolShared {
+            queue: PoolQueue::Shared(SharedQueue::new()),
+            waker: OnceLock::new(),
+        }
+    }
+
+    /// Install the wake hook (idempotent; first install wins).
+    /// `owner` is the consuming stream for MPSC pools — only its
+    /// parker is worth waking, exactly like a Converse processor
+    /// queue — and `None` for the shared pool.
+    pub(crate) fn set_waker(&self, park: Arc<ParkGroup>, owner: Option<usize>) {
+        let _ = self.waker.set((park, owner));
     }
 
     pub(crate) fn push(&self, unit: Unit) {
-        match self {
-            PoolShared::Mpsc(q) => q.push(unit),
-            PoolShared::Shared(q) => q.push(unit),
+        match &self.queue {
+            PoolQueue::Mpsc(q) => q.push(unit),
+            PoolQueue::Shared(q) => q.push(unit),
+        }
+        // Push first, then wake (see ParkGroup docs for why this order
+        // prevents lost wakes).
+        if let Some((park, owner)) = self.waker.get() {
+            match owner {
+                Some(stream) => park.notify_worker(*stream),
+                None => park.notify(),
+            }
         }
     }
 
     pub(crate) fn pop(&self) -> Option<Unit> {
-        match self {
-            PoolShared::Mpsc(q) => q.pop(),
-            PoolShared::Shared(q) => q.pop(),
+        match &self.queue {
+            PoolQueue::Mpsc(q) => q.pop(),
+            PoolQueue::Shared(q) => q.pop(),
         }
     }
 
     pub(crate) fn len(&self) -> usize {
-        match self {
-            PoolShared::Mpsc(q) => q.len(),
-            PoolShared::Shared(q) => q.len(),
+        match &self.queue {
+            PoolQueue::Mpsc(q) => q.len(),
+            PoolQueue::Shared(q) => q.len(),
         }
     }
 }

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use lwt_fiber::{cache, init_context, StackSize};
 use lwt_metrics::registry::{emit, timestamp_if_tracing, COUNTERS};
 use lwt_metrics::EventKind;
+use lwt_sched::ParkGroup;
 use lwt_sync::SpinLock;
 use lwt_ultcore::{join_within, DrainError, Straggler, ABANDON_GRACE};
 
@@ -50,6 +51,10 @@ struct RtInner {
     /// All pools; under `PrivatePerStream`, index i belongs to stream i.
     pools: SpinLock<Vec<Arc<PoolShared>>>,
     streams: SpinLock<Vec<StreamEntry>>,
+    /// One park slot per stream. Sized with headroom at init so a few
+    /// dynamically created streams can still sleep; streams beyond the
+    /// capacity degrade to bounded naps (see `ParkGroup::park`).
+    park: Arc<ParkGroup>,
     rr: AtomicUsize,
     shut: AtomicBool,
 }
@@ -80,12 +85,17 @@ impl Runtime {
             stack_size: config.stack_size,
             pools: SpinLock::new(Vec::new()),
             streams: SpinLock::new(Vec::new()),
+            park: Arc::new(ParkGroup::new(config.num_streams + 8)),
             rr: AtomicUsize::new(0),
             shut: AtomicBool::new(false),
         });
         let rt = Runtime { inner };
         if config.pool_policy == PoolPolicy::SharedSingle {
-            rt.inner.pools.lock().push(Arc::new(PoolShared::new_shared()));
+            let pool = Arc::new(PoolShared::new_shared());
+            // Any stream pops the shared pool, so a push wakes whichever
+            // sleeper the scanning wake-one picks.
+            pool.set_waker(rt.inner.park.clone(), None);
+            rt.inner.pools.lock().push(pool);
         }
         for _ in 0..config.num_streams {
             rt.stream_create();
@@ -113,11 +123,20 @@ impl Runtime {
         };
         let mut streams = self.inner.streams.lock();
         let id = streams.len();
+        if self.inner.policy == PoolPolicy::PrivatePerStream {
+            // MPSC: only stream `id` ever pops this pool, so pushes wake
+            // that stream specifically (a scanning wake-one could spend
+            // its single wake on a stream that cannot pop it). A push
+            // racing ahead of this install merely skips the wake — the
+            // stream thread below has not started, let alone parked.
+            pool.set_waker(self.inner.park.clone(), Some(id));
+        }
         let shared = Arc::new(StreamShared {
             id,
             stop: AtomicBool::new(false),
             abandon: AtomicBool::new(false),
             pools: vec![pool],
+            park: self.inner.park.clone(),
             mailbox: SpinLock::new(Vec::new()),
         });
         let s2 = shared.clone();
@@ -315,6 +334,9 @@ impl Runtime {
         for s in streams.iter() {
             s.shared.stop.store(true, Ordering::Release);
         }
+        // A fully parked pool of streams must notice the flags now, not
+        // after a backstop timeout.
+        self.inner.park.unpark_all();
         for s in streams.iter_mut() {
             if let Some(t) = s.thread.take() {
                 t.join().expect("execution stream panicked");
@@ -344,11 +366,16 @@ impl Runtime {
                 .filter_map(|s| s.thread.take().map(|t| (s.shared.clone(), t)))
                 .unzip()
         };
+        // Wake every sleeper *before* the drain deadline starts: a
+        // fully parked pool drains instantly instead of eating the
+        // deadline in 20–200 ms backstop increments.
+        self.inner.park.unpark_all();
         let timed_out = !join_within(&handles, deadline);
         if timed_out {
             for s in &shareds {
                 s.abandon.store(true, Ordering::Release);
             }
+            self.inner.park.unpark_all();
             // Grace for streams parked between units to notice the flag.
             join_within(&handles, ABANDON_GRACE);
         }
@@ -393,6 +420,7 @@ impl Drop for RtInner {
         for s in streams.iter() {
             s.shared.stop.store(true, Ordering::Release);
         }
+        self.park.unpark_all();
         for s in streams.iter_mut() {
             if let Some(t) = s.thread.take() {
                 let _ = t.join();

@@ -23,6 +23,7 @@ use std::sync::Arc;
 use lwt_fiber::{switch, switch_final, RawContext};
 use lwt_metrics::registry::{emit, COUNTERS};
 use lwt_metrics::EventKind;
+use lwt_sched::{ParkGroup, ParkResult};
 use lwt_sync::{Backoff, SpinLock};
 
 use crate::pool::PoolShared;
@@ -70,6 +71,8 @@ pub(crate) struct StreamShared {
     pub(crate) abandon: AtomicBool,
     /// Pools this stream drains, own pool first. Fixed at creation.
     pub(crate) pools: Vec<Arc<PoolShared>>,
+    /// Runtime-wide park group; slot `id` is this stream's parker.
+    pub(crate) park: Arc<ParkGroup>,
     /// Schedulers pushed by `Runtime::push_scheduler`, adopted by the
     /// stream loop (stacked on top of the current one).
     pub(crate) mailbox: SpinLock<Vec<Box<dyn Scheduler>>>,
@@ -124,11 +127,20 @@ pub(crate) fn es_main(shared: &StreamShared) {
                 }
                 backoff.spin();
                 if backoff.is_saturated() {
-                    // Oversubscription relief: a truly idle stream naps
-                    // briefly instead of burning its OS timeslice, so
-                    // streams that *do* hold work get the core (matters
-                    // enormously when cores < streams; see DESIGN.md).
-                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    // The scheduler proved its pools dry: park instead of
+                    // burning the core. Pushes into any of this stream's
+                    // pools fire the pool's wake hook; stop/abandon
+                    // arrive as `unpark_all` tokens from the shutdown
+                    // paths, so the backstop timeout is defense in depth
+                    // only. (Streams beyond the park group's capacity —
+                    // heavy `stream_create` use — degrade to a bounded
+                    // nap inside `park`.)
+                    let res = shared.park.park(shared.id, Some(&heartbeat), || {
+                        shared.pools.iter().map(|p| p.len()).sum()
+                    });
+                    if matches!(res, ParkResult::FoundWork | ParkResult::Woken) {
+                        backoff.reset();
+                    }
                 }
             }
             Pick::Done => {

@@ -69,10 +69,16 @@ pub enum FaultSite {
     /// A scheduler loop yields its OS timeslice before dispatching
     /// the next unit (all five backends' worker loops).
     YieldPoint = 5,
+    /// An idle worker entering the parked state takes a spurious
+    /// wake: a token is deposited with no work attached, so the park
+    /// returns immediately and the worker re-sweeps an empty pool
+    /// (`lwt_sched::ParkGroup::park`). Exercises the re-check path
+    /// every wake — spurious or real — must survive.
+    SpuriousUnpark = 6,
 }
 
 /// Number of distinct fault sites.
-pub const NUM_SITES: usize = 6;
+pub const NUM_SITES: usize = 7;
 
 impl FaultSite {
     /// All sites, in discriminant order.
@@ -83,6 +89,7 @@ impl FaultSite {
         FaultSite::FebStallWake,
         FaultSite::FebSpuriousWake,
         FaultSite::YieldPoint,
+        FaultSite::SpuriousUnpark,
     ];
 
     /// Stable display name.
@@ -95,6 +102,7 @@ impl FaultSite {
             FaultSite::FebStallWake => "FebStallWake",
             FaultSite::FebSpuriousWake => "FebSpuriousWake",
             FaultSite::YieldPoint => "YieldPoint",
+            FaultSite::SpuriousUnpark => "SpuriousUnpark",
         }
     }
 
@@ -120,6 +128,7 @@ impl FaultSite {
             0x8CB9_2BA7_2F3D_8DD7,
             0x5851_F42D_4C95_7F2D,
             0x14057B7E_F767_814F,
+            0xA076_1D64_78BD_642F,
         ][self as usize]
     }
 }
@@ -133,6 +142,7 @@ static RATE: AtomicU64 = AtomicU64::new(DEFAULT_RATE_PERCENT);
 /// counter allocates schedule indices; *which worker* draws index `i`
 /// varies run to run, but whether index `i` injects does not.
 static SEQ: [AtomicU64; NUM_SITES] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

@@ -175,6 +175,9 @@ struct BeatSlot {
     last_ns: AtomicU64,
     retired: AtomicBool,
     flagged: AtomicBool,
+    /// Deliberately asleep on its parker: the detector must not read
+    /// a parked worker's silent heartbeat as a stall.
+    parked: AtomicBool,
 }
 
 /// A worker's heartbeat handle. Beat it once per scheduler-loop
@@ -201,6 +204,21 @@ impl Heartbeat {
             self.slot.last_ns.store(now_ns(), Ordering::Relaxed);
         }
     }
+
+    /// Mark the worker as deliberately parked (asleep on its parker,
+    /// `LWT_WAIT_POLICY` passive/adaptive). A parked worker does not
+    /// beat, so without this the detector would flag every healthy
+    /// sleeper. Unmarking also refreshes the heartbeat — the silence
+    /// while asleep must not count against the freshly woken worker.
+    #[inline]
+    pub fn set_parked(&self, parked: bool) {
+        // Unconditional (unlike `beat`): a watchdog enabled mid-park
+        // must still see the worker as deliberately asleep.
+        if !parked && watchdog_enabled() {
+            self.slot.last_ns.store(now_ns(), Ordering::Relaxed);
+        }
+        self.slot.parked.store(parked, Ordering::Relaxed);
+    }
 }
 
 impl Drop for Heartbeat {
@@ -225,6 +243,7 @@ pub fn register_worker(backend: &'static str, worker: usize) -> Heartbeat {
         last_ns: AtomicU64::new(now_ns()),
         retired: AtomicBool::new(false),
         flagged: AtomicBool::new(false),
+        parked: AtomicBool::new(false),
     });
     {
         let mut workers = lock_poisonless(&WORKERS);
@@ -417,6 +436,12 @@ fn detector_main() {
             w.clone()
         };
         for slot in workers {
+            if slot.parked.load(Ordering::Relaxed) {
+                // Asleep on purpose; disarm so the first post-wake
+                // interval starts a fresh observation.
+                slot.flagged.store(false, Ordering::Relaxed);
+                continue;
+            }
             let silent = now.saturating_sub(slot.last_ns.load(Ordering::Relaxed));
             if silent > stall_ns {
                 if !slot.flagged.swap(true, Ordering::Relaxed) {
@@ -503,6 +528,31 @@ mod tests {
             count,
             "a beating worker must not be re-flagged"
         );
+        drop(hb);
+        disable_watchdog();
+        reset_watchdog_to_env();
+    }
+
+    #[test]
+    fn parked_worker_is_never_flagged() {
+        let _s = serial();
+        force_watchdog(tight());
+        let hb = register_worker("test-parked", 9);
+        hb.set_parked(true);
+        // Far past the stall threshold; a parked worker must stay
+        // unflagged for as long as it sleeps.
+        std::thread::sleep(Duration::from_millis(120));
+        let flagged = reports()
+            .into_iter()
+            .any(|r| matches!(r.subject, StallSubject::Worker("test-parked", 9)));
+        assert!(!flagged, "parked worker was flagged: {:?}", reports());
+        // Unparking refreshes the heartbeat: still no flag right away.
+        hb.set_parked(false);
+        std::thread::sleep(Duration::from_millis(15));
+        let flagged = reports()
+            .into_iter()
+            .any(|r| matches!(r.subject, StallSubject::Worker("test-parked", 9)));
+        assert!(!flagged, "freshly woken worker must not inherit its sleep");
         drop(hb);
         disable_watchdog();
         reset_watchdog_to_env();

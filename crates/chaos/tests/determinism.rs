@@ -37,8 +37,16 @@ fn drive(label: &str, seed: u64) -> Vec<u64> {
         .collect()
 }
 
+/// Chaos config is process-global; serialize the tests that force it.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 #[test]
 fn identical_seed_replays_identical_fault_schedule() {
+    let _s = serial();
     set_tracing(true);
     let a = drive("chaos-run-a", 0x00DE_CAF0);
     let b = drive("chaos-run-b", 0x00DE_CAF0);
@@ -63,4 +71,33 @@ fn identical_seed_replays_identical_fault_schedule() {
             "recorded injection must match the pure schedule"
         );
     }
+}
+
+/// The `SpuriousUnpark` site (tokens deposited into parking workers
+/// with no work attached) replays like every other site: same seed,
+/// same schedule — so a parking bug surfaced by a spurious wake can be
+/// re-run at will.
+#[test]
+fn spurious_unpark_site_replays_deterministically() {
+    let _s = serial();
+    set_tracing(true);
+    let a = drive("spurious-run-a", 0x000A_11CE);
+    let b = drive("spurious-run-b", 0x000A_11CE);
+    set_tracing(false);
+    lwt_chaos::reset_to_env();
+
+    let only_unparks = |run: &[u64]| {
+        run.iter()
+            .copied()
+            .filter(|&arg| {
+                matches!(unpack_fault(arg), Some((FaultSite::SpuriousUnpark, _)))
+            })
+            .collect::<Vec<_>>()
+    };
+    let (a, b) = (only_unparks(&a), only_unparks(&b));
+    assert!(
+        !a.is_empty(),
+        "37% over 400 SpuriousUnpark decisions must inject something"
+    );
+    assert_eq!(a, b, "same seed must replay the same spurious-unpark schedule");
 }

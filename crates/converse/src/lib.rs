@@ -56,7 +56,7 @@ use std::sync::Arc;
 use lwt_fiber::StackSize;
 use lwt_metrics::registry::{emit, COUNTERS};
 use lwt_metrics::EventKind;
-use lwt_sched::{Injector, RoundRobin};
+use lwt_sched::{Injector, ParkGroup, RoundRobin};
 use lwt_sync::{SenseBarrier, SpinLock};
 use lwt_ultcore::{
     enter_worker, join_within, run_ult, wait_until, DrainError, Requeue, ResultCell, Straggler,
@@ -108,6 +108,10 @@ struct Proc {
 
 struct RtInner {
     procs: Vec<Arc<Proc>>,
+    /// Idle-processor parking. Converse queues are single-consumer, so
+    /// wakes are strictly targeted ([`ParkGroup::notify_worker`]):
+    /// waking anyone but the queue's owner cannot help.
+    park: ParkGroup,
     stack_size: StackSize,
     /// Work units created but not yet fully executed; the quiescence
     /// condition for barrier entry.
@@ -187,6 +191,7 @@ impl<T> UltHandle<T> {
         let proc = self.proc;
         lwt_ultcore::awaken(&self.ult, move |u| {
             inner.procs[proc].queue.push(ConvUnit::Ult(u));
+            inner.park.notify_worker(proc);
         })
     }
 }
@@ -216,6 +221,7 @@ impl Runtime {
             })
             .collect();
         let inner = Arc::new(RtInner {
+            park: ParkGroup::new(procs.len()),
             procs,
             stack_size: config.stack_size,
             outstanding: AtomicUsize::new(0),
@@ -269,6 +275,9 @@ impl Runtime {
     {
         self.inner.outstanding.fetch_add(1, Ordering::AcqRel);
         self.inner.procs[proc].queue.push(ConvUnit::Message(Box::new(f)));
+        // Push first, then wake the owner if it is parked (see
+        // ParkGroup docs for why this order prevents lost wakes).
+        self.inner.park.notify_worker(proc);
     }
 
     /// Send a message with round-robin processor selection — the
@@ -306,6 +315,7 @@ impl Runtime {
         self.inner.outstanding.fetch_add(1, Ordering::AcqRel);
         emit(EventKind::UltSpawn, proc as u64);
         self.inner.procs[proc].queue.push(ConvUnit::Ult(ult.clone()));
+        self.inner.park.notify_worker(proc);
         UltHandle {
             ult,
             result,
@@ -322,6 +332,10 @@ impl Runtime {
     /// paper measures for Converse Threads in Fig. 3.
     pub fn barrier(&self) {
         self.inner.barrier_requested.fetch_add(1, Ordering::AcqRel);
+        // Every processor owes the episode a visit — parked ones
+        // included. Wake them all; backstop timeouts are defense in
+        // depth, not how barriers are supposed to make progress.
+        self.inner.park.unpark_all();
         let mut relax = lwt_sync::AdaptiveRelax::new();
         if self.inner.barrier.wait(move || relax.relax()) {
             self.inner.barrier_completed.fetch_add(1, Ordering::AcqRel);
@@ -357,6 +371,9 @@ impl Runtime {
             return;
         }
         self.inner.stop.store(true, Ordering::Release);
+        // A fully parked pool must notice the flag now, not after a
+        // backstop timeout.
+        self.inner.park.unpark_all();
         let mut threads = self.inner.threads.lock();
         for t in threads.iter_mut() {
             if let Some(t) = t.take() {
@@ -379,6 +396,10 @@ impl Runtime {
             return Ok(());
         }
         self.inner.stop.store(true, Ordering::Release);
+        // Wake every sleeper *before* the drain deadline starts: a
+        // fully parked pool drains instantly instead of eating the
+        // deadline in 20–200 ms backstop increments.
+        self.inner.park.unpark_all();
         let handles: Vec<_> = {
             let mut threads = self.inner.threads.lock();
             threads.iter_mut().filter_map(Option::take).collect()
@@ -386,7 +407,8 @@ impl Runtime {
         let timed_out = !join_within(&handles, deadline);
         if timed_out {
             self.inner.abandon.store(true, Ordering::Release);
-            // Grace for workers parked between units to notice the flag.
+            self.inner.park.unpark_all();
+            // Grace for workers idling between units to notice the flag.
             join_within(&handles, ABANDON_GRACE);
         }
         for t in handles {
@@ -424,6 +446,7 @@ impl Runtime {
 impl Drop for RtInner {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Release);
+        self.park.unpark_all();
         for t in self.threads.lock().iter_mut() {
             if let Some(t) = t.take() {
                 let _ = t.join();
@@ -496,8 +519,14 @@ fn proc_main(inner: &Arc<RtInner>, p: usize) {
                 }
                 backoff.spin();
                 if backoff.is_saturated() {
-                    // Idle-processor nap: see lwt-argobots stream.rs.
-                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    // The queue is dry and no barrier episode is due:
+                    // sleep instead of burning the core. Only our own
+                    // queue feeds us, so the re-check counts just its
+                    // length; barrier requests and shutdown arrive as
+                    // wake tokens (their senders call `unpark_all`).
+                    let _ = inner
+                        .park
+                        .park(p, Some(&heartbeat), || proc.queue.len());
                 }
             }
         }

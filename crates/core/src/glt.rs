@@ -4,6 +4,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lwt_fiber::StackSize;
+use lwt_sched::{force_wait_policy, WaitPolicy};
 use lwt_sync::{Event, SpinLock};
 use lwt_ultcore::{DrainError, JoinError};
 
@@ -101,21 +102,49 @@ pub struct GltConfig {
     /// [`DrainError`]. Generous by default (30 s) so healthy workloads
     /// never see it; shrink it in tests that provoke hangs.
     pub drain_timeout: Duration,
+    /// Idle-worker wait policy override (mirrors `OMP_WAIT_POLICY`).
+    /// `None` keeps the process-wide setting, which itself defaults to
+    /// `LWT_WAIT_POLICY` (adaptive when unset). Note the policy is
+    /// process-global, so an override outlives the [`Glt`] instance
+    /// that set it.
+    pub wait_policy: Option<WaitPolicy>,
 }
 
 impl GltConfig {
-    /// Defaults for `backend`: all cores, default stacks, inherited
-    /// stack-cache capacity, private per-worker queues.
+    /// Defaults for `backend`: workers per [`default_workers`]
+    /// (`LWT_WORKERS`, else machine topology), default stacks,
+    /// inherited stack-cache capacity, private per-worker queues,
+    /// inherited wait policy.
     #[must_use]
     pub fn new(backend: BackendKind) -> Self {
         GltConfig {
             backend,
-            workers: std::thread::available_parallelism().map_or(4, usize::from),
+            workers: default_workers(),
             stack_size: StackSize::DEFAULT,
             stack_cache_capacity: None,
             scheduler: SchedPolicy::default(),
             drain_timeout: Duration::from_secs(30),
+            wait_policy: None,
         }
+    }
+}
+
+/// The worker count new configs start from: `LWT_WORKERS=N` forces `N`
+/// execution resources, while `LWT_WORKERS=auto` — or the variable
+/// unset, empty, zero, or unparsable — sizes the pool from the machine
+/// topology (`available_parallelism`), the analogue of
+/// `OMP_NUM_THREADS` defaulting to the core count.
+#[must_use]
+pub fn default_workers() -> usize {
+    workers_from(std::env::var("LWT_WORKERS").ok().as_deref())
+}
+
+fn workers_from(spec: Option<&str>) -> usize {
+    let auto = || std::thread::available_parallelism().map_or(4, usize::from);
+    match spec.map(str::trim) {
+        None | Some("") => auto(),
+        Some(s) if s.eq_ignore_ascii_case("auto") => auto(),
+        Some(s) => s.parse().ok().filter(|&n| n > 0).unwrap_or_else(auto),
     }
 }
 
@@ -170,6 +199,13 @@ impl GltBuilder {
     #[must_use]
     pub fn drain_timeout(mut self, timeout: Duration) -> Self {
         self.cfg.drain_timeout = timeout;
+        self
+    }
+
+    /// Idle-worker wait policy (see [`GltConfig::wait_policy`]).
+    #[must_use]
+    pub fn wait_policy(mut self, policy: WaitPolicy) -> Self {
+        self.cfg.wait_policy = Some(policy);
         self
     }
 
@@ -450,6 +486,11 @@ impl Glt {
         if let Some(cap) = cfg.stack_cache_capacity {
             lwt_fiber::cache::set_capacity(cap);
         }
+        if let Some(policy) = cfg.wait_policy {
+            // Before backend init, so workers idle under the requested
+            // policy from their very first empty pick.
+            force_wait_policy(policy);
+        }
         let backend = match cfg.backend {
             BackendKind::Argobots => Backend::Argobots(lwt_argobots::Runtime::init(
                 lwt_argobots::Config {
@@ -714,6 +755,27 @@ impl std::fmt::Debug for Glt {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn worker_spec_parses_numbers_and_auto() {
+        let topo = std::thread::available_parallelism().map_or(4, usize::from);
+        assert_eq!(workers_from(Some("3")), 3);
+        assert_eq!(workers_from(Some(" 16 ")), 16);
+        for auto in [None, Some("auto"), Some("AUTO"), Some(""), Some("0"), Some("cores")] {
+            assert_eq!(workers_from(auto), topo, "spec {auto:?}");
+        }
+    }
+
+    #[test]
+    fn builder_wait_policy_reaches_the_global_knob() {
+        let glt = Glt::builder(BackendKind::Go)
+            .workers(1)
+            .wait_policy(WaitPolicy::Passive)
+            .build();
+        assert_eq!(lwt_sched::current_wait_policy(), WaitPolicy::Passive);
+        glt.finalize().expect("clean drain");
+        lwt_sched::reset_wait_policy_to_env();
+    }
 
     #[test]
     fn every_backend_runs_ults() {

@@ -55,13 +55,21 @@ pub use caps::{
     api_map, capability_matrix, ApiRow, Capabilities, SchedulerPlug,
 };
 pub use glt::{
-    BackendKind, Glt, GltBuilder, GltConfig, GltHandle, PlacementError, SchedPolicy,
+    default_workers, BackendKind, Glt, GltBuilder, GltConfig, GltHandle, PlacementError,
+    SchedPolicy,
 };
 pub use pm::{Pm, TaskScope};
 
 /// Stack size for stackful work units, re-exported from `lwt-fiber` so
 /// `GltBuilder::stack_size` can be fed without a second dependency.
 pub use lwt_fiber::StackSize;
+/// Idle-worker wait policy (`LWT_WAIT_POLICY`, the analogue of
+/// `OMP_WAIT_POLICY`) plus its process-wide accessors, re-exported from
+/// `lwt-sched` so `GltBuilder::wait_policy` can be fed without a second
+/// dependency.
+pub use lwt_sched::{
+    current_wait_policy, force_wait_policy, reset_wait_policy_to_env, WaitPolicy,
+};
 /// Panic payload surfaced by the fallible joins (`GltHandle::try_join`
 /// and every backend handle's `try_join`) — one type across all five
 /// runtimes.

@@ -60,7 +60,7 @@ use std::sync::Arc;
 use lwt_fiber::StackSize;
 use lwt_metrics::registry::{emit, COUNTERS};
 use lwt_metrics::EventKind;
-use lwt_sched::{RandomVictim, ReadyQueue};
+use lwt_sched::{near_first, ParkGroup, ReadyQueue};
 use lwt_sync::{Channel, CountLatch, RecvError, SendError, SpinLock};
 use lwt_ultcore::{
     current_worker, enter_worker, in_ult, join_within, run_ult, wait_until, DrainError, Requeue,
@@ -90,6 +90,8 @@ struct RtInner {
     /// One ready queue per scheduler thread; external spawns are
     /// injected round-robin, idle workers steal from each other.
     queues: Vec<ReadyQueue<Arc<UltCore>>>,
+    /// Idle-worker parking (wake-one); every push site notifies.
+    park: ParkGroup,
     next: AtomicUsize,
     stack_size: StackSize,
     threads: SpinLock<Vec<Option<std::thread::JoinHandle<()>>>>,
@@ -118,6 +120,7 @@ impl Runtime {
         assert!(config.num_threads > 0, "need at least one thread");
         let inner = Arc::new(RtInner {
             queues: (0..config.num_threads).map(|_| ReadyQueue::new()).collect(),
+            park: ParkGroup::new(config.num_threads),
             next: AtomicUsize::new(0),
             stack_size: config.stack_size,
             threads: SpinLock::new(Vec::new()),
@@ -170,6 +173,9 @@ impl Runtime {
             _ => self.inner.next.fetch_add(1, Ordering::Relaxed) % n,
         };
         self.inner.queues[target].push(ult);
+        // Push first, then wake at most one sleeper (see ParkGroup
+        // docs for why this order is what prevents lost wakes).
+        self.inner.park.notify_near(target);
     }
 
     /// Create a buffered channel (`make(chan T, cap)`); capacity 0 is
@@ -199,6 +205,9 @@ impl Runtime {
             return;
         }
         self.inner.stop.store(true, Ordering::Release);
+        // A fully parked pool must notice the flag now, not after a
+        // backstop timeout.
+        self.inner.park.unpark_all();
         let mut threads = self.inner.threads.lock();
         for t in threads.iter_mut() {
             if let Some(t) = t.take() {
@@ -223,6 +232,10 @@ impl Runtime {
             return Ok(());
         }
         self.inner.stop.store(true, Ordering::Release);
+        // Wake every sleeper *before* the drain deadline starts: a
+        // fully parked pool drains instantly instead of eating the
+        // deadline in 20–200 ms backstop increments.
+        self.inner.park.unpark_all();
         let handles: Vec<_> = {
             let mut threads = self.inner.threads.lock();
             threads.iter_mut().filter_map(Option::take).collect()
@@ -230,7 +243,8 @@ impl Runtime {
         let timed_out = !join_within(&handles, deadline);
         if timed_out {
             self.inner.abandon.store(true, Ordering::Release);
-            // Grace for workers parked between units to notice the flag.
+            self.inner.park.unpark_all();
+            // Grace for workers idling between units to notice the flag.
             join_within(&handles, ABANDON_GRACE);
         }
         for t in handles {
@@ -268,6 +282,7 @@ impl Runtime {
 impl Drop for RtInner {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Release);
+        self.park.unpark_all();
         for t in self.threads.lock().iter_mut() {
             if let Some(t) = t.take() {
                 let _ = t.join();
@@ -291,22 +306,33 @@ impl std::fmt::Debug for Runtime {
 fn worker_main(inner: &Arc<RtInner>, id: usize) {
     let requeue: Arc<dyn Requeue> = {
         let q = inner.clone();
-        Arc::new(move |w: usize, u: Arc<UltCore>| q.queues[w].push(u))
+        Arc::new(move |w: usize, u: Arc<UltCore>| {
+            q.queues[w].push(u);
+            q.park.notify_near(w);
+        })
     };
     let _guard = enter_worker(id, requeue);
     inner.queues[id].bind();
-    let victims = RandomVictim::new(inner.queues.len(), 0x60_60 ^ id as u64);
+    let n = inner.queues.len();
     let mut backoff = lwt_sync::Backoff::new();
     let heartbeat = lwt_chaos::register_worker("go", id);
+    // Pre-park emptiness estimate: own queue in full, victims' deques
+    // only (their inboxes are single-consumer — unreachable to us).
+    let pending = |inner: &RtInner| {
+        inner.queues[id].len()
+            + near_first(id, n)
+                .map(|v| inner.queues[v].stealable_len())
+                .sum::<usize>()
+    };
     loop {
         heartbeat.beat();
         if inner.abandon.load(Ordering::Acquire) {
             break;
         }
+        // Bounded sweep: local deque + inbox, then every victim once,
+        // nearest first. No unbounded retry anywhere on this path.
         let unit = inner.queues[id].pop().or_else(|| {
-            let n = inner.queues.len();
-            for _ in 0..n.saturating_sub(1) {
-                let v = victims.pick(id);
+            for v in near_first(id, n) {
                 COUNTERS.steal_attempts.inc();
                 if let Some(u) = inner.queues[v].steal() {
                     COUNTERS.steal_hits.inc();
@@ -330,8 +356,10 @@ fn worker_main(inner: &Arc<RtInner>, id: usize) {
                 }
                 backoff.spin();
                 if backoff.is_saturated() {
-                    // Idle-worker nap: see lwt-argobots stream.rs.
-                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    // The sweep proved the pool dry: sleep instead of
+                    // burning the core (the pre-parking idle loop ate
+                    // 100% CPU per idle worker here).
+                    let _ = inner.park.park(id, Some(&heartbeat), || pending(inner));
                 }
             }
         }

@@ -51,7 +51,7 @@ use std::sync::Arc;
 use lwt_fiber::StackSize;
 use lwt_metrics::registry::{emit, COUNTERS, STEAL_DWELL};
 use lwt_metrics::{clock, EventKind};
-use lwt_sched::{RandomVictim, ReadyQueue};
+use lwt_sched::{near_first, ParkGroup, ParkResult, RandomVictim, ReadyQueue};
 use lwt_sync::SpinLock;
 use lwt_ultcore::{
     enter_worker, join_within, run_ult, wait_until, yield_to, DrainError, ResultCell, Requeue,
@@ -95,6 +95,8 @@ impl Default for Config {
 
 struct RtInner {
     queues: Vec<ReadyQueue<Arc<UltCore>>>,
+    /// Idle-worker parking (wake-one); every push site notifies.
+    park: ParkGroup,
     threads: SpinLock<Vec<Option<std::thread::JoinHandle<()>>>>,
     stop: AtomicBool,
     /// Bounded-drain escape hatch: workers exit even with (wedged)
@@ -170,6 +172,7 @@ impl Runtime {
         assert!(config.num_workers > 0, "need at least one worker");
         let inner = Arc::new(RtInner {
             queues: (0..config.num_workers).map(|_| ReadyQueue::new()).collect(),
+            park: ParkGroup::new(config.num_workers),
             threads: SpinLock::new(Vec::new()),
             stop: AtomicBool::new(false),
             abandon: AtomicBool::new(false),
@@ -232,6 +235,7 @@ impl Runtime {
         });
         emit(EventKind::UltSpawn, 0);
         self.inner.queues[0].inject(ult.clone());
+        self.inner.park.notify_near(0);
         wait_until(|| ult.is_terminated());
         if let Some(p) = ult.take_panic() {
             std::panic::resume_unwind(p);
@@ -278,18 +282,22 @@ impl Runtime {
                     // Claim raced (cannot normally happen for a fresh
                     // ULT); degrade to help-first.
                     self.inner.queues[0].inject(ult.clone());
+                    self.inner.park.notify_near(0);
                 }
             }
             (_, Some(w)) => {
                 // Help-first from a worker: straight onto this worker's
-                // own deque (the zero-allocation owner fast path).
+                // own deque (the zero-allocation owner fast path). Wake
+                // a thief so a parked pool still spreads the load.
                 self.inner.queues[w].push(ult.clone());
+                self.inner.park.notify_near(w);
             }
             (_, None) => {
                 // External thread: into worker 0's inbox, to be batched
                 // onto its deque and stolen from there (the paper's
                 // MassiveThreads (H) shape).
                 self.inner.queues[0].inject(ult.clone());
+                self.inner.park.notify_near(0);
             }
         }
         Handle { ult, result }
@@ -304,6 +312,9 @@ impl Runtime {
             return;
         }
         self.inner.stop.store(true, Ordering::Release);
+        // A fully parked pool must notice the flag now, not after a
+        // backstop timeout.
+        self.inner.park.unpark_all();
         let mut threads = self.inner.threads.lock();
         for t in threads.iter_mut() {
             if let Some(t) = t.take() {
@@ -328,6 +339,10 @@ impl Runtime {
             return Ok(());
         }
         self.inner.stop.store(true, Ordering::Release);
+        // Wake every sleeper *before* the drain deadline starts: a
+        // fully parked pool drains instantly instead of eating the
+        // deadline in 20–200 ms backstop increments.
+        self.inner.park.unpark_all();
         let handles: Vec<_> = {
             let mut threads = self.inner.threads.lock();
             threads.iter_mut().filter_map(Option::take).collect()
@@ -335,7 +350,8 @@ impl Runtime {
         let timed_out = !join_within(&handles, deadline);
         if timed_out {
             self.inner.abandon.store(true, Ordering::Release);
-            // Grace for workers parked between units to notice the flag.
+            self.inner.park.unpark_all();
+            // Grace for workers idling between units to notice the flag.
             join_within(&handles, ABANDON_GRACE);
         }
         for t in handles {
@@ -373,6 +389,7 @@ impl Runtime {
 impl Drop for RtInner {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Release);
+        self.park.unpark_all();
         for t in self.threads.lock().iter_mut() {
             if let Some(t) = t.take() {
                 let _ = t.join();
@@ -402,6 +419,7 @@ fn worker_main(inner: &Arc<RtInner>, w: usize) {
             // deque — the paper's "another thread steals the main
             // task".
             q.queues[worker].inject(u);
+            q.park.notify_near(worker);
         })
     };
     let _guard = enter_worker(w, requeue);
@@ -454,8 +472,21 @@ fn worker_main(inner: &Arc<RtInner>, w: usize) {
                 }
                 backoff.spin();
                 if backoff.is_saturated() {
-                    // Idle-worker nap: see lwt-argobots stream.rs.
-                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    // Random probing came up dry long enough: sleep
+                    // instead of burning the core. The re-check counts
+                    // every reachable unit (own queue in full, victims'
+                    // deques only), so a loaded victim the random picks
+                    // kept missing aborts the park — and the reset
+                    // below sends us back to probing for it.
+                    let res = inner.park.park(w, Some(&heartbeat), || {
+                        inner.queues[w].len()
+                            + near_first(w, inner.queues.len())
+                                .map(|v| inner.queues[v].stealable_len())
+                                .sum::<usize>()
+                    });
+                    if matches!(res, ParkResult::FoundWork | ParkResult::Woken) {
+                        backoff.reset();
+                    }
                 }
             }
         }

@@ -49,11 +49,17 @@ pub enum EventKind {
     /// wait. `arg`: worker id for worker stalls, the caller-supplied
     /// wait token for blocked units. Nothing was killed.
     StallDetected = 13,
+    /// A worker went to sleep on its parker after a dry steal sweep
+    /// (`lwt_sched::ParkGroup::park`). `arg`: worker id.
+    WorkerParked = 14,
+    /// A parked worker resumed — woken by a spawner's wake-one
+    /// notification or its backstop timeout. `arg`: worker id.
+    WorkerUnparked = 15,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::UltSpawn,
         EventKind::UltRun,
         EventKind::Yield,
@@ -68,6 +74,8 @@ impl EventKind {
         EventKind::QueueContention,
         EventKind::FaultInjected,
         EventKind::StallDetected,
+        EventKind::WorkerParked,
+        EventKind::WorkerUnparked,
     ];
 
     /// Stable display name (used as the Chrome-trace event `name`).
@@ -88,6 +96,8 @@ impl EventKind {
             EventKind::QueueContention => "QueueContention",
             EventKind::FaultInjected => "FaultInjected",
             EventKind::StallDetected => "StallDetected",
+            EventKind::WorkerParked => "WorkerParked",
+            EventKind::WorkerUnparked => "WorkerUnparked",
         }
     }
 

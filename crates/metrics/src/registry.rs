@@ -63,6 +63,15 @@ pub struct Counters {
     /// Stalls flagged by the watchdog: silent workers plus waits that
     /// outlived their deadline (lwt-chaos). Flags, never kills.
     pub stalls_detected: Counter,
+    /// Workers that went to sleep on their parker after a dry steal
+    /// sweep (lwt-sched). Paired with `unparks`.
+    pub parks: Counter,
+    /// Parked workers that resumed — wake-one notification, backstop
+    /// timeout, or shutdown unpark (lwt-sched).
+    pub unparks: Counter,
+    /// Workers currently asleep on their parker (lwt-sched). The
+    /// high-water mark records the deepest simultaneous sleep.
+    pub workers_parked: Gauge,
 }
 
 impl Counters {
@@ -84,6 +93,9 @@ impl Counters {
             queue_contention: Counter::new(),
             faults_injected: Counter::new(),
             stalls_detected: Counter::new(),
+            parks: Counter::new(),
+            unparks: Counter::new(),
+            workers_parked: Gauge::new(),
         }
     }
 }
@@ -263,6 +275,14 @@ pub struct CounterSnapshot {
     pub faults_injected: u64,
     /// [`Counters::stalls_detected`].
     pub stalls_detected: u64,
+    /// [`Counters::parks`].
+    pub parks: u64,
+    /// [`Counters::unparks`].
+    pub unparks: u64,
+    /// Current [`Counters::workers_parked`] level.
+    pub workers_parked_level: u64,
+    /// [`Counters::workers_parked`] high-water mark.
+    pub workers_parked_high_water: u64,
 }
 
 impl CounterSnapshot {
@@ -295,6 +315,10 @@ impl CounterSnapshot {
             queue_contention: self.queue_contention.saturating_sub(earlier.queue_contention),
             faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
             stalls_detected: self.stalls_detected.saturating_sub(earlier.stalls_detected),
+            parks: self.parks.saturating_sub(earlier.parks),
+            unparks: self.unparks.saturating_sub(earlier.unparks),
+            workers_parked_level: self.workers_parked_level,
+            workers_parked_high_water: self.workers_parked_high_water,
         }
     }
 }
@@ -322,6 +346,8 @@ pub fn snapshot() -> MetricsSnapshot {
     // the gauge really held, so the clamp never overstates the peak.
     let pool_level = c.nested_pool_size.level();
     let pool_high = c.nested_pool_size.high_water().max(pool_level);
+    let parked_level = c.workers_parked.level();
+    let parked_high = c.workers_parked.high_water().max(parked_level);
     MetricsSnapshot {
         counters: CounterSnapshot {
             ults_created: c.ults_created.get(),
@@ -341,6 +367,10 @@ pub fn snapshot() -> MetricsSnapshot {
             queue_contention: c.queue_contention.get(),
             faults_injected: c.faults_injected.get(),
             stalls_detected: c.stalls_detected.get(),
+            parks: c.parks.get(),
+            unparks: c.unparks.get(),
+            workers_parked_level: parked_level,
+            workers_parked_high_water: parked_high,
         },
         spawn_latency: SPAWN_LATENCY.summary(),
         steal_dwell: STEAL_DWELL.summary(),
@@ -367,6 +397,9 @@ pub fn reset() {
     c.queue_contention.reset();
     c.faults_injected.reset();
     c.stalls_detected.reset();
+    c.parks.reset();
+    c.unparks.reset();
+    c.workers_parked.reset();
     SPAWN_LATENCY.reset();
     STEAL_DWELL.reset();
 }

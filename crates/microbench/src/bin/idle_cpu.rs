@@ -1,0 +1,100 @@
+//! Idle-CPU smoke: a quiescent runtime in `passive` wait policy must
+//! burn (near-)zero process CPU — the acceptance probe for worker
+//! parking. Before parking existed, every idle worker spun at 100% of
+//! a core; with it, an idle pool sleeps and the only CPU spent is the
+//! occasional backstop wake.
+//!
+//! For each backend: start a pool, run a tiny warmup, then hold the
+//! runtime idle for a window while sampling process CPU time
+//! (`/proc/self/stat` utime+stime, all threads). Prints one CSV row
+//! per backend and asserts the window's CPU stays under a tolerance;
+//! after all runtimes finalize, asserts the park/unpark counters
+//! balance (`parks == unparks > 0`). Exits non-zero on violation, so
+//! CI can run it bare.
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `LWT_IDLE_WORKERS` | pool size per backend | `4` |
+//! | `LWT_IDLE_MS` | idle window per backend, milliseconds | `800` |
+//! | `LWT_IDLE_CPU_TOLERANCE_MS` | max CPU per window | `150` |
+
+use std::time::Duration;
+
+use lwt_core::{BackendKind, Glt, WaitPolicy};
+use lwt_metrics::registry::snapshot;
+
+/// Process CPU time (user + system, every thread) in milliseconds.
+///
+/// Parses `/proc/self/stat`: fields 14/15 are utime/stime in clock
+/// ticks. `USER_HZ` is 100 on every Linux ABI this workspace targets
+/// (hermetic build: no libc crate to ask `sysconf`), so one tick is
+/// 10 ms — plenty for a threshold in the hundreds of ms.
+fn process_cpu_ms() -> u64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").expect("read /proc/self/stat");
+    // comm may contain spaces; skip past its closing paren first.
+    let after = stat.rsplit_once(')').expect("stat has a comm field").1;
+    let mut fields = after.split_ascii_whitespace();
+    // After ')' the next field is state (3rd overall), so utime/stime
+    // (14th/15th overall) are at indices 11/12 here.
+    let utime: u64 = fields.nth(11).and_then(|f| f.parse().ok()).expect("utime");
+    let stime: u64 = fields.next().and_then(|f| f.parse().ok()).expect("stime");
+    (utime + stime) * 10
+}
+
+fn main() {
+    let workers = lwt_microbench::env_usize("LWT_IDLE_WORKERS", 4);
+    let idle_ms = lwt_microbench::env_usize("LWT_IDLE_MS", 800) as u64;
+    let tol_ms = lwt_microbench::env_usize("LWT_IDLE_CPU_TOLERANCE_MS", 150) as u64;
+
+    println!("figure,series,workers,idle_wall_ms,idle_cpu_ms");
+    let mut failed = false;
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind)
+            .workers(workers)
+            .wait_policy(WaitPolicy::Passive)
+            .build();
+        // Warmup: prove the pool is alive, then let it drain and park.
+        let handles: Vec<_> = (0..32).map(|i| glt.ult_create(move || i)).collect();
+        let sum: usize = handles.into_iter().map(|h| h.join()).sum();
+        assert_eq!(sum, 31 * 32 / 2, "warmup failed on {kind}");
+        std::thread::sleep(Duration::from_millis(100));
+
+        let cpu0 = process_cpu_ms();
+        std::thread::sleep(Duration::from_millis(idle_ms));
+        let cpu_spent = process_cpu_ms() - cpu0;
+        glt.finalize().expect("clean drain");
+
+        println!("idle_cpu,{},{workers},{idle_ms},{cpu_spent}", kind.name());
+        if cpu_spent > tol_ms {
+            eprintln!(
+                "FAIL: {kind} burned {cpu_spent} ms CPU over a {idle_ms} ms idle \
+                 window (tolerance {tol_ms} ms) — idle workers are spinning"
+            );
+            failed = true;
+        }
+    }
+
+    // Everything is finalized: every park must have been matched by an
+    // unpark (nobody is left asleep), and passive pools must actually
+    // have parked at least once during the idle windows.
+    let counters = snapshot().counters;
+    println!(
+        "idle_cpu,counters,parks={},unparks={},parked_high_water={}",
+        counters.parks, counters.unparks, counters.workers_parked_high_water
+    );
+    if counters.parks == 0 {
+        eprintln!("FAIL: passive idle windows never parked a worker");
+        failed = true;
+    }
+    if counters.parks != counters.unparks {
+        eprintln!(
+            "FAIL: park/unpark imbalance after finalize: {} parks vs {} unparks",
+            counters.parks, counters.unparks
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("idle_cpu: ok");
+}

@@ -48,7 +48,7 @@ use std::sync::Arc;
 use lwt_fiber::StackSize;
 use lwt_metrics::registry::{emit, COUNTERS};
 use lwt_metrics::EventKind;
-use lwt_sched::{ReadyQueue, RoundRobin};
+use lwt_sched::{ParkGroup, ReadyQueue, RoundRobin};
 use lwt_sync::{FebCell, FebTable, SpinLock};
 use lwt_ultcore::{
     enter_worker, join_within, run_ult, wait_until, DrainError, ResultCell, Requeue, Straggler,
@@ -90,6 +90,11 @@ struct RtInner {
     shepherd_rr: Vec<RoundRobin>,
     /// Global worker id → shepherd id.
     worker_shepherd: Vec<usize>,
+    /// Idle-worker parking (wake-one). Notifies pass the target worker
+    /// as the scan hint: stealing is shepherd-scoped, and worker ids
+    /// are laid out shepherd-major, so the nearest announced sleeper is
+    /// one that can actually reach the work.
+    park: ParkGroup,
     threads: SpinLock<Vec<Option<std::thread::JoinHandle<()>>>>,
     stop: AtomicBool,
     /// Bounded-drain escape hatch: workers exit even with (wedged)
@@ -206,6 +211,7 @@ impl Runtime {
             shepherd_rr: (0..config.num_shepherds)
                 .map(|_| RoundRobin::new(config.workers_per_shepherd))
                 .collect(),
+            park: ParkGroup::new(worker_shepherd.len()),
             worker_shepherd,
             threads: SpinLock::new(Vec::new()),
             stop: AtomicBool::new(false),
@@ -323,6 +329,9 @@ impl Runtime {
             }
         };
         self.inner.queues[target].push(ult.clone());
+        // Push first, then wake at most one sleeper near the target
+        // (see ParkGroup docs for why this order prevents lost wakes).
+        self.inner.park.notify_near(target);
         Handle { ult, result, ret }
     }
 
@@ -408,6 +417,9 @@ impl Runtime {
             return;
         }
         self.inner.stop.store(true, Ordering::Release);
+        // A fully parked pool must notice the flag now, not after a
+        // backstop timeout.
+        self.inner.park.unpark_all();
         let mut threads = self.inner.threads.lock();
         for t in threads.iter_mut() {
             if let Some(t) = t.take() {
@@ -432,6 +444,10 @@ impl Runtime {
             return Ok(());
         }
         self.inner.stop.store(true, Ordering::Release);
+        // Wake every sleeper *before* the drain deadline starts: a
+        // fully parked pool drains instantly instead of eating the
+        // deadline in 20–200 ms backstop increments.
+        self.inner.park.unpark_all();
         let handles: Vec<_> = {
             let mut threads = self.inner.threads.lock();
             threads.iter_mut().filter_map(Option::take).collect()
@@ -439,7 +455,8 @@ impl Runtime {
         let timed_out = !join_within(&handles, deadline);
         if timed_out {
             self.inner.abandon.store(true, Ordering::Release);
-            // Grace for workers parked between units to notice the flag.
+            self.inner.park.unpark_all();
+            // Grace for workers idling between units to notice the flag.
             join_within(&handles, ABANDON_GRACE);
         }
         for t in handles {
@@ -477,6 +494,7 @@ impl Runtime {
 impl Drop for RtInner {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Release);
+        self.park.unpark_all();
         for t in self.threads.lock().iter_mut() {
             if let Some(t) = t.take() {
                 let _ = t.join();
@@ -499,7 +517,10 @@ fn worker_main(inner: &Arc<RtInner>, worker_id: usize, shep: usize) {
         let q = inner.clone();
         // Yielded ULTs go to the *back* of their worker's queue (the
         // inbox) so forked children run before a yield-looping joiner.
-        Arc::new(move |w: usize, u: Arc<UltCore>| q.queues[w].inject(u))
+        Arc::new(move |w: usize, u: Arc<UltCore>| {
+            q.queues[w].inject(u);
+            q.park.notify_near(w);
+        })
     };
     let _guard = enter_worker(worker_id, requeue);
     inner.queues[worker_id].bind();
@@ -542,8 +563,18 @@ fn worker_main(inner: &Arc<RtInner>, worker_id: usize, shep: usize) {
                 }
                 backoff.spin();
                 if backoff.is_saturated() {
-                    // Idle-worker nap: see lwt-argobots stream.rs.
-                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    // The sibling sweep proved the shepherd dry: sleep
+                    // instead of burning the core. The re-check only
+                    // counts work this worker can reach — its own
+                    // queue plus sibling deques; other shepherds'
+                    // queues are invisible by design.
+                    let _ = inner.park.park(worker_id, Some(&heartbeat), || {
+                        inner.queues[worker_id].len()
+                            + siblings
+                                .iter()
+                                .map(|&v| inner.queues[v].stealable_len())
+                                .sum::<usize>()
+                    });
                 }
             }
         }

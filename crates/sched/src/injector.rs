@@ -158,6 +158,12 @@ impl<T> Injector<T> {
     /// Dequeue the oldest value, or `None` when the queue is empty,
     /// mid-push, or another thread is already popping (both counted
     /// as `queue_contention`).
+    ///
+    /// Bounded by construction: there is no retry loop here — a
+    /// mid-push window or a lost `popping` race returns `None`
+    /// immediately and the caller falls through to its next source
+    /// (and ultimately the idle/park path). Idle workers can never
+    /// spin inside the injector.
     pub fn pop(&self) -> Option<T> {
         if self
             .popping

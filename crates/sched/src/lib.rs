@@ -31,11 +31,15 @@
 //!   now schedule from: Chase-Lev deque for the owner + thieves,
 //!   [`Injector`] inbox for everyone else, with a fairness tick that
 //!   keeps the old end live under LIFO pressure.
+//! * [`ParkGroup`] — per-worker parkers plus a wake-one protocol, so
+//!   idle workers sleep instead of spinning ([`WaitPolicy`] mirrors
+//!   `OMP_WAIT_POLICY` via `LWT_WAIT_POLICY`).
 
 #![warn(missing_docs)]
 
 mod chase_lev;
 mod injector;
+mod park;
 mod sysapi;
 mod private;
 mod ready;
@@ -45,8 +49,12 @@ mod victim;
 
 pub use chase_lev::{ChaseLev, Steal, Stealer, Worker};
 pub use injector::Injector;
+pub use park::{
+    current_wait_policy, force_wait_policy, reset_wait_policy_to_env, ParkGroup, ParkResult,
+    WaitPolicy,
+};
 pub use private::PrivateDeque;
 pub use ready::{ReadyQueue, FAIRNESS};
 pub use shared::SharedQueue;
 pub use stealable::StealableDeque;
-pub use victim::{RandomVictim, RoundRobin};
+pub use victim::{near_first, RandomVictim, RoundRobin};

@@ -184,23 +184,39 @@ impl<T: Send> ReadyQueue<T> {
         result
     }
 
-    /// Steal, retrying lost races until the deque is empty or a value
-    /// arrives. Note: thieves cannot see the inbox (it has a single
-    /// consumer — the owner).
+    /// Steal, retrying lost races a bounded number of times. `None`
+    /// means the deque is empty *or persistently contended* — either
+    /// way the thief should move on (next victim, then the idle/park
+    /// path) instead of burning a core here; a contended deque has an
+    /// active owner who will drain it. Unbounded retry was the
+    /// idle-spin bug: a thief could pin a CPU at 100% against a
+    /// pathological victim without ever acquiring work. Note: thieves
+    /// cannot see the inbox (it has a single consumer — the owner).
     pub fn steal(&self) -> Option<T> {
-        loop {
+        const MAX_RETRIES: usize = 32;
+        for _ in 0..MAX_RETRIES {
             match self.steal_once() {
                 Steal::Success(v) => return Some(v),
                 Steal::Empty => return None,
                 Steal::Retry => std::hint::spin_loop(),
             }
         }
+        None
     }
 
     /// Approximate total occupancy (deque + inbox); racy diagnostics.
     #[must_use]
     pub fn len(&self) -> usize {
         self.local.len() + self.inbox.len()
+    }
+
+    /// Occupancy a *thief* could reach — the deque only; the inbox has
+    /// a single consumer (the owner). Pre-park emptiness re-checks sum
+    /// this over the victims instead of [`Self::len`], so an inbox item
+    /// only its (busy) owner can take never spuriously aborts a park.
+    #[must_use]
+    pub fn stealable_len(&self) -> usize {
+        self.local.len()
     }
 
     /// Whether the queue looks empty (same caveat as [`Self::len`]).

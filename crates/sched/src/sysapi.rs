@@ -27,3 +27,25 @@ pub(crate) fn spin_hint() {
     #[cfg(lwt_model)]
     lwt_model::hint::spin_loop();
 }
+
+/// Yield the OS thread. Model: a scheduler yield.
+#[inline]
+pub(crate) fn yield_thread() {
+    #[cfg(not(lwt_model))]
+    std::thread::yield_now();
+    #[cfg(lwt_model)]
+    lwt_model::thread::yield_now();
+}
+
+/// Sleep for a short nap. Model: a scheduler yield — model time is
+/// logical, so sleeping has no meaning beyond "let others run".
+#[inline]
+pub(crate) fn nap(dur: std::time::Duration) {
+    #[cfg(not(lwt_model))]
+    std::thread::sleep(dur);
+    #[cfg(lwt_model)]
+    {
+        let _ = dur;
+        lwt_model::thread::yield_now();
+    }
+}

@@ -110,6 +110,37 @@ impl RandomVictim {
     }
 }
 
+/// Victim order for a *bounded* pre-park sweep: every other worker
+/// exactly once, nearest index-distance first (`me+1, me-1, me+2,
+/// me-2, …`, wrapping).
+///
+/// Worker index distance is this workspace's topology proxy — worker
+/// OS threads are created in index order, so adjacent indices tend to
+/// land on adjacent cores and share cache. Before a worker parks it
+/// must prove the whole pool dry; sweeping near victims first makes
+/// the common hit cheap and the full sweep deterministic (unlike
+/// [`RandomVictim`], which can re-probe one victim while missing
+/// another — fine for throughput stealing, wrong for an emptiness
+/// proof).
+///
+/// ```
+/// use lwt_sched::near_first;
+/// let order: Vec<usize> = near_first(1, 4).collect();
+/// assert_eq!(order, vec![2, 0, 3]);
+/// assert_eq!(near_first(0, 1).count(), 0);
+/// ```
+pub fn near_first(me: usize, n: usize) -> impl Iterator<Item = usize> {
+    debug_assert!(n == 0 || me < n, "worker {me} outside pool of {n}");
+    (1..n).map(move |d| {
+        let hop = d.div_ceil(2);
+        if d % 2 == 1 {
+            (me + hop) % n
+        } else {
+            (me + n - hop) % n
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +222,28 @@ mod tests {
         let sa: Vec<_> = (0..256).map(|_| a.pick(1)).collect();
         let sb: Vec<_> = (0..256).map(|_| b.pick(1)).collect();
         assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn near_first_visits_everyone_once_nearest_first() {
+        for n in 1..=9usize {
+            for me in 0..n {
+                let order: Vec<_> = near_first(me, n).collect();
+                assert_eq!(order.len(), n - 1, "n={n} me={me}");
+                let mut seen = vec![false; n];
+                let mut last_dist = 0usize;
+                for v in order {
+                    assert_ne!(v, me, "self-probe in sweep, n={n} me={me}");
+                    assert!(!seen[v], "duplicate victim {v}, n={n} me={me}");
+                    seen[v] = true;
+                    // Ring distance must be non-decreasing.
+                    let fwd = (v + n - me) % n;
+                    let dist = fwd.min(n - fwd);
+                    assert!(dist >= last_dist, "n={n} me={me}: went far then near");
+                    last_dist = dist;
+                }
+            }
+        }
     }
 
     /// Chi-square goodness of fit over the victim distribution: with

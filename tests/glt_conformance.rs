@@ -151,6 +151,42 @@ fn placement_rejects_out_of_range_workers() {
     }
 }
 
+#[test]
+fn spawn_onto_fully_parked_pool_wakes_promptly() {
+    // Passive policy, no work: every worker in every backend goes to
+    // sleep on its parker. A spawn into that fully parked pool is the
+    // acid test of the wake-one protocol — a lost wake would leave the
+    // join waiting on a 200 ms backstop timeout instead of a notify.
+    use std::time::{Duration, Instant};
+    lwt::core::force_wait_policy(lwt::core::WaitPolicy::Passive);
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind)
+            .workers(2)
+            .wait_policy(lwt::core::WaitPolicy::Passive)
+            .build();
+        // Idle long enough for both workers to saturate their backoff
+        // and park (passive parks at the first dry sweep).
+        std::thread::sleep(Duration::from_millis(60));
+        let t0 = Instant::now();
+        let h = glt.ult_create(|| 6 * 7);
+        let out = match h.join_timeout(Duration::from_secs(10)) {
+            Ok(joined) => joined.expect("no panic"),
+            Err(_) => panic!("backend {kind}: spawn onto parked pool never ran"),
+        };
+        let waited = t0.elapsed();
+        assert_eq!(out, 42, "backend {kind}");
+        // Well under the passive backstop ⇒ the spawn's notify did the
+        // waking, not the timeout.
+        assert!(
+            waited < Duration::from_millis(150),
+            "backend {kind}: parked pool took {waited:?} to serve a spawn \
+             (backstop did the work, not the wake-one notify)"
+        );
+        glt.finalize().expect("clean drain");
+    }
+    lwt::core::reset_wait_policy_to_env();
+}
+
 /// Yield from inside a GLT work unit, using whatever the backend's
 /// native mechanism is (mirrors `Glt::yield_now`, which the closure
 /// cannot reach because the handle owns no `&Glt`).
