@@ -62,11 +62,17 @@ echo "   ok: model suites green (engine + chase_lev + injector + sync + stack ca
 
 echo "== tier1: trace-export smoke (LWT_TRACE=1)"
 # One real microbench run with tracing on must produce a parseable
-# Chrome-trace JSON with events from more than one worker thread.
-TRACE_OUT="target/lwt-trace/fig2_create.json"
-rm -f "$TRACE_OUT"
+# Chrome-trace JSON with events from more than one worker thread. The
+# filename carries the config hash of the measurement knobs
+# (fig2_create-<hash>.json), so match by glob and require exactly one.
+rm -f target/lwt-trace/fig2_create-*.json
 LWT_TRACE=1 LWT_THREADS=2 LWT_REPS=3 \
     cargo run --release --offline -q -p lwt-microbench --bin fig2_create >/dev/null
+TRACE_OUT=$(ls target/lwt-trace/fig2_create-*.json 2>/dev/null || true)
+if [ "$(printf '%s\n' "$TRACE_OUT" | grep -c .)" != 1 ]; then
+    echo "FAIL: expected exactly one config-hashed trace file, got: $TRACE_OUT" >&2
+    exit 1
+fi
 python3 - "$TRACE_OUT" <<'PY'
 import collections, json, sys
 
@@ -110,6 +116,37 @@ if grep -q "lwt-watchdog:" "$WATCHDOG_LOG"; then
     exit 1
 fi
 echo "   ok: zero stall reports on healthy workload"
+
+echo "== tier1: flight-recorder smoke (seeded FEB deadlock)"
+# The watchdog suite seeds a reader blocked on an empty FEB cell
+# nobody is filling; with the recorder armed, flagging that stall must
+# write a well-formed post-mortem bundle — counters, utilization
+# table, per-worker ring tails, and the watchdog/chaos sections (the
+# chaos seed makes the bundle replayable).
+FLIGHTREC_DIR="$PWD/target/lwt-flightrec-smoke"
+rm -rf "$FLIGHTREC_DIR"
+LWT_WATCHDOG=1 LWT_FLIGHTREC=1 LWT_FLIGHTREC_DIR="$FLIGHTREC_DIR" \
+    cargo test -q --offline --test failure_injection \
+    watchdog_flags_a_seeded_feb_deadlock >/dev/null
+python3 - "$FLIGHTREC_DIR" <<'PY'
+import glob, json, os, sys
+
+dumps = sorted(glob.glob(os.path.join(sys.argv[1], "*.json")))
+assert dumps, "no flight-recorder bundle written for the seeded stall"
+with open(dumps[0]) as f:
+    doc = json.load(f)
+for key in ("reason", "unix_ms", "counters", "utilization", "rings", "sections"):
+    assert key in doc, f"bundle missing {key!r}"
+assert doc["reason"] == "stall", f"unexpected reason {doc['reason']!r}"
+assert "ring_dropped" in doc["counters"], "counter snapshot incomplete"
+wd = doc["sections"]["watchdog"]
+assert any(
+    r["kind"] == "blocked" and r["wait"] == "feb" for r in wd["reports"]
+), f"watchdog section lacks the seeded FEB block: {wd}"
+chaos = doc["sections"]["chaos"]
+assert "seed" in chaos and "sites" in chaos, "chaos section must carry replay state"
+print(f"   ok: well-formed bundle {os.path.basename(dumps[0])} ({len(dumps)} dump(s))")
+PY
 
 echo "== tier1: idle-CPU smoke (passive wait policy must not spin)"
 # A quiescent pool in passive mode must burn near-zero process CPU

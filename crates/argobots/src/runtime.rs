@@ -248,6 +248,7 @@ impl Runtime {
             home: UnsafeCell::new(Some(pool.clone())),
             panic: UnsafeCell::new(None),
             spawn_ns: std::sync::atomic::AtomicU64::new(timestamp_if_tracing()),
+            span: lwt_metrics::span::on_spawn(),
         });
         // SAFETY: `ult_entry` never returns; the data pointer stays
         // valid because the pool hint + handle hold the Arc; the stack
@@ -314,6 +315,7 @@ impl Runtime {
             entry: UnsafeCell::new(Some(entry)),
             panic: UnsafeCell::new(None),
             spawn_ns: std::sync::atomic::AtomicU64::new(timestamp_if_tracing()),
+            span: lwt_metrics::span::on_spawn(),
         });
         pool.push(Unit::Tasklet(inner.clone()));
         TaskletHandle { inner, result }

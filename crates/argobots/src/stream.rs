@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use lwt_fiber::{switch, switch_final, RawContext};
 use lwt_metrics::registry::{emit, COUNTERS};
-use lwt_metrics::EventKind;
+use lwt_metrics::{span, timeline, EventKind};
 use lwt_sched::{ParkGroup, ParkResult};
 use lwt_sync::{Backoff, SpinLock};
 
@@ -88,6 +88,7 @@ pub(crate) fn es_main(shared: &StreamShared) {
     }));
     ES.with(|c| c.set(es));
     emit(EventKind::EsStart, shared.id as u64);
+    timeline::enter(timeline::WorkerState::Dispatch);
 
     let ctx = SchedContext {
         pools: shared.pools.clone(),
@@ -125,6 +126,7 @@ pub(crate) fn es_main(shared: &StreamShared) {
                 if shared.stop.load(Ordering::Acquire) {
                     break;
                 }
+                timeline::enter(timeline::WorkerState::Idle);
                 backoff.spin();
                 if backoff.is_saturated() {
                     // The scheduler proved its pools dry: park instead of
@@ -159,6 +161,7 @@ pub(crate) fn es_main(shared: &StreamShared) {
     }
 
     emit(EventKind::EsStop, shared.id as u64);
+    timeline::retire();
     ES.with(|c| c.set(std::ptr::null_mut()));
     // SAFETY: `es` came from Box::into_raw above; no ULT still runs on
     // this stream (the loop exits only when idle).
@@ -177,6 +180,10 @@ unsafe fn execute(es: *mut EsCtx, unit: Unit) {
                 return; // stale hint
             }
             record_spawn_latency(&t.spawn_ns);
+            timeline::enter(timeline::WorkerState::Busy);
+            if t.span != 0 {
+                span::set_current(t.span);
+            }
             emit(EventKind::TaskletExec, 0);
             // SAFETY: the claim grants exclusive access to `entry`.
             let f = unsafe { (*t.entry.get()).take().expect("tasklet entry missing") };
@@ -184,6 +191,11 @@ unsafe fn execute(es: *mut EsCtx, unit: Unit) {
                 // SAFETY: still exclusive until TERMINATED is published.
                 unsafe { *t.panic.get() = Some(p) };
             }
+            span::on_complete(t.span);
+            if t.span != 0 {
+                span::set_current(span::NO_SPAN);
+            }
+            timeline::enter(timeline::WorkerState::Dispatch);
             t.state.store(TERMINATED, Ordering::Release);
         }
         Unit::Ult(u) => {
@@ -191,6 +203,10 @@ unsafe fn execute(es: *mut EsCtx, unit: Unit) {
                 return; // stale hint
             }
             record_spawn_latency(&u.spawn_ns);
+            timeline::enter(timeline::WorkerState::Busy);
+            if u.span != 0 {
+                span::set_current(u.span);
+            }
             emit(EventKind::UltRun, 0);
             // SAFETY: the claim grants exclusive execution; `ctx` holds
             // the ULT's suspended (or bootstrap) context.
@@ -199,6 +215,13 @@ unsafe fn execute(es: *mut EsCtx, unit: Unit) {
                 let target = *u.ctx.get();
                 switch(&mut (*es).sched_ctx, target);
                 process_post(es);
+            }
+            timeline::enter(timeline::WorkerState::Dispatch);
+            // A yield_to chain may have left some other ULT's span
+            // current on this thread; clear it so scheduler-side events
+            // don't get mis-attributed.
+            if lwt_metrics::tracing_enabled() {
+                span::set_current(span::NO_SPAN);
             }
         }
     }
@@ -245,6 +268,7 @@ pub(crate) unsafe extern "sysv64" fn ult_entry(data: *mut u8) -> ! {
         // SAFETY: still the exclusive owner until TERMINATED.
         unsafe { *inner.panic.get() = Some(p) };
     }
+    span::on_complete(inner.span);
 
     // Re-fetch: the ULT may have migrated to another stream via yields.
     let es = es_ptr();
@@ -314,6 +338,9 @@ pub fn yield_to<T>(target: &UltHandle<T>) {
     COUNTERS.yields.inc();
     emit(EventKind::Yield, 0);
     record_spawn_latency(&target.inner.spawn_ns);
+    if target.inner.span != 0 {
+        span::set_current(target.inner.span);
+    }
     emit(EventKind::UltRun, 0);
     // SAFETY: same protocol as yield_now, except control lands in the
     // claimed target instead of the scheduler; the target's resume path

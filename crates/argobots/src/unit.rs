@@ -68,6 +68,9 @@ pub(crate) struct UltInner {
     /// Creation timestamp for the spawn-to-first-run histogram; zero
     /// when tracing is off or already consumed.
     pub(crate) spawn_ns: AtomicU64,
+    /// Causal trace span id (0 when tracing was off at creation).
+    /// Written once before the Arc is shared; plain field, no atomic.
+    pub(crate) span: u64,
 }
 
 // SAFETY: interior fields follow the claim protocol — `ctx`, `entry`
@@ -103,6 +106,8 @@ pub(crate) struct TaskletInner {
     pub(crate) panic: UnsafeCell<Option<Box<dyn Any + Send>>>,
     /// See [`UltInner::spawn_ns`].
     pub(crate) spawn_ns: AtomicU64,
+    /// See [`UltInner::span`].
+    pub(crate) span: u64,
 }
 
 // SAFETY: same claim protocol as UltInner, minus the context fields.
@@ -175,6 +180,7 @@ impl<T> UltHandle<T> {
     /// [`JoinError`] carrying the panic payload.
     pub fn try_join(self) -> Result<T, JoinError> {
         crate::stream::wait_until(|| self.inner.is_terminated());
+        lwt_metrics::span::on_join(self.inner.span);
         // SAFETY: TERMINATED observed with Acquire; the unit will never
         // touch `panic`/result again; we own the handle.
         unsafe {
@@ -234,6 +240,7 @@ impl<T> TaskletHandle<T> {
     /// [`JoinError`] carrying the panic payload.
     pub fn try_join(self) -> Result<T, JoinError> {
         crate::stream::wait_until(|| self.inner.is_terminated());
+        lwt_metrics::span::on_join(self.inner.span);
         // SAFETY: as in UltHandle::try_join.
         unsafe {
             if let Some(p) = (*self.inner.panic.get()).take() {

@@ -107,6 +107,9 @@ struct BenchRecord {
     /// Runtime-counter movement across the whole bench (warmup +
     /// samples): what the scheduler *did*, next to how long it took.
     metrics: CounterSnapshot,
+    /// Per-worker time accounting movement across the bench: where
+    /// the workers' wall time went while it ran.
+    utilization: lwt_metrics::Utilization,
 }
 
 #[derive(Debug)]
@@ -142,6 +145,10 @@ impl Harness {
                 .join("target")
                 .join("lwt-bench")
         });
+        // Worker time accounting rides along with every bench run so
+        // each BENCH_*.json carries a utilization table. Cheap: a
+        // relaxed fetch_add per state transition, none on spawn paths.
+        lwt_metrics::set_accounting(true);
         Harness {
             out_dir,
             reports: Vec::new(),
@@ -224,7 +231,8 @@ fn render_json(report: &GroupReport) -> String {
              \"os_threads_spawned\": {}, \"feb_blocks\": {}, \
              \"messages_executed\": {}, \"nested_regions\": {}, \
              \"stack_cache_hits\": {}, \"stack_cache_misses\": {}, \
-             \"queue_contention\": {}}}}}{comma}",
+             \"queue_contention\": {}}}, \
+             \"utilization\": {}}}{comma}",
             json_escape(&rec.id),
             s.median.as_nanos(),
             s.p99.as_nanos(),
@@ -245,6 +253,7 @@ fn render_json(report: &GroupReport) -> String {
             m.stack_cache_hits,
             m.stack_cache_misses,
             m.queue_contention,
+            rec.utilization.to_json(),
         );
     }
     let _ = writeln!(out, "  ]");
@@ -293,8 +302,13 @@ impl Group<'_> {
             stats: None,
         };
         let before = lwt_metrics::registry::snapshot().counters;
+        let util_before = lwt_metrics::utilization();
         f(&mut b);
         let metrics = lwt_metrics::registry::snapshot().counters.delta(&before);
+        // Merge per-generation timelines by label: a bench spinning a
+        // fresh pool per sample would otherwise report hundreds of
+        // rows for what is logically one worker.
+        let utilization = lwt_metrics::utilization().delta(&util_before).merged_by_label();
         let stats = b
             .stats
             .unwrap_or_else(|| panic!("bench '{id}' never called iter/iter_custom"));
@@ -305,7 +319,12 @@ impl Group<'_> {
             stats.samples,
             stats.iters_per_sample,
         );
-        self.report.records.push(BenchRecord { id, stats, metrics });
+        self.report.records.push(BenchRecord {
+            id,
+            stats,
+            metrics,
+            utilization,
+        });
     }
 
     /// [`Group::bench_function`] with an input threaded through —

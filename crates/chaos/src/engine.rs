@@ -234,6 +234,26 @@ pub fn current_seed() -> u64 {
     SEED.load(Ordering::Relaxed)
 }
 
+/// The active per-decision injection rate in percent.
+#[must_use]
+pub fn current_rate() -> u64 {
+    RATE.load(Ordering::Relaxed)
+}
+
+/// Snapshot of the per-site schedule counters, in [`FaultSite::ALL`]
+/// order: how many decisions each site has drawn so far. Together with
+/// the seed this pins down exactly which schedule indices a run
+/// consumed — the flight recorder embeds it so a dumped failure can be
+/// replayed.
+#[must_use]
+pub fn site_sequences() -> [u64; NUM_SITES] {
+    let mut out = [0u64; NUM_SITES];
+    for (slot, seq) in out.iter_mut().zip(SEQ.iter()) {
+        *slot = seq.load(Ordering::Relaxed);
+    }
+    out
+}
+
 /// The pure schedule function: does schedule index `seq` of `site`
 /// inject under `(seed, rate_percent)`? Depends on nothing else — no
 /// clocks, no threads, no global state — which is the determinism

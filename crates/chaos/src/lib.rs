@@ -26,12 +26,15 @@
 
 pub mod engine;
 pub mod rng;
+pub mod sections;
 pub mod watchdog;
 
 pub use engine::{
-    chaos_enabled, current_seed, decide, disable_chaos, force_chaos, pack_fault, reset_schedule,
-    reset_to_env, should_inject, unpack_fault, FaultSite, DEFAULT_RATE_PERCENT,
+    chaos_enabled, current_rate, current_seed, decide, disable_chaos, force_chaos, pack_fault,
+    reset_schedule, reset_to_env, should_inject, site_sequences, unpack_fault, FaultSite,
+    DEFAULT_RATE_PERCENT,
 };
+pub use sections::register_flightrec_sections;
 pub use watchdog::{
     block_enter, disable_watchdog, force_watchdog, register_worker, reports, reset_watchdog_to_env,
     take_reports, watchdog_enabled, BlockGuard, BlockKind, Heartbeat, StallReport, StallSubject,

@@ -1,0 +1,110 @@
+//! Flight-recorder section providers.
+//!
+//! The lwt-metrics flight recorder knows nothing about this crate —
+//! the dependency arrow points the other way. This module pushes two
+//! named sections into its bundle registry:
+//!
+//! * `"chaos"` — the injection seed, rate, and per-site schedule
+//!   counters. With these a dumped failure is *replayable*: rerun with
+//!   `LWT_CHAOS_SEED=<seed>` and the same schedule indices inject
+//!   again.
+//! * `"watchdog"` — the stalled-worker/blocked-unit report table, so
+//!   a stall bundle names what was stuck without scraping stderr.
+//!
+//! Registration is idempotent and happens automatically before any
+//! dump the watchdog triggers; layers that call
+//! [`lwt_metrics::flightrec::dump`] themselves (e.g. `Glt::finalize`
+//! on a drain failure) should call [`register_flightrec_sections`]
+//! first.
+
+use std::sync::OnceLock;
+
+use crate::engine::{self, FaultSite};
+use crate::watchdog::{self, StallSubject};
+
+fn chaos_section() -> String {
+    let seqs = engine::site_sequences();
+    let mut sites = String::new();
+    for (i, site) in FaultSite::ALL.iter().enumerate() {
+        if i > 0 {
+            sites.push(',');
+        }
+        sites.push_str(&format!(
+            "{{\"site\":\"{}\",\"decisions\":{}}}",
+            site.name(),
+            seqs[i]
+        ));
+    }
+    format!(
+        "{{\"enabled\":{},\"seed\":{},\"rate_percent\":{},\"sites\":[{}]}}",
+        engine::chaos_enabled(),
+        engine::current_seed(),
+        engine::current_rate(),
+        sites
+    )
+}
+
+fn watchdog_section() -> String {
+    let mut reports = String::new();
+    for (i, r) in watchdog::reports().iter().enumerate() {
+        if i > 0 {
+            reports.push(',');
+        }
+        match r.subject {
+            StallSubject::Worker(backend, worker) => reports.push_str(&format!(
+                "{{\"kind\":\"worker\",\"backend\":\"{backend}\",\"worker\":{worker},\"stuck_ms\":{}}}",
+                r.stuck_ms
+            )),
+            StallSubject::Blocked(kind, token) => reports.push_str(&format!(
+                "{{\"kind\":\"blocked\",\"wait\":\"{}\",\"token\":{token},\"stuck_ms\":{}}}",
+                kind.name(),
+                r.stuck_ms
+            )),
+        }
+    }
+    format!(
+        "{{\"enabled\":{},\"reports\":[{}]}}",
+        watchdog::watchdog_enabled(),
+        reports
+    )
+}
+
+/// Register the `"chaos"` and `"watchdog"` bundle sections with the
+/// flight recorder. Idempotent; one `OnceLock` check after the first
+/// call.
+pub fn register_flightrec_sections() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        lwt_metrics::flightrec::register_section("chaos", chaos_section);
+        lwt_metrics::flightrec::register_section("watchdog", watchdog_section);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_render_valid_shapes() {
+        let c = chaos_section();
+        assert!(c.starts_with('{') && c.ends_with('}'), "{c}");
+        for key in ["\"enabled\":", "\"seed\":", "\"rate_percent\":", "\"sites\":["] {
+            assert!(c.contains(key), "missing {key} in {c}");
+        }
+        // One entry per fault site, each carrying its stable name.
+        for site in FaultSite::ALL {
+            assert!(c.contains(site.name()), "missing {} in {c}", site.name());
+        }
+        let w = watchdog_section();
+        assert!(w.contains("\"reports\":["), "{w}");
+    }
+
+    #[test]
+    fn registration_lands_in_bundles() {
+        register_flightrec_sections();
+        register_flightrec_sections(); // idempotent
+        let bundle = lwt_metrics::flightrec::render_bundle("section test");
+        assert!(bundle.contains("\"chaos\":{\"enabled\":"), "{bundle}");
+        assert!(bundle.contains("\"watchdog\":{\"enabled\":"), "{bundle}");
+    }
+}

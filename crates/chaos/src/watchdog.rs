@@ -402,6 +402,11 @@ fn file_report(r: StallReport) {
     emit(EventKind::StallDetected, arg);
     eprintln!("lwt-watchdog: {r}");
     lock_poisonless(&REPORTS).push(r);
+    // Post-mortem bundle: armed by LWT_FLIGHTREC, rate-capped inside
+    // `dump`. Registered sections put this very report table (and the
+    // chaos seed state) into the bundle, so push first, dump after.
+    crate::sections::register_flightrec_sections();
+    let _ = lwt_metrics::flightrec::dump("stall");
 }
 
 // ---------------------------------------------------------------------------

@@ -162,6 +162,7 @@ impl<T> UltHandle<T> {
     /// [`JoinError`] carrying the panic payload.
     pub fn try_join(self) -> Result<T, JoinError> {
         wait_until(|| self.ult.is_terminated());
+        lwt_metrics::span::on_join(self.ult.span_id());
         if let Some(p) = self.ult.take_panic() {
             return Err(JoinError::new(p));
         }
@@ -491,8 +492,10 @@ fn proc_main(inner: &Arc<RtInner>, p: usize) {
                 backoff.reset();
                 // Messages execute atomically on the processor's stack.
                 COUNTERS.messages_executed.inc();
+                lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Busy);
                 emit(EventKind::TaskletExec, 0);
                 f();
+                lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Dispatch);
                 inner.outstanding.fetch_sub(1, Ordering::AcqRel);
             }
             Some(ConvUnit::Ult(u)) => {
@@ -517,6 +520,9 @@ fn proc_main(inner: &Arc<RtInner>, p: usize) {
                 if inner.stop.load(Ordering::Acquire) {
                     break;
                 }
+                // No steal phase here: Converse ULTs never migrate, so
+                // an empty queue goes straight to Idle.
+                lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Idle);
                 backoff.spin();
                 if backoff.is_saturated() {
                     // The queue is dry and no barrier episode is due:

@@ -728,7 +728,7 @@ impl Glt {
     /// [`DrainError`] when work was still pending at the deadline.
     pub fn finalize(self) -> Result<(), DrainError> {
         let deadline = self.drain_timeout;
-        match self.backend {
+        let result = match self.backend {
             Backend::Argobots(rt) => rt.shutdown_within(deadline),
             Backend::Qthreads(rt) => rt.shutdown_within(deadline),
             Backend::Massive(rt) => rt.shutdown_within(deadline),
@@ -741,7 +741,14 @@ impl Glt {
                 rt.shutdown_within(deadline)
             }
             Backend::Go(rt) => rt.shutdown_within(deadline),
+        };
+        if result.is_err() {
+            // Post-mortem bundle for the straggler table (armed by
+            // LWT_FLIGHTREC; a no-op otherwise).
+            lwt_chaos::register_flightrec_sections();
+            let _ = lwt_metrics::flightrec::dump("drain_error");
         }
+        result
     }
 }
 

@@ -332,6 +332,7 @@ fn worker_main(inner: &Arc<RtInner>, id: usize) {
         // Bounded sweep: local deque + inbox, then every victim once,
         // nearest first. No unbounded retry anywhere on this path.
         let unit = inner.queues[id].pop().or_else(|| {
+            lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Steal);
             for v in near_first(id, n) {
                 COUNTERS.steal_attempts.inc();
                 if let Some(u) = inner.queues[v].steal() {
@@ -354,6 +355,7 @@ fn worker_main(inner: &Arc<RtInner>, id: usize) {
                 if inner.stop.load(Ordering::Acquire) {
                     break;
                 }
+                lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Idle);
                 backoff.spin();
                 if backoff.is_saturated() {
                     // The sweep proved the pool dry: sleep instead of

@@ -130,6 +130,8 @@ impl<T> Handle<T> {
     /// [`JoinError`] carrying the panic payload.
     pub fn try_join(self) -> Result<T, JoinError> {
         wait_until(|| self.ult.is_terminated());
+        // Causal join edge: this context observed the unit's completion.
+        lwt_metrics::span::on_join(self.ult.span_id());
         if let Some(p) = self.ult.take_panic() {
             return Err(JoinError::new(p));
         }
@@ -237,6 +239,7 @@ impl Runtime {
         self.inner.queues[0].inject(ult.clone());
         self.inner.park.notify_near(0);
         wait_until(|| ult.is_terminated());
+        lwt_metrics::span::on_join(ult.span_id());
         if let Some(p) = ult.take_panic() {
             std::panic::resume_unwind(p);
         }
@@ -437,6 +440,7 @@ fn worker_main(inner: &Arc<RtInner>, w: usize) {
         }
         // Own queue first (depth-first), then random stealing.
         let unit = inner.queues[w].pop().or_else(|| {
+            lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Steal);
             let v = victims.pick(w);
             if v == w {
                 None
@@ -470,6 +474,7 @@ fn worker_main(inner: &Arc<RtInner>, w: usize) {
                 if inner.stop.load(Ordering::Acquire) {
                     break;
                 }
+                lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Idle);
                 backoff.spin();
                 if backoff.is_saturated() {
                     // Random probing came up dry long enough: sleep

@@ -1,0 +1,459 @@
+//! Offline task-DAG reconstruction and critical-path analysis.
+//!
+//! Replays the per-worker event rings after a workload quiesces and
+//! rebuilds, per span: its run **segments** (opened by `UltRun` /
+//! `TaskletExec` carrying the span, closed by the next `Yield`,
+//! `SpanComplete`, segment handoff, or `EsStop` on the same worker),
+//! its spawn→first-run queue delay, and how many times it migrated
+//! between workers (adjacent segments on different workers — the
+//! steal-migration count). Join edges (`SpanJoin`) give the DAG its
+//! dependencies, and the critical path is the longest busy-time chain
+//! `cp(s) = busy(s) + max cp(joined children of s)` — the §IX answer
+//! to "which task chain bounded this run?".
+//!
+//! Everything here reads ring snapshots; it adds zero cost to the
+//! running workload. Accuracy caveats: rings are bounded, so a
+//! wrapped ring ([`crate::registry::Counters::ring_dropped`]) yields
+//! a truncated DAG, and spans whose spawn predates tracing enablement
+//! appear with no parent.
+
+use crate::event::{Event, EventKind};
+use crate::registry;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// One contiguous stretch of a span executing on one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Worker (ring id) that ran it.
+    pub worker: u32,
+    /// Segment start, ns since trace epoch.
+    pub start_ns: u64,
+    /// Segment end, ns since trace epoch.
+    pub end_ns: u64,
+}
+
+impl Segment {
+    /// Segment duration.
+    #[must_use]
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Everything the rings recorded about one span.
+#[derive(Debug, Clone, Default)]
+pub struct SpanStats {
+    /// The span id.
+    pub span: u64,
+    /// Spawner's span (0 = spawned from outside any traced unit).
+    pub parent: u64,
+    /// `(worker, ts)` of the `SpanSpawn` event, if retained.
+    pub spawn: Option<(u32, u64)>,
+    /// `(worker, ts)` of the `SpanComplete` event, if retained.
+    pub complete: Option<(u32, u64)>,
+    /// `(worker, ts, joiner span)` of the `SpanJoin` that observed
+    /// this span's completion, if retained.
+    pub joined_by: Option<(u32, u64, u64)>,
+    /// Run segments, sorted by start time.
+    pub segments: Vec<Segment>,
+    /// Children whose completion *this* span observed (its `SpanJoin`
+    /// dependencies) — the edges the critical path follows.
+    pub joined: Vec<u64>,
+}
+
+impl SpanStats {
+    /// Total executing time across all segments.
+    #[must_use]
+    pub fn busy_ns(&self) -> u64 {
+        self.segments.iter().map(Segment::dur_ns).sum()
+    }
+
+    /// `(worker, ts)` of the first run segment.
+    #[must_use]
+    pub fn first_run(&self) -> Option<(u32, u64)> {
+        self.segments.first().map(|s| (s.worker, s.start_ns))
+    }
+
+    /// Spawn→first-run delay (time spent in ready queues).
+    #[must_use]
+    pub fn queue_ns(&self) -> Option<u64> {
+        let (_, spawn_ts) = self.spawn?;
+        let (_, first) = self.first_run()?;
+        Some(first.saturating_sub(spawn_ts))
+    }
+
+    /// How many times the span changed workers between adjacent
+    /// segments — each one is a steal (or placement) migration.
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.segments
+            .windows(2)
+            .filter(|w| w[0].worker != w[1].worker)
+            .count() as u64
+    }
+}
+
+/// The reconstructed DAG plus its critical path.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Per-span statistics, keyed by span id.
+    pub spans: BTreeMap<u64, SpanStats>,
+    /// Span ids along the critical path, outermost first.
+    pub critical_path: Vec<u64>,
+    /// Total busy time along [`Report::critical_path`].
+    pub critical_path_ns: u64,
+}
+
+impl Report {
+    /// Sum of busy time across every span.
+    #[must_use]
+    pub fn total_busy_ns(&self) -> u64 {
+        self.spans.values().map(SpanStats::busy_ns).sum()
+    }
+
+    /// Sum of worker migrations across every span.
+    #[must_use]
+    pub fn total_migrations(&self) -> u64 {
+        self.spans.values().map(SpanStats::migrations).sum()
+    }
+
+    /// Human-readable report: the critical path, then a per-span
+    /// table (capped at the 32 busiest spans for big runs).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let path = self
+            .critical_path
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        let _ = writeln!(
+            out,
+            "critical path: {} ns across {} span(s): {}",
+            self.critical_path_ns,
+            self.critical_path.len(),
+            if path.is_empty() { "(none)" } else { &path },
+        );
+        let _ = writeln!(
+            out,
+            "spans: {} total, busy {} ns, migrations {}",
+            self.spans.len(),
+            self.total_busy_ns(),
+            self.total_migrations(),
+        );
+        let _ = writeln!(
+            out,
+            "{:>8} {:>8} {:>12} {:>10} {:>5} {:>10}",
+            "span", "parent", "busy_ns", "queue_ns", "segs", "migrations"
+        );
+        let mut rows: Vec<&SpanStats> = self.spans.values().collect();
+        rows.sort_by_key(|s| std::cmp::Reverse(s.busy_ns()));
+        for s in rows.iter().take(32) {
+            let _ = writeln!(
+                out,
+                "{:>8} {:>8} {:>12} {:>10} {:>5} {:>10}",
+                s.span,
+                s.parent,
+                s.busy_ns(),
+                s.queue_ns().map_or_else(|| "-".into(), |q| q.to_string()),
+                s.segments.len(),
+                s.migrations(),
+            );
+        }
+        if rows.len() > 32 {
+            let _ = writeln!(out, "... {} more span(s) elided", rows.len() - 32);
+        }
+        out
+    }
+}
+
+fn stats_for(spans: &mut BTreeMap<u64, SpanStats>, id: u64) -> &mut SpanStats {
+    spans.entry(id).or_insert_with(|| SpanStats {
+        span: id,
+        ..SpanStats::default()
+    })
+}
+
+fn push_segment(spans: &mut BTreeMap<u64, SpanStats>, id: u64, worker: u32, start: u64, end: u64) {
+    stats_for(spans, id).segments.push(Segment {
+        worker,
+        start_ns: start,
+        end_ns: end.max(start),
+    });
+}
+
+/// Rebuild the task DAG from explicit per-worker event streams (each
+/// in ring order). This is [`analyze`]'s engine, exposed so tests can
+/// feed hand-built histories.
+#[must_use]
+pub fn from_worker_events(workers: &[(u32, Vec<Event>)]) -> Report {
+    let mut spans: BTreeMap<u64, SpanStats> = BTreeMap::new();
+    for (worker, events) in workers {
+        let worker = *worker;
+        // The span currently executing on this worker and when its
+        // segment opened.
+        let mut open: Option<(u64, u64)> = None;
+        let mut last_ts = 0u64;
+        for e in events {
+            last_ts = last_ts.max(e.ts_ns);
+            match e.kind {
+                // A dispatch: closes whatever ran before it on this
+                // worker and (for a traced span) opens its segment.
+                EventKind::UltRun | EventKind::TaskletExec => {
+                    if let Some((s, start)) = open.take() {
+                        push_segment(&mut spans, s, worker, start, e.ts_ns);
+                    }
+                    if e.span != 0 {
+                        open = Some((e.span, e.ts_ns));
+                    }
+                }
+                // The unit left the worker (voluntary yield, FEB
+                // block via suspend) or the worker left its loop.
+                EventKind::Yield | EventKind::EsStop => {
+                    if let Some((s, start)) = open.take() {
+                        push_segment(&mut spans, s, worker, start, e.ts_ns);
+                    }
+                }
+                EventKind::SpanSpawn => {
+                    let st = stats_for(&mut spans, e.span);
+                    st.parent = e.arg;
+                    st.spawn = Some((worker, e.ts_ns));
+                }
+                EventKind::SpanComplete => {
+                    if open.map(|(s, _)| s) == Some(e.span) {
+                        let (s, start) = open.take().expect("matched above");
+                        push_segment(&mut spans, s, worker, start, e.ts_ns);
+                    }
+                    stats_for(&mut spans, e.span).complete = Some((worker, e.ts_ns));
+                }
+                EventKind::SpanJoin => {
+                    stats_for(&mut spans, e.span).joined_by = Some((worker, e.ts_ns, e.arg));
+                    if e.arg != 0 {
+                        let joiner = stats_for(&mut spans, e.arg);
+                        if !joiner.joined.contains(&e.span) {
+                            joiner.joined.push(e.span);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // A segment still open at the end of the retained window is
+        // clipped to the last event we saw (EsStop normally closes
+        // it; a wrapped or live ring may not have one).
+        if let Some((s, start)) = open {
+            push_segment(&mut spans, s, worker, start, last_ts);
+        }
+    }
+    for st in spans.values_mut() {
+        st.segments.sort_by_key(|s| s.start_ns);
+    }
+    let (critical_path_ns, critical_path) = longest_chain(&spans);
+    Report {
+        spans,
+        critical_path,
+        critical_path_ns,
+    }
+}
+
+/// Reconstruct the DAG from every ring currently registered in the
+/// process. Call after the workload quiesces (post-join/finalize).
+#[must_use]
+pub fn analyze() -> Report {
+    let workers: Vec<(u32, Vec<Event>)> = registry::rings()
+        .iter()
+        .map(|r| (r.worker(), r.snapshot()))
+        .collect();
+    from_worker_events(&workers)
+}
+
+/// `cp(s) = busy(s) + max cp(joined children)`, memoized, with a
+/// cycle guard (a corrupt/torn ring must not hang the analyzer).
+fn longest_chain(spans: &BTreeMap<u64, SpanStats>) -> (u64, Vec<u64>) {
+    fn cp(
+        span: u64,
+        spans: &BTreeMap<u64, SpanStats>,
+        memo: &mut HashMap<u64, (u64, Vec<u64>)>,
+        visiting: &mut HashSet<u64>,
+    ) -> (u64, Vec<u64>) {
+        if let Some(hit) = memo.get(&span) {
+            return hit.clone();
+        }
+        if !visiting.insert(span) {
+            return (0, Vec::new());
+        }
+        let Some(st) = spans.get(&span) else {
+            visiting.remove(&span);
+            return (0, Vec::new());
+        };
+        let mut best: (u64, Vec<u64>) = (0, Vec::new());
+        for &child in &st.joined {
+            let r = cp(child, spans, memo, visiting);
+            if r.0 > best.0 {
+                best = r;
+            }
+        }
+        let mut path = Vec::with_capacity(best.1.len() + 1);
+        path.push(span);
+        path.extend(best.1);
+        let out = (st.busy_ns() + best.0, path);
+        visiting.remove(&span);
+        memo.insert(span, out.clone());
+        out
+    }
+
+    let mut memo = HashMap::new();
+    let mut best: (u64, Vec<u64>) = (0, Vec::new());
+    for &span in spans.keys() {
+        let r = cp(span, spans, &mut memo, &mut HashSet::new());
+        if r.0 > best.0 {
+            best = r;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts_ns: u64, kind: EventKind, arg: u64, span: u64) -> Event {
+        Event {
+            ts_ns,
+            kind,
+            arg,
+            span,
+        }
+    }
+
+    /// The hand-computed fork-join fixture the acceptance criteria
+    /// pin: an external master spawns span 1 on worker 0's ring; span
+    /// 1 runs on worker 1, spawns span 3, yields to it, and joins it.
+    ///
+    /// Expected, by hand:
+    ///   span 1 segments: [300,400] (closed by Yield) + [650,700]
+    ///     (closed by SpanComplete) -> busy 150, queue 300-100 = 200
+    ///   span 3 segments: [450,600] -> busy 150, queue 450-350 = 100
+    ///   join edge 1 -> 3, so cp(1) = 150 + 150 = 300, path [1, 3]
+    #[test]
+    fn fork_join_fixture_matches_hand_computation() {
+        let workers = vec![
+            (0u32, vec![ev(100, EventKind::SpanSpawn, 0, 1)]),
+            (
+                1u32,
+                vec![
+                    ev(300, EventKind::UltRun, 0, 1),
+                    ev(350, EventKind::SpanSpawn, 1, 3),
+                    ev(400, EventKind::Yield, 0, 1),
+                    ev(450, EventKind::UltRun, 0, 3),
+                    ev(600, EventKind::SpanComplete, 0, 3),
+                    ev(650, EventKind::UltRun, 0, 1),
+                    ev(660, EventKind::SpanJoin, 1, 3),
+                    ev(700, EventKind::SpanComplete, 0, 1),
+                ],
+            ),
+        ];
+        let report = from_worker_events(&workers);
+
+        let s1 = &report.spans[&1];
+        assert_eq!(s1.parent, 0);
+        assert_eq!(s1.segments.len(), 2);
+        assert_eq!(s1.busy_ns(), 150);
+        assert_eq!(s1.queue_ns(), Some(200));
+        assert_eq!(s1.migrations(), 0);
+        assert_eq!(s1.joined, vec![3]);
+
+        let s3 = &report.spans[&3];
+        assert_eq!(s3.parent, 1);
+        assert_eq!(s3.segments, vec![Segment { worker: 1, start_ns: 450, end_ns: 600 }]);
+        assert_eq!(s3.busy_ns(), 150);
+        assert_eq!(s3.queue_ns(), Some(100));
+        assert_eq!(s3.joined_by, Some((1, 660, 1)));
+
+        assert_eq!(report.critical_path_ns, 300);
+        assert_eq!(report.critical_path, vec![1, 3]);
+        assert_eq!(report.total_busy_ns(), 300);
+        assert_eq!(report.total_migrations(), 0);
+
+        let text = report.render();
+        assert!(text.contains("critical path: 300 ns across 2 span(s): 1 -> 3"));
+    }
+
+    /// A span that yields on worker 0 and resumes on worker 1 counts
+    /// one steal migration; EsStop closes a segment left open.
+    #[test]
+    fn migration_counted_across_workers() {
+        let workers = vec![
+            (
+                0u32,
+                vec![
+                    ev(10, EventKind::SpanSpawn, 0, 5),
+                    ev(20, EventKind::UltRun, 0, 5),
+                    ev(50, EventKind::Yield, 0, 5),
+                ],
+            ),
+            (
+                1u32,
+                vec![
+                    ev(80, EventKind::UltRun, 0, 5),
+                    ev(120, EventKind::EsStop, 1, 0),
+                ],
+            ),
+        ];
+        let report = from_worker_events(&workers);
+        let s = &report.spans[&5];
+        assert_eq!(s.busy_ns(), 30 + 40);
+        assert_eq!(s.migrations(), 1);
+        assert_eq!(s.first_run(), Some((0, 20)));
+        assert_eq!(report.critical_path, vec![5]);
+        assert_eq!(report.critical_path_ns, 70);
+    }
+
+    /// Back-to-back dispatches: the next UltRun closes the previous
+    /// span's segment even without an explicit Yield (run-to-
+    /// completion units whose SpanComplete was lost to wraparound).
+    #[test]
+    fn next_dispatch_closes_previous_segment() {
+        let workers = vec![(
+            0u32,
+            vec![
+                ev(10, EventKind::UltRun, 0, 1),
+                ev(30, EventKind::UltRun, 0, 2),
+                ev(60, EventKind::SpanComplete, 0, 2),
+            ],
+        )];
+        let report = from_worker_events(&workers);
+        assert_eq!(report.spans[&1].busy_ns(), 20);
+        assert_eq!(report.spans[&2].busy_ns(), 30);
+    }
+
+    /// A join cycle from a torn ring terminates instead of hanging.
+    #[test]
+    fn cycle_guard_terminates() {
+        let workers = vec![(
+            0u32,
+            vec![
+                ev(10, EventKind::UltRun, 0, 1),
+                ev(20, EventKind::SpanJoin, 1, 2),
+                ev(30, EventKind::Yield, 0, 1),
+                ev(40, EventKind::UltRun, 0, 2),
+                ev(50, EventKind::SpanJoin, 2, 1),
+                ev(60, EventKind::SpanComplete, 0, 2),
+            ],
+        )];
+        let report = from_worker_events(&workers);
+        assert!(report.critical_path_ns > 0);
+        assert!(!report.critical_path.is_empty());
+    }
+
+    #[test]
+    fn empty_input_is_empty_report() {
+        let report = from_worker_events(&[]);
+        assert!(report.spans.is_empty());
+        assert_eq!(report.critical_path_ns, 0);
+        assert!(report.critical_path.is_empty());
+        assert!(report.render().contains("(none)"));
+    }
+}

@@ -55,11 +55,24 @@ pub enum EventKind {
     /// A parked worker resumed — woken by a spawner's wake-one
     /// notification or its backstop timeout. `arg`: worker id.
     WorkerUnparked = 15,
+    /// A work unit was created and assigned a causal span id. `span`:
+    /// the new child span; `arg`: the spawner's span (0 when spawned
+    /// from outside any traced unit — an external master thread).
+    /// Recorded on the *spawner's* ring; the flow edge to the child's
+    /// first `UltRun` is what the trace exporter draws.
+    SpanSpawn = 16,
+    /// A work unit ran to completion. `span`: the finished span.
+    /// Recorded on the worker that executed the final segment.
+    SpanComplete = 17,
+    /// A joiner observed a unit's completion. `span`: the joined
+    /// child's span; `arg`: the joiner's own span (0 for an external
+    /// joiner). The child→joiner edge is a critical-path dependency.
+    SpanJoin = 18,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 19] = [
         EventKind::UltSpawn,
         EventKind::UltRun,
         EventKind::Yield,
@@ -76,6 +89,9 @@ impl EventKind {
         EventKind::StallDetected,
         EventKind::WorkerParked,
         EventKind::WorkerUnparked,
+        EventKind::SpanSpawn,
+        EventKind::SpanComplete,
+        EventKind::SpanJoin,
     ];
 
     /// Stable display name (used as the Chrome-trace event `name`).
@@ -98,6 +114,9 @@ impl EventKind {
             EventKind::StallDetected => "StallDetected",
             EventKind::WorkerParked => "WorkerParked",
             EventKind::WorkerUnparked => "WorkerUnparked",
+            EventKind::SpanSpawn => "SpanSpawn",
+            EventKind::SpanComplete => "SpanComplete",
+            EventKind::SpanJoin => "SpanJoin",
         }
     }
 
@@ -122,6 +141,11 @@ pub struct Event {
     pub kind: EventKind,
     /// Kind-specific payload (see [`EventKind`] variant docs).
     pub arg: u64,
+    /// Causal span this event belongs to: for the `Span*` kinds the
+    /// span the event is *about*, for every other kind the span that
+    /// was executing on the emitting thread ([`crate::span::current`]),
+    /// 0 when none (scheduler-loop events, tracing enabled mid-run).
+    pub span: u64,
 }
 
 #[cfg(test)]

@@ -26,7 +26,21 @@
 //!   process.
 //! * **Chrome trace-event export** ([`trace::export`]): merge every
 //!   worker's ring into a Perfetto-loadable JSON under
-//!   `target/lwt-trace/<run>.json`, gated by `LWT_TRACE=<path|1>`.
+//!   `target/lwt-trace/<run>.json`, gated by `LWT_TRACE=<path|1>` —
+//!   including per-span duration tracks and spawn/join flow arrows.
+//! * **Causal task spans** ([`span`]): every unit gets a process-
+//!   unique trace id at spawn carrying its parent's id; the offline
+//!   analyzer ([`critical_path`]) rebuilds the task DAG from the
+//!   rings and reports critical-path length, per-span busy/queue
+//!   time, and steal-migration counts.
+//! * **Worker time accounting** ([`timeline`]): a five-state
+//!   Busy/Dispatch/Steal/Idle/Parked machine per worker, accumulated
+//!   in wall ns and summarized by [`registry::utilization`] — the
+//!   table every `BENCH_*.json` embeds.
+//! * **Flight recorder** ([`flightrec`]): on stall or drain failure,
+//!   a bounded post-mortem bundle (ring tails, counters, utilization,
+//!   watchdog/chaos sections) under `target/lwt-flightrec/`, gated by
+//!   `LWT_FLIGHTREC`.
 //!
 //! This crate deliberately has **zero dependencies** (std only) so any
 //! workspace crate — including `lwt-sync` users — can depend on it
@@ -37,19 +51,24 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 pub mod clock;
+pub mod critical_path;
 pub mod event;
+pub mod flightrec;
 pub mod histogram;
 pub mod registry;
 pub mod ring;
+pub mod span;
+pub mod timeline;
 pub mod trace;
 
 pub use event::{Event, EventKind};
 pub use histogram::{Histogram, HistogramSummary};
 pub use registry::{
-    emit, snapshot, scoped, set_tracing, tracing_enabled, CounterSnapshot, Counters,
-    MetricsSnapshot, COUNTERS,
+    emit, emit_with_span, snapshot, scoped, set_tracing, tracing_enabled, CounterSnapshot,
+    Counters, MetricsSnapshot, COUNTERS,
 };
 pub use ring::EventRing;
+pub use timeline::{set_accounting, utilization, Utilization, WorkerState};
 
 /// A monotonically increasing event counter (resettable for tests).
 ///

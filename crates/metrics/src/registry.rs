@@ -72,6 +72,11 @@ pub struct Counters {
     /// Workers currently asleep on their parker (lwt-sched). The
     /// high-water mark records the deepest simultaneous sleep.
     pub workers_parked: Gauge,
+    /// Trace events lost to ring wraparound: each push that overwrote
+    /// a not-yet-exported event bumps this. Non-zero means the
+    /// exported trace window is truncated (the exporter also flags it
+    /// in the Perfetto header).
+    pub ring_dropped: Counter,
 }
 
 impl Counters {
@@ -96,6 +101,7 @@ impl Counters {
             parks: Counter::new(),
             unparks: Counter::new(),
             workers_parked: Gauge::new(),
+            ring_dropped: Counter::new(),
         }
     }
 }
@@ -219,11 +225,26 @@ pub fn emit(kind: EventKind, arg: u64) {
 
 #[cold]
 fn emit_enabled(kind: EventKind, arg: u64) {
+    emit_enabled_with_span(kind, arg, crate::span::current());
+}
+
+/// Record an event carrying an explicit span id (the `Span*` kinds,
+/// where the span is the event's *subject*, not the emitting
+/// context). Same one-relaxed-load disabled path as [`emit`].
+#[inline]
+pub fn emit_with_span(kind: EventKind, arg: u64, span: u64) {
+    if tracing_enabled() {
+        emit_enabled_with_span(kind, arg, span);
+    }
+}
+
+#[cold]
+fn emit_enabled_with_span(kind: EventKind, arg: u64, span: u64) {
     // try_with: a Drop-guard event during thread teardown must not
     // panic on destroyed TLS; the event is silently dropped instead.
     let _ = MY_RING.try_with(|cell| {
         let ring = cell.get_or_init(register_current_thread);
-        ring.push(clock::now_ns(), kind, arg);
+        ring.push(clock::now_ns(), kind, arg, span);
     });
 }
 
@@ -283,6 +304,8 @@ pub struct CounterSnapshot {
     pub workers_parked_level: u64,
     /// [`Counters::workers_parked`] high-water mark.
     pub workers_parked_high_water: u64,
+    /// [`Counters::ring_dropped`].
+    pub ring_dropped: u64,
 }
 
 impl CounterSnapshot {
@@ -319,6 +342,7 @@ impl CounterSnapshot {
             unparks: self.unparks.saturating_sub(earlier.unparks),
             workers_parked_level: self.workers_parked_level,
             workers_parked_high_water: self.workers_parked_high_water,
+            ring_dropped: self.ring_dropped.saturating_sub(earlier.ring_dropped),
         }
     }
 }
@@ -371,6 +395,7 @@ pub fn snapshot() -> MetricsSnapshot {
             unparks: c.unparks.get(),
             workers_parked_level: parked_level,
             workers_parked_high_water: parked_high,
+            ring_dropped: c.ring_dropped.get(),
         },
         spawn_latency: SPAWN_LATENCY.summary(),
         steal_dwell: STEAL_DWELL.summary(),
@@ -400,8 +425,18 @@ pub fn reset() {
     c.parks.reset();
     c.unparks.reset();
     c.workers_parked.reset();
+    c.ring_dropped.reset();
     SPAWN_LATENCY.reset();
     STEAL_DWELL.reset();
+}
+
+/// The per-worker time-accounting table (where each worker's wall
+/// time went) — the registry-level entry point to
+/// [`crate::timeline::utilization`]. Empty unless accounting was
+/// enabled (`LWT_UTILIZATION` / [`crate::timeline::set_accounting`]).
+#[must_use]
+pub fn utilization() -> crate::timeline::Utilization {
+    crate::timeline::utilization()
 }
 
 /// Serializes [`scoped`] sections so concurrent test suites can't

@@ -1,7 +1,7 @@
 //! Per-worker fixed-capacity lock-free event ring.
 //!
 //! Each worker thread owns one [`EventRing`] and is its **single
-//! producer**; a push is three relaxed stores plus one release store
+//! producer**; a push is four relaxed stores plus one release store
 //! of the head index — no CAS, no lock, no allocation. When the ring
 //! is full, new events overwrite the oldest ones (tracing keeps the
 //! *recent* window, like a flight recorder), and the overwritten
@@ -21,6 +21,7 @@ struct Slot {
     ts: AtomicU64,
     kind: AtomicU64,
     arg: AtomicU64,
+    span: AtomicU64,
 }
 
 /// A single-producer, multi-reader ring of scheduler [`Event`]s.
@@ -48,6 +49,7 @@ impl EventRing {
                 ts: AtomicU64::new(0),
                 kind: AtomicU64::new(u64::MAX),
                 arg: AtomicU64::new(0),
+                span: AtomicU64::new(0),
             })
             .collect::<Vec<_>>()
             .into_boxed_slice();
@@ -63,12 +65,20 @@ impl EventRing {
     /// Record one event. **Single producer**: only the owning worker
     /// thread may call this.
     #[inline]
-    pub fn push(&self, ts_ns: u64, kind: EventKind, arg: u64) {
+    pub fn push(&self, ts_ns: u64, kind: EventKind, arg: u64, span: u64) {
         let head = self.head.load(Ordering::Relaxed);
+        if head >= self.slots.len() as u64 {
+            // This write overwrites the oldest retained event. The
+            // counter is what makes silent truncation detectable
+            // outside the ring itself (exporter lossage header,
+            // flight-recorder bundles, bench metrics).
+            crate::registry::COUNTERS.ring_dropped.inc();
+        }
         let slot = &self.slots[(head as usize) & self.mask];
         slot.ts.store(ts_ns, Ordering::Relaxed);
         slot.kind.store(kind as u64, Ordering::Relaxed);
         slot.arg.store(arg, Ordering::Relaxed);
+        slot.span.store(span, Ordering::Relaxed);
         // Release pairs with the Acquire in `snapshot`: a reader that
         // observes head > i also observes slot i's field stores.
         self.head.store(head + 1, Ordering::Release);
@@ -121,6 +131,7 @@ impl EventRing {
                     ts_ns: slot.ts.load(Ordering::Relaxed),
                     kind,
                     arg: slot.arg.load(Ordering::Relaxed),
+                    span: slot.span.load(Ordering::Relaxed),
                 })
             })
             .collect()
@@ -154,7 +165,7 @@ mod tests {
     fn push_then_snapshot_in_order() {
         let ring = EventRing::new(3, "w3", 16);
         for i in 0..5 {
-            ring.push(100 + i, EventKind::Yield, i);
+            ring.push(100 + i, EventKind::Yield, i, i + 1);
         }
         let events = ring.snapshot();
         assert_eq!(events.len(), 5);
@@ -162,6 +173,7 @@ mod tests {
             assert_eq!(e.ts_ns, 100 + i as u64);
             assert_eq!(e.kind, EventKind::Yield);
             assert_eq!(e.arg, i as u64);
+            assert_eq!(e.span, i as u64 + 1);
         }
         assert_eq!(ring.dropped(), 0);
     }
@@ -173,7 +185,7 @@ mod tests {
         let ring = EventRing::new(0, "w0", 8);
         let total = 8 * 3 + 5; // wraps three times, lands mid-ring
         for i in 0..total {
-            ring.push(i, EventKind::UltRun, i);
+            ring.push(i, EventKind::UltRun, i, 0);
         }
         assert_eq!(ring.pushed(), total);
         assert_eq!(ring.dropped(), total - 8);
@@ -194,7 +206,7 @@ mod tests {
         std::thread::scope(|s| {
             s.spawn(|| {
                 for i in 0..50_000u64 {
-                    ring.push(i, EventKind::StealAttempt, i);
+                    ring.push(i, EventKind::StealAttempt, i, 0);
                 }
             });
             for _ in 0..200 {

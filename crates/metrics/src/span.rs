@@ -1,0 +1,126 @@
+//! Causal task spans: process-unique ids that tie a unit's spawn,
+//! run segments, completion, and join together across workers.
+//!
+//! A span id is allocated by [`on_spawn`] at unit-creation time and
+//! carried inside the runtime's unit struct (a plain `u64` — the id
+//! is written once before the unit is shared). Whichever worker
+//! dispatches the unit calls [`set_current`] around the run segment,
+//! so every ring event the unit's code emits is stamped with its
+//! span ([`crate::registry::emit`] attaches [`current`]
+//! automatically). The `Span*` ring events then let the offline
+//! analyzer ([`crate::critical_path`]) rebuild the task DAG even when
+//! segments migrated between workers.
+//!
+//! Ids are process-global, monotone from 1, and never reused;
+//! [`NO_SPAN`] (0) means "not traced" — every entry point is gated so
+//! the tracing-off cost stays one relaxed load.
+
+use crate::event::EventKind;
+use crate::registry;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The null span id: outside any traced unit, or tracing disabled at
+/// the unit's spawn.
+pub const NO_SPAN: u64 = 0;
+
+/// Next id to hand out. Starts at 1 so [`NO_SPAN`] is never allocated.
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The span executing on this worker thread right now.
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(NO_SPAN) };
+}
+
+/// Allocate a span for a unit being spawned *now* and record the
+/// spawn edge (`SpanSpawn` with `arg` = the spawner's own span) on
+/// the spawning thread's ring.
+///
+/// Returns [`NO_SPAN`] without allocating when tracing is off — the
+/// disabled path is one relaxed load, so runtimes may call this
+/// unconditionally on their spawn fast path.
+#[inline]
+#[must_use]
+pub fn on_spawn() -> u64 {
+    if registry::tracing_enabled() {
+        alloc_and_record()
+    } else {
+        NO_SPAN
+    }
+}
+
+#[cold]
+fn alloc_and_record() -> u64 {
+    let child = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+    registry::emit_with_span(EventKind::SpanSpawn, current(), child);
+    child
+}
+
+/// The span currently executing on the calling thread.
+/// [`NO_SPAN`] outside any traced unit (and during TLS teardown).
+#[inline]
+#[must_use]
+pub fn current() -> u64 {
+    CURRENT_SPAN.try_with(Cell::get).unwrap_or(NO_SPAN)
+}
+
+/// Mark `span` as the unit now executing on this thread; returns the
+/// previous value so nested dispatch (a unit running a scheduler that
+/// runs another unit, as openmp tasks do) can restore it.
+#[inline]
+pub fn set_current(span: u64) -> u64 {
+    CURRENT_SPAN.try_with(|c| c.replace(span)).unwrap_or(NO_SPAN)
+}
+
+/// Record that `span` ran to completion, on the worker that executed
+/// its final segment. No-op for [`NO_SPAN`].
+#[inline]
+pub fn on_complete(span: u64) {
+    if span != NO_SPAN {
+        registry::emit_with_span(EventKind::SpanComplete, 0, span);
+    }
+}
+
+/// Record that the calling context observed `span`'s completion — the
+/// child→joiner dependency edge the critical-path analyzer follows.
+/// No-op for [`NO_SPAN`].
+#[inline]
+pub fn on_join(span: u64) {
+    if span != NO_SPAN {
+        registry::emit_with_span(EventKind::SpanJoin, current(), span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_monotone_and_nonzero() {
+        // Direct allocator check — avoids flipping the global tracing
+        // flag (shared by every unit test in the process).
+        let a = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+        let b = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+        assert!(a >= 1);
+        assert_eq!(b, a + 1);
+    }
+
+    #[test]
+    fn current_tracks_set_current() {
+        assert_eq!(current(), NO_SPAN);
+        let prev = set_current(42);
+        assert_eq!(prev, NO_SPAN);
+        assert_eq!(current(), 42);
+        let prev = set_current(7);
+        assert_eq!(prev, 42);
+        assert_eq!(set_current(NO_SPAN), 7);
+        assert_eq!(current(), NO_SPAN);
+    }
+
+    #[test]
+    fn on_spawn_without_tracing_is_no_span() {
+        if !registry::tracing_enabled() {
+            assert_eq!(on_spawn(), NO_SPAN);
+        }
+    }
+}

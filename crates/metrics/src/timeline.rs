@@ -1,0 +1,537 @@
+//! Per-worker wall-time accounting: where each worker's time went.
+//!
+//! Every worker thread advances a five-state machine
+//! ([`WorkerState`]: Busy/Dispatch/Steal/Idle/Parked) at the
+//! instrumentation points the runtimes already have — unit dispatch,
+//! steal sweeps, parker sleeps — and the elapsed nanoseconds since
+//! the previous transition are charged to the state being *left*.
+//! [`utilization`] then renders the per-worker and aggregate table
+//! the §IX overhead analysis needs ("what fraction of wall time was
+//! busy vs stealing vs parked?").
+//!
+//! Cost discipline matches tracing: [`enter`] is one relaxed load of
+//! the accounting flag when off (`LWT_UTILIZATION` unset), and
+//! transitions are single-producer — only the owning thread writes
+//! its timeline, so charging a bucket is a relaxed `fetch_add`, no
+//! CAS. Readers may race; [`utilization`] extrapolates the
+//! in-progress state to "now" unless the worker has [`retire`]d, and
+//! tolerates the (bounded, transient) skew a racing read can see.
+
+use crate::clock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// What a worker is doing. Charged per-state in wall nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum WorkerState {
+    /// Executing user work: a ULT segment, tasklet, message, or task.
+    Busy = 0,
+    /// In the scheduler loop between units: popping queues, post-
+    /// switch bookkeeping, shutdown checks.
+    Dispatch = 1,
+    /// Sweeping victims for work (the steal loop proper).
+    Steal = 2,
+    /// Out of work but awake: backoff spins between steal sweeps.
+    Idle = 3,
+    /// Asleep on the parker ([`lwt-sched`]'s `ParkGroup::park`).
+    Parked = 4,
+}
+
+impl WorkerState {
+    /// All states, in discriminant order.
+    pub const ALL: [WorkerState; 5] = [
+        WorkerState::Busy,
+        WorkerState::Dispatch,
+        WorkerState::Steal,
+        WorkerState::Idle,
+        WorkerState::Parked,
+    ];
+
+    /// Stable display name (the utilization-table column header).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            WorkerState::Busy => "busy",
+            WorkerState::Dispatch => "dispatch",
+            WorkerState::Steal => "steal",
+            WorkerState::Idle => "idle",
+            WorkerState::Parked => "parked",
+        }
+    }
+}
+
+/// One worker's accounting record. Single producer (the owning
+/// thread); any thread may read.
+#[derive(Debug)]
+pub struct WorkerTimeline {
+    worker: u32,
+    label: String,
+    /// ns accumulated per state, indexed by `WorkerState as usize`.
+    buckets: [AtomicU64; 5],
+    /// Current state (discriminant).
+    state: AtomicU64,
+    /// `clock::now_ns()` of the last transition; 0 = no transition yet.
+    since: AtomicU64,
+    /// Set by [`retire`]: the worker left its loop, stop extrapolating.
+    retired: AtomicBool,
+}
+
+impl WorkerTimeline {
+    fn new(worker: u32, label: String) -> Self {
+        WorkerTimeline {
+            worker,
+            label,
+            buckets: [const { AtomicU64::new(0) }; 5],
+            state: AtomicU64::new(WorkerState::Dispatch as u64),
+            since: AtomicU64::new(0),
+            retired: AtomicBool::new(false),
+        }
+    }
+
+    /// Charge the elapsed time to the state being left, then switch.
+    fn transition(&self, next: WorkerState) {
+        let now = clock::now_ns();
+        self.charge_until(now);
+        self.state.store(next as u64, Ordering::Relaxed);
+        self.since.store(now, Ordering::Relaxed);
+        self.retired.store(false, Ordering::Relaxed);
+    }
+
+    fn charge_until(&self, now: u64) {
+        let since = self.since.load(Ordering::Relaxed);
+        if since != 0 && !self.retired.load(Ordering::Relaxed) {
+            let cur = (self.state.load(Ordering::Relaxed) as usize).min(4);
+            self.buckets[cur].fetch_add(now.saturating_sub(since), Ordering::Relaxed);
+        }
+    }
+
+    fn retire_now(&self) {
+        self.charge_until(clock::now_ns());
+        self.retired.store(true, Ordering::Relaxed);
+    }
+
+    /// Worker id (matches the event-ring id when both are on).
+    #[must_use]
+    pub fn worker(&self) -> u32 {
+        self.worker
+    }
+
+    /// Producer thread's name at registration.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Point-in-time per-state totals; the in-progress state is
+    /// extended to now unless the worker retired.
+    #[must_use]
+    pub fn snapshot(&self) -> WorkerUtilization {
+        let mut ns = [0u64; 5];
+        for (i, b) in self.buckets.iter().enumerate() {
+            ns[i] = b.load(Ordering::Relaxed);
+        }
+        if !self.retired.load(Ordering::Relaxed) {
+            let since = self.since.load(Ordering::Relaxed);
+            if since != 0 {
+                let cur = (self.state.load(Ordering::Relaxed) as usize).min(4);
+                ns[cur] += clock::now_ns().saturating_sub(since);
+            }
+        }
+        WorkerUtilization {
+            worker: self.worker,
+            label: self.label.clone(),
+            ns,
+        }
+    }
+}
+
+/// One row of the utilization table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerUtilization {
+    /// Worker id.
+    pub worker: u32,
+    /// Worker thread name.
+    pub label: String,
+    /// ns per state, indexed by `WorkerState as usize`.
+    pub ns: [u64; 5],
+}
+
+impl WorkerUtilization {
+    /// Total accounted wall time.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Percentage of accounted time spent in `state` (0 when nothing
+    /// was accounted yet).
+    #[must_use]
+    pub fn pct(&self, state: WorkerState) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            self.ns[state as usize] as f64 * 100.0 / total as f64
+        }
+    }
+}
+
+/// The full utilization table: one row per registered worker.
+#[derive(Debug, Clone, Default)]
+pub struct Utilization {
+    /// Per-worker rows, in registration order.
+    pub workers: Vec<WorkerUtilization>,
+}
+
+impl Utilization {
+    /// Aggregate percentage of all accounted worker time spent in
+    /// `state`.
+    #[must_use]
+    pub fn aggregate_pct(&self, state: WorkerState) -> f64 {
+        let total: u64 = self.workers.iter().map(WorkerUtilization::total_ns).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let in_state: u64 = self.workers.iter().map(|w| w.ns[state as usize]).sum();
+        in_state as f64 * 100.0 / total as f64
+    }
+
+    /// Aggregate busy fraction — the headline number.
+    #[must_use]
+    pub fn aggregate_busy_pct(&self) -> f64 {
+        self.aggregate_pct(WorkerState::Busy)
+    }
+
+    /// Per-worker difference `self - before` (saturating), matching
+    /// rows by worker id; rows absent from `before` pass through
+    /// whole, and rows with zero movement are dropped (a retired
+    /// worker from an earlier workload in the same process is not
+    /// part of this window). The bench harness uses this to report
+    /// each bench's own movement against the process-cumulative
+    /// timelines.
+    #[must_use]
+    pub fn delta(&self, before: &Utilization) -> Utilization {
+        Utilization {
+            workers: self
+                .workers
+                .iter()
+                .filter_map(|w| {
+                    let mut ns = w.ns;
+                    if let Some(b) = before.workers.iter().find(|b| b.worker == w.worker) {
+                        for (slot, prev) in ns.iter_mut().zip(b.ns.iter()) {
+                            *slot = slot.saturating_sub(*prev);
+                        }
+                    }
+                    (ns.iter().sum::<u64>() > 0).then(|| WorkerUtilization {
+                        worker: w.worker,
+                        label: w.label.clone(),
+                        ns,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Collapse rows that share a label into one summed row (keeping
+    /// the lowest worker id), preserving first-seen order. Worker
+    /// threads are registered per pool generation, so a bench that
+    /// spins a fresh pool per sample accumulates hundreds of
+    /// timelines for what is logically the same worker (`myth-w3`,
+    /// say); merging by label reports per *logical* worker and keeps
+    /// the table bounded by the pool width, not the sample count.
+    #[must_use]
+    pub fn merged_by_label(&self) -> Utilization {
+        let mut merged: Vec<WorkerUtilization> = Vec::new();
+        for w in &self.workers {
+            if let Some(m) = merged.iter_mut().find(|m| m.label == w.label) {
+                m.worker = m.worker.min(w.worker);
+                for (slot, add) in m.ns.iter_mut().zip(w.ns.iter()) {
+                    *slot += add;
+                }
+            } else {
+                merged.push(w.clone());
+            }
+        }
+        Utilization { workers: merged }
+    }
+
+    /// Compact JSON rendering, shared by the bench harness and the
+    /// flight recorder:
+    /// `{"aggregate_busy_pct":…,"workers":[{"worker":0,"label":…,
+    /// "busy_ns":…,…,"busy_pct":…},…]}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"aggregate_busy_pct\":{:.2},\"workers\":[",
+            self.aggregate_busy_pct()
+        ));
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"worker\":{},\"label\":\"{}\"",
+                w.worker,
+                crate::trace::json_escape(&w.label)
+            ));
+            for state in WorkerState::ALL {
+                out.push_str(&format!(
+                    ",\"{}_ns\":{}",
+                    state.name(),
+                    w.ns[state as usize]
+                ));
+            }
+            out.push_str(&format!(",\"busy_pct\":{:.2}}}", w.pct(WorkerState::Busy)));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accounting enable flag (same 0/1/2 discipline as LWT_TRACE)
+// ---------------------------------------------------------------------------
+
+/// 0 = uninitialized (consult `LWT_UTILIZATION`), 1 = off, 2 = on.
+static ACCOUNTING: AtomicU64 = AtomicU64::new(0);
+
+/// Whether worker time accounting is on: one relaxed load, with
+/// `LWT_UTILIZATION` consulted once on first call (unset, empty, or
+/// `0` ⇒ off). The bench harness and idle probe force it on
+/// programmatically via [`set_accounting`].
+#[inline]
+#[must_use]
+pub fn accounting_enabled() -> bool {
+    match ACCOUNTING.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_accounting_from_env(),
+    }
+}
+
+#[cold]
+fn init_accounting_from_env() -> bool {
+    let on = matches!(std::env::var("LWT_UTILIZATION"), Ok(v) if !v.is_empty() && v != "0");
+    let _ = ACCOUNTING.compare_exchange(
+        0,
+        if on { 2 } else { 1 },
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    ACCOUNTING.load(Ordering::Relaxed) == 2
+}
+
+/// Programmatically force accounting on or off; overrides
+/// `LWT_UTILIZATION`. Turn it on *before* the pool spins up so every
+/// worker's first transition lands on a fresh timeline.
+pub fn set_accounting(on: bool) {
+    if on {
+        clock::init();
+    }
+    ACCOUNTING.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread timelines
+// ---------------------------------------------------------------------------
+
+static TIMELINES: Mutex<Vec<Arc<WorkerTimeline>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static MY_TIMELINE: std::cell::OnceCell<Arc<WorkerTimeline>> =
+        const { std::cell::OnceCell::new() };
+}
+
+fn lock_timelines() -> MutexGuard<'static, Vec<Arc<WorkerTimeline>>> {
+    TIMELINES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn register_current_thread() -> Arc<WorkerTimeline> {
+    let label = std::thread::current()
+        .name()
+        .map_or_else(|| "external".to_string(), str::to_string);
+    let mut tls = lock_timelines();
+    let worker = u32::try_from(tls.len()).unwrap_or(u32::MAX);
+    let tl = Arc::new(WorkerTimeline::new(worker, label));
+    tls.push(Arc::clone(&tl));
+    tl
+}
+
+/// Advance the calling worker's state machine **iff accounting is
+/// on** — the instrumentation entry point; one relaxed load and a
+/// predictable branch when off.
+#[inline]
+pub fn enter(state: WorkerState) {
+    if accounting_enabled() {
+        enter_slow(state);
+    }
+}
+
+#[cold]
+fn enter_slow(state: WorkerState) {
+    // try_with: transitions fired from Drop guards during thread
+    // teardown must not panic on destroyed TLS.
+    let _ = MY_TIMELINE.try_with(|cell| {
+        cell.get_or_init(register_current_thread).transition(state);
+    });
+}
+
+/// Close out the calling worker's current state and stop
+/// extrapolating it — call when the worker leaves its scheduler loop
+/// for good (the ultcore `WorkerGuard` does).
+pub fn retire() {
+    if accounting_enabled() {
+        let _ = MY_TIMELINE.try_with(|cell| {
+            if let Some(tl) = cell.get() {
+                tl.retire_now();
+            }
+        });
+    }
+}
+
+/// Every registered worker timeline, in registration order.
+#[must_use]
+pub fn timelines() -> Vec<Arc<WorkerTimeline>> {
+    lock_timelines().clone()
+}
+
+/// The current utilization table across all registered workers.
+#[must_use]
+pub fn utilization() -> Utilization {
+    Utilization {
+        workers: lock_timelines().iter().map(|t| t.snapshot()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transition_charges_the_state_being_left() {
+        let tl = WorkerTimeline::new(0, "w0".into());
+        tl.transition(WorkerState::Busy);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        tl.transition(WorkerState::Steal);
+        let snap = tl.snapshot();
+        assert!(
+            snap.ns[WorkerState::Busy as usize] >= 1_000_000,
+            "busy must hold the slept interval: {snap:?}"
+        );
+        tl.retire_now();
+        let settled = tl.snapshot();
+        // After retirement the totals stop moving.
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert_eq!(tl.snapshot().ns, settled.ns);
+    }
+
+    #[test]
+    fn snapshot_extrapolates_in_progress_state() {
+        let tl = WorkerTimeline::new(0, "w0".into());
+        tl.transition(WorkerState::Parked);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let snap = tl.snapshot();
+        assert!(
+            snap.ns[WorkerState::Parked as usize] >= 1_000_000,
+            "in-progress state must extend to now: {snap:?}"
+        );
+        assert!(snap.pct(WorkerState::Parked) > 99.0);
+    }
+
+    #[test]
+    fn percentages_sum_to_one_hundred() {
+        let u = Utilization {
+            workers: vec![WorkerUtilization {
+                worker: 0,
+                label: "w0".into(),
+                ns: [600, 100, 100, 100, 100],
+            }],
+        };
+        let total: f64 = WorkerState::ALL.iter().map(|&s| u.aggregate_pct(s)).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert!((u.aggregate_busy_pct() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_shape() {
+        let u = Utilization {
+            workers: vec![WorkerUtilization {
+                worker: 3,
+                label: "abt-es-3".into(),
+                ns: [10, 20, 30, 40, 0],
+            }],
+        };
+        let json = u.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"aggregate_busy_pct\":10.00"));
+        assert!(json.contains("\"worker\":3"));
+        assert!(json.contains("\"label\":\"abt-es-3\""));
+        assert!(json.contains("\"busy_ns\":10"));
+        assert!(json.contains("\"parked_ns\":0"));
+        assert!(json.contains("\"busy_pct\":10.00"));
+    }
+
+    #[test]
+    fn delta_subtracts_by_worker_and_drops_unmoved_rows() {
+        let row = |worker, ns| WorkerUtilization {
+            worker,
+            label: format!("w{worker}"),
+            ns,
+        };
+        let before = Utilization {
+            workers: vec![row(0, [100, 50, 0, 0, 0]), row(1, [70, 0, 0, 0, 0])],
+        };
+        let after = Utilization {
+            workers: vec![
+                row(0, [300, 50, 25, 0, 0]),
+                row(1, [70, 0, 0, 0, 0]),      // no movement: dropped
+                row(2, [10, 0, 0, 0, 0]),      // new worker: passes whole
+            ],
+        };
+        let d = after.delta(&before);
+        assert_eq!(d.workers.len(), 2);
+        assert_eq!(d.workers[0].worker, 0);
+        assert_eq!(d.workers[0].ns, [200, 0, 25, 0, 0]);
+        assert_eq!(d.workers[1].worker, 2);
+        assert_eq!(d.workers[1].ns, [10, 0, 0, 0, 0]);
+        // Saturating: a reset between snapshots can't underflow.
+        assert!(before.delta(&after).workers.is_empty());
+    }
+
+    #[test]
+    fn merged_by_label_collapses_pool_generations() {
+        let row = |worker, label: &str, ns| WorkerUtilization {
+            worker,
+            label: label.into(),
+            ns,
+        };
+        let u = Utilization {
+            workers: vec![
+                row(0, "main", [5, 0, 0, 0, 0]),
+                row(3, "myth-w1", [100, 10, 0, 0, 0]),
+                row(7, "myth-w1", [200, 0, 30, 0, 0]),
+                row(5, "myth-w2", [50, 0, 0, 0, 0]),
+            ],
+        };
+        let m = u.merged_by_label();
+        assert_eq!(m.workers.len(), 3);
+        assert_eq!(m.workers[0].label, "main");
+        assert_eq!(m.workers[1].worker, 3);
+        assert_eq!(m.workers[1].ns, [300, 10, 30, 0, 0]);
+        assert_eq!(m.workers[2].label, "myth-w2");
+        // Totals are preserved, so the aggregate is unchanged.
+        assert!((m.aggregate_busy_pct() - u.aggregate_busy_pct()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_names_match_discriminants() {
+        for (i, s) in WorkerState::ALL.iter().enumerate() {
+            assert_eq!(*s as usize, i);
+        }
+        assert_eq!(WorkerState::Parked.name(), "parked");
+    }
+}

@@ -8,6 +8,16 @@
 //! labels read `abt-es-0`, `myth-w1`, `qth-s0-w0`, … — the thread
 //! names the runtimes already assign.
 //!
+//! On top of the instants, the exporter replays the rings through
+//! [`crate::critical_path`] and adds the causal layer: every span's
+//! run segments become *complete* events (`"ph":"X"`, with `dur`) on
+//! the worker that executed them, and spawn→first-run / complete→join
+//! dependencies become flow arrows (`"ph":"s"` / `"ph":"f"`, flow id
+//! `span<<1` for spawn edges, `span<<1|1` for join edges) — so a
+//! stolen task visibly jumps tracks in Perfetto. The root-level
+//! `otherData` header carries `ring_dropped`/`truncated` so a
+//! wrapped-ring (lossy) trace is detectable without reading stderr.
+//!
 //! Open the output at <https://ui.perfetto.dev> (or
 //! `chrome://tracing`) via *Open trace file*.
 //!
@@ -23,7 +33,7 @@ use std::sync::Arc;
 /// Fixed Chrome-trace process id (the whole runtime is one process).
 const PID: u32 = 1;
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -46,8 +56,16 @@ fn ts_us(ts_ns: u64) -> String {
 /// Render the given rings as a Chrome trace-event JSON document.
 #[must_use]
 pub fn render(rings: &[Arc<EventRing>]) -> String {
+    let total_dropped: u64 = rings.iter().map(|r| r.dropped()).sum();
     let mut out = String::new();
-    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    // Lossage header: a ring that wrapped means the span layer below
+    // is rebuilt from a truncated window — flag it up front.
+    out.push_str(&format!(
+        "{{\"displayTimeUnit\":\"ns\",\
+         \"otherData\":{{\"ring_dropped\":{total_dropped},\"truncated\":{}}},\
+         \"traceEvents\":[\n",
+        total_dropped > 0
+    ));
     let mut first = true;
     let mut push = |line: String| {
         if first {
@@ -80,10 +98,56 @@ pub fn render(rings: &[Arc<EventRing>]) -> String {
         for e in ring.snapshot() {
             push(format!(
                 "{{\"name\":\"{}\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\
-                 \"ts\":{},\"pid\":{PID},\"tid\":{tid},\"args\":{{\"arg\":{}}}}}",
+                 \"ts\":{},\"pid\":{PID},\"tid\":{tid},\
+                 \"args\":{{\"arg\":{},\"span\":{}}}}}",
                 e.kind.name(),
                 ts_us(e.ts_ns),
-                e.arg
+                e.arg,
+                e.span
+            ));
+        }
+    }
+    // Causal layer: span duration tracks + spawn/join flow arrows,
+    // reconstructed by the same analyzer the offline report uses.
+    let workers: Vec<(u32, Vec<crate::event::Event>)> =
+        rings.iter().map(|r| (r.worker(), r.snapshot())).collect();
+    let report = crate::critical_path::from_worker_events(&workers);
+    for (span, st) in &report.spans {
+        for seg in &st.segments {
+            push(format!(
+                "{{\"name\":\"span {span}\",\"cat\":\"span\",\"ph\":\"X\",\
+                 \"ts\":{},\"dur\":{},\"pid\":{PID},\"tid\":{},\
+                 \"args\":{{\"span\":{span},\"parent\":{}}}}}",
+                ts_us(seg.start_ns),
+                ts_us(seg.dur_ns()),
+                seg.worker,
+                st.parent
+            ));
+        }
+        if let (Some((sw, spawn_ts)), Some((fw, first_ts))) = (st.spawn, st.first_run()) {
+            let id = span << 1;
+            push(format!(
+                "{{\"name\":\"spawn\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{id},\
+                 \"ts\":{},\"pid\":{PID},\"tid\":{sw}}}",
+                ts_us(spawn_ts)
+            ));
+            push(format!(
+                "{{\"name\":\"spawn\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\
+                 \"ts\":{},\"pid\":{PID},\"tid\":{fw}}}",
+                ts_us(first_ts.max(spawn_ts))
+            ));
+        }
+        if let (Some((cw, complete_ts)), Some((jw, join_ts, _))) = (st.complete, st.joined_by) {
+            let id = (span << 1) | 1;
+            push(format!(
+                "{{\"name\":\"join\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{id},\
+                 \"ts\":{},\"pid\":{PID},\"tid\":{cw}}}",
+                ts_us(complete_ts)
+            ));
+            push(format!(
+                "{{\"name\":\"join\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\
+                 \"ts\":{},\"pid\":{PID},\"tid\":{jw}}}",
+                ts_us(join_ts.max(complete_ts))
             ));
         }
     }
@@ -138,7 +202,7 @@ mod tests {
     fn ring_with(worker: u32, label: &str, events: &[(u64, EventKind, u64)]) -> Arc<EventRing> {
         let ring = Arc::new(EventRing::new(worker, label, 64));
         for &(ts, kind, arg) in events {
-            ring.push(ts, kind, arg);
+            ring.push(ts, kind, arg, 0);
         }
         ring
     }
@@ -179,10 +243,45 @@ mod tests {
     fn dropped_events_are_surfaced() {
         let ring = Arc::new(EventRing::new(0, "w", 8));
         for i in 0..20 {
-            ring.push(i, EventKind::Yield, 0);
+            ring.push(i, EventKind::Yield, 0, 0);
         }
         let json = render(&[ring]);
         assert!(json.contains("\"name\":\"ring_dropped\""));
         assert!(json.contains("\"dropped\":12"));
+        // Root-level lossage header flags the truncation too.
+        assert!(json.contains("\"otherData\":{\"ring_dropped\":12,\"truncated\":true}"));
+    }
+
+    #[test]
+    fn lossless_trace_header_says_not_truncated() {
+        let rings = vec![ring_with(0, "w0", &[(10, EventKind::UltRun, 0)])];
+        let json = render(&rings);
+        assert!(json.contains("\"otherData\":{\"ring_dropped\":0,\"truncated\":false}"));
+    }
+
+    /// Spans become `ph:"X"` duration tracks plus spawn/join flow
+    /// arrows with the documented flow-id scheme.
+    #[test]
+    fn spans_export_segments_and_flows() {
+        let spawner = Arc::new(EventRing::new(0, "master", 64));
+        spawner.push(100, EventKind::SpanSpawn, 0, 9);
+        let worker = Arc::new(EventRing::new(1, "w1", 64));
+        worker.push(300, EventKind::UltRun, 0, 9);
+        worker.push(700, EventKind::SpanComplete, 0, 9);
+        let joiner = Arc::new(EventRing::new(0, "master", 64));
+        // (same tid as spawner ring is fine for the exporter)
+        joiner.push(800, EventKind::SpanJoin, 0, 9);
+
+        let json = render(&[spawner, worker, joiner]);
+        assert!(json.contains("\"name\":\"span 9\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":0.400"), "segment 300..700 -> 400ns: {json}");
+        // spawn flow id = 9<<1 = 18; join flow id = 19.
+        assert!(json.contains("\"name\":\"spawn\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":18"));
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":18"));
+        assert!(json.contains("\"name\":\"join\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":19"));
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":19"));
+        // Instants now carry the span id in args.
+        assert!(json.contains("\"args\":{\"arg\":0,\"span\":9}"));
     }
 }

@@ -1,0 +1,70 @@
+//! `registry::scoped` under concurrent writers: the reset→run→snapshot
+//! window must read exactly its own workload even when many test
+//! threads race to open scoped sections, and ring wraparound inside a
+//! section must surface in that section's `ring_dropped`.
+
+use lwt_metrics::registry::{scoped, COUNTERS};
+use lwt_metrics::{EventKind, EventRing};
+
+/// Eight threads concurrently run differently-sized workloads through
+/// `scoped`. The internal lock serializes the sections, so each
+/// snapshot must report its own thread's counts — never a neighbor's
+/// increments and never a stale pre-reset residue.
+#[test]
+fn concurrent_scoped_sections_read_their_own_workload() {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                s.spawn(move || {
+                    let n = (t + 1) * 100_u64;
+                    let ((), snap) = scoped(|| {
+                        for _ in 0..n {
+                            COUNTERS.ults_created.inc();
+                        }
+                        COUNTERS.yields.inc();
+                        COUNTERS.steal_attempts.inc();
+                        COUNTERS.steal_attempts.inc();
+                    });
+                    (n, snap)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (n, snap) = h.join().expect("scoped worker panicked");
+            assert_eq!(snap.counters.ults_created, n, "foreign increments leaked in");
+            assert_eq!(snap.counters.yields, 1);
+            assert_eq!(snap.counters.steal_attempts, 2);
+        }
+    });
+}
+
+/// Overwriting a full ring bumps the process-wide `ring_dropped`
+/// counter, and a scoped section observes exactly its own lossage.
+#[test]
+fn ring_wraparound_is_counted_in_scoped_snapshot() {
+    let ((), snap) = scoped(|| {
+        let ring = EventRing::new(7, "wrap-probe", 8);
+        for i in 0..8 + 5 {
+            ring.push(i, EventKind::Yield, i, 0);
+        }
+        assert_eq!(ring.pushed(), 13);
+        assert_eq!(ring.dropped(), 5);
+        assert_eq!(ring.snapshot().len(), 8, "only the newest window is retained");
+    });
+    assert_eq!(snap.counters.ring_dropped, 5);
+}
+
+/// Back-to-back sections do not accumulate: the second scope's reset
+/// wipes what the first one counted.
+#[test]
+fn scoped_sections_do_not_leak_forward() {
+    let ((), first) = scoped(|| {
+        for _ in 0..50 {
+            COUNTERS.feb_blocks.inc();
+        }
+    });
+    assert_eq!(first.counters.feb_blocks, 50);
+    let ((), second) = scoped(|| COUNTERS.feb_wakes.inc());
+    assert_eq!(second.counters.feb_blocks, 0, "scope must reset");
+    assert_eq!(second.counters.feb_wakes, 1);
+}

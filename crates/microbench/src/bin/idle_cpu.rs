@@ -46,6 +46,10 @@ fn main() {
     let idle_ms = lwt_microbench::env_usize("LWT_IDLE_MS", 800) as u64;
     let tol_ms = lwt_microbench::env_usize("LWT_IDLE_CPU_TOLERANCE_MS", 150) as u64;
 
+    // Worker time accounting: the idle windows double as the sanity
+    // probe that the five state buckets partition wall time.
+    lwt_metrics::set_accounting(true);
+
     println!("figure,series,workers,idle_wall_ms,idle_cpu_ms");
     let mut failed = false;
     for kind in BackendKind::ALL {
@@ -90,6 +94,40 @@ fn main() {
         eprintln!(
             "FAIL: park/unpark imbalance after finalize: {} parks vs {} unparks",
             counters.parks, counters.unparks
+        );
+        failed = true;
+    }
+
+    // Utilization sanity: the five state buckets must partition each
+    // worker's accounted wall time (percentages sum to ~100), and a
+    // mostly-idle passive pool must show its time in parked/idle, not
+    // busy.
+    let util = lwt_metrics::utilization();
+    let total_pct: f64 = lwt_metrics::WorkerState::ALL
+        .iter()
+        .map(|&s| util.aggregate_pct(s))
+        .sum();
+    let parked_idle_pct = util.aggregate_pct(lwt_metrics::WorkerState::Parked)
+        + util.aggregate_pct(lwt_metrics::WorkerState::Idle);
+    println!(
+        "idle_cpu,utilization,workers={},busy_pct={:.2},parked_idle_pct={:.2},total_pct={:.2}",
+        util.workers.len(),
+        util.aggregate_busy_pct(),
+        parked_idle_pct,
+        total_pct
+    );
+    if util.workers.is_empty() {
+        eprintln!("FAIL: no worker timelines registered with accounting on");
+        failed = true;
+    }
+    if (total_pct - 100.0).abs() > 1.0 {
+        eprintln!("FAIL: utilization buckets must sum to ~100%, got {total_pct:.2}%");
+        failed = true;
+    }
+    if parked_idle_pct < 50.0 {
+        eprintln!(
+            "FAIL: an idle passive pool must spend most wall time parked/idle, \
+             got {parked_idle_pct:.2}%"
         );
         failed = true;
     }

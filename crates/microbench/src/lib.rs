@@ -85,15 +85,61 @@ pub fn as_us(d: Duration) -> f64 {
     d.as_secs_f64() * 1e6
 }
 
+/// FNV-1a hash of the measurement-shaping environment knobs
+/// (`LWT_THREADS`, `LWT_REPS`, `LWT_N`, `LWT_NESTED_N`,
+/// `LWT_PARENTS`, `LWT_CHILDREN`). Two runs with the same knob values
+/// hash identically; any knob change moves the hash, so traces from
+/// different configurations land in different files instead of
+/// clobbering one another.
+#[must_use]
+pub fn config_hash() -> u64 {
+    const KNOBS: [&str; 6] = [
+        "LWT_THREADS",
+        "LWT_REPS",
+        "LWT_N",
+        "LWT_NESTED_N",
+        "LWT_PARENTS",
+        "LWT_CHILDREN",
+    ];
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for knob in KNOBS {
+        eat(knob.as_bytes());
+        eat(b"=");
+        if let Ok(v) = std::env::var(knob) {
+            eat(v.trim().as_bytes());
+        }
+        eat(b";");
+    }
+    h
+}
+
 /// Export the per-worker event rings accumulated during this run as a
 /// Chrome/Perfetto trace, if `LWT_TRACE` is set (see
 /// [`lwt_metrics::trace::export`]). Every figure binary calls this at
 /// the end of `main`; it is a no-op when tracing is off.
+///
+/// The default filename is `target/lwt-trace/<figure>-<hash>.json`
+/// where `<hash>` is [`config_hash`] of the measurement knobs — sweep
+/// configurations coexist instead of overwriting each other.
+/// (`LWT_TRACE=<path>` still pins an explicit destination.)
 pub fn export_trace(figure: &str) {
-    match lwt_metrics::trace::export(figure) {
+    let tagged = format!("{figure}-{:08x}", config_hash() as u32);
+    match lwt_metrics::trace::export(&tagged) {
         Ok(Some(path)) => eprintln!("trace written to {}", path.display()),
         Ok(None) => {}
         Err(e) => eprintln!("lwt-microbench: trace export failed: {e}"),
+    }
+    // Offline task-DAG analysis over the same rings: which span chain
+    // bounded the run, where its time went, how often spans migrated.
+    // Needs tracing (spans live in the rings), hence its own opt-in.
+    if matches!(std::env::var("LWT_CRITICAL_PATH"), Ok(v) if !v.is_empty() && v != "0") {
+        eprint!("{}", lwt_metrics::critical_path::analyze().render());
     }
 }
 
@@ -118,5 +164,13 @@ mod tests {
     #[test]
     fn as_us_converts() {
         assert_eq!(as_us(Duration::from_millis(2)), 2000.0);
+    }
+
+    #[test]
+    fn config_hash_is_stable_within_a_config() {
+        // Not mutating env in-process (leaks across parallel tests);
+        // determinism under a fixed environment is the contract.
+        assert_eq!(config_hash(), config_hash());
+        assert_ne!(config_hash(), 0);
     }
 }

@@ -37,7 +37,12 @@ const GCC_CUTOFF_PER_THREAD: usize = 64;
 /// icc's task cutoff: 256 queued tasks per thread queue (paper §VII-B).
 const ICC_CUTOFF: usize = 256;
 
-type Task = Box<dyn FnOnce() + Send + 'static>;
+/// A queued explicit task: the closure plus its causal trace span
+/// (0 when tracing was off at submission).
+struct Task {
+    span: u64,
+    f: Box<dyn FnOnce() + Send + 'static>,
+}
 
 /// One parallel-region team.
 pub(crate) struct Team {
@@ -139,7 +144,9 @@ impl Team {
         self.barrier.wait(|| self.relax());
 
         let ctx = Ctx { member: &member };
+        lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Busy);
         f(&ctx);
+        lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Dispatch);
 
         // Implicit end barrier, draining outstanding tasks first.
         drain_tasks(&member);
@@ -164,6 +171,7 @@ fn next_task(member: &MemberCtx) -> Option<Task> {
                 }
             }
             // Work stealing: sweep the other members' deques.
+            lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Steal);
             let stealers = member.team.stealers.lock();
             let n = stealers.len();
             for off in 1..n {
@@ -187,7 +195,19 @@ fn next_task(member: &MemberCtx) -> Option<Task> {
 }
 
 fn run_task(member: &MemberCtx, task: Task) {
-    task();
+    lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Busy);
+    if task.span != 0 {
+        // Restore the previous span afterwards: cutoff paths run tasks
+        // inline inside other tasks (or the region body).
+        let prev = lwt_metrics::span::set_current(task.span);
+        lwt_metrics::emit(lwt_metrics::EventKind::TaskletExec, 0);
+        (task.f)();
+        lwt_metrics::span::on_complete(task.span);
+        lwt_metrics::span::set_current(prev);
+    } else {
+        (task.f)();
+    }
+    lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Dispatch);
     member.team.outstanding.fetch_sub(1, Ordering::AcqRel);
 }
 
@@ -196,7 +216,10 @@ fn drain_tasks(member: &MemberCtx) {
     while member.team.outstanding.load(Ordering::Acquire) > 0 {
         match next_task(member) {
             Some(t) => run_task(member, t),
-            None => member.team.relax(),
+            None => {
+                lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Idle);
+                member.team.relax();
+            }
         }
     }
 }
@@ -291,8 +314,12 @@ impl std::fmt::Debug for Ctx<'_> {
     }
 }
 
-fn submit_task(member: &MemberCtx, task: Task) {
+fn submit_task(member: &MemberCtx, f: Box<dyn FnOnce() + Send + 'static>) {
     let team = &member.team;
+    let task = Task {
+        span: lwt_metrics::span::on_spawn(),
+        f,
+    };
     team.outstanding.fetch_add(1, Ordering::AcqRel);
     match team.flavor {
         Flavor::Gcc => {

@@ -132,18 +132,21 @@ impl<T> Handle<T> {
     ///
     /// [`JoinError`] carrying the panic payload.
     pub fn try_join(self) -> Result<T, JoinError> {
-        // The FEB is the paper-faithful join signal …
+        // The FEB is the paper-faithful join signal … (the FebCell
+        // itself emits the FebBlock/FebWake ring events, span-tagged;
+        // the counters stay here because they count *joins* that
+        // blocked, the §IX-C formula the fidelity tests assert).
         if self.ret.is_full() {
             self.ret.read_ff(relax());
         } else {
             COUNTERS.feb_blocks.inc();
-            emit(EventKind::FebBlock, 0);
             self.ret.read_ff(relax());
             COUNTERS.feb_wakes.inc();
-            emit(EventKind::FebWake, 0);
         }
         // … and TERMINATED is the memory-safety contract for the slot.
         wait_until(|| self.ult.is_terminated());
+        // Causal join edge: this context observed the unit's completion.
+        lwt_metrics::span::on_join(self.ult.span_id());
         if let Some(p) = self.ult.take_panic() {
             return Err(JoinError::new(p));
         }
@@ -539,6 +542,7 @@ fn worker_main(inner: &Arc<RtInner>, worker_id: usize, shep: usize) {
             break;
         }
         let unit = inner.queues[worker_id].pop().or_else(|| {
+            lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Steal);
             for &v in &siblings {
                 COUNTERS.steal_attempts.inc();
                 if let Some(u) = inner.queues[v].steal() {
@@ -561,6 +565,7 @@ fn worker_main(inner: &Arc<RtInner>, worker_id: usize, shep: usize) {
                 if inner.stop.load(Ordering::Acquire) {
                     break;
                 }
+                lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Idle);
                 backoff.spin();
                 if backoff.is_saturated() {
                     // The sibling sweep proved the shepherd dry: sleep

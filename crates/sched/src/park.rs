@@ -297,6 +297,7 @@ impl ParkGroup {
         COUNTERS.parks.inc();
         COUNTERS.workers_parked.rise();
         emit(EventKind::WorkerParked, worker as u64);
+        lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Parked);
 
         // Real build: sleep with the policy's backstop. Model build:
         // sleep without one, so a lost wake is a detected livelock
@@ -312,6 +313,7 @@ impl ParkGroup {
             true
         };
 
+        lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Idle);
         COUNTERS.unparks.inc();
         COUNTERS.workers_parked.fall();
         emit(EventKind::WorkerUnparked, worker as u64);

@@ -86,7 +86,11 @@ impl<T> FebCell<T> {
     /// blocked-unit table instead of hanging silently.
     fn acquire_from(&self, from: u8, relax: &mut impl FnMut()) {
         let mut injected = 0u32;
-        let mut watch: Option<lwt_chaos::BlockGuard> = None;
+        // Held for the whole wait so the watchdog sees the block.
+        let mut _watch: Option<lwt_chaos::BlockGuard> = None;
+        // Tracks whether this wait genuinely missed (the guard alone
+        // can't: block_enter returns None when the watchdog is off).
+        let mut blocked = false;
         loop {
             if injected < MAX_INJECTED_STALLS
                 && lwt_chaos::should_inject(lwt_chaos::FaultSite::FebStallWake)
@@ -99,13 +103,22 @@ impl<T> FebCell<T> {
                 .state
                 .compare_exchange(from, BUSY, Ordering::Acquire, Ordering::Relaxed)
             {
-                Ok(_) => return,
+                Ok(_) => {
+                    if blocked {
+                        // The wait actually blocked; record the resume
+                        // (carries the waiter's span when traced).
+                        lwt_metrics::emit(lwt_metrics::EventKind::FebWake, 0);
+                    }
+                    return;
+                }
                 Err(_) => {
-                    if watch.is_none() {
-                        watch = lwt_chaos::block_enter(
+                    if !blocked {
+                        blocked = true;
+                        _watch = lwt_chaos::block_enter(
                             lwt_chaos::BlockKind::Feb,
                             std::ptr::from_ref(self) as u64,
                         );
+                        lwt_metrics::emit(lwt_metrics::EventKind::FebBlock, 0);
                     }
                     relax();
                     if injected < MAX_INJECTED_STALLS

@@ -39,7 +39,7 @@ use std::sync::Arc;
 
 use lwt_fiber::{cache, init_context, switch, switch_final, CachedStack, RawContext, StackSize};
 use lwt_metrics::registry::{emit, timestamp_if_tracing, COUNTERS, SPAWN_LATENCY};
-use lwt_metrics::EventKind;
+use lwt_metrics::{span, timeline, EventKind};
 
 /// Work-unit lifecycle states.
 pub mod state {
@@ -91,6 +91,11 @@ pub struct UltCore {
     /// Creation timestamp for the spawn-to-first-run histogram; zero
     /// when tracing is off (the stamp is skipped) or already consumed.
     spawn_ns: AtomicU64,
+    /// Causal span id ([`lwt_metrics::span`]), written once in `new`
+    /// before the Arc is shared — plain field, no atomic needed. Zero
+    /// when tracing was off at spawn; every hot-path use is gated on
+    /// that, so the disabled cost is one field load.
+    span: u64,
 }
 
 // SAFETY: interior fields follow the claim protocol — only the worker
@@ -120,6 +125,7 @@ impl UltCore {
             panic: UnsafeCell::new(None),
             wake_pending: std::sync::atomic::AtomicBool::new(false),
             spawn_ns: AtomicU64::new(timestamp_if_tracing()),
+            span: span::on_spawn(),
         });
         // SAFETY: ult_entry never returns; the data pointer is kept
         // alive by the Arc the worker holds while executing; moving the
@@ -158,6 +164,13 @@ impl UltCore {
                 SPAWN_LATENCY.record(lwt_metrics::clock::now_ns().saturating_sub(t0));
             }
         }
+    }
+
+    /// The causal span id assigned at spawn (0 when tracing was off).
+    /// Joiners pass this to [`lwt_metrics::span::on_join`].
+    #[must_use]
+    pub fn span_id(&self) -> u64 {
+        self.span
     }
 
     /// Whether the ULT has completed.
@@ -236,6 +249,9 @@ impl Drop for WorkerGuard {
     fn drop(&mut self) {
         // SAFETY: ctx is live until the Box::from_raw below.
         emit(EventKind::EsStop, unsafe { (*self.ctx).worker_id } as u64);
+        // Close the time-accounting books: stop extrapolating this
+        // worker's in-progress state once it leaves the loop.
+        timeline::retire();
         WORKER.with(|c| c.set(std::ptr::null_mut()));
         // SAFETY: created by Box::into_raw in enter_worker; no ULT is
         // running when the worker loop exits.
@@ -259,6 +275,7 @@ pub fn enter_worker(worker_id: usize, requeue: Arc<dyn Requeue>) -> WorkerGuard 
         c.set(ctx);
     });
     emit(EventKind::EsStart, worker_id as u64);
+    timeline::enter(timeline::WorkerState::Dispatch);
     WorkerGuard { ctx }
 }
 
@@ -330,6 +347,11 @@ pub fn run_ult(ult: &Arc<UltCore>) -> bool {
         return false;
     }
     ult.record_first_run();
+    if ult.span != 0 {
+        // The unit's events (and any spans it spawns) attribute to it.
+        span::set_current(ult.span);
+    }
+    timeline::enter(timeline::WorkerState::Busy);
     emit(EventKind::UltRun, 0);
     // SAFETY: the claim grants exclusive execution; `ctx` holds the
     // suspended (or bootstrap) context; `w` is live for the whole loop.
@@ -338,6 +360,13 @@ pub fn run_ult(ult: &Arc<UltCore>) -> bool {
         let target = *ult.ctx.get();
         switch(&mut (*w).sched_ctx, target);
         process_post(w);
+    }
+    timeline::enter(timeline::WorkerState::Dispatch);
+    if lwt_metrics::tracing_enabled() {
+        // Back in scheduler context; `yield_to` chains may have left a
+        // different span current, so clear unconditionally under the
+        // tracing gate.
+        span::set_current(span::NO_SPAN);
     }
     true
 }
@@ -357,6 +386,8 @@ unsafe extern "sysv64" fn ult_entry(data: *mut u8) -> ! {
         // SAFETY: still exclusive until TERMINATED.
         unsafe { *ult.panic.get() = Some(p) };
     }
+    // Final segment ends here, on whichever worker ran it.
+    span::on_complete(ult.span);
 
     // Re-fetch: yields may have migrated us to another worker.
     let w = worker_ptr();
@@ -420,6 +451,9 @@ pub fn yield_to(target: &Arc<UltCore>) -> bool {
     COUNTERS.yields.inc();
     emit(EventKind::Yield, 0);
     target.record_first_run();
+    if target.span != 0 {
+        span::set_current(target.span);
+    }
     emit(EventKind::UltRun, 0);
     // SAFETY: same protocol as yield_now, with control landing in the
     // claimed target; the target's resume path (or entry) performs our

@@ -1,0 +1,205 @@
+//! Causal-span integrity across backends: a root unit spawned from the
+//! master carries a fresh span with no parent; children it spawns link
+//! to the root's span even when their run segments migrate between
+//! workers; completion and join edges only ever reference spans that
+//! were actually spawned.
+//!
+//! One `#[test]` on purpose: tracing is a process-global flag and the
+//! assertions scan every event ring, so the whole scenario runs
+//! sequentially inside a single test binary.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use lwt::metrics::registry::{rings, set_tracing};
+use lwt::metrics::EventKind;
+use lwt::{BackendKind, Glt};
+
+const CHILDREN: u64 = 24;
+
+/// Every retained `SpanSpawn` edge, child id → parent id. Spawn events
+/// are emitted exactly once per allocated id, so a duplicate means the
+/// allocator or a ring double-recorded.
+fn spawn_edges() -> HashMap<u64, u64> {
+    let mut edges = HashMap::new();
+    for ring in rings() {
+        for e in ring.snapshot() {
+            if e.kind == EventKind::SpanSpawn {
+                let prev = edges.insert(e.span, e.arg);
+                assert!(prev.is_none(), "span {} spawned twice", e.span);
+            }
+        }
+    }
+    edges
+}
+
+/// All span ids referenced by events of `kind` (`SpanComplete` /
+/// `SpanJoin`, where the ring event's span field is the subject).
+fn spans_referenced(kind: EventKind) -> HashSet<u64> {
+    let mut spans = HashSet::new();
+    for ring in rings() {
+        for e in ring.snapshot() {
+            if e.kind == kind {
+                spans.insert(e.span);
+            }
+        }
+    }
+    spans
+}
+
+/// Unwrap the shared handle and drain. The child closures each held a
+/// clone; they are dropped when the closure body returns, strictly
+/// before the join latch trips, so after every join the count is back
+/// to one — the retry only covers the last drop racing this thread.
+fn finalize(mut glt: Arc<Glt>) {
+    for _ in 0..1000 {
+        match Arc::try_unwrap(glt) {
+            Ok(g) => {
+                g.finalize().expect("clean drain");
+                return;
+            }
+            Err(shared) => {
+                glt = shared;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+    panic!("Glt clones still alive after all units joined");
+}
+
+/// Check the edges a backend run added on top of `before`: exactly one
+/// new root (parent 0, spawned from the master thread), every other
+/// new span a child of that root, and — the scan running after a clean
+/// drain — a completion edge for each. Returns the new ids.
+fn assert_tree(
+    label: &str,
+    before: &HashMap<u64, u64>,
+    expect_joins: bool,
+) -> HashSet<u64> {
+    let after = spawn_edges();
+    let new: HashMap<u64, u64> = after
+        .iter()
+        .filter(|(id, _)| !before.contains_key(*id))
+        .map(|(&id, &parent)| (id, parent))
+        .collect();
+    assert_eq!(
+        new.len() as u64,
+        CHILDREN + 1,
+        "{label}: one root + {CHILDREN} children must each allocate a span"
+    );
+    let roots: Vec<u64> = new
+        .iter()
+        .filter(|(_, &parent)| parent == 0)
+        .map(|(&id, _)| id)
+        .collect();
+    assert_eq!(roots.len(), 1, "{label}: exactly one parentless root span");
+    let root = roots[0];
+    for (&id, &parent) in &new {
+        if id != root {
+            assert_eq!(
+                parent, root,
+                "{label}: child {id} must link to the root span even after \
+                 its segments migrated between workers"
+            );
+        }
+    }
+    let completed = spans_referenced(EventKind::SpanComplete);
+    for &id in new.keys() {
+        assert!(completed.contains(&id), "{label}: span {id} never completed");
+    }
+    if expect_joins {
+        let joined = spans_referenced(EventKind::SpanJoin);
+        let joined_children = new
+            .keys()
+            .filter(|&&id| id != root && joined.contains(&id))
+            .count() as u64;
+        assert_eq!(
+            joined_children, CHILDREN,
+            "{label}: every child join must record its dependency edge"
+        );
+    }
+    new.keys().copied().collect()
+}
+
+#[test]
+fn span_parent_child_integrity_across_backends() {
+    set_tracing(true);
+
+    // Unified-API backends whose units all carry spans. Converse maps
+    // Glt ULTs to span-less messages by design — covered below through
+    // its native CthCreate path instead.
+    for kind in [
+        BackendKind::Argobots,
+        BackendKind::Qthreads,
+        BackendKind::MassiveThreads,
+        BackendKind::Go,
+    ] {
+        let before = spawn_edges();
+        let glt = Arc::new(Glt::builder(kind).workers(3).build());
+        let g2 = Arc::clone(&glt);
+        let root = glt.ult_create(move || {
+            let handles: Vec<_> = (0..CHILDREN)
+                .map(|i| {
+                    let g3 = Arc::clone(&g2);
+                    g2.ult_create(move || {
+                        // Force a reschedule so segments can migrate
+                        // off the spawning worker (no-op on Go).
+                        g3.yield_now();
+                        i
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).sum::<u64>()
+        });
+        assert_eq!(root.join(), CHILDREN * (CHILDREN - 1) / 2, "backend {kind}");
+        finalize(glt);
+        // Go joins through a latch-backed slot with no span access, so
+        // it records no join edges; the other backends must.
+        assert_tree(kind.name(), &before, kind != BackendKind::Go);
+    }
+
+    // Converse, natively: a message (atomic, span-less) creates the
+    // root ULT, which spawns and joins child ULTs on its processor.
+    let before = spawn_edges();
+    let rt = lwt::converse::Runtime::init(lwt::converse::Config {
+        num_processors: 2,
+        ..Default::default()
+    });
+    let sum = Arc::new(AtomicU64::new(0));
+    let (rt2, sum2) = (rt.clone(), Arc::clone(&sum));
+    rt.send(0, move || {
+        let rt3 = rt2.clone();
+        let sum3 = Arc::clone(&sum2);
+        let _ = rt2.spawn_ult(move || {
+            let handles: Vec<_> = (0..CHILDREN)
+                .map(|i| {
+                    rt3.spawn_ult(move || {
+                        lwt::converse::yield_now();
+                        i
+                    })
+                })
+                .collect();
+            let total: u64 = handles.into_iter().map(|h| h.join()).sum();
+            sum3.store(total, Ordering::Release);
+        });
+    });
+    rt.barrier();
+    assert_eq!(sum.load(Ordering::Acquire), CHILDREN * (CHILDREN - 1) / 2);
+    rt.shutdown();
+    assert_tree("converse (native)", &before, true);
+
+    // Global closure: every completion and join edge anywhere in the
+    // rings references a span that was actually spawned.
+    let edges = spawn_edges();
+    for kind in [EventKind::SpanComplete, EventKind::SpanJoin] {
+        for span in spans_referenced(kind) {
+            assert!(
+                edges.contains_key(&span),
+                "{} references unspawned span {span}",
+                kind.name()
+            );
+        }
+    }
+}
