@@ -58,7 +58,7 @@ echo "== tier1: concurrency model check (--cfg lwt_model, bounded)"
 CARGO_TARGET_DIR=target/lwt-model \
     RUSTFLAGS="${RUSTFLAGS:-} --cfg lwt_model" \
     timeout 600 cargo test -q --offline -p lwt-model
-echo "   ok: model suites green (engine + chase_lev + injector + sync + stack cache + park)"
+echo "   ok: model suites green (engine + chase_lev + injector + sync + stack cache + park + waker)"
 
 echo "== tier1: trace-export smoke (LWT_TRACE=1)"
 # One real microbench run with tracing on must produce a parseable
@@ -101,6 +101,18 @@ for seed in 7 1234 3735928559; do
         cargo test -q --offline --test failure_injection >/dev/null
 done
 echo "   ok: failure-injection suite green under 3 chaos seeds"
+
+echo "== tier1: async-bridge smoke (futures + blocking pool, all backends)"
+# The async_ subset of the GLT conformance suite drives spawn_async and
+# spawn_blocking across all five backends, then replays under a pinned
+# chaos seed with the async fault sites live: AsyncSpuriousWake
+# double-enqueues task cells (the begin_poll claim must reject the
+# stale entry) and AsyncPollDelay widens the poll/wake race window (the
+# coalesce path must not lose the wake).
+cargo test -q --offline --test glt_conformance async_ >/dev/null
+LWT_CHAOS_SEED=20160926 \
+    cargo test -q --offline --test glt_conformance async_ >/dev/null
+echo "   ok: async conformance green, plus chaos-seeded spurious-wake replay"
 
 echo "== tier1: watchdog smoke (LWT_WATCHDOG=1, healthy workload)"
 # The stall watchdog on a healthy tier-1 workload must report nothing:

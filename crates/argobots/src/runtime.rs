@@ -9,7 +9,7 @@ use lwt_metrics::registry::{emit, timestamp_if_tracing, COUNTERS};
 use lwt_metrics::EventKind;
 use lwt_sched::ParkGroup;
 use lwt_sync::SpinLock;
-use lwt_ultcore::{join_within, DrainError, Straggler, ABANDON_GRACE};
+use lwt_ultcore::{join_within, DrainError, PollTask, Straggler, TaskResched, ABANDON_GRACE};
 
 use crate::pool::{Pool, PoolPolicy, PoolShared};
 use crate::sched::Scheduler;
@@ -268,6 +268,40 @@ impl Runtime {
         }
         pool.push(Unit::Ult(inner.clone()));
         UltHandle { inner, result }
+    }
+
+    /// Enqueue a stackless poll task, dispatched like a tasklet:
+    /// round-robin over pools under the private policy, the single
+    /// pool otherwise. Wakes re-enter through the same path, so a
+    /// task may migrate between streams across polls (pools are the
+    /// placement unit, exactly as for `ABT_task_create`).
+    pub fn post_task(&self, task: Arc<dyn PollTask>) {
+        self.next_pool().push(Unit::Task(task));
+    }
+
+    /// Enqueue a stackless poll task into the pool of a specific
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range.
+    pub fn post_task_to(&self, stream: usize, task: Arc<dyn PollTask>) {
+        self.pool_of_stream(stream).push(Unit::Task(task));
+    }
+
+    /// A reschedule hook posting via [`Runtime::post_task`]; holds the
+    /// runtime alive so late wakes (after user drop) still land.
+    #[must_use]
+    pub fn task_poster(&self) -> TaskResched {
+        let rt = self.clone();
+        Arc::new(move |t| rt.post_task(t))
+    }
+
+    /// A reschedule hook pinning every (re)schedule to `stream`'s pool.
+    #[must_use]
+    pub fn task_poster_to(&self, stream: usize) -> TaskResched {
+        let rt = self.clone();
+        Arc::new(move |t| rt.post_task_to(stream, t))
     }
 
     /// Create a tasklet (`ABT_task_create`): a stackless work unit that

@@ -19,6 +19,7 @@ impl std::fmt::Debug for WorkUnit {
         f.write_str(match self.0 {
             Unit::Ult(_) => "WorkUnit(ULT)",
             Unit::Tasklet(_) => "WorkUnit(Tasklet)",
+            Unit::Task(_) => "WorkUnit(Task)",
         })
     }
 }

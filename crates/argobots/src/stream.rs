@@ -175,6 +175,12 @@ pub(crate) fn es_main(shared: &StreamShared) {
 /// `es` must be this thread's live `EsCtx` with no outstanding `&mut`.
 unsafe fn execute(es: *mut EsCtx, unit: Unit) {
     match unit {
+        Unit::Task(t) => {
+            // The task's state machine is its claim CAS (begin_poll
+            // fails on a stale hint) and run() does its own timeline,
+            // span, and metrics bookkeeping.
+            t.run();
+        }
         Unit::Tasklet(t) => {
             if !t.claim() {
                 return; // stale hint

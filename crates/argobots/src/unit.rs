@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use lwt_fiber::{CachedStack, RawContext};
 use lwt_metrics::registry::SPAWN_LATENCY;
-use lwt_ultcore::JoinError;
+use lwt_ultcore::{JoinError, PollTask};
 
 use crate::pool::PoolShared;
 
@@ -138,6 +138,11 @@ impl TaskletInner {
 pub(crate) enum Unit {
     Ult(Arc<UltInner>),
     Tasklet(Arc<TaskletInner>),
+    /// Stackless poll task (`Glt::spawn_async` bridge). Like a tasklet
+    /// it runs atomically on the stream's own stack; unlike one it may
+    /// be re-queued many times (one entry per scheduled poll), with
+    /// staleness handled by the task's own state machine.
+    Task(Arc<dyn PollTask>),
 }
 
 /// Slot the spawned closure writes its result into; synchronized by the

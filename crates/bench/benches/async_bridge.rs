@@ -1,0 +1,125 @@
+//! Async-bridge study: the spawn/join round-trip cost of the three
+//! execution models the unified API now offers — stackful ULTs
+//! (`ult_create`), stackless run-to-completion tasklets
+//! (`tasklet_create`), and stackless futures (`spawn_async`) — on every
+//! backend, plus the wake→requeue→repoll cycle and the `spawn_blocking`
+//! OS-thread handoff.
+//!
+//! The interesting comparison is the gap between `tasklet_create` and
+//! `spawn_async`: both are stackless, but the future pays for its waker
+//! plumbing (task-cell state machine + vtable) even when it completes
+//! on the first poll. The `rewake` series then prices what that
+//! plumbing buys — a unit that can leave the worker and come back.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use lwt_bench::{black_box, BenchmarkId, Harness};
+use lwt_core::{BackendKind, Glt};
+
+/// Work units spawned (and joined) per timed iteration.
+const BATCH: usize = 256;
+
+/// Self-waking future: returns `Pending` (after `wake_by_ref`) the
+/// first `remaining` polls, exercising the full reschedule cycle.
+struct YieldSome {
+    remaining: usize,
+    value: usize,
+}
+
+impl Future for YieldSome {
+    type Output = usize;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<usize> {
+        let this = self.get_mut();
+        if this.remaining == 0 {
+            Poll::Ready(this.value)
+        } else {
+            this.remaining -= 1;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+const EXPECTED: usize = BATCH * (BATCH - 1) / 2;
+
+fn spawn_paths(h: &mut Harness) {
+    let mut group = h.benchmark_group("async_bridge");
+    lwt_bench::tune(&mut group);
+
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind).workers(2).build();
+
+        group.bench_with_input(BenchmarkId::new("ult_create", kind), &glt, |b, glt| {
+            b.iter(|| {
+                let hs: Vec<_> = (0..BATCH).map(|i| glt.ult_create(move || i)).collect();
+                let sum: usize = hs.into_iter().map(|h| h.join()).sum();
+                assert_eq!(black_box(sum), EXPECTED);
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("tasklet_create", kind), &glt, |b, glt| {
+            b.iter(|| {
+                let hs: Vec<_> = (0..BATCH).map(|i| glt.tasklet_create(move || i)).collect();
+                let sum: usize = hs.into_iter().map(|h| h.join()).sum();
+                assert_eq!(black_box(sum), EXPECTED);
+            });
+        });
+
+        // Ready on the first poll: the pure bridge overhead (task cell
+        // allocation, state machine, waker vtable) with zero rewakes.
+        group.bench_with_input(BenchmarkId::new("spawn_async", kind), &glt, |b, glt| {
+            b.iter(|| {
+                let hs: Vec<_> = (0..BATCH).map(|i| glt.spawn_async(async move { i })).collect();
+                let sum: usize = hs.into_iter().map(|h| h.join()).sum();
+                assert_eq!(black_box(sum), EXPECTED);
+            });
+        });
+
+        // Four self-wakes per future: prices the wake→requeue→repoll
+        // cycle through the backend's ready queue.
+        group.bench_with_input(
+            BenchmarkId::new("spawn_async_rewake4", kind),
+            &glt,
+            |b, glt| {
+                b.iter(|| {
+                    let hs: Vec<_> = (0..BATCH)
+                        .map(|i| {
+                            glt.spawn_async(YieldSome {
+                                remaining: 4,
+                                value: i,
+                            })
+                        })
+                        .collect();
+                    let sum: usize = hs.into_iter().map(|h| h.join()).sum();
+                    assert_eq!(black_box(sum), EXPECTED);
+                });
+            },
+        );
+
+        glt.finalize().expect("clean drain");
+    }
+    group.finish();
+}
+
+fn blocking_handoff(h: &mut Harness) {
+    let mut group = h.benchmark_group("async_bridge_blocking");
+    lwt_bench::tune(&mut group);
+
+    // The blocking pool is process-global and backend-independent; one
+    // backend suffices to price the inject→park/unpark→fulfill path.
+    let glt = Glt::builder(BackendKind::Argobots).workers(2).build();
+    group.bench_with_input(BenchmarkId::new("spawn_blocking", 64usize), &glt, |b, glt| {
+        b.iter(|| {
+            let hs: Vec<_> = (0..64).map(|i| glt.spawn_blocking(move || i)).collect();
+            let sum: usize = hs.into_iter().map(|h| h.join()).sum();
+            assert_eq!(black_box(sum), 64 * 63 / 2);
+        });
+    });
+    glt.finalize().expect("clean drain");
+    group.finish();
+}
+
+lwt_bench::bench_main!(spawn_paths, blocking_handoff);

@@ -75,10 +75,23 @@ pub enum FaultSite {
     /// (`lwt_sched::ParkGroup::park`). Exercises the re-check path
     /// every wake — spurious or real — must survive.
     SpuriousUnpark = 6,
+    /// A future task that just parked (its poll returned `Pending`
+    /// and the runner transitioned it back to idle) is immediately
+    /// re-woken with no progress attached, forcing an extra poll
+    /// round trip (`lwt_ultcore::task`). Exercises the
+    /// idle→scheduled→poll→`Pending` cycle every spurious wake — the
+    /// waker contract futures must survive — and the wake/requeue
+    /// race with a concurrent real waker.
+    AsyncSpuriousWake = 7,
+    /// A worker yields its OS timeslice right before polling a future
+    /// task (`lwt_ultcore::task`), widening the window in which wakes
+    /// land on a SCHEDULED/RUNNING task and must coalesce rather than
+    /// double-queue.
+    AsyncPollDelay = 8,
 }
 
 /// Number of distinct fault sites.
-pub const NUM_SITES: usize = 7;
+pub const NUM_SITES: usize = 9;
 
 impl FaultSite {
     /// All sites, in discriminant order.
@@ -90,6 +103,8 @@ impl FaultSite {
         FaultSite::FebSpuriousWake,
         FaultSite::YieldPoint,
         FaultSite::SpuriousUnpark,
+        FaultSite::AsyncSpuriousWake,
+        FaultSite::AsyncPollDelay,
     ];
 
     /// Stable display name.
@@ -103,6 +118,8 @@ impl FaultSite {
             FaultSite::FebSpuriousWake => "FebSpuriousWake",
             FaultSite::YieldPoint => "YieldPoint",
             FaultSite::SpuriousUnpark => "SpuriousUnpark",
+            FaultSite::AsyncSpuriousWake => "AsyncSpuriousWake",
+            FaultSite::AsyncPollDelay => "AsyncPollDelay",
         }
     }
 
@@ -120,7 +137,9 @@ impl FaultSite {
     /// regions of the seed space, so one site's schedule says nothing
     /// about another's.
     const fn salt(self) -> u64 {
-        // Large odd constants, pairwise distant.
+        // Large odd constants, pairwise distant. Appending entries for
+        // new sites never perturbs existing sites' seed streams, so
+        // pinned chaos schedules survive engine growth.
         [
             0x9E6C_A7E3_5F0E_4B11,
             0x2545_F491_4F6C_DD1D,
@@ -129,6 +148,8 @@ impl FaultSite {
             0x5851_F42D_4C95_7F2D,
             0x14057B7E_F767_814F,
             0xA076_1D64_78BD_642F,
+            0x6C62_272E_07BB_0143,
+            0x3243_F6A8_885A_308D,
         ][self as usize]
     }
 }
@@ -142,6 +163,8 @@ static RATE: AtomicU64 = AtomicU64::new(DEFAULT_RATE_PERCENT);
 /// counter allocates schedule indices; *which worker* draws index `i`
 /// varies run to run, but whether index `i` injects does not.
 static SEQ: [AtomicU64; NUM_SITES] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

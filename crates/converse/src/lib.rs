@@ -59,8 +59,8 @@ use lwt_metrics::EventKind;
 use lwt_sched::{Injector, ParkGroup, RoundRobin};
 use lwt_sync::{SenseBarrier, SpinLock};
 use lwt_ultcore::{
-    enter_worker, join_within, run_ult, wait_until, DrainError, Requeue, ResultCell, Straggler,
-    UltCore, ABANDON_GRACE,
+    enter_worker, join_within, run_ult, wait_until, DrainError, PollTask, Requeue, ResultCell,
+    Straggler, TaskResched, UltCore, ABANDON_GRACE,
 };
 
 pub use lwt_ultcore::{current_worker as current_processor, in_ult, yield_now, JoinError};
@@ -99,6 +99,11 @@ enum ConvUnit {
     Message(Box<dyn FnOnce() + Send + 'static>),
     /// Stackful ULT (`CthThread`).
     Ult(Arc<UltCore>),
+    /// Stackless poll task (`Glt::spawn_async` bridge). Executes
+    /// message-like — atomically, no suspension — which is exactly a
+    /// `Future`'s poll contract, so it obeys the insertion rule the
+    /// same way messages do: any caller may enqueue one anywhere.
+    Task(Arc<dyn PollTask>),
 }
 
 struct Proc {
@@ -288,6 +293,48 @@ impl Runtime {
         F: FnOnce() + Send + 'static,
     {
         self.send(self.inner.rr.next(), f);
+    }
+
+    /// Enqueue a stackless poll task: the calling processor's own
+    /// queue when called from one, otherwise round-robin like a master
+    /// dispatch. Each scheduled poll counts as outstanding work, so a
+    /// [`Runtime::barrier`] waits for already-queued polls (but not for
+    /// tasks parked on an external wake — those are not queued work).
+    pub fn post_task(&self, task: Arc<dyn PollTask>) {
+        match current_processor() {
+            Some(p) if p < self.inner.procs.len() => self.post_task_to(p, task),
+            _ => self.post_task_to(self.inner.rr.next(), task),
+        }
+    }
+
+    /// Enqueue a stackless poll task onto a specific processor's queue.
+    /// Tasks are message-like (stackless, executed atomically), so any
+    /// caller may target any processor — the paper's insertion rule
+    /// restricts only stackful ULTs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn post_task_to(&self, proc: usize, task: Arc<dyn PollTask>) {
+        self.inner.outstanding.fetch_add(1, Ordering::AcqRel);
+        self.inner.procs[proc].queue.push(ConvUnit::Task(task));
+        self.inner.park.notify_worker(proc);
+    }
+
+    /// A reschedule hook posting via [`Runtime::post_task`]; holds the
+    /// runtime alive so late wakes (after user drop) still land.
+    #[must_use]
+    pub fn task_poster(&self) -> TaskResched {
+        let rt = self.clone();
+        Arc::new(move |t| rt.post_task(t))
+    }
+
+    /// A reschedule hook pinning every (re)schedule to processor
+    /// `proc`.
+    #[must_use]
+    pub fn task_poster_to(&self, proc: usize) -> TaskResched {
+        let rt = self.clone();
+        Arc::new(move |t| rt.post_task_to(proc, t))
     }
 
     /// Create a ULT on the *calling* processor's queue (`CthCreate`).
@@ -504,6 +551,14 @@ fn proc_main(inner: &Arc<RtInner>, p: usize) {
                 if claimed && u.is_terminated() {
                     inner.outstanding.fetch_sub(1, Ordering::AcqRel);
                 }
+            }
+            Some(ConvUnit::Task(t)) => {
+                backoff.reset();
+                // One queued poll, one execution: run() emits its own
+                // timeline/metrics; a wake that requeues the task goes
+                // back through post_task and re-increments outstanding.
+                t.run();
+                inner.outstanding.fetch_sub(1, Ordering::AcqRel);
             }
             None => {
                 // Quiescent? Serve a pending barrier episode.

@@ -1,0 +1,173 @@
+//! The unified error surface of the GLT layer.
+//!
+//! Every fallible operation of [`crate::Glt`] reports through one of
+//! the types collected here, all with consistent [`std::fmt::Display`]
+//! and [`std::error::Error::source`] implementations so callers can
+//! `?`-propagate into `Box<dyn Error>` without per-backend special
+//! cases. The join/drain types are defined in `lwt-ultcore` (the
+//! backends share them natively) and re-exported; the spawn-side types
+//! live here.
+
+use crate::glt::BackendKind;
+
+/// Panic payload surfaced by the fallible joins ([`crate::GltHandle::try_join`]
+/// and every backend handle's `try_join`) — one type across all five
+/// runtimes.
+///
+/// ```
+/// use lwt_core::{error::JoinError, BackendKind, Glt};
+///
+/// let glt = Glt::builder(BackendKind::Go).workers(1).build();
+/// let boom = glt.ult_create(|| -> u32 { panic!("unit failed") });
+/// let err: JoinError = boom.try_join().unwrap_err();
+/// assert!(err.to_string().contains("panicked"));
+/// glt.finalize().expect("clean drain");
+/// ```
+pub use lwt_ultcore::JoinError;
+
+/// Bounded-drain failure from [`crate::Glt::finalize`] (and every
+/// backend's `shutdown_within`): the deadline expired with work still
+/// pending, and the straggler table says where.
+///
+/// ```
+/// use std::time::Duration;
+/// use lwt_core::error::{DrainError, Straggler};
+///
+/// let err = DrainError {
+///     waited: Duration::from_millis(50),
+///     stragglers: vec![Straggler { worker: 1, pending: 3, what: "ready queue" }],
+/// };
+/// assert!(err.to_string().contains("worker 1"));
+/// assert!(std::error::Error::source(&err).is_none());
+/// ```
+pub use lwt_ultcore::DrainError;
+
+/// One row of a [`DrainError`] straggler table.
+pub use lwt_ultcore::Straggler;
+
+/// The `spawn_blocking` OS-thread pool could not accept a job (see
+/// [`crate::Glt::try_spawn_blocking`]).
+///
+/// ```
+/// use lwt_core::error::BlockingPoolError;
+///
+/// assert!(BlockingPoolError::Disabled.to_string().contains("disabled"));
+/// assert!(std::error::Error::source(&BlockingPoolError::SpawnFailed).is_none());
+/// ```
+pub use lwt_ultcore::BlockingPoolError;
+
+/// Error from placement-aware creation ([`crate::Glt::ult_create_to`]).
+///
+/// ```
+/// use lwt_core::{error::PlacementError, BackendKind, Glt};
+///
+/// let glt = Glt::builder(BackendKind::Go).workers(1).build();
+/// // Go hides its processors: placement is rejected up front.
+/// let err = glt.ult_create_to(0, || ()).unwrap_err();
+/// assert!(matches!(err, PlacementError::Unsupported(BackendKind::Go)));
+/// assert!(err.to_string().contains("placement"));
+/// glt.finalize().expect("clean drain");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The backend exposes no work-unit placement: MassiveThreads
+    /// decides placement with its work-first scheduler, and Go hides
+    /// its processors entirely (paper Table I, "Scheduling Control").
+    Unsupported(BackendKind),
+    /// `worker` is not a valid execution-resource index.
+    OutOfRange {
+        /// Requested worker index.
+        worker: usize,
+        /// Number of execution resources in this runtime.
+        workers: usize,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::Unsupported(kind) => {
+                write!(f, "backend {kind} does not support work-unit placement")
+            }
+            PlacementError::OutOfRange { worker, workers } => {
+                write!(f, "worker {worker} out of range (runtime has {workers})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// A spawn-side operation could not hand its work unit to the runtime.
+///
+/// Unifies the placement and blocking-pool failure modes behind one
+/// type so generic spawn wrappers have a single error to propagate;
+/// the underlying cause is preserved through
+/// [`std::error::Error::source`].
+///
+/// ```
+/// use lwt_core::error::{BlockingPoolError, SpawnError};
+///
+/// let err = SpawnError::from(BlockingPoolError::Disabled);
+/// assert!(err.to_string().contains("blocking pool"));
+/// // The concrete cause stays reachable through source():
+/// let src = std::error::Error::source(&err).expect("has a cause");
+/// assert!(src.downcast_ref::<BlockingPoolError>().is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpawnError {
+    /// The requested placement was invalid or unsupported.
+    Placement(PlacementError),
+    /// The `spawn_blocking` pool rejected the job.
+    BlockingPool(BlockingPoolError),
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnError::Placement(e) => write!(f, "spawn failed: {e}"),
+            SpawnError::BlockingPool(e) => write!(f, "spawn failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpawnError::Placement(e) => Some(e),
+            SpawnError::BlockingPool(e) => Some(e),
+        }
+    }
+}
+
+impl From<PlacementError> for SpawnError {
+    fn from(e: PlacementError) -> Self {
+        SpawnError::Placement(e)
+    }
+}
+
+impl From<BlockingPoolError> for SpawnError {
+    fn from(e: BlockingPoolError) -> Self {
+        SpawnError::BlockingPool(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_error_display_and_source_round_trip() {
+        let p = SpawnError::from(PlacementError::OutOfRange {
+            worker: 7,
+            workers: 2,
+        });
+        assert!(p.to_string().contains("worker 7"));
+        assert!(std::error::Error::source(&p)
+            .unwrap()
+            .downcast_ref::<PlacementError>()
+            .is_some());
+        let b = SpawnError::from(BlockingPoolError::SpawnFailed);
+        assert!(b.to_string().contains("OS thread"));
+    }
+}

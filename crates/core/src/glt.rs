@@ -6,7 +6,10 @@ use std::time::{Duration, Instant};
 use lwt_fiber::StackSize;
 use lwt_sched::{force_wait_policy, WaitPolicy};
 use lwt_sync::{Event, SpinLock};
-use lwt_ultcore::{DrainError, JoinError};
+use lwt_ultcore::task::{TaskCell, TaskOutcome, TaskResched};
+use lwt_ultcore::{blocking, DrainError, JoinError};
+
+use crate::error::{PlacementError, SpawnError};
 
 /// Which runtime model executes the work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,6 +111,16 @@ pub struct GltConfig {
     /// process-global, so an override outlives the [`Glt`] instance
     /// that set it.
     pub wait_policy: Option<WaitPolicy>,
+    /// Growth ceiling override for the [`Glt::spawn_blocking`]
+    /// OS-thread pool. `None` keeps the process-wide setting
+    /// (`LWT_BLOCKING_THREADS`, default 8); `Some(0)` disables the
+    /// pool. Like the stack cache and wait policy, the pool is
+    /// process-global, so an override outlives the [`Glt`] instance
+    /// that set it.
+    pub blocking_threads: Option<usize>,
+    /// Queue placement for [`Glt::spawn_async`] tasks (initial
+    /// schedule and waker-driven reschedules alike).
+    pub async_queue: AsyncQueuePolicy,
 }
 
 impl GltConfig {
@@ -125,6 +138,8 @@ impl GltConfig {
             scheduler: SchedPolicy::default(),
             drain_timeout: Duration::from_secs(30),
             wait_policy: None,
+            blocking_threads: None,
+            async_queue: AsyncQueuePolicy::default(),
         }
     }
 }
@@ -209,6 +224,22 @@ impl GltBuilder {
         self
     }
 
+    /// Growth ceiling for the [`Glt::spawn_blocking`] OS-thread pool
+    /// (see [`GltConfig::blocking_threads`]); `0` disables it.
+    #[must_use]
+    pub fn blocking_threads(mut self, max: usize) -> Self {
+        self.cfg.blocking_threads = Some(max);
+        self
+    }
+
+    /// Queue placement for [`Glt::spawn_async`] tasks (see
+    /// [`AsyncQueuePolicy`]).
+    #[must_use]
+    pub fn async_queue(mut self, policy: AsyncQueuePolicy) -> Self {
+        self.cfg.async_queue = policy;
+        self
+    }
+
     /// The accumulated configuration, without starting a runtime.
     #[must_use]
     pub fn config(&self) -> &GltConfig {
@@ -226,36 +257,21 @@ impl GltBuilder {
     }
 }
 
-/// Error from placement-aware creation ([`Glt::ult_create_to`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PlacementError {
-    /// The backend exposes no work-unit placement: MassiveThreads
-    /// decides placement with its work-first scheduler, and Go hides
-    /// its processors entirely (paper Table I, "Scheduling Control").
-    Unsupported(BackendKind),
-    /// `worker` is not a valid execution-resource index.
-    OutOfRange {
-        /// Requested worker index.
-        worker: usize,
-        /// Number of execution resources in this runtime.
-        workers: usize,
-    },
+/// Where [`Glt::spawn_async`] tasks are queued, both for the initial
+/// schedule and for every waker-driven reschedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AsyncQueuePolicy {
+    /// Spread polls over the execution resources: the caller's own
+    /// queue when spawned or woken from a worker, round-robin dispatch
+    /// otherwise — the same placement the backend's `ult_create` uses.
+    #[default]
+    RoundRobin,
+    /// Pin every poll to one execution resource. Useful when the
+    /// future touches worker-local state or to keep a latency-critical
+    /// task out of the steal traffic. Validated against the worker
+    /// count at [`GltBuilder::build`] time.
+    Pinned(usize),
 }
-
-impl std::fmt::Display for PlacementError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PlacementError::Unsupported(kind) => {
-                write!(f, "backend {kind} does not support work-unit placement")
-            }
-            PlacementError::OutOfRange { worker, workers } => {
-                write!(f, "worker {worker} out of range (runtime has {workers})")
-            }
-        }
-    }
-}
-
-impl std::error::Error for PlacementError {}
 
 enum Backend {
     Argobots(lwt_argobots::Runtime),
@@ -271,14 +287,19 @@ struct EventSlot<T> {
     done: Event,
     value: SpinLock<Option<T>>,
     panicked: SpinLock<Option<Box<dyn std::any::Any + Send>>>,
+    /// Causal span of the work unit (0 when tracing was off at spawn);
+    /// carried here so joins through event-backed handles record the
+    /// same join edge the native handles do.
+    span: u64,
 }
 
 impl<T> EventSlot<T> {
-    fn new() -> Arc<Self> {
+    fn new(span: u64) -> Arc<Self> {
         Arc::new(EventSlot {
             done: Event::new(),
             value: SpinLock::new(None),
             panicked: SpinLock::new(None),
+            span,
         })
     }
 
@@ -292,11 +313,28 @@ impl<T> EventSlot<T> {
 
     fn try_wait(&self, relax: impl FnMut()) -> Result<T, JoinError> {
         self.done.wait(relax);
+        lwt_metrics::span::on_join(self.span);
         if let Some(p) = self.panicked.lock().take() {
             return Err(JoinError::new(p));
         }
         Ok(self.value.lock().take().expect("GLT result missing"))
     }
+}
+
+/// Run `f` with `span` current on the executing thread, completing the
+/// span afterwards — the execution-side half of the causal trace for
+/// work units that travel as bare closures (Converse messages, blocking
+/// jobs) instead of span-carrying ULT structures.
+fn run_spanned<T>(span: u64, f: impl FnOnce() -> T) -> T {
+    if span != 0 {
+        lwt_metrics::span::set_current(span);
+    }
+    let out = f();
+    lwt_metrics::span::on_complete(span);
+    if span != 0 {
+        lwt_metrics::span::set_current(lwt_metrics::span::NO_SPAN);
+    }
+    out
 }
 
 /// Join handle returned by [`Glt::ult_create`] / [`Glt::tasklet_create`].
@@ -315,8 +353,12 @@ enum HandleInner<T> {
     Qth(lwt_qthreads::Handle<T>),
     /// MassiveThreads handle.
     Myth(lwt_massive::Handle<T>),
-    /// Event-backed completion (Converse messages, goroutines).
+    /// Event-backed completion (Converse messages, goroutines,
+    /// blocking-pool jobs).
     Event(Arc<EventSlot<T>>, BackendKind),
+    /// Stackless future spawned with [`Glt::spawn_async`]; completion
+    /// is the task cell's own done event.
+    Async(Arc<dyn TaskOutcome<T>>, BackendKind),
 }
 
 impl<T> From<HandleInner<T>> for GltHandle<T> {
@@ -352,6 +394,14 @@ impl<T> GltHandle<T> {
             HandleInner::Qth(h) => h.try_join(),
             HandleInner::Myth(h) => h.try_join(),
             HandleInner::Event(slot, kind) => slot.try_wait(relax_for(kind)),
+            HandleInner::Async(outcome, kind) => {
+                outcome.done().wait(relax_for(kind));
+                lwt_metrics::span::on_join(outcome.span_id());
+                match outcome.take().expect("async result already taken") {
+                    Ok(v) => Ok(v),
+                    Err(p) => Err(JoinError::new(p)),
+                }
+            }
         }
     }
 
@@ -373,6 +423,7 @@ impl<T> GltHandle<T> {
             HandleInner::Qth(h) => h.is_finished(),
             HandleInner::Myth(h) => h.is_finished(),
             HandleInner::Event(slot, _) => slot.done.is_set(),
+            HandleInner::Async(outcome, _) => outcome.done().is_set(),
         }
     }
 
@@ -409,7 +460,10 @@ impl<T> GltHandle<T> {
                 return Err(self);
             }
             match &self.inner {
-                HandleInner::AbtUlt(_) | HandleInner::AbtTasklet(_) => {
+                HandleInner::AbtUlt(_)
+                | HandleInner::AbtTasklet(_)
+                | HandleInner::Async(_, BackendKind::Argobots)
+                | HandleInner::Event(_, BackendKind::Argobots) => {
                     if lwt_argobots::in_ult() {
                         lwt_argobots::yield_now();
                     }
@@ -433,29 +487,24 @@ impl<T> std::fmt::Debug for GltHandle<T> {
     }
 }
 
-/// The relax used while waiting on event-backed joins: yield the ULT
-/// when waiting from inside one, else yield the OS thread.
+/// The relax used while waiting on event-backed and async joins: yield
+/// the ULT when waiting from inside one, else yield the OS thread. Go
+/// deliberately exposes no yield, but a GLT join still must not wedge a
+/// scheduler thread when called from inside a goroutine, so the
+/// fallback arm reaches for the shared-core reschedule the ultcore
+/// backends (Qthreads/MassiveThreads/Converse/Go) all use; Argobots
+/// keeps its own fiber layer and needs its own yield.
 fn relax_for(kind: BackendKind) -> impl FnMut() {
     let mut escalate = lwt_sync::AdaptiveRelax::new();
     move || {
         match kind {
+            BackendKind::Argobots if lwt_argobots::in_ult() => lwt_argobots::yield_now(),
             BackendKind::Converse if lwt_converse::in_ult() => lwt_converse::yield_now(),
-            BackendKind::Go if lwt_ultcore_in_ult() => lwt_go_yield(),
+            _ if lwt_ultcore::in_ult() => lwt_ultcore::yield_now(),
             _ => {}
         }
         escalate.relax();
     }
-}
-
-// Go deliberately exposes no yield; the GLT join still must not wedge a
-// scheduler thread when called from inside a goroutine, so we reach for
-// the (crate-internal) implicit reschedule the Go runtime itself uses
-// in channel operations.
-fn lwt_ultcore_in_ult() -> bool {
-    lwt_ultcore::in_ult()
-}
-fn lwt_go_yield() {
-    lwt_ultcore::yield_now();
 }
 
 /// The unified runtime (`GLT_init` … `GLT_finalize`).
@@ -463,6 +512,7 @@ pub struct Glt {
     backend: Backend,
     workers: usize,
     drain_timeout: Duration,
+    async_queue: AsyncQueuePolicy,
 }
 
 impl Glt {
@@ -483,8 +533,18 @@ impl Glt {
     #[must_use]
     pub fn with_config(cfg: GltConfig) -> Self {
         assert!(cfg.workers > 0, "GLT needs at least one execution resource");
+        if let AsyncQueuePolicy::Pinned(w) = cfg.async_queue {
+            assert!(
+                w < cfg.workers,
+                "async_queue pinned to worker {w} but the runtime has {} workers",
+                cfg.workers
+            );
+        }
         if let Some(cap) = cfg.stack_cache_capacity {
             lwt_fiber::cache::set_capacity(cap);
+        }
+        if let Some(max) = cfg.blocking_threads {
+            blocking::set_max_threads(max);
         }
         if let Some(policy) = cfg.wait_policy {
             // Before backend init, so workers idle under the requested
@@ -535,19 +595,8 @@ impl Glt {
             backend,
             workers: cfg.workers,
             drain_timeout: cfg.drain_timeout,
+            async_queue: cfg.async_queue,
         }
-    }
-
-    /// Initialize the chosen backend with `threads` execution resources
-    /// (streams / shepherds / workers / processors / scheduler threads).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is zero.
-    #[deprecated(note = "use `Glt::builder(kind).workers(n).build()` or `Glt::with_config`")]
-    #[must_use]
-    pub fn init(kind: BackendKind, threads: usize) -> Self {
-        Glt::builder(kind).workers(threads).build()
     }
 
     /// Number of execution resources this runtime was started with.
@@ -585,17 +634,25 @@ impl Glt {
             Backend::Qthreads(rt) => HandleInner::Qth(rt.fork_rr(f)).into(),
             Backend::Massive(rt) => HandleInner::Myth(rt.spawn(f)).into(),
             Backend::Converse(rt) => {
-                let slot = EventSlot::new();
+                // The message payload carries the trace span: Converse
+                // work units travel as bare closures, so without this
+                // the GLT spawn edge would be invisible to causal
+                // tracing (the PR-7 asymmetry vs the other backends).
+                let span = lwt_metrics::span::on_spawn();
+                let slot = EventSlot::new(span);
                 let s2 = slot.clone();
                 rt.send_rr(move || {
-                    s2.fulfill(std::panic::catch_unwind(
-                        std::panic::AssertUnwindSafe(f),
-                    ));
+                    s2.fulfill(run_spanned(span, || {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+                    }));
                 });
                 HandleInner::Event(slot, BackendKind::Converse).into()
             }
             Backend::Go(rt) => {
-                let slot = EventSlot::new();
+                // Goroutines run inside a span-carrying UltCore, so the
+                // closure inherits a span natively; the slot records no
+                // second one (0 = let the ULT's span own the trace).
+                let slot = EventSlot::new(0);
                 let s2 = slot.clone();
                 rt.go(move || {
                     s2.fulfill(std::panic::catch_unwind(
@@ -655,12 +712,14 @@ impl Glt {
             Backend::Argobots(rt) => HandleInner::AbtUlt(rt.ult_create_to(worker, f)).into(),
             Backend::Qthreads(rt) => HandleInner::Qth(rt.fork_to(worker, f)).into(),
             Backend::Converse(rt) => {
-                let slot = EventSlot::new();
+                // Span-tagged like ult_create: see the note there.
+                let span = lwt_metrics::span::on_spawn();
+                let slot = EventSlot::new(span);
                 let s2 = slot.clone();
                 rt.send(worker, move || {
-                    s2.fulfill(std::panic::catch_unwind(
-                        std::panic::AssertUnwindSafe(f),
-                    ));
+                    s2.fulfill(run_spanned(span, || {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+                    }));
                 });
                 HandleInner::Event(slot, BackendKind::Converse).into()
             }
@@ -682,6 +741,117 @@ impl Glt {
             Backend::Converse(_) => self.ult_create(f), // already a message
             _ => self.ult_create(f),
         }
+    }
+
+    /// The reschedule hook encoding this runtime's [`AsyncQueuePolicy`]:
+    /// the initial enqueue and every waker-driven requeue go through it,
+    /// so placement is decided in exactly one place.
+    fn task_resched(&self) -> TaskResched {
+        match (&self.backend, self.async_queue) {
+            (Backend::Argobots(rt), AsyncQueuePolicy::RoundRobin) => rt.task_poster(),
+            (Backend::Argobots(rt), AsyncQueuePolicy::Pinned(w)) => rt.task_poster_to(w),
+            (Backend::Qthreads(rt), AsyncQueuePolicy::RoundRobin) => rt.task_poster(),
+            (Backend::Qthreads(rt), AsyncQueuePolicy::Pinned(w)) => rt.task_poster_to(w),
+            (Backend::Massive(rt), AsyncQueuePolicy::RoundRobin) => rt.task_poster(),
+            (Backend::Massive(rt), AsyncQueuePolicy::Pinned(w)) => rt.task_poster_to(w),
+            (Backend::Converse(rt), AsyncQueuePolicy::RoundRobin) => rt.task_poster(),
+            (Backend::Converse(rt), AsyncQueuePolicy::Pinned(w)) => rt.task_poster_to(w),
+            (Backend::Go(rt), AsyncQueuePolicy::RoundRobin) => rt.task_poster(),
+            (Backend::Go(rt), AsyncQueuePolicy::Pinned(w)) => rt.task_poster_to(w),
+        }
+    }
+
+    /// Spawn a stackless `Future` onto the backend's ready queues — the
+    /// third execution model next to stackful ULTs and run-to-completion
+    /// tasklets.
+    ///
+    /// Each poll runs atomically on a scheduler worker (like a tasklet);
+    /// `Pending` parks the task *without* a stack, and the waker the
+    /// future captured re-enqueues it through the backend's own dispatch
+    /// path, so woken polls mix with ULTs and tasklets in the same
+    /// queues. The handle joins like any other GLT handle; a panic
+    /// inside `poll` surfaces at [`GltHandle::try_join`] as a
+    /// [`JoinError`].
+    ///
+    /// ```
+    /// use lwt_core::{BackendKind, Glt};
+    ///
+    /// let glt = Glt::builder(BackendKind::Qthreads).workers(2).build();
+    /// let h = glt.spawn_async(async { 6 * 7 });
+    /// assert_eq!(h.join(), 42);
+    /// glt.finalize().expect("clean drain");
+    /// ```
+    pub fn spawn_async<F>(&self, fut: F) -> GltHandle<F::Output>
+    where
+        F: std::future::Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let resched = self.task_resched();
+        let (outcome, task) = TaskCell::spawn(fut, resched.clone());
+        // The task is born SCHEDULED; this push is its first schedule.
+        resched(task);
+        HandleInner::Async(outcome, self.kind()).into()
+    }
+
+    /// Run `f` on an OS thread that is *allowed* to block (file I/O,
+    /// syscalls, long-running FFI) instead of wedging a scheduler
+    /// worker — the jobs go to a process-global, lazily-grown thread
+    /// pool capped by [`GltBuilder::blocking_threads`] /
+    /// `LWT_BLOCKING_THREADS`. Completion sets the handle's event, so
+    /// joiners (including ULTs and `spawn_async` futures waiting via
+    /// [`GltHandle::join_timeout`] polling) wake like any other
+    /// event-backed join.
+    ///
+    /// ```
+    /// use lwt_core::{BackendKind, Glt};
+    ///
+    /// let glt = Glt::builder(BackendKind::Go).workers(1).build();
+    /// let h = glt.spawn_blocking(|| {
+    ///     std::thread::sleep(std::time::Duration::from_millis(1));
+    ///     "done off-worker"
+    /// });
+    /// assert_eq!(h.join(), "done off-worker");
+    /// glt.finalize().expect("clean drain");
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pool rejects the job (disabled by a zero
+    /// ceiling, or the OS refused the first thread); use
+    /// [`Glt::try_spawn_blocking`] to handle that as an error.
+    pub fn spawn_blocking<T, F>(&self, f: F) -> GltHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.try_spawn_blocking(f)
+            .unwrap_or_else(|e| panic!("spawn_blocking failed: {e}"))
+    }
+
+    /// Fallible [`Glt::spawn_blocking`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpawnError::BlockingPool`] when the pool is disabled
+    /// (`blocking_threads(0)` / `LWT_BLOCKING_THREADS=0`) or had no
+    /// thread and could not start one; the closure is returned to the
+    /// caller unrun in the sense that no handle exists for it.
+    pub fn try_spawn_blocking<T, F>(&self, f: F) -> Result<GltHandle<T>, SpawnError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        // Blocking jobs travel as bare closures like Converse messages,
+        // so the span rides in the payload the same way.
+        let span = lwt_metrics::span::on_spawn();
+        let slot = EventSlot::new(span);
+        let s2 = slot.clone();
+        blocking::submit(move || {
+            s2.fulfill(run_spanned(span, || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+            }));
+        })?;
+        Ok(HandleInner::Event(slot, self.kind()).into())
     }
 
     /// Whether the backend distinguishes tasklets from ULTs (paper

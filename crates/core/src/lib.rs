@@ -48,14 +48,16 @@
 #![warn(missing_docs)]
 
 mod caps;
+pub mod error;
 mod glt;
 mod pm;
 
 pub use caps::{
     api_map, capability_matrix, ApiRow, Capabilities, SchedulerPlug,
 };
+pub use error::{BlockingPoolError, PlacementError, SpawnError};
 pub use glt::{
-    default_workers, BackendKind, Glt, GltBuilder, GltConfig, GltHandle, PlacementError,
+    default_workers, AsyncQueuePolicy, BackendKind, Glt, GltBuilder, GltConfig, GltHandle,
     SchedPolicy,
 };
 pub use pm::{Pm, TaskScope};
@@ -72,11 +74,11 @@ pub use lwt_sched::{
 };
 /// Panic payload surfaced by the fallible joins (`GltHandle::try_join`
 /// and every backend handle's `try_join`) — one type across all five
-/// runtimes.
+/// runtimes. Canonical home: [`error`].
 pub use lwt_ultcore::JoinError;
 /// Bounded-drain failure from [`Glt::finalize`] (and every backend's
 /// `shutdown_within`): the deadline expired with work still pending,
-/// and the straggler table says where.
+/// and the straggler table says where. Canonical home: [`error`].
 pub use lwt_ultcore::{DrainError, Straggler};
 
 /// Deterministic PRNGs (`SplitMix64`, `Xoshiro256StarStar`) with a

@@ -63,8 +63,8 @@ use lwt_metrics::EventKind;
 use lwt_sched::{near_first, ParkGroup, ReadyQueue};
 use lwt_sync::{Channel, CountLatch, RecvError, SendError, SpinLock};
 use lwt_ultcore::{
-    current_worker, enter_worker, in_ult, join_within, run_ult, wait_until, DrainError, Requeue,
-    Straggler, UltCore, ABANDON_GRACE,
+    current_worker, enter_worker, in_ult, join_within, run_unit, wait_until, DrainError, PollTask,
+    ReadyUnit, Requeue, Straggler, TaskResched, UltCore, ABANDON_GRACE,
 };
 
 /// Runtime configuration.
@@ -89,7 +89,9 @@ impl Default for Config {
 struct RtInner {
     /// One ready queue per scheduler thread; external spawns are
     /// injected round-robin, idle workers steal from each other.
-    queues: Vec<ReadyQueue<Arc<UltCore>>>,
+    /// Goroutines and stackless future tasks share the queues
+    /// ([`ReadyUnit`]).
+    queues: Vec<ReadyQueue<ReadyUnit>>,
     /// Idle-worker parking (wake-one); every push site notifies.
     park: ParkGroup,
     next: AtomicUsize,
@@ -172,10 +174,58 @@ impl Runtime {
             Some(w) if w < n => w,
             _ => self.inner.next.fetch_add(1, Ordering::Relaxed) % n,
         };
-        self.inner.queues[target].push(ult);
+        self.inner.queues[target].push(ult.into());
         // Push first, then wake at most one sleeper (see ParkGroup
         // docs for why this order is what prevents lost wakes).
         self.inner.park.notify_near(target);
+    }
+
+    /// Enqueue a stackless future task, picking the target queue like
+    /// [`Runtime::go`] (caller's own worker, else round-robin).
+    pub fn post_task(&self, task: Arc<dyn PollTask>) {
+        let n = self.inner.queues.len();
+        let target = match current_worker() {
+            Some(w) if w < n => w,
+            _ => self.inner.next.fetch_add(1, Ordering::Relaxed) % n,
+        };
+        self.inner.queues[target].push(ReadyUnit::Task(task));
+        self.inner.park.notify_near(target);
+    }
+
+    /// Enqueue a stackless future task on worker `worker`'s queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn post_task_to(&self, worker: usize, task: Arc<dyn PollTask>) {
+        self.inner.queues[worker].push(ReadyUnit::Task(task));
+        self.inner.park.notify_near(worker);
+    }
+
+    /// A cloneable hook that [`Runtime::post_task`]s into this runtime:
+    /// the reschedule target of every waker built over these queues.
+    /// Holds the runtime's shared state alive, so late wakes (a
+    /// blocking-pool completion after the master dropped the runtime
+    /// handle) still have somewhere to enqueue.
+    #[must_use]
+    pub fn task_poster(&self) -> TaskResched {
+        let rt = Runtime {
+            inner: self.inner.clone(),
+        };
+        Arc::new(move |t: Arc<dyn PollTask>| rt.post_task(t))
+    }
+
+    /// [`Runtime::task_poster`] pinned to one worker's queue.
+    ///
+    /// # Panics
+    ///
+    /// The returned hook panics if `worker` is out of range.
+    #[must_use]
+    pub fn task_poster_to(&self, worker: usize) -> TaskResched {
+        let rt = Runtime {
+            inner: self.inner.clone(),
+        };
+        Arc::new(move |t: Arc<dyn PollTask>| rt.post_task_to(worker, t))
     }
 
     /// Create a buffered channel (`make(chan T, cap)`); capacity 0 is
@@ -307,7 +357,7 @@ fn worker_main(inner: &Arc<RtInner>, id: usize) {
     let requeue: Arc<dyn Requeue> = {
         let q = inner.clone();
         Arc::new(move |w: usize, u: Arc<UltCore>| {
-            q.queues[w].push(u);
+            q.queues[w].push(u.into());
             q.park.notify_near(w);
         })
     };
@@ -349,7 +399,7 @@ fn worker_main(inner: &Arc<RtInner>, id: usize) {
                     std::thread::yield_now();
                 }
                 backoff.reset();
-                run_ult(&u);
+                run_unit(&u);
             }
             None => {
                 if inner.stop.load(Ordering::Acquire) {

@@ -54,8 +54,8 @@ use lwt_metrics::{clock, EventKind};
 use lwt_sched::{near_first, ParkGroup, ParkResult, RandomVictim, ReadyQueue};
 use lwt_sync::SpinLock;
 use lwt_ultcore::{
-    enter_worker, join_within, run_ult, wait_until, yield_to, DrainError, ResultCell, Requeue,
-    Straggler, UltCore, ABANDON_GRACE,
+    enter_worker, join_within, run_unit, wait_until, yield_to, DrainError, PollTask, ReadyUnit,
+    Requeue, ResultCell, Straggler, TaskResched, UltCore, ABANDON_GRACE,
 };
 
 pub use lwt_ultcore::{current_worker, in_ult, yield_now, JoinError};
@@ -94,7 +94,9 @@ impl Default for Config {
 }
 
 struct RtInner {
-    queues: Vec<ReadyQueue<Arc<UltCore>>>,
+    /// ULTs and stackless future tasks share the queues
+    /// ([`ReadyUnit`]).
+    queues: Vec<ReadyQueue<ReadyUnit>>,
     /// Idle-worker parking (wake-one); every push site notifies.
     park: ParkGroup,
     threads: SpinLock<Vec<Option<std::thread::JoinHandle<()>>>>,
@@ -236,7 +238,7 @@ impl Runtime {
             unsafe { slot.put(value) };
         });
         emit(EventKind::UltSpawn, 0);
-        self.inner.queues[0].inject(ult.clone());
+        self.inner.queues[0].inject(ult.clone().into());
         self.inner.park.notify_near(0);
         wait_until(|| ult.is_terminated());
         lwt_metrics::span::on_join(ult.span_id());
@@ -284,7 +286,7 @@ impl Runtime {
                 if !yield_to(&ult) {
                     // Claim raced (cannot normally happen for a fresh
                     // ULT); degrade to help-first.
-                    self.inner.queues[0].inject(ult.clone());
+                    self.inner.queues[0].inject(ult.clone().into());
                     self.inner.park.notify_near(0);
                 }
             }
@@ -292,18 +294,71 @@ impl Runtime {
                 // Help-first from a worker: straight onto this worker's
                 // own deque (the zero-allocation owner fast path). Wake
                 // a thief so a parked pool still spreads the load.
-                self.inner.queues[w].push(ult.clone());
+                self.inner.queues[w].push(ult.clone().into());
                 self.inner.park.notify_near(w);
             }
             (_, None) => {
                 // External thread: into worker 0's inbox, to be batched
                 // onto its deque and stolen from there (the paper's
                 // MassiveThreads (H) shape).
-                self.inner.queues[0].inject(ult.clone());
+                self.inner.queues[0].inject(ult.clone().into());
                 self.inner.park.notify_near(0);
             }
         }
         Handle { ult, result }
+    }
+
+    /// Enqueue a stackless future task: onto the calling worker's own
+    /// deque from inside the runtime (help-first shape — a polled task
+    /// cannot displace its poller), else into worker 0's inbox like an
+    /// external spawn, from where stealing spreads it.
+    pub fn post_task(&self, task: Arc<dyn PollTask>) {
+        match current_worker() {
+            Some(w) if w < self.inner.queues.len() => {
+                self.inner.queues[w].push(ReadyUnit::Task(task));
+                self.inner.park.notify_near(w);
+            }
+            _ => {
+                self.inner.queues[0].inject(ReadyUnit::Task(task));
+                self.inner.park.notify_near(0);
+            }
+        }
+    }
+
+    /// Enqueue a stackless future task on worker `worker`'s queue —
+    /// internal placement the ULT API deliberately does not expose
+    /// (the work-first scheduler owns ULT placement; tasks have no
+    /// displacement semantics, so pinning them is harmless).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn post_task_to(&self, worker: usize, task: Arc<dyn PollTask>) {
+        self.inner.queues[worker].push(ReadyUnit::Task(task));
+        self.inner.park.notify_near(worker);
+    }
+
+    /// A cloneable hook that [`Runtime::post_task`]s into this runtime;
+    /// holds the shared state alive for late wakes.
+    #[must_use]
+    pub fn task_poster(&self) -> TaskResched {
+        let rt = Runtime {
+            inner: self.inner.clone(),
+        };
+        Arc::new(move |t: Arc<dyn PollTask>| rt.post_task(t))
+    }
+
+    /// [`Runtime::task_poster`] pinned to one worker's queue.
+    ///
+    /// # Panics
+    ///
+    /// The returned hook panics if `worker` is out of range.
+    #[must_use]
+    pub fn task_poster_to(&self, worker: usize) -> TaskResched {
+        let rt = Runtime {
+            inner: self.inner.clone(),
+        };
+        Arc::new(move |t: Arc<dyn PollTask>| rt.post_task_to(worker, t))
     }
 
     /// Stop all workers and join their OS threads (`myth_fini`).
@@ -421,7 +476,7 @@ fn worker_main(inner: &Arc<RtInner>, w: usize) {
             // stealable once the owner batches the inbox onto the
             // deque — the paper's "another thread steals the main
             // task".
-            q.queues[worker].inject(u);
+            q.queues[worker].inject(u.into());
             q.park.notify_near(worker);
         })
     };
@@ -465,7 +520,7 @@ fn worker_main(inner: &Arc<RtInner>, w: usize) {
                     std::thread::yield_now();
                 }
                 backoff.reset();
-                run_ult(&u);
+                run_unit(&u);
             }
             None => {
                 if idle_since_ns == 0 {

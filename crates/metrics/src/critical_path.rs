@@ -2,7 +2,7 @@
 //!
 //! Replays the per-worker event rings after a workload quiesces and
 //! rebuilds, per span: its run **segments** (opened by `UltRun` /
-//! `TaskletExec` carrying the span, closed by the next `Yield`,
+//! `TaskletExec` / `AsyncPoll` carrying the span, closed by the next `Yield`,
 //! `SpanComplete`, segment handoff, or `EsStop` on the same worker),
 //! its spawn→first-run queue delay, and how many times it migrated
 //! between workers (adjacent segments on different workers — the
@@ -201,7 +201,10 @@ pub fn from_worker_events(workers: &[(u32, Vec<Event>)]) -> Report {
             match e.kind {
                 // A dispatch: closes whatever ran before it on this
                 // worker and (for a traced span) opens its segment.
-                EventKind::UltRun | EventKind::TaskletExec => {
+                // `AsyncPoll` is the stackless-future dispatch — one
+                // poll is one segment, closed by the `Yield` a
+                // `Pending` return emits or by `SpanComplete`.
+                EventKind::UltRun | EventKind::TaskletExec | EventKind::AsyncPoll => {
                     if let Some((s, start)) = open.take() {
                         push_segment(&mut spans, s, worker, start, e.ts_ns);
                     }

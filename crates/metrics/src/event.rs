@@ -68,11 +68,22 @@ pub enum EventKind {
     /// child's span; `arg`: the joiner's own span (0 for an external
     /// joiner). The child→joiner edge is a critical-path dependency.
     SpanJoin = 18,
+    /// A stackless future task was polled by a worker (the async
+    /// bridge's dispatch). Opens a critical-path segment exactly like
+    /// `UltRun`/`TaskletExec`; a `Pending` poll closes it with a
+    /// `Yield`, a `Ready` poll with `SpanComplete`. `arg`: 0.
+    AsyncPoll = 19,
+    /// A future's waker fired and the task was (re)scheduled onto a
+    /// ready queue — or coalesced into an already-running poll.
+    /// `span`: the woken task's span (the event's *subject*; the
+    /// waker may run anywhere). `arg`: 0 for a requeue, 1 for a
+    /// woken-while-polling coalesce.
+    AsyncWake = 20,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 19] = [
+    pub const ALL: [EventKind; 21] = [
         EventKind::UltSpawn,
         EventKind::UltRun,
         EventKind::Yield,
@@ -92,6 +103,8 @@ impl EventKind {
         EventKind::SpanSpawn,
         EventKind::SpanComplete,
         EventKind::SpanJoin,
+        EventKind::AsyncPoll,
+        EventKind::AsyncWake,
     ];
 
     /// Stable display name (used as the Chrome-trace event `name`).
@@ -117,6 +130,8 @@ impl EventKind {
             EventKind::SpanSpawn => "SpanSpawn",
             EventKind::SpanComplete => "SpanComplete",
             EventKind::SpanJoin => "SpanJoin",
+            EventKind::AsyncPoll => "AsyncPoll",
+            EventKind::AsyncWake => "AsyncWake",
         }
     }
 

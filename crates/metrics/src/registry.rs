@@ -77,6 +77,16 @@ pub struct Counters {
     /// exported trace window is truncated (the exporter also flags it
     /// in the Perfetto header).
     pub ring_dropped: Counter,
+    /// Stackless future polls executed by the async bridge
+    /// (`Glt::spawn_async` tasks; every dispatch, `Pending` or
+    /// `Ready`).
+    pub async_polls: Counter,
+    /// Waker firings that had an effect: the task was requeued onto a
+    /// ready queue, or the wake was coalesced into the in-progress
+    /// poll. No-op wakes (already queued / complete) are not counted.
+    pub async_wakes: Counter,
+    /// Closures handed to the `spawn_blocking` OS-thread pool.
+    pub blocking_spawns: Counter,
 }
 
 impl Counters {
@@ -102,6 +112,9 @@ impl Counters {
             unparks: Counter::new(),
             workers_parked: Gauge::new(),
             ring_dropped: Counter::new(),
+            async_polls: Counter::new(),
+            async_wakes: Counter::new(),
+            blocking_spawns: Counter::new(),
         }
     }
 }
@@ -306,6 +319,12 @@ pub struct CounterSnapshot {
     pub workers_parked_high_water: u64,
     /// [`Counters::ring_dropped`].
     pub ring_dropped: u64,
+    /// [`Counters::async_polls`].
+    pub async_polls: u64,
+    /// [`Counters::async_wakes`].
+    pub async_wakes: u64,
+    /// [`Counters::blocking_spawns`].
+    pub blocking_spawns: u64,
 }
 
 impl CounterSnapshot {
@@ -343,6 +362,9 @@ impl CounterSnapshot {
             workers_parked_level: self.workers_parked_level,
             workers_parked_high_water: self.workers_parked_high_water,
             ring_dropped: self.ring_dropped.saturating_sub(earlier.ring_dropped),
+            async_polls: self.async_polls.saturating_sub(earlier.async_polls),
+            async_wakes: self.async_wakes.saturating_sub(earlier.async_wakes),
+            blocking_spawns: self.blocking_spawns.saturating_sub(earlier.blocking_spawns),
         }
     }
 }
@@ -396,6 +418,9 @@ pub fn snapshot() -> MetricsSnapshot {
             workers_parked_level: parked_level,
             workers_parked_high_water: parked_high,
             ring_dropped: c.ring_dropped.get(),
+            async_polls: c.async_polls.get(),
+            async_wakes: c.async_wakes.get(),
+            blocking_spawns: c.blocking_spawns.get(),
         },
         spawn_latency: SPAWN_LATENCY.summary(),
         steal_dwell: STEAL_DWELL.summary(),
@@ -426,6 +451,9 @@ pub fn reset() {
     c.unparks.reset();
     c.workers_parked.reset();
     c.ring_dropped.reset();
+    c.async_polls.reset();
+    c.async_wakes.reset();
+    c.blocking_spawns.reset();
     SPAWN_LATENCY.reset();
     STEAL_DWELL.reset();
 }

@@ -1,0 +1,122 @@
+//! Model-checked future-task wakes: the *real* [`TaskState`] machine
+//! from `lwt-sched` (routed through its `sysapi` facade onto the
+//! `lwt-model` shims) explored under the deterministic scheduler.
+//!
+//! The async bridge's correctness rests on two properties of this
+//! five-state cell (see `crates/sched/src/task.rs`):
+//!
+//! 1. **one queue entry at a time** — concurrent wakers and the runner
+//!    never create two simultaneous enqueue obligations, so
+//!    `Future::poll`'s `&mut` exclusivity holds, and
+//! 2. **no lost wake** — a wake that lands at or after the runner's
+//!    `begin_poll` claim always leaves exactly one party (waker or
+//!    runner) holding the obligation to re-enqueue.
+//!
+//! Build and run with:
+//! `RUSTFLAGS="--cfg lwt_model" cargo test -p lwt-model --test waker`
+#![cfg(lwt_model)]
+
+use std::sync::Arc;
+
+use lwt_model::thread;
+use lwt_model::Checker;
+use lwt_sched::{TaskState, WakeAction};
+
+fn quick() -> Checker {
+    Checker::new().max_executions(400_000).time_budget_ms(45_000)
+}
+
+/// The central race of the bridge: one waker fires at an arbitrary
+/// point relative to a poll cycle that returns `Pending`. In every
+/// interleaving the wake is accounted for — pre-claim it is covered by
+/// the queue entry the runner is about to consume; at or after the
+/// claim exactly one side (waker via `Schedule`, runner via the
+/// `finish_pending` coalesce path) must requeue, never both, never
+/// neither.
+#[test]
+fn wake_racing_a_pending_poll_is_never_lost() {
+    quick().check(|| {
+        let st = Arc::new(TaskState::new()); // born SCHEDULED: one entry queued
+        let s2 = Arc::clone(&st);
+        let waker = thread::spawn(move || s2.on_wake());
+
+        // Runner: pop the birth entry, claim it, poll returns Pending.
+        // on_wake never leaves SCHEDULED, so the claim cannot fail here.
+        assert!(st.begin_poll(), "birth entry claim must succeed");
+        let runner_requeues = st.finish_pending();
+
+        let action = waker.join();
+        match action {
+            // Wake landed while the task was mid-poll: the runner owns
+            // the requeue, and the waker must not also push.
+            WakeAction::Coalesced => {
+                assert!(runner_requeues, "coalesced wake dropped by runner");
+                assert!(st.begin_poll(), "requeued entry must be claimable");
+            }
+            // Wake landed after the clean park: the waker owns the
+            // requeue, and the runner must have parked without pushing.
+            WakeAction::Schedule => {
+                assert!(!runner_requeues, "double enqueue: runner and waker");
+                assert!(st.begin_poll(), "scheduled entry must be claimable");
+            }
+            // Wake landed before the claim: the still-queued birth
+            // entry covers it; nobody pushes a second one, and a later
+            // wake (after this clean park) schedules afresh.
+            WakeAction::AlreadyQueued => {
+                assert!(!runner_requeues, "pre-claim wake must coalesce free");
+                assert_eq!(st.on_wake(), WakeAction::Schedule);
+            }
+            other => panic!("impossible wake action {other:?}"),
+        }
+    });
+}
+
+/// Property 1 under waker contention: two free-floating wakers firing
+/// around a single `Pending` poll produce **at most one** enqueue
+/// obligation in total — the `IDLE -> SCHEDULED` CAS hands the push to
+/// exactly one winner and everything else coalesces.
+#[test]
+fn concurrent_wakers_never_double_enqueue() {
+    quick().check(|| {
+        let st = Arc::new(TaskState::new());
+        let (s2, s3) = (Arc::clone(&st), Arc::clone(&st));
+        let w1 = thread::spawn(move || s2.on_wake());
+        let w2 = thread::spawn(move || s3.on_wake());
+
+        assert!(st.begin_poll());
+        let runner_requeues = st.finish_pending();
+
+        let schedules = [w1.join(), w2.join()]
+            .iter()
+            .filter(|a| **a == WakeAction::Schedule)
+            .count();
+        let obligations = schedules + usize::from(runner_requeues);
+        assert!(
+            obligations <= 1,
+            "two enqueue obligations alive at once: {schedules} schedules, \
+             runner_requeues={runner_requeues}"
+        );
+    });
+}
+
+/// Terminal discard: a wake racing `complete` must never revive the
+/// task. Whatever the waker observes — the queued birth entry, the
+/// mid-poll window, or the terminal state — no interleaving leaves the
+/// cell claimable again, and a wake strictly after completion reports
+/// `Complete`.
+#[test]
+fn wake_racing_completion_never_revives_the_task() {
+    quick().check(|| {
+        let st = Arc::new(TaskState::new());
+        let s2 = Arc::clone(&st);
+        let waker = thread::spawn(move || s2.on_wake());
+
+        assert!(st.begin_poll());
+        st.complete();
+
+        let action = waker.join();
+        assert_ne!(action, WakeAction::Schedule, "wake revived a dead task");
+        assert!(!st.begin_poll(), "completed cell must reject claims");
+        assert_eq!(st.on_wake(), WakeAction::Complete);
+    });
+}

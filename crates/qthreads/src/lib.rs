@@ -51,8 +51,8 @@ use lwt_metrics::EventKind;
 use lwt_sched::{ParkGroup, ReadyQueue, RoundRobin};
 use lwt_sync::{FebCell, FebTable, SpinLock};
 use lwt_ultcore::{
-    enter_worker, join_within, run_ult, wait_until, DrainError, ResultCell, Requeue, Straggler,
-    UltCore, ABANDON_GRACE,
+    enter_worker, join_within, run_unit, wait_until, DrainError, PollTask, ReadyUnit, Requeue,
+    ResultCell, Straggler, TaskResched, UltCore, ABANDON_GRACE,
 };
 
 pub use lwt_sync::FebTable as Feb;
@@ -83,7 +83,7 @@ struct RtInner {
     /// One ready queue per *worker*; a shepherd's queue of the paper
     /// is realised as its workers' queues plus same-shepherd stealing,
     /// so work still never leaves its locality domain.
-    queues: Vec<ReadyQueue<Arc<UltCore>>>,
+    queues: Vec<ReadyQueue<ReadyUnit>>,
     /// Shepherd id → the global worker ids it owns.
     shepherd_workers: Vec<Vec<usize>>,
     /// Per-shepherd round-robin for external dispatch into it.
@@ -331,11 +331,54 @@ impl Runtime {
                 workers[self.inner.shepherd_rr[shepherd].next()]
             }
         };
-        self.inner.queues[target].push(ult.clone());
+        self.inner.queues[target].push(ult.clone().into());
         // Push first, then wake at most one sleeper near the target
         // (see ParkGroup docs for why this order prevents lost wakes).
         self.inner.park.notify_near(target);
         Handle { ult, result, ret }
+    }
+
+    /// Enqueue a stackless poll task, reusing `qthread_fork`'s
+    /// placement: the caller's own deque when called from a worker
+    /// (zero-contention fast path), otherwise round-robin over the
+    /// shepherds like an external fork.
+    pub fn post_task(&self, task: Arc<dyn PollTask>) {
+        let target = match current_worker() {
+            Some(w) if w < self.inner.queues.len() => w,
+            _ => {
+                let shepherd = self.inner.rr.next();
+                let workers = &self.inner.shepherd_workers[shepherd];
+                workers[self.inner.shepherd_rr[shepherd].next()]
+            }
+        };
+        self.post_task_to(target, task);
+    }
+
+    /// Enqueue a stackless poll task onto a specific *worker's* queue
+    /// (finer-grained than `fork_to`'s shepherd targeting: a waker must
+    /// put the task exactly where the placement policy said).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn post_task_to(&self, worker: usize, task: Arc<dyn PollTask>) {
+        self.inner.queues[worker].push(ReadyUnit::Task(task));
+        self.inner.park.notify_near(worker);
+    }
+
+    /// A reschedule hook posting via [`Runtime::post_task`]; holds the
+    /// runtime alive so late wakes (after user drop) still land.
+    #[must_use]
+    pub fn task_poster(&self) -> TaskResched {
+        let rt = self.clone();
+        Arc::new(move |t| rt.post_task(t))
+    }
+
+    /// A reschedule hook pinning every (re)schedule to `worker`.
+    #[must_use]
+    pub fn task_poster_to(&self, worker: usize) -> TaskResched {
+        let rt = self.clone();
+        Arc::new(move |t| rt.post_task_to(worker, t))
     }
 
     /// Parallel for over `range` (`qt_loop`): one work unit per worker,
@@ -521,7 +564,7 @@ fn worker_main(inner: &Arc<RtInner>, worker_id: usize, shep: usize) {
         // Yielded ULTs go to the *back* of their worker's queue (the
         // inbox) so forked children run before a yield-looping joiner.
         Arc::new(move |w: usize, u: Arc<UltCore>| {
-            q.queues[w].inject(u);
+            q.queues[w].inject(u.into());
             q.park.notify_near(w);
         })
     };
@@ -559,7 +602,7 @@ fn worker_main(inner: &Arc<RtInner>, worker_id: usize, shep: usize) {
                     std::thread::yield_now();
                 }
                 backoff.reset();
-                run_ult(&u);
+                run_unit(&u);
             }
             None => {
                 if inner.stop.load(Ordering::Acquire) {

@@ -34,6 +34,10 @@
 //! * [`ParkGroup`] — per-worker parkers plus a wake-one protocol, so
 //!   idle workers sleep instead of spinning ([`WaitPolicy`] mirrors
 //!   `OMP_WAIT_POLICY` via `LWT_WAIT_POLICY`).
+//! * [`TaskState`] — the idle/scheduled/running/notified/complete
+//!   lifecycle of a stackless future task, giving every backend's
+//!   async bridge the same no-lost-wake guarantee (model-checked in
+//!   `crates/model/tests/waker.rs`).
 
 #![warn(missing_docs)]
 
@@ -45,6 +49,7 @@ mod private;
 mod ready;
 mod shared;
 mod stealable;
+mod task;
 mod victim;
 
 pub use chase_lev::{ChaseLev, Steal, Stealer, Worker};
@@ -57,4 +62,5 @@ pub use private::PrivateDeque;
 pub use ready::{ReadyQueue, FAIRNESS};
 pub use shared::SharedQueue;
 pub use stealable::StealableDeque;
+pub use task::{TaskState, WakeAction};
 pub use victim::{near_first, RandomVictim, RoundRobin};

@@ -12,6 +12,11 @@
 //! * [`run_ult`] — claim + switch into a ULT from a worker loop.
 //! * [`yield_now`]/[`wait_until`]/[`in_ult`]/[`current_worker`] — the
 //!   in-ULT primitives, parameterized by the runtime's requeue policy.
+//! * [`TaskCell`]/[`ReadyUnit`]/[`run_unit`] ([`task`]) — the stackless
+//!   futures bridge: `core::future::Future`s dispatched from the same
+//!   ready queues as ULTs, with a hand-rolled waker vtable.
+//! * [`blocking`] — the `spawn_blocking` OS-thread pool, so blocking
+//!   syscalls never wedge a scheduler worker.
 //!
 //! The Argobots-model crate (`lwt-argobots`) keeps its own copy of this
 //! machinery because its semantics are richer (two work-unit types,
@@ -30,6 +35,12 @@
 //! switched away from).
 
 #![warn(missing_docs)]
+
+pub mod blocking;
+pub mod task;
+
+pub use blocking::BlockingPoolError;
+pub use task::{run_unit, PollTask, ReadyUnit, TaskCell, TaskOutcome, TaskResched};
 
 use std::any::Any;
 use std::cell::{Cell, UnsafeCell};

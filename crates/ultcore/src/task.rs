@@ -1,0 +1,549 @@
+//! The stackless futures bridge: a hand-rolled executor cell that runs
+//! `core::future::Future`s on the runtimes' existing ready queues.
+//!
+//! The paper's Table I separates *stackful* ULTs from *stackless*
+//! tasklets; Rust's native stackless form is the `Future` state
+//! machine. [`TaskCell`] is the heap record that makes one pollable by
+//! any backend: it owns the future, a [`TaskState`] word serializing
+//! wakes against polls (the no-lost-wake machine, model-checked in
+//! `crates/model/tests/waker.rs`), a reschedule hook that pushes the
+//! cell back onto whichever queue structure the backend uses, and the
+//! completion slot its join handle reads.
+//!
+//! The waker is built from a raw vtable over the cell's own `Arc` — no
+//! external executor crate — so `Waker::clone` is one strong-count
+//! increment and `wake` is the [`TaskState::on_wake`] CAS plus, for
+//! the winning waker, one queue push.
+//!
+//! ## Ordering contract (the waker vtable's side of the bargain)
+//!
+//! 1. Everything the waker's thread did before `wake()` is visible to
+//!    the poll that the wake leads to (`AcqRel` on the state CAS, plus
+//!    the queue's own publication).
+//! 2. A `wake()` that lands while the task is being polled is never
+//!    lost: the runner observes `NOTIFIED` when its poll returns
+//!    `Pending` and requeues the cell itself
+//!    ([`TaskState::finish_pending`]).
+//! 3. At most one queue entry exists per task at any moment, so the
+//!    `&mut` exclusivity `Future::poll` demands holds without a lock.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::future::Future;
+use std::mem::ManuallyDrop;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+
+use lwt_metrics::registry::{emit, emit_with_span, COUNTERS};
+use lwt_metrics::{span, timeline, EventKind};
+use lwt_sched::{TaskState, WakeAction};
+use lwt_sync::Event;
+
+use crate::UltCore;
+
+/// The reschedule hook a [`TaskCell`] fires when its waker wins the
+/// idle→scheduled race: push the task onto one of the backend's ready
+/// queues. Captured per-`Glt` so the hook also encodes the runtime's
+/// async placement policy.
+pub type TaskResched = Arc<dyn Fn(Arc<dyn PollTask>) + Send + Sync>;
+
+/// Type-erased view of a [`TaskCell`] that worker loops dispatch:
+/// dequeue the unit, call [`PollTask::run`], done. All poll-protocol
+/// bookkeeping (claim, metrics, span, requeue-on-notified) lives
+/// behind `run`.
+pub trait PollTask: Send + Sync + 'static {
+    /// Claim and poll the task once. A stale queue entry (the task
+    /// completed, or a chaos double-enqueue lost the claim race) is
+    /// dropped silently.
+    fn run(self: Arc<Self>);
+    /// The causal span assigned at spawn (0 when tracing was off).
+    fn span_id(&self) -> u64;
+}
+
+/// One ready-queue element of the ultcore-based runtimes: either a
+/// stackful ULT or a stackless future task. Queues moved from
+/// `ReadyQueue<Arc<UltCore>>` to `ReadyQueue<ReadyUnit>` when the
+/// async bridge landed; [`run_unit`] dispatches either form.
+#[derive(Clone)]
+pub enum ReadyUnit {
+    /// A stackful user-level thread ([`crate::run_ult`]).
+    Ult(Arc<UltCore>),
+    /// A stackless future task awaiting a poll.
+    Task(Arc<dyn PollTask>),
+}
+
+impl From<Arc<UltCore>> for ReadyUnit {
+    fn from(u: Arc<UltCore>) -> Self {
+        ReadyUnit::Ult(u)
+    }
+}
+
+impl std::fmt::Debug for ReadyUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadyUnit::Ult(u) => write!(f, "ReadyUnit::Ult({u:?})"),
+            ReadyUnit::Task(_) => write!(f, "ReadyUnit::Task"),
+        }
+    }
+}
+
+/// Dispatch one dequeued [`ReadyUnit`] on the calling worker. Returns
+/// `false` for stale ULT hints (same contract as [`crate::run_ult`]);
+/// task units always report `true` — a lost task claim is a silent
+/// drop, not a schedulable event.
+pub fn run_unit(unit: &ReadyUnit) -> bool {
+    match unit {
+        ReadyUnit::Ult(u) => crate::run_ult(u),
+        ReadyUnit::Task(t) => {
+            t.clone().run();
+            true
+        }
+    }
+}
+
+/// Typed access to a completed task's result — the join-handle half of
+/// a [`TaskCell`], with the future's concrete type erased so handles
+/// are generic only over the output.
+pub trait TaskOutcome<T>: Send + Sync {
+    /// Completion event; fires after the outcome slot is written.
+    fn done(&self) -> &Event;
+    /// Take the outcome (value or escaped panic). `None` before
+    /// completion or if already taken.
+    fn take(&self) -> Option<Result<T, Box<dyn Any + Send>>>;
+    /// The causal span assigned at spawn (0 when tracing was off).
+    fn span_id(&self) -> u64;
+}
+
+/// The heap record of one spawned future: state machine + future +
+/// reschedule hook + completion slot. Built by [`TaskCell::spawn`];
+/// thereafter it bounces between a ready queue (as an
+/// `Arc<dyn PollTask>`) and worker poll loops until a poll returns
+/// `Ready`.
+pub struct TaskCell<F: Future> {
+    state: TaskState,
+    span: u64,
+    resched: TaskResched,
+    /// The future, polled in place (the Arc pins it); dropped — set to
+    /// `None` — on completion, so captured resources release as soon
+    /// as the task finishes rather than when the last waker drops.
+    future: UnsafeCell<Option<F>>,
+    /// Written exactly once, before `done` fires.
+    outcome: UnsafeCell<Option<Result<F::Output, Box<dyn Any + Send>>>>,
+    done: Event,
+}
+
+// SAFETY: the UnsafeCell fields follow the claim protocol — only the
+// worker holding the RUNNING claim (TaskState::begin_poll) touches
+// `future`/`outcome`; the joiner reads `outcome` only after `done`
+// (Release set / Acquire is_set) fires, when no poll can be live.
+unsafe impl<F: Future + Send> Send for TaskCell<F> where F::Output: Send {}
+// SAFETY: see above.
+unsafe impl<F: Future + Send> Sync for TaskCell<F> where F::Output: Send {}
+
+impl<F> TaskCell<F>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    /// Allocate the cell for `fut`. The task is born `SCHEDULED`
+    /// ([`TaskState::new`]); the caller must perform the initial
+    /// enqueue (normally by calling `resched` with the returned task).
+    ///
+    /// Returns the same cell under both of its hats: the typed outcome
+    /// view for the join handle, and the type-erased poll view for the
+    /// ready queue.
+    #[must_use]
+    pub fn spawn(
+        fut: F,
+        resched: TaskResched,
+    ) -> (Arc<dyn TaskOutcome<F::Output>>, Arc<dyn PollTask>) {
+        let cell = Arc::new(TaskCell {
+            state: TaskState::new(),
+            span: span::on_spawn(),
+            resched,
+            future: UnsafeCell::new(Some(fut)),
+            outcome: UnsafeCell::new(None),
+            done: Event::new(),
+        });
+        (cell.clone(), cell)
+    }
+
+    /// Vtable over a raw `Arc<TaskCell<F>>` pointer. `clone` bumps the
+    /// strong count; `wake` consumes the waker's reference after
+    /// resolving the wake; `wake_by_ref` borrows it (`ManuallyDrop`);
+    /// `drop` releases it.
+    const VTABLE: RawWakerVTable = RawWakerVTable::new(
+        Self::vt_clone,
+        Self::vt_wake,
+        Self::vt_wake_by_ref,
+        Self::vt_drop,
+    );
+
+    unsafe fn vt_clone(p: *const ()) -> RawWaker {
+        // SAFETY: p came from Arc::into_raw in waker()/vt_clone and the
+        // waker holding it is alive, so the count is ≥ 1.
+        unsafe { Arc::increment_strong_count(p.cast::<Self>()) };
+        RawWaker::new(p, &Self::VTABLE)
+    }
+
+    unsafe fn vt_wake(p: *const ()) {
+        // SAFETY: consumes the calling waker's reference.
+        let cell = unsafe { Arc::from_raw(p.cast::<Self>()) };
+        cell.wake();
+    }
+
+    unsafe fn vt_wake_by_ref(p: *const ()) {
+        // SAFETY: borrows the calling waker's reference; ManuallyDrop
+        // keeps the count balanced.
+        let cell = ManuallyDrop::new(unsafe { Arc::from_raw(p.cast::<Self>()) });
+        cell.wake();
+    }
+
+    unsafe fn vt_drop(p: *const ()) {
+        // SAFETY: releases the calling waker's reference.
+        drop(unsafe { Arc::from_raw(p.cast::<Self>()) });
+    }
+
+    /// Build a `Waker` holding one strong reference to this cell.
+    fn waker(self: &Arc<Self>) -> Waker {
+        let ptr = Arc::into_raw(self.clone()).cast::<()>();
+        // SAFETY: VTABLE's contract matches Arc reference counting.
+        unsafe { Waker::from_raw(RawWaker::new(ptr, &Self::VTABLE)) }
+    }
+
+    /// Resolve one waker firing. The winning wake requeues the cell;
+    /// a wake landing mid-poll is recorded for the runner; wakes on
+    /// queued or completed tasks are no-ops.
+    fn wake(self: &Arc<Self>) {
+        match self.state.on_wake() {
+            WakeAction::Schedule => {
+                COUNTERS.async_wakes.inc();
+                emit_with_span(EventKind::AsyncWake, 0, self.span);
+                (self.resched)(self.clone());
+            }
+            WakeAction::Coalesced => {
+                COUNTERS.async_wakes.inc();
+                emit_with_span(EventKind::AsyncWake, 1, self.span);
+            }
+            WakeAction::AlreadyQueued | WakeAction::Complete => {}
+        }
+    }
+
+    /// Publish the task's outcome and retire it: drop the future,
+    /// store the result, flip the state terminal, fire `done`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the RUNNING claim.
+    unsafe fn finish(&self, out: Result<F::Output, Box<dyn Any + Send>>) {
+        // SAFETY: RUNNING claim grants exclusivity; dropping the future
+        // here (not at last-Arc drop) releases what it captured as soon
+        // as the task completes.
+        unsafe {
+            *self.future.get() = None;
+            *self.outcome.get() = Some(out);
+        }
+        self.state.complete();
+        span::on_complete(self.span);
+        // Release on `set` publishes the outcome write to the joiner.
+        self.done.set();
+    }
+}
+
+impl<F> PollTask for TaskCell<F>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    fn run(self: Arc<Self>) {
+        if !self.state.begin_poll() {
+            // Stale entry: completed, or another dispatcher won.
+            return;
+        }
+        COUNTERS.async_polls.inc();
+        timeline::enter(timeline::WorkerState::Busy);
+        if self.span != 0 {
+            span::set_current(self.span);
+        }
+        emit(EventKind::AsyncPoll, 0);
+        if lwt_chaos::should_inject(lwt_chaos::FaultSite::AsyncPollDelay) {
+            // Widen the window in which wakes land on a claimed task
+            // and must coalesce instead of double-queueing.
+            std::thread::yield_now();
+        }
+        let waker = self.waker();
+        let mut cx = Context::from_waker(&waker);
+        let polled = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: begin_poll grants exclusive access; the future
+            // never moves after spawn (the Arc pins its storage), so
+            // Pin::new_unchecked is sound.
+            let fut = unsafe { &mut *self.future.get() };
+            let fut = fut.as_mut().expect("polling a completed task");
+            // SAFETY: see above.
+            unsafe { Pin::new_unchecked(fut) }.poll(&mut cx)
+        }));
+        match polled {
+            Ok(Poll::Pending) => {
+                // Close the critical-path segment this poll opened.
+                emit(EventKind::Yield, 0);
+                if lwt_metrics::tracing_enabled() {
+                    span::set_current(span::NO_SPAN);
+                }
+                timeline::enter(timeline::WorkerState::Dispatch);
+                if self.state.finish_pending() {
+                    // A wake coalesced mid-poll: the requeue obligation
+                    // is ours — this is the no-lost-wake handoff.
+                    (self.resched)(self.clone());
+                } else if lwt_chaos::should_inject(lwt_chaos::FaultSite::AsyncSpuriousWake) {
+                    // Cleanly parked; chaos re-wakes it with no
+                    // progress attached, like a spurious OS wakeup.
+                    self.wake();
+                }
+            }
+            Ok(Poll::Ready(v)) => {
+                // SAFETY: we hold the RUNNING claim.
+                unsafe { self.finish(Ok(v)) };
+                if lwt_metrics::tracing_enabled() {
+                    span::set_current(span::NO_SPAN);
+                }
+                timeline::enter(timeline::WorkerState::Dispatch);
+            }
+            Err(p) => {
+                // A panicking poll completes the task with the payload;
+                // the join handle re-raises it, same as a ULT panic.
+                // SAFETY: we hold the RUNNING claim.
+                unsafe { self.finish(Err(p)) };
+                if lwt_metrics::tracing_enabled() {
+                    span::set_current(span::NO_SPAN);
+                }
+                timeline::enter(timeline::WorkerState::Dispatch);
+            }
+        }
+    }
+
+    fn span_id(&self) -> u64 {
+        self.span
+    }
+}
+
+impl<F> TaskOutcome<F::Output> for TaskCell<F>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    fn done(&self) -> &Event {
+        &self.done
+    }
+
+    fn take(&self) -> Option<Result<F::Output, Box<dyn Any + Send>>> {
+        if !self.done.is_set() {
+            return None;
+        }
+        // SAFETY: done (Acquire) happens-after the outcome write, and
+        // the completed runner never touches the slot again; the handle
+        // consuming self is the only taker.
+        unsafe { (*self.outcome.get()).take() }
+    }
+
+    fn span_id(&self) -> u64 {
+        self.span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwt_sched::ReadyQueue;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Single-queue mini executor: an OS thread pops ReadyUnits and
+    /// runs them, external code injects.
+    struct MiniExec {
+        queue: Arc<ReadyQueue<ReadyUnit>>,
+        stop: Arc<AtomicBool>,
+        worker: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl MiniExec {
+        fn new() -> Self {
+            let queue: Arc<ReadyQueue<ReadyUnit>> = Arc::new(ReadyQueue::new());
+            let stop = Arc::new(AtomicBool::new(false));
+            let (q, s) = (queue.clone(), stop.clone());
+            let worker = std::thread::spawn(move || {
+                q.bind();
+                loop {
+                    match q.pop() {
+                        Some(u) => {
+                            run_unit(&u);
+                        }
+                        None => {
+                            if s.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+            MiniExec {
+                queue,
+                stop,
+                worker: Some(worker),
+            }
+        }
+
+        fn resched(&self) -> TaskResched {
+            let q = self.queue.clone();
+            Arc::new(move |t: Arc<dyn PollTask>| q.inject(ReadyUnit::Task(t)))
+        }
+
+        fn spawn<F>(&self, fut: F) -> Arc<dyn TaskOutcome<F::Output>>
+        where
+            F: Future + Send + 'static,
+            F::Output: Send + 'static,
+        {
+            let resched = self.resched();
+            let (out, task) = TaskCell::spawn(fut, resched.clone());
+            resched(task);
+            out
+        }
+    }
+
+    impl Drop for MiniExec {
+        fn drop(&mut self) {
+            self.stop.store(true, Ordering::Release);
+            self.worker.take().unwrap().join().unwrap();
+        }
+    }
+
+    /// A future that parks `yields` times, handing its waker to
+    /// `wakers` each time, before resolving to `value`.
+    struct Park {
+        yields: usize,
+        value: u64,
+        wakers: Arc<Mutex<Vec<Waker>>>,
+    }
+
+    impl Future for Park {
+        type Output = u64;
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u64> {
+            if self.yields == 0 {
+                return Poll::Ready(self.value);
+            }
+            self.yields -= 1;
+            self.wakers.lock().unwrap().push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+
+    #[test]
+    fn ready_future_resolves_on_first_poll() {
+        let ex = MiniExec::new();
+        let out = ex.spawn(async { 6 * 7 });
+        out.done().wait(std::thread::yield_now);
+        assert_eq!(out.take().unwrap().unwrap(), 42);
+        // Second take is empty: the slot is consumed.
+        assert!(out.take().is_none());
+    }
+
+    #[test]
+    fn pending_future_progresses_on_external_wakes() {
+        let ex = MiniExec::new();
+        let wakers = Arc::new(Mutex::new(Vec::new()));
+        let out = ex.spawn(Park {
+            yields: 3,
+            value: 9,
+            wakers: wakers.clone(),
+        });
+        for _ in 0..3 {
+            // Wait for the park, then wake from this foreign thread.
+            loop {
+                if let Some(w) = wakers.lock().unwrap().pop() {
+                    w.wake();
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        out.done().wait(std::thread::yield_now);
+        assert_eq!(out.take().unwrap().unwrap(), 9);
+    }
+
+    #[test]
+    fn redundant_wakes_are_coalesced() {
+        let ex = MiniExec::new();
+        let wakers = Arc::new(Mutex::new(Vec::new()));
+        let out = ex.spawn(Park {
+            yields: 1,
+            value: 1,
+            wakers: wakers.clone(),
+        });
+        let w = loop {
+            if let Some(w) = wakers.lock().unwrap().pop() {
+                break w;
+            }
+            std::thread::yield_now();
+        };
+        // Hammer the same waker: exactly one requeue may result.
+        for _ in 0..64 {
+            w.wake_by_ref();
+        }
+        w.wake();
+        out.done().wait(std::thread::yield_now);
+        assert_eq!(out.take().unwrap().unwrap(), 1);
+    }
+
+    #[test]
+    fn panicking_poll_surfaces_as_outcome_err() {
+        let ex = MiniExec::new();
+        let out = ex.spawn(async {
+            panic!("future boom");
+            #[allow(unreachable_code)]
+            0u32
+        });
+        out.done().wait(std::thread::yield_now);
+        let p = out.take().unwrap().unwrap_err();
+        assert_eq!(p.downcast_ref::<&str>(), Some(&"future boom"));
+    }
+
+    #[test]
+    fn completion_drops_the_future_and_what_it_captured() {
+        struct Bump(Arc<AtomicUsize>);
+        impl Drop for Bump {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let ex = MiniExec::new();
+        let drops = Arc::new(AtomicUsize::new(0));
+        let bump = Bump(drops.clone());
+        let wakers = Arc::new(Mutex::new(Vec::new()));
+        let w2 = wakers.clone();
+        let out = ex.spawn(async move {
+            let _held = bump;
+            Park {
+                yields: 1,
+                value: 0,
+                wakers: w2,
+            }
+            .await
+        });
+        // Exercise the vtable's clone/drop/wake paths from a foreign
+        // thread while the cell is parked.
+        let w = loop {
+            if let Some(w) = wakers.lock().unwrap().pop() {
+                break w;
+            }
+            std::thread::yield_now();
+        };
+        drop(w.clone());
+        w.wake();
+        out.done().wait(std::thread::yield_now);
+        // finish() dropped the future in place, releasing its capture
+        // even though `out` still holds the cell alive.
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+}

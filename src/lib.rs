@@ -50,6 +50,6 @@ pub use lwt_sync as sync;
 pub use lwt_ultcore as ultcore;
 
 pub use lwt_core::{
-    BackendKind, DrainError, Glt, GltBuilder, GltConfig, GltHandle, JoinError, PlacementError,
-    SchedPolicy, Straggler,
+    AsyncQueuePolicy, BackendKind, BlockingPoolError, DrainError, Glt, GltBuilder, GltConfig,
+    GltHandle, JoinError, PlacementError, SchedPolicy, SpawnError, Straggler,
 };

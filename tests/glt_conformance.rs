@@ -3,9 +3,13 @@
 //! (`ult_create_to`) and yield must behave identically — in results,
 //! not mechanism — over all five runtime models.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 
+use lwt::sync::SpinLock;
 use lwt::{BackendKind, Glt, PlacementError, SchedPolicy};
 
 #[test]
@@ -230,6 +234,180 @@ fn yield_interleaves_rather_than_wedges() {
         let setter = glt.ult_create(move || f3.store(1, Ordering::Release));
         setter.join();
         waiter.join();
+        glt.finalize().expect("clean drain");
+    }
+}
+
+/// Yields `remaining` times (self-waking before each `Pending`), then
+/// resolves to `value` — exercises the requeue path without external
+/// help.
+struct YieldSome {
+    remaining: usize,
+    value: usize,
+}
+
+impl Future for YieldSome {
+    type Output = usize;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<usize> {
+        if self.remaining == 0 {
+            return Poll::Ready(self.value);
+        }
+        self.remaining -= 1;
+        cx.waker().wake_by_ref();
+        Poll::Pending
+    }
+}
+
+#[test]
+fn async_result_round_trip_every_backend() {
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind).workers(2).build();
+        // Ready-on-first-poll and multi-poll futures both round-trip
+        // their results through the generic handle.
+        assert_eq!(glt.spawn_async(async { 6 * 7 }).join(), 42, "backend {kind}");
+        let handles: Vec<_> = (0..32)
+            .map(|i| glt.spawn_async(YieldSome { remaining: 3, value: i }))
+            .collect();
+        let sum: usize = handles.into_iter().map(|h| h.join()).sum();
+        assert_eq!(sum, 31 * 32 / 2, "backend {kind}");
+        glt.finalize().expect("clean drain");
+    }
+}
+
+#[test]
+fn async_panics_surface_as_join_errors() {
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind).workers(1).build();
+        let h = glt.spawn_async(async { panic!("async boom") });
+        let err = h.try_join().expect_err("panicking poll must join Err");
+        assert_eq!(err.message(), Some("async boom"), "backend {kind}");
+        // The executor survives the panic: later tasks still run.
+        assert_eq!(glt.spawn_async(async { 1 }).join(), 1, "backend {kind}");
+        glt.finalize().expect("clean drain");
+    }
+}
+
+#[test]
+fn async_nested_spawn_inside_future() {
+    // A future may spawn more async work on the same runtime. The
+    // inner handle is passed *out* and joined externally — joining
+    // inside poll would block a scheduler worker, which the poll
+    // contract (run-to-completion, like a tasklet) forbids.
+    for kind in BackendKind::ALL {
+        let glt = Arc::new(Glt::builder(kind).workers(2).build());
+        let inner_slot: Arc<SpinLock<Option<lwt::GltHandle<usize>>>> =
+            Arc::new(SpinLock::new(None));
+        let (g2, s2) = (glt.clone(), inner_slot.clone());
+        let outer = glt.spawn_async(async move {
+            let inner = g2.spawn_async(YieldSome { remaining: 2, value: 21 });
+            *s2.lock() = Some(inner);
+            2usize
+        });
+        assert_eq!(outer.join(), 2, "backend {kind}");
+        let inner = inner_slot.lock().take().expect("outer completed, slot filled");
+        assert_eq!(inner.join(), 21, "backend {kind}");
+        Arc::try_unwrap(glt)
+            .unwrap_or_else(|_| panic!("handles dropped, sole owner"))
+            .finalize()
+            .expect("clean drain");
+    }
+}
+
+/// Resolves when `open` is set by someone else; parks its waker in the
+/// shared slot so the opener can deliver the wake cross-worker.
+struct ExternalGate {
+    open: Arc<AtomicBool>,
+    waker: Arc<SpinLock<Option<Waker>>>,
+}
+
+impl Future for ExternalGate {
+    type Output = usize;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<usize> {
+        if self.open.load(Ordering::Acquire) {
+            return Poll::Ready(7);
+        }
+        *self.waker.lock() = Some(cx.waker().clone());
+        // Re-check after publishing the waker: an opener that missed
+        // the slot has set `open` before we park, and a Ready here
+        // makes the racing wake (if any) a harmless no-op.
+        if self.open.load(Ordering::Acquire) {
+            return Poll::Ready(7);
+        }
+        Poll::Pending
+    }
+}
+
+#[test]
+fn async_waker_fires_from_another_worker() {
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind).workers(2).build();
+        let open = Arc::new(AtomicBool::new(false));
+        let waker: Arc<SpinLock<Option<Waker>>> = Arc::new(SpinLock::new(None));
+        let task = glt.spawn_async(ExternalGate {
+            open: open.clone(),
+            waker: waker.clone(),
+        });
+        // A ULT on the same runtime delivers the wake: it waits for the
+        // task to park, opens the gate, then fires the captured waker.
+        let (o2, w2) = (open.clone(), waker.clone());
+        let opener = glt.ult_create(move || {
+            let w = loop {
+                if let Some(w) = w2.lock().take() {
+                    break w;
+                }
+                std::thread::yield_now();
+            };
+            o2.store(true, Ordering::Release);
+            w.wake();
+        });
+        assert_eq!(task.join(), 7, "backend {kind}");
+        opener.join();
+        glt.finalize().expect("clean drain");
+    }
+}
+
+#[test]
+fn async_and_blocking_serve_a_fully_parked_pool() {
+    // Passive policy, no work: all scheduler workers park. Both a
+    // spawn_blocking job (runs off-pool, completes via the event) and
+    // a spawn_async wake (re-enqueues through the backend's dispatch,
+    // which must unpark a worker) have to make progress promptly.
+    use std::time::{Duration, Instant};
+    lwt::core::force_wait_policy(lwt::core::WaitPolicy::Passive);
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind)
+            .workers(2)
+            .wait_policy(lwt::core::WaitPolicy::Passive)
+            .build();
+        std::thread::sleep(Duration::from_millis(60));
+        let t0 = Instant::now();
+        let b = glt.spawn_blocking(|| "off-worker");
+        let a = glt.spawn_async(YieldSome { remaining: 2, value: 9 });
+        assert_eq!(b.join(), "off-worker", "backend {kind}");
+        assert_eq!(a.join(), 9, "backend {kind}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "backend {kind}: parked pool served async+blocking too slowly"
+        );
+        glt.finalize().expect("clean drain");
+    }
+    lwt::core::reset_wait_policy_to_env();
+}
+
+#[test]
+fn async_pinned_queue_policy_completes() {
+    // Pinning every poll to worker 0 must still complete multi-poll
+    // futures on every backend (wakes land back on the pinned queue).
+    for kind in BackendKind::ALL {
+        let glt = Glt::builder(kind)
+            .workers(2)
+            .async_queue(lwt::AsyncQueuePolicy::Pinned(0))
+            .build();
+        let handles: Vec<_> = (0..8)
+            .map(|i| glt.spawn_async(YieldSome { remaining: 2, value: i }))
+            .collect();
+        let sum: usize = handles.into_iter().map(|h| h.join()).sum();
+        assert_eq!(sum, 7 * 8 / 2, "backend {kind}");
         glt.finalize().expect("clean drain");
     }
 }

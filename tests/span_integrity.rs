@@ -160,6 +160,35 @@ fn span_parent_child_integrity_across_backends() {
         assert_tree(kind.name(), &before, kind != BackendKind::Go);
     }
 
+    // Converse through the unified API: Glt units are *messages*, and
+    // since the async bridge they carry their span in the payload
+    // (allocated at spawn time, installed around the message body,
+    // joined through the event slot). Messages execute atomically, so
+    // the root must not block on its children — it exports their
+    // handles and the master performs the joins.
+    {
+        let before = spawn_edges();
+        let glt = Arc::new(Glt::builder(BackendKind::Converse).workers(3).build());
+        let g2 = Arc::clone(&glt);
+        let exported = Arc::new(lwt::sync::SpinLock::new(Vec::new()));
+        let ex2 = Arc::clone(&exported);
+        let root = glt.ult_create(move || {
+            let handles: Vec<_> = (0..CHILDREN).map(|i| g2.ult_create(move || i)).collect();
+            *ex2.lock() = handles;
+        });
+        root.join();
+        let handles = std::mem::take(&mut *exported.lock());
+        assert_eq!(
+            handles.into_iter().map(|h| h.join()).sum::<u64>(),
+            CHILDREN * (CHILDREN - 1) / 2,
+            "backend {}",
+            BackendKind::Converse
+        );
+        drop(exported);
+        finalize(glt);
+        assert_tree("converse (unified)", &before, true);
+    }
+
     // Converse, natively: a message (atomic, span-less) creates the
     // root ULT, which spawns and joins child ULTs on its processor.
     let before = spawn_edges();
