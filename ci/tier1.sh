@@ -170,6 +170,24 @@ echo "== tier1: idle-CPU smoke (passive wait policy must not spin)"
 cargo run --release --offline -q -p lwt-microbench --bin idle_cpu
 echo "   ok: parked pools idle at ~zero CPU; park/unpark counters balance"
 
+echo "== tier1: serving smoke (reactor echo, 100 clients x 5 backends)"
+# The lwt-net reactor must carry a loopback echo server with 100
+# concurrent clients on every backend, all joins bounded (the test
+# itself fails on any hang), with the stall watchdog armed: a worker
+# wedged by a blocking read — the failure mode the reactor exists to
+# prevent — would surface here as an "lwt-watchdog:" stderr report.
+SERVING_LOG="target/lwt-serving-smoke.log"
+LWT_WATCHDOG=1 \
+    cargo test -q --offline --test serving \
+    ci_smoke_100_concurrent_clients_every_backend \
+    >/dev/null 2>"$SERVING_LOG"
+if grep -q "lwt-watchdog:" "$SERVING_LOG"; then
+    echo "FAIL: watchdog stall reports during serving smoke:" >&2
+    grep "lwt-watchdog:" "$SERVING_LOG" >&2
+    exit 1
+fi
+echo "   ok: 100-client echo green on all backends, zero stall reports"
+
 echo "== tier1: spawn-path smoke (fig2_create vs committed baseline)"
 # One quick fig2_create bench run; the spawn path must not regress
 # >25% (geometric mean of per-series median ratios) against the

@@ -127,6 +127,12 @@ pub(crate) fn es_main(shared: &StreamShared) {
                     break;
                 }
                 timeline::enter(timeline::WorkerState::Idle);
+                // Reactor idle hook: collect I/O readiness (wakes
+                // repost through this runtime) before backing off.
+                if lwt_sched::io_poll() > 0 {
+                    backoff.reset();
+                    continue;
+                }
                 backoff.spin();
                 if backoff.is_saturated() {
                     // The scheduler proved its pools dry: park instead of

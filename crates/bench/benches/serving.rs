@@ -1,0 +1,358 @@
+//! HTTP serving load generator: RPS and request-latency percentiles per
+//! backend over loopback, written to `results/BENCH_serving.json` with
+//! the same counter-delta / utilization machinery the figure benches
+//! use.
+//!
+//! The file-descriptor budget forces a two-process design: this binary
+//! re-execs itself as a *client* subprocess (`LWT_SERVING_ROLE=client`),
+//! so server and client each get their own fd limit — that is what
+//! makes the 10k-concurrent-connection run fit under the 20 000-fd
+//! cap. The client connects every socket up front (so all connections
+//! are provably open at once), then drives keep-alive GETs from one
+//! async task per connection, and prints a single parseable result
+//! line the parent merges into the JSON record.
+//!
+//! Knobs: `LWT_WORKERS` (server pool size), `LWT_SERVING_CONNS` /
+//! `LWT_SERVING_REQS` (per-backend sweep shape), `LWT_SERVING_BIG`
+//! (connection count for the single big run; 0 skips it).
+
+use std::io::Read as _;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lwt_core::{BackendKind, Glt};
+use lwt_net::http;
+use lwt_net::TcpStream;
+use lwt_sync::SpinLock;
+
+const REQUEST: &[u8] = b"GET /bench HTTP/1.1\r\nHost: b\r\n\r\n";
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+// ---------------------------------------------------------------- client
+
+/// Locate the end of an HTTP head and its Content-Length, if the
+/// buffer holds a complete head.
+fn head_info(buf: &[u8]) -> Option<(usize, usize)> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+    let clen = head
+        .lines()
+        .find_map(|l| {
+            let (n, v) = l.split_once(':')?;
+            n.eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    Some((head_end, clen))
+}
+
+/// Client-role main: connect `conns` sockets (all held open at once),
+/// then run `reqs` keep-alive GETs per connection from async tasks,
+/// and print one `SERVING_CLIENT` result line.
+fn client_main() -> ! {
+    let addr: std::net::SocketAddr = std::env::var("LWT_SERVING_ADDR")
+        .expect("LWT_SERVING_ADDR")
+        .parse()
+        .expect("client addr");
+    let conns = env_usize("LWT_SERVING_CONNS", 128);
+    let reqs = env_usize("LWT_SERVING_REQS", 2);
+
+    // Phase 1: establish every connection before the first request, in
+    // small throttled batches so the listen backlog (128) never
+    // overflows into SYN retransmit territory.
+    let mut streams = Vec::with_capacity(conns);
+    let mut connect_errors = 0usize;
+    for i in 0..conns {
+        if i % 64 == 63 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut attempt = 0;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    streams.push(s);
+                    break;
+                }
+                Err(_) if attempt < 100 => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => {
+                    connect_errors += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Phase 2: one async task per connection, each timing its own
+    // request/response cycles.
+    let glt = Glt::builder(BackendKind::Go)
+        .workers(env_usize("LWT_WORKERS", 2))
+        .build();
+    let latencies = Arc::new(SpinLock::new(Vec::with_capacity(conns * reqs)));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let tasks: Vec<_> = streams
+        .into_iter()
+        .map(|stream| {
+            let latencies = Arc::clone(&latencies);
+            let errors = Arc::clone(&errors);
+            glt.spawn_async(async move {
+                let mut local = Vec::with_capacity(reqs);
+                let mut buf: Vec<u8> = Vec::with_capacity(1024);
+                let mut chunk = [0u8; 2048];
+                'conn: for _ in 0..reqs {
+                    let t0 = Instant::now();
+                    if stream.write_all_async(REQUEST).await.is_err() {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        break 'conn;
+                    }
+                    loop {
+                        if let Some((head_end, clen)) = head_info(&buf) {
+                            if buf.len() >= head_end + clen {
+                                buf.drain(..head_end + clen);
+                                local.push(t0.elapsed().as_nanos() as u64);
+                                break;
+                            }
+                        }
+                        match stream.read_async(&mut chunk).await {
+                            Ok(n) if n > 0 => buf.extend_from_slice(&chunk[..n]),
+                            _ => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                break 'conn;
+                            }
+                        }
+                    }
+                }
+                latencies.lock().extend(local);
+            })
+        })
+        .collect();
+    for t in tasks {
+        t.join();
+    }
+    let elapsed = started.elapsed();
+    glt.finalize().expect("client drain");
+
+    let mut lat = std::mem::take(&mut *latencies.lock());
+    lat.sort_unstable();
+    let pct = |p: usize| -> u64 {
+        if lat.is_empty() {
+            0
+        } else {
+            lat[(lat.len() - 1) * p / 100]
+        }
+    };
+    println!(
+        "SERVING_CLIENT requests={} elapsed_ns={} p50_ns={} p99_ns={} errors={}",
+        lat.len(),
+        elapsed.as_nanos(),
+        pct(50),
+        pct(99),
+        errors.load(Ordering::Relaxed) + connect_errors,
+    );
+    std::process::exit(0);
+}
+
+// ---------------------------------------------------------------- server
+
+struct RunResult {
+    id: String,
+    conns: usize,
+    requests: u64,
+    elapsed_ns: u64,
+    rps: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    errors: u64,
+    peak_active: usize,
+    metrics: lwt_metrics::registry::CounterSnapshot,
+    utilization: lwt_metrics::Utilization,
+}
+
+/// Parse the client's `SERVING_CLIENT k=v ...` line.
+fn parse_client_line(out: &str) -> Option<[u64; 5]> {
+    let line = out.lines().find(|l| l.starts_with("SERVING_CLIENT "))?;
+    let mut vals = [0u64; 5];
+    for (slot, key) in ["requests", "elapsed_ns", "p50_ns", "p99_ns", "errors"]
+        .iter()
+        .enumerate()
+    {
+        let field = line
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{key}=")))?;
+        vals[slot] = field.parse().ok()?;
+    }
+    Some(vals)
+}
+
+/// One serving run: HTTP server on `kind`, client re-exec'd as a
+/// subprocess, peak concurrent connections sampled while it runs.
+fn run_serving(kind: BackendKind, conns: usize, reqs: usize) -> RunResult {
+    let workers = env_usize("LWT_WORKERS", 2);
+    let glt = Glt::builder(kind).workers(workers).build();
+    let listener = lwt_net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let server = http::serve(&glt, listener, |_req| {
+        http::Response::ok("hello from the serving bench\n")
+    })
+    .expect("serve");
+    let addr = server.addr();
+
+    let counters_before = lwt_metrics::registry::snapshot().counters;
+    let util_before = lwt_metrics::utilization();
+
+    let mut child = Command::new(std::env::current_exe().expect("current_exe"))
+        .env("LWT_SERVING_ROLE", "client")
+        .env("LWT_SERVING_ADDR", addr.to_string())
+        .env("LWT_SERVING_CONNS", conns.to_string())
+        .env("LWT_SERVING_REQS", reqs.to_string())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn client");
+
+    // Sample peak concurrency while the client runs. The client's
+    // one-line stdout cannot fill the pipe, so reading after exit is
+    // deadlock-free.
+    let mut peak_active = 0;
+    loop {
+        peak_active = peak_active.max(server.active_connections());
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "client exited with {status}");
+                break;
+            }
+            None => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    let mut out = String::new();
+    child
+        .stdout
+        .take()
+        .expect("piped stdout")
+        .read_to_string(&mut out)
+        .expect("read client output");
+    let [requests, elapsed_ns, p50_ns, p99_ns, errors] =
+        parse_client_line(&out).expect("client result line");
+
+    let metrics = lwt_metrics::registry::snapshot()
+        .counters
+        .delta(&counters_before);
+    let utilization = lwt_metrics::utilization()
+        .delta(&util_before)
+        .merged_by_label();
+
+    server.shutdown();
+    glt.finalize().expect("server drain");
+
+    let rps = if elapsed_ns == 0 {
+        0.0
+    } else {
+        requests as f64 / (elapsed_ns as f64 / 1e9)
+    };
+    eprintln!(
+        "serving/{kind}/c{conns}: {requests} reqs, {rps:.0} rps, \
+         p50 {:.2} ms, p99 {:.2} ms, peak {peak_active} conns, {errors} errors",
+        p50_ns as f64 / 1e6,
+        p99_ns as f64 / 1e6,
+    );
+    RunResult {
+        id: format!("serving/{kind}/c{conns}"),
+        conns,
+        requests,
+        elapsed_ns,
+        rps,
+        p50_ns,
+        p99_ns,
+        errors,
+        peak_active,
+        metrics,
+        utilization,
+    }
+}
+
+fn write_results(results: &[RunResult]) {
+    let mut json = String::from("{\n  \"group\": \"serving\",\n  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let m = &r.metrics;
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"conns\": {}, \"requests\": {}, \
+             \"elapsed_ns\": {}, \"rps\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"errors\": {}, \"peak_active\": {}, \
+             \"metrics\": {{\"ults_created\": {}, \"yields\": {}, \
+             \"feb_blocks\": {}, \"feb_wakes\": {}, \"async_polls\": {}, \
+             \"async_wakes\": {}, \"io_registrations\": {}, \"io_events\": {}, \
+             \"io_wakes\": {}, \"faults_injected\": {}}}, \
+             \"utilization\": {}}}{comma}\n",
+            r.id,
+            r.conns,
+            r.requests,
+            r.elapsed_ns,
+            r.rps,
+            r.p50_ns,
+            r.p99_ns,
+            r.errors,
+            r.peak_active,
+            m.ults_created,
+            m.yields,
+            m.feb_blocks,
+            m.feb_wakes,
+            m.async_polls,
+            m.async_wakes,
+            m.io_registrations,
+            m.io_events,
+            m.io_wakes,
+            m.faults_injected,
+            r.utilization.to_json(),
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    // Cargo runs benches with cwd = the package dir; anchor to the
+    // workspace root like the harness does so the record lands next to
+    // the committed BENCH_*.json files.
+    let out_dir = std::env::var("LWT_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("results")
+        });
+    std::fs::create_dir_all(&out_dir).expect("results dir");
+    let path = out_dir.join("BENCH_serving.json");
+    std::fs::write(&path, json).expect("write results");
+    eprintln!("wrote {} ({} records)", path.display(), results.len());
+}
+
+fn main() {
+    if std::env::var("LWT_SERVING_ROLE").as_deref() == Ok("client") {
+        client_main();
+    }
+    lwt_metrics::set_accounting(true);
+
+    let conns = env_usize("LWT_SERVING_CONNS", 256);
+    let reqs = env_usize("LWT_SERVING_REQS", 4);
+    let big = env_usize("LWT_SERVING_BIG", 10_000);
+
+    let mut results = Vec::new();
+    for kind in BackendKind::ALL {
+        results.push(run_serving(kind, conns, reqs));
+    }
+    // The headline run: >= 10k concurrent connections on one backend.
+    // Go hosts it — the connection-per-task model is the one its
+    // scheduler is shaped for — with one request per connection so the
+    // run measures concurrency, not pipelining.
+    if big > 0 {
+        results.push(run_serving(BackendKind::Go, big, 1));
+    }
+    write_results(&results);
+}

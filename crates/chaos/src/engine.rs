@@ -88,10 +88,26 @@ pub enum FaultSite {
     /// land on a SCHEDULED/RUNNING task and must coalesce rather than
     /// double-queue.
     AsyncPollDelay = 8,
+    /// A socket write is truncated to a prefix of the buffer before
+    /// the syscall (`lwt_net::TcpStream`), surfacing a short write to
+    /// the caller exactly as a full kernel send buffer would.
+    /// `write_all`-style loops must resume from the cut.
+    NetPartialWrite = 9,
+    /// A socket operation reports `WouldBlock` once even though the
+    /// kernel would have accepted it (`lwt_net`), forcing an extra
+    /// trip through the readiness wait path. The registration's ready
+    /// flag is left up, so the retry proceeds immediately — a delay,
+    /// never a livelock.
+    NetSpuriousEagain = 10,
+    /// The reactor driver defers delivering an observed readiness
+    /// event by one dispatch turn (`lwt_net::reactor`). The event is
+    /// stashed, never dropped — edge-triggered readiness is not
+    /// redelivered by the kernel, so a drop would be a real hang.
+    NetDelayedReadiness = 11,
 }
 
 /// Number of distinct fault sites.
-pub const NUM_SITES: usize = 9;
+pub const NUM_SITES: usize = 12;
 
 impl FaultSite {
     /// All sites, in discriminant order.
@@ -105,6 +121,9 @@ impl FaultSite {
         FaultSite::SpuriousUnpark,
         FaultSite::AsyncSpuriousWake,
         FaultSite::AsyncPollDelay,
+        FaultSite::NetPartialWrite,
+        FaultSite::NetSpuriousEagain,
+        FaultSite::NetDelayedReadiness,
     ];
 
     /// Stable display name.
@@ -120,6 +139,9 @@ impl FaultSite {
             FaultSite::SpuriousUnpark => "SpuriousUnpark",
             FaultSite::AsyncSpuriousWake => "AsyncSpuriousWake",
             FaultSite::AsyncPollDelay => "AsyncPollDelay",
+            FaultSite::NetPartialWrite => "NetPartialWrite",
+            FaultSite::NetSpuriousEagain => "NetSpuriousEagain",
+            FaultSite::NetDelayedReadiness => "NetDelayedReadiness",
         }
     }
 
@@ -150,6 +172,9 @@ impl FaultSite {
             0xA076_1D64_78BD_642F,
             0x6C62_272E_07BB_0143,
             0x3243_F6A8_885A_308D,
+            0x13198A2E_0370_7344,
+            0xA409_3822_299F_31D0,
+            0x082E_FA98_EC4E_6C89,
         ][self as usize]
     }
 }
@@ -163,6 +188,9 @@ static RATE: AtomicU64 = AtomicU64::new(DEFAULT_RATE_PERCENT);
 /// counter allocates schedule indices; *which worker* draws index `i`
 /// varies run to run, but whether index `i` injects does not.
 static SEQ: [AtomicU64; NUM_SITES] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

@@ -271,6 +271,9 @@ pub enum BlockKind {
     Event,
     /// A runtime drain (`Glt::finalize` and backend shutdowns).
     Finalize,
+    /// An I/O readiness wait on the reactor (`lwt-net`): a ULT
+    /// relax-looping until its socket registration turns ready.
+    Io,
 }
 
 impl BlockKind {
@@ -282,6 +285,7 @@ impl BlockKind {
             BlockKind::Join => "join",
             BlockKind::Event => "event",
             BlockKind::Finalize => "finalize",
+            BlockKind::Io => "io",
         }
     }
 }

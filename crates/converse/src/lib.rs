@@ -349,13 +349,31 @@ impl Runtime {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        self.spawn_ult_spanned(lwt_metrics::span::on_spawn(), f)
+    }
+
+    /// [`Runtime::spawn_ult`] adopting an already-allocated causal span
+    /// instead of recording a fresh spawn edge — for two-stage spawns
+    /// where the causal parent lives on the thread that *sent* the
+    /// bootstrap message, not the processor executing it (the unified
+    /// API's `GLT_ult_create` path). Pass `0` to run span-less.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from outside a processor, like
+    /// [`Runtime::spawn_ult`].
+    pub fn spawn_ult_spanned<T, F>(&self, span: u64, f: F) -> UltHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
         let proc = current_processor().expect(
             "CthCreate outside a processor: only messages may enter another \
              processor's queue",
         );
         let result = ResultCell::new();
         let slot = result.clone();
-        let ult = UltCore::new(self.inner.stack_size, move || {
+        let ult = UltCore::with_span(self.inner.stack_size, span, move || {
             let value = f();
             // SAFETY: sole writer, before TERMINATED.
             unsafe { slot.put(value) };
@@ -578,6 +596,12 @@ fn proc_main(inner: &Arc<RtInner>, p: usize) {
                 // No steal phase here: Converse ULTs never migrate, so
                 // an empty queue goes straight to Idle.
                 lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Idle);
+                // Reactor idle hook: collect I/O readiness (wakes
+                // repost through this runtime) before backing off.
+                if lwt_sched::io_poll() > 0 {
+                    backoff.reset();
+                    continue;
+                }
                 backoff.spin();
                 if backoff.is_saturated() {
                     // The queue is dry and no barrier episode is due:

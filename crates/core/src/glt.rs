@@ -273,6 +273,7 @@ pub enum AsyncQueuePolicy {
     Pinned(usize),
 }
 
+#[derive(Clone)]
 enum Backend {
     Argobots(lwt_argobots::Runtime),
     Qthreads(lwt_qthreads::Runtime),
@@ -507,7 +508,39 @@ fn relax_for(kind: BackendKind) -> impl FnMut() {
     }
 }
 
+/// Yield the currently-running work unit back to its scheduler,
+/// whichever backend it belongs to, and report whether the caller was
+/// inside one. From an ordinary OS thread this is a no-op returning
+/// `false`.
+///
+/// This is the backend-agnostic building block for libraries layered
+/// *above* the GLT API (the `lwt-net` reactor's readiness waits) that
+/// must spin politely without knowing which runtime is hosting them:
+/// each backend's ULT context is thread-local, so probing all of them
+/// finds the right one regardless of which `Glt` spawned the caller.
+pub fn yield_unit() -> bool {
+    if lwt_argobots::in_ult() {
+        lwt_argobots::yield_now();
+        true
+    } else if lwt_converse::in_ult() {
+        lwt_converse::yield_now();
+        true
+    } else if lwt_ultcore::in_ult() {
+        lwt_ultcore::yield_now();
+        true
+    } else {
+        false
+    }
+}
+
 /// The unified runtime (`GLT_init` … `GLT_finalize`).
+///
+/// Cloning is cheap — every backend runtime is an `Arc`-shared handle
+/// — and clones refer to the *same* pool of workers, so layered
+/// subsystems (the `lwt-net` HTTP server's acceptor, long-lived
+/// services) can hold their own spawn capability. Exactly one clone
+/// should call [`Glt::finalize`], after the others are done spawning.
+#[derive(Clone)]
 pub struct Glt {
     backend: Backend,
     workers: usize,
@@ -634,17 +667,23 @@ impl Glt {
             Backend::Qthreads(rt) => HandleInner::Qth(rt.fork_rr(f)).into(),
             Backend::Massive(rt) => HandleInner::Myth(rt.spawn(f)).into(),
             Backend::Converse(rt) => {
-                // The message payload carries the trace span: Converse
-                // work units travel as bare closures, so without this
-                // the GLT spawn edge would be invisible to causal
-                // tracing (the PR-7 asymmetry vs the other backends).
+                // A GLT ULT is yieldable by contract (Table II maps it
+                // to CthCreate), but Converse's insertion rule says only
+                // messages may enter another processor's queue. So the
+                // spawn is two-stage: a message — legal from any thread
+                // — lands on a processor and performs the CthCreate
+                // there; the ULT body fulfills the handle. The spawn
+                // edge is recorded here (where the causal parent is
+                // current) and the ULT *adopts* that span, so the unit
+                // traces exactly like the native-handle backends.
                 let span = lwt_metrics::span::on_spawn();
                 let slot = EventSlot::new(span);
                 let s2 = slot.clone();
+                let rt2 = rt.clone();
                 rt.send_rr(move || {
-                    s2.fulfill(run_spanned(span, || {
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
-                    }));
+                    let _detached = rt2.spawn_ult_spanned(span, move || {
+                        s2.fulfill(std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)));
+                    });
                 });
                 HandleInner::Event(slot, BackendKind::Converse).into()
             }
@@ -712,14 +751,18 @@ impl Glt {
             Backend::Argobots(rt) => HandleInner::AbtUlt(rt.ult_create_to(worker, f)).into(),
             Backend::Qthreads(rt) => HandleInner::Qth(rt.fork_to(worker, f)).into(),
             Backend::Converse(rt) => {
-                // Span-tagged like ult_create: see the note there.
+                // Two-stage spawn adopting the call-site span, like
+                // ult_create (see the notes there); the CthCreate runs
+                // on the destination processor, so the ULT stays pinned
+                // to `worker`.
                 let span = lwt_metrics::span::on_spawn();
                 let slot = EventSlot::new(span);
                 let s2 = slot.clone();
+                let rt2 = rt.clone();
                 rt.send(worker, move || {
-                    s2.fulfill(run_spanned(span, || {
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
-                    }));
+                    let _detached = rt2.spawn_ult_spanned(span, move || {
+                        s2.fulfill(std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)));
+                    });
                 });
                 HandleInner::Event(slot, BackendKind::Converse).into()
             }
@@ -738,7 +781,22 @@ impl Glt {
     {
         match &self.backend {
             Backend::Argobots(rt) => HandleInner::AbtTasklet(rt.tasklet_create(f)).into(),
-            Backend::Converse(_) => self.ult_create(f), // already a message
+            Backend::Converse(rt) => {
+                // A Converse message IS the tasklet: stackless and
+                // atomically executed on the processor's own stack.
+                // (ult_create takes the two-stage CthCreate path for
+                // yieldability; tasklets must not yield, so the direct
+                // send is the faithful mapping.)
+                let span = lwt_metrics::span::on_spawn();
+                let slot = EventSlot::new(span);
+                let s2 = slot.clone();
+                rt.send_rr(move || {
+                    s2.fulfill(run_spanned(span, || {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+                    }));
+                });
+                HandleInner::Event(slot, BackendKind::Converse).into()
+            }
             _ => self.ult_create(f),
         }
     }

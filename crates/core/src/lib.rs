@@ -57,8 +57,8 @@ pub use caps::{
 };
 pub use error::{BlockingPoolError, PlacementError, SpawnError};
 pub use glt::{
-    default_workers, AsyncQueuePolicy, BackendKind, Glt, GltBuilder, GltConfig, GltHandle,
-    SchedPolicy,
+    default_workers, yield_unit, AsyncQueuePolicy, BackendKind, Glt, GltBuilder, GltConfig,
+    GltHandle, SchedPolicy,
 };
 pub use pm::{Pm, TaskScope};
 

@@ -406,6 +406,14 @@ fn worker_main(inner: &Arc<RtInner>, id: usize) {
                     break;
                 }
                 lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Idle);
+                // Dry sweep: give the I/O reactor (if one is running)
+                // a zero-timeout poll before burning backoff rounds —
+                // readiness wakes repost through this runtime's own
+                // queues, so a non-zero return means work may exist.
+                if lwt_sched::io_poll() > 0 {
+                    backoff.reset();
+                    continue;
+                }
                 backoff.spin();
                 if backoff.is_saturated() {
                     // The sweep proved the pool dry: sleep instead of

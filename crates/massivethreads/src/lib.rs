@@ -530,6 +530,12 @@ fn worker_main(inner: &Arc<RtInner>, w: usize) {
                     break;
                 }
                 lwt_metrics::timeline::enter(lwt_metrics::WorkerState::Idle);
+                // Reactor idle hook: collect I/O readiness (wakes
+                // repost through this runtime) before backing off.
+                if lwt_sched::io_poll() > 0 {
+                    backoff.reset();
+                    continue;
+                }
                 backoff.spin();
                 if backoff.is_saturated() {
                     // Random probing came up dry long enough: sleep

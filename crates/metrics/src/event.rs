@@ -79,11 +79,23 @@ pub enum EventKind {
     /// waker may run anywhere). `arg`: 0 for a requeue, 1 for a
     /// woken-while-polling coalesce.
     AsyncWake = 20,
+    /// A work unit began waiting for I/O readiness on the reactor
+    /// (`lwt-net`): a ULT entering its readiness relax loop, or an
+    /// async task returning `Pending` with its waker parked in a
+    /// registration slot. `arg`: packed `(token << 1) | direction`
+    /// (0 = read, 1 = write).
+    IoWait = 21,
+    /// The reactor observed readiness for a registration and delivered
+    /// it — set the ready flag and, if a waker was parked, fired it.
+    /// `arg`: packed `(token << 1) | direction` as for [`IoWait`].
+    ///
+    /// [`IoWait`]: EventKind::IoWait
+    IoReady = 22,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 21] = [
+    pub const ALL: [EventKind; 23] = [
         EventKind::UltSpawn,
         EventKind::UltRun,
         EventKind::Yield,
@@ -105,6 +117,8 @@ impl EventKind {
         EventKind::SpanJoin,
         EventKind::AsyncPoll,
         EventKind::AsyncWake,
+        EventKind::IoWait,
+        EventKind::IoReady,
     ];
 
     /// Stable display name (used as the Chrome-trace event `name`).
@@ -132,6 +146,8 @@ impl EventKind {
             EventKind::SpanJoin => "SpanJoin",
             EventKind::AsyncPoll => "AsyncPoll",
             EventKind::AsyncWake => "AsyncWake",
+            EventKind::IoWait => "IoWait",
+            EventKind::IoReady => "IoReady",
         }
     }
 

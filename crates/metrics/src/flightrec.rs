@@ -131,7 +131,8 @@ fn counters_json(c: &CounterSnapshot) -> String {
          \"stack_cache_misses\":{},\"queue_contention\":{},\
          \"faults_injected\":{},\"stalls_detected\":{},\"parks\":{},\
          \"unparks\":{},\"workers_parked_level\":{},\
-         \"workers_parked_high_water\":{},\"ring_dropped\":{}}}",
+         \"workers_parked_high_water\":{},\"ring_dropped\":{},\
+         \"io_registrations\":{},\"io_events\":{},\"io_wakes\":{}}}",
         c.ults_created,
         c.tasklets_created,
         c.yields,
@@ -154,6 +155,9 @@ fn counters_json(c: &CounterSnapshot) -> String {
         c.workers_parked_level,
         c.workers_parked_high_water,
         c.ring_dropped,
+        c.io_registrations,
+        c.io_events,
+        c.io_wakes,
     )
 }
 

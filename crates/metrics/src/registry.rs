@@ -87,6 +87,17 @@ pub struct Counters {
     pub async_wakes: Counter,
     /// Closures handed to the `spawn_blocking` OS-thread pool.
     pub blocking_spawns: Counter,
+    /// Sockets registered with the I/O reactor (lwt-net): listeners
+    /// and streams each count once at registration.
+    pub io_registrations: Counter,
+    /// Readiness events the reactor driver observed and dispatched
+    /// (epoll edges, per direction — one event may cover both).
+    pub io_events: Counter,
+    /// I/O readiness deliveries that resumed a waiter: a parked async
+    /// task's waker fired, or a ULT's readiness flag was raised while
+    /// it was in its relax loop. Deliveries with nobody waiting (the
+    /// optimistic try-first path won) are not counted.
+    pub io_wakes: Counter,
 }
 
 impl Counters {
@@ -115,6 +126,9 @@ impl Counters {
             async_polls: Counter::new(),
             async_wakes: Counter::new(),
             blocking_spawns: Counter::new(),
+            io_registrations: Counter::new(),
+            io_events: Counter::new(),
+            io_wakes: Counter::new(),
         }
     }
 }
@@ -325,6 +339,12 @@ pub struct CounterSnapshot {
     pub async_wakes: u64,
     /// [`Counters::blocking_spawns`].
     pub blocking_spawns: u64,
+    /// [`Counters::io_registrations`].
+    pub io_registrations: u64,
+    /// [`Counters::io_events`].
+    pub io_events: u64,
+    /// [`Counters::io_wakes`].
+    pub io_wakes: u64,
 }
 
 impl CounterSnapshot {
@@ -365,6 +385,11 @@ impl CounterSnapshot {
             async_polls: self.async_polls.saturating_sub(earlier.async_polls),
             async_wakes: self.async_wakes.saturating_sub(earlier.async_wakes),
             blocking_spawns: self.blocking_spawns.saturating_sub(earlier.blocking_spawns),
+            io_registrations: self
+                .io_registrations
+                .saturating_sub(earlier.io_registrations),
+            io_events: self.io_events.saturating_sub(earlier.io_events),
+            io_wakes: self.io_wakes.saturating_sub(earlier.io_wakes),
         }
     }
 }
@@ -421,6 +446,9 @@ pub fn snapshot() -> MetricsSnapshot {
             async_polls: c.async_polls.get(),
             async_wakes: c.async_wakes.get(),
             blocking_spawns: c.blocking_spawns.get(),
+            io_registrations: c.io_registrations.get(),
+            io_events: c.io_events.get(),
+            io_wakes: c.io_wakes.get(),
         },
         spawn_latency: SPAWN_LATENCY.summary(),
         steal_dwell: STEAL_DWELL.summary(),
@@ -454,6 +482,9 @@ pub fn reset() {
     c.async_polls.reset();
     c.async_wakes.reset();
     c.blocking_spawns.reset();
+    c.io_registrations.reset();
+    c.io_events.reset();
+    c.io_wakes.reset();
     SPAWN_LATENCY.reset();
     STEAL_DWELL.reset();
 }

@@ -1,0 +1,531 @@
+//! A minimal HTTP/1.1 server on the GLT API: bounded request parser,
+//! keep-alive connection loop, and a `serve` entry point that runs the
+//! same handler on any of the five backends.
+//!
+//! Deliberately small — request line + headers + `Content-Length`
+//! bodies, no chunked encoding, no TLS — but production-shaped where
+//! it matters for a runtime study: every limit is enforced *before*
+//! buffering (oversized headers get `431`, oversized bodies `413`),
+//! connections are keep-alive by default so a load generator can
+//! drive many requests per socket, and each connection is one async
+//! task (`Glt::spawn_async`), so ten thousand idle connections cost
+//! ten thousand parked task cells — not ten thousand stacks, and not
+//! one wedged worker.
+
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+use lwt_core::Glt;
+use lwt_sync::SpinLock;
+
+use crate::reactor::Registration;
+use crate::tcp::{TcpListener, TcpStream};
+
+/// Parser and buffering limits for one connection.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes in the request line + headers block (the bytes up
+    /// to and including the `\r\n\r\n`). Exceeding it: `431`.
+    pub max_head_bytes: usize,
+    /// Maximum number of header lines. Exceeding it: `431`.
+    pub max_headers: usize,
+    /// Maximum `Content-Length` accepted. Exceeding it: `413`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 8 * 1024,
+            max_headers: 64,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method token, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (`/path?query`).
+    pub target: String,
+    /// Header name/value pairs, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (empty unless `Content-Length` was present).
+    pub body: Vec<u8>,
+    keep_alive: bool,
+}
+
+impl Request {
+    /// First header value whose name matches case-insensitively.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection stays open after this exchange
+    /// (HTTP/1.1 default unless `Connection: close`).
+    #[must_use]
+    pub fn keep_alive(&self) -> bool {
+        self.keep_alive
+    }
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    status: u16,
+    reason: &'static str,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// Start from a status code (reason phrase filled for the common
+    /// ones).
+    #[must_use]
+    pub fn new(status: u16) -> Response {
+        Response {
+            status,
+            reason: reason_phrase(status),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Shorthand for a `200 OK` with `body`.
+    #[must_use]
+    pub fn ok(body: impl Into<Vec<u8>>) -> Response {
+        let mut r = Response::new(200);
+        r.body = body.into();
+        r
+    }
+
+    /// Append a header.
+    #[must_use]
+    pub fn header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Replace the body.
+    #[must_use]
+    pub fn body(mut self, body: impl Into<Vec<u8>>) -> Response {
+        self.body = body.into();
+        self
+    }
+
+    /// The status code.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// Serialize head + body to wire bytes. `Content-Length` and
+    /// `Connection` are emitted by the server loop, not stored.
+    fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).as_bytes(),
+        );
+        for (n, v) in &self.headers {
+            out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        if !keep_alive {
+            out.extend_from_slice(b"Connection: close\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Status",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Outcome of one parse attempt over the connection buffer.
+#[derive(Debug)]
+pub enum Parse {
+    /// A full request: the parsed value plus bytes consumed from the
+    /// buffer (head + body).
+    Complete(Box<Request>, usize),
+    /// Need more bytes.
+    Partial,
+    /// Malformed or over-limit input; respond with this status and
+    /// close.
+    Reject(u16),
+}
+
+/// Try to parse one request from the front of `buf`. Pure function of
+/// the bytes — both the sync and async connection loops drive it.
+#[must_use]
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Parse {
+    let head_end = match find_head_end(buf) {
+        Some(i) => i,
+        None => {
+            return if buf.len() > limits.max_head_bytes {
+                Parse::Reject(431)
+            } else {
+                Parse::Partial
+            }
+        }
+    };
+    if head_end > limits.max_head_bytes {
+        return Parse::Reject(431);
+    }
+    let head = match std::str::from_utf8(&buf[..head_end - 4]) {
+        Ok(s) => s,
+        Err(_) => return Parse::Reject(400),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if !m.is_empty() && !t.is_empty() && parts.next().is_none() => {
+            (m, t, v)
+        }
+        _ => return Parse::Reject(400),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Parse::Reject(400);
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if headers.len() >= limits.max_headers {
+            return Parse::Reject(431);
+        }
+        let (name, value) = match line.split_once(':') {
+            Some(nv) => nv,
+            None => return Parse::Reject(400),
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Parse::Reject(400);
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+
+    let content_length = match header_of(&headers, "content-length") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Parse::Reject(400),
+        },
+        None => 0,
+    };
+    if content_length > limits.max_body_bytes {
+        return Parse::Reject(413);
+    }
+    let total = head_end + content_length;
+    if buf.len() < total {
+        return Parse::Partial;
+    }
+
+    let keep_alive = match header_of(&headers, "connection") {
+        Some(v) if v.eq_ignore_ascii_case("close") => false,
+        Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+        _ => version == "HTTP/1.1",
+    };
+    Parse::Complete(
+        Box::new(Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers,
+            body: buf[head_end..total].to_vec(),
+            keep_alive,
+        }),
+        total,
+    )
+}
+
+fn header_of<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// The request handler: borrow a request, build a response. Shared by
+/// every connection task, so it must be `Send + Sync`.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A running HTTP server: an acceptor work unit plus one async task
+/// per live connection, all spawned through the given [`Glt`].
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    listener_stop: Arc<dyn Fn() + Send + Sync>,
+    conns: Arc<SpinLock<Vec<Weak<Registration>>>>,
+    active: Arc<AtomicUsize>,
+    acceptor: lwt_core::GltHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    #[must_use]
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently being served.
+    #[must_use]
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, unstick every live connection (their next I/O
+    /// returns `NotConnected`, ending the task), and join the
+    /// acceptor. Idempotent on the listener; safe while requests are
+    /// in flight — in-progress writes finish, parked reads abort.
+    pub fn shutdown(self) {
+        (self.listener_stop)();
+        for weak in self.conns.lock().drain(..) {
+            if let Some(reg) = weak.upgrade() {
+                reg.close_wake();
+            }
+        }
+        self.acceptor.join();
+    }
+}
+
+/// Serve `handler` on `listener`, spawning the acceptor as a ULT and
+/// each connection as an async task on `glt`. Default [`Limits`].
+///
+/// The returned handle borrows nothing from `glt` — but every spawned
+/// unit lives in that runtime, so call [`ServerHandle::shutdown`]
+/// before `Glt::finalize`, or finalize will report the acceptor as a
+/// straggler.
+pub fn serve(
+    glt: &Glt,
+    listener: TcpListener,
+    handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+) -> io::Result<ServerHandle> {
+    serve_with(glt, listener, Limits::default(), Arc::new(handler))
+}
+
+/// [`serve`] with explicit limits and a pre-shared handler.
+pub fn serve_with(
+    glt: &Glt,
+    listener: TcpListener,
+    limits: Limits,
+    handler: Handler,
+) -> io::Result<ServerHandle> {
+    let addr = listener.local_addr()?;
+    let listener = Arc::new(listener);
+    let stop_listener = Arc::clone(&listener);
+    let conns: Arc<SpinLock<Vec<Weak<Registration>>>> = Arc::new(SpinLock::new(Vec::new()));
+    let active = Arc::new(AtomicUsize::new(0));
+
+    let acceptor = {
+        let glt2 = glt.clone();
+        let conns = Arc::clone(&conns);
+        let active = Arc::clone(&active);
+        glt.ult_create(move || loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nodelay(true);
+                    {
+                        // Track the registration so shutdown can
+                        // unstick the connection; compact dead slots
+                        // opportunistically to keep the list bounded
+                        // by the number of *live* connections.
+                        let mut lock = conns.lock();
+                        if lock.len() == lock.capacity() {
+                            lock.retain(|w| w.upgrade().is_some());
+                        }
+                        lock.push(Arc::downgrade(stream.registration()));
+                    }
+                    active.fetch_add(1, Ordering::Relaxed);
+                    let active = Arc::clone(&active);
+                    let handler = Arc::clone(&handler);
+                    drop(glt2.spawn_async(async move {
+                        let _ = connection_loop(&stream, limits, &handler).await;
+                        active.fetch_sub(1, Ordering::Relaxed);
+                    }));
+                }
+                // NotConnected = shutdown; anything else on a listener
+                // (EMFILE under fd pressure) also ends the acceptor
+                // rather than spinning on a broken socket.
+                Err(_) => return,
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        listener_stop: Arc::new(move || stop_listener.shutdown()),
+        conns,
+        active,
+        acceptor,
+    })
+}
+
+/// One connection's keep-alive loop: parse, handle, respond, repeat.
+async fn connection_loop(stream: &TcpStream, limits: Limits, handler: &Handler) -> io::Result<()> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match parse_request(&buf, &limits) {
+            Parse::Complete(req, consumed) => {
+                buf.drain(..consumed);
+                let keep = req.keep_alive();
+                let resp = handler(&req);
+                stream.write_all_async(&resp.to_bytes(keep)).await?;
+                if !keep {
+                    return Ok(());
+                }
+            }
+            Parse::Partial => {
+                let n = stream.read_async(&mut chunk).await?;
+                if n == 0 {
+                    // Clean EOF between requests; mid-request EOF just
+                    // ends the task (nobody is left to read an error).
+                    return Ok(());
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Parse::Reject(status) => {
+                let resp = Response::new(status);
+                stream.write_all_async(&resp.to_bytes(false)).await?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(raw: &[u8]) -> Parse {
+        parse_request(raw, &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_get_with_headers() {
+        let raw = b"GET /hello?x=1 HTTP/1.1\r\nHost: a\r\nX-Trace: 7\r\n\r\n";
+        match req(raw) {
+            Parse::Complete(r, consumed) => {
+                assert_eq!(consumed, raw.len());
+                assert_eq!(r.method, "GET");
+                assert_eq!(r.target, "/hello?x=1");
+                assert_eq!(r.header("x-trace"), Some("7"));
+                assert!(r.keep_alive());
+                assert!(r.body.is_empty());
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn body_follows_content_length_and_pipelines() {
+        let raw = b"POST /e HTTP/1.1\r\nContent-Length: 4\r\n\r\nwxyzGET / HTTP/1.1\r\n\r\n";
+        match req(raw) {
+            Parse::Complete(r, consumed) => {
+                assert_eq!(r.body, b"wxyz");
+                // Second pipelined request still in the buffer.
+                match parse_request(&raw[consumed..], &Limits::default()) {
+                    Parse::Complete(r2, _) => assert_eq!(r2.target, "/"),
+                    other => panic!("expected Complete, got {other:?}"),
+                }
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_until_blank_line_and_full_body() {
+        assert!(matches!(req(b"GET / HTTP/1.1\r\nHost:"), Parse::Partial));
+        assert!(matches!(
+            req(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nshort"),
+            Parse::Partial
+        ));
+    }
+
+    #[test]
+    fn connection_close_and_http10_default() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        match req(raw) {
+            Parse::Complete(r, _) => assert!(!r.keep_alive()),
+            other => panic!("{other:?}"),
+        }
+        match req(b"GET / HTTP/1.0\r\n\r\n") {
+            Parse::Complete(r, _) => assert!(!r.keep_alive()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        // Header block too large: reject even before the blank line.
+        let mut big = b"GET / HTTP/1.1\r\n".to_vec();
+        big.extend(std::iter::repeat_n(b'a', 9000));
+        assert!(matches!(req(&big), Parse::Reject(431)));
+
+        // Too many header lines.
+        let mut many = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..100 {
+            many.extend_from_slice(format!("H{i}: v\r\n").as_bytes());
+        }
+        many.extend_from_slice(b"\r\n");
+        assert!(matches!(req(&many), Parse::Reject(431)));
+
+        // Declared body over the cap.
+        let huge = b"POST / HTTP/1.1\r\nContent-Length: 2000000\r\n\r\n";
+        assert!(matches!(req(huge), Parse::Reject(413)));
+    }
+
+    #[test]
+    fn malformed_requests_are_400() {
+        assert!(matches!(req(b"BROKEN\r\n\r\n"), Parse::Reject(400)));
+        assert!(matches!(req(b"GET / HTTP/9.9\r\n\r\n"), Parse::Reject(400)));
+        assert!(matches!(
+            req(b"GET / HTTP/1.1\r\nno-colon-line\r\n\r\n"),
+            Parse::Reject(400)
+        ));
+        assert!(matches!(
+            req(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Parse::Reject(400)
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let bytes = Response::ok("hi").header("X-K", "v").to_bytes(true);
+        let s = String::from_utf8(bytes).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("X-K: v\r\n"));
+        assert!(s.contains("Content-Length: 2\r\n"));
+        assert!(s.ends_with("\r\n\r\nhi"));
+        let closed = String::from_utf8(Response::new(404).to_bytes(false)).unwrap();
+        assert!(closed.contains("Connection: close\r\n"));
+        assert!(closed.contains("404 Not Found"));
+    }
+}

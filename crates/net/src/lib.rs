@@ -1,0 +1,68 @@
+//! # lwt-net — epoll reactor + TCP/HTTP serving on the GLT API
+//!
+//! The reviewed paper's runtimes (and this workspace's five
+//! reproductions of them) schedule *CPU-bound* work: the moment a work
+//! unit issues a blocking `read(2)`, it takes its whole worker thread
+//! hostage — the exact runtime/I/O mismatch that motivates
+//! runtime-aware communication layers in the HPC literature. This
+//! crate removes that mismatch for TCP:
+//!
+//! * [`TcpListener`] / [`TcpStream`] are nonblocking sockets whose
+//!   operations **suspend the calling work unit**, not the worker. A
+//!   stackful ULT (`Glt::ult_create`) relax-loops on a readiness flag,
+//!   yielding its worker to other units — the same wait discipline as
+//!   `lwt_sync::Event`, watchdog-registered. An async task
+//!   (`Glt::spawn_async`) parks its waker and returns `Poll::Pending`;
+//!   the reactor rewakes it through the task-cell waker, which
+//!   re-enqueues via the backend's `post_task` and `ParkGroup` notify.
+//! * A process-global **edge-triggered epoll reactor** (one driver
+//!   thread + idle-worker polls through the `lwt_sched::io_poll`
+//!   hook) turns kernel readiness into those wakes. Contract:
+//!   DESIGN.md §15.
+//! * [`http`] is a minimal HTTP/1.1 server — bounded parser,
+//!   keep-alive, one async task per connection — that runs unchanged
+//!   on all five backends, because it only speaks the GLT API.
+//!
+//! Observability and chaos ride along: `io_*` counters and
+//! `IoWait`/`IoReady` ring events in lwt-metrics, and three fault
+//! sites (`NetPartialWrite`, `NetSpuriousEagain`,
+//! `NetDelayedReadiness`) in lwt-chaos.
+//!
+//! ## Example: echo between two work units
+//!
+//! ```
+//! use lwt_core::{BackendKind, Glt};
+//! use lwt_net::{TcpListener, TcpStream};
+//!
+//! let glt = Glt::builder(BackendKind::Argobots).workers(2).build();
+//! let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+//! let addr = listener.local_addr().unwrap();
+//!
+//! let server = glt.ult_create(move || {
+//!     let (stream, _peer) = listener.accept().unwrap();
+//!     let mut buf = [0u8; 16];
+//!     let n = stream.read(&mut buf).unwrap();
+//!     stream.write_all(&buf[..n]).unwrap();
+//! });
+//! let client = glt.spawn_async(async move {
+//!     let stream = TcpStream::connect(addr).unwrap();
+//!     stream.write_all_async(b"hello").await.unwrap();
+//!     let mut buf = [0u8; 16];
+//!     stream.read_exact_async(&mut buf[..5]).await.unwrap();
+//!     buf
+//! });
+//!
+//! assert_eq!(&client.join()[..5], b"hello");
+//! server.join();
+//! glt.finalize().expect("clean drain");
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod http;
+mod reactor;
+mod sys;
+mod tcp;
+
+pub use reactor::{ensure_started, live_registrations};
+pub use tcp::{TcpListener, TcpStream};

@@ -1,0 +1,199 @@
+//! Raw Linux epoll/eventfd syscalls, invoked directly via the
+//! `syscall` instruction.
+//!
+//! The workspace is hermetic — no libc crate, no registry crates (see
+//! README.md "Hermetic build") — and `std` exposes no epoll surface,
+//! so the reactor makes its own kernel calls, the same way `lwt-fiber`
+//! does its own context switching with `naked_asm!` instead of
+//! `ucontext`. Only the five calls the reactor needs are wrapped; the
+//! sockets themselves come from `std::net` (std is not a registry
+//! dependency) and cross this boundary as raw fds.
+//!
+//! x86-64 Linux only, like the fiber layer's SysV switch stub. The
+//! syscall ABI here: number in `rax`, args in `rdi`/`rsi`/`rdx`/`r10`,
+//! return in `rax` (negative values are `-errno`), `rcx`/`r11`
+//! clobbered by the instruction itself.
+
+#![allow(clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+
+use std::arch::asm;
+use std::io;
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+compile_error!("lwt-net's reactor makes raw x86-64 Linux syscalls (epoll); other targets are not supported");
+
+// Syscall numbers (x86-64).
+const SYS_READ: usize = 0;
+const SYS_WRITE: usize = 1;
+const SYS_EPOLL_WAIT: usize = 232;
+const SYS_EPOLL_CTL: usize = 233;
+const SYS_EVENTFD2: usize = 290;
+const SYS_EPOLL_CREATE1: usize = 291;
+
+/// `epoll_ctl` ops.
+pub const EPOLL_CTL_ADD: i32 = 1;
+/// Remove an fd from the interest set.
+pub const EPOLL_CTL_DEL: i32 = 2;
+
+/// Readable (or a connection is pending on a listener).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable (connect completed / send buffer has room).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition; delivered regardless of the interest mask.
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup; delivered regardless of the interest mask.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing end (half-close visibility).
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered delivery.
+pub const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CLOEXEC: usize = 0x80000;
+const EFD_CLOEXEC: usize = 0x80000;
+const EFD_NONBLOCK: usize = 0x800;
+
+/// One `epoll_event`, kernel layout. Packed on x86-64 (the kernel's
+/// `__EPOLL_PACKED`): 12 bytes, `data` unaligned.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bit set (`EPOLL*`).
+    pub events: u32,
+    /// The `u64` registered with the fd — the reactor's token.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// An empty slot for `epoll_wait` buffers.
+    pub const ZERO: EpollEvent = EpollEvent { events: 0, data: 0 };
+}
+
+#[inline]
+unsafe fn syscall4(n: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+    let ret: isize;
+    // SAFETY: caller passes arguments valid for syscall `n`.
+    unsafe {
+        asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// Create an epoll instance (`EPOLL_CLOEXEC`).
+pub fn epoll_create1() -> io::Result<i32> {
+    // SAFETY: no pointers involved.
+    let ret = unsafe { syscall4(SYS_EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0) };
+    check(ret).map(|fd| fd as i32)
+}
+
+/// Add/remove `fd` in `epfd`'s interest set. `events`/`data` are
+/// ignored by the kernel for `EPOLL_CTL_DEL`.
+pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+    let ev = EpollEvent { events, data };
+    let ptr = if op == EPOLL_CTL_DEL {
+        std::ptr::null()
+    } else {
+        &raw const ev
+    };
+    // SAFETY: `ev` outlives the call; null is allowed for DEL.
+    let ret = unsafe { syscall4(SYS_EPOLL_CTL, epfd as usize, op as usize, fd as usize, ptr as usize) };
+    check(ret).map(|_| ())
+}
+
+/// Wait for events on `epfd`, filling `buf`. `timeout_ms` of 0 polls;
+/// negative blocks. Retries `EINTR` internally. Returns the number of
+/// events written.
+pub fn epoll_wait(epfd: i32, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `buf` is valid for `buf.len()` events for the call.
+        let ret = unsafe {
+            syscall4(
+                SYS_EPOLL_WAIT,
+                epfd as usize,
+                buf.as_mut_ptr() as usize,
+                buf.len(),
+                timeout_ms as usize,
+            )
+        };
+        match check(ret) {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            other => return other,
+        }
+    }
+}
+
+/// Create a nonblocking eventfd (the reactor's self-wake channel).
+pub fn eventfd() -> io::Result<i32> {
+    // SAFETY: no pointers involved.
+    let ret = unsafe { syscall4(SYS_EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0) };
+    check(ret).map(|fd| fd as i32)
+}
+
+/// Add 1 to an eventfd's counter (wakes an `epoll_wait` watching it).
+pub fn eventfd_signal(fd: i32) -> io::Result<()> {
+    let one: u64 = 1;
+    // SAFETY: 8 readable bytes at `&one` for the write.
+    let ret = unsafe { syscall4(SYS_WRITE, fd as usize, (&raw const one) as usize, 8, 0) };
+    check(ret).map(|_| ())
+}
+
+/// Drain an eventfd's counter (nonblocking; `WouldBlock` means it was
+/// already zero).
+pub fn eventfd_drain(fd: i32) {
+    let mut buf: u64 = 0;
+    // SAFETY: 8 writable bytes at `&mut buf` for the read.
+    let ret = unsafe { syscall4(SYS_READ, fd as usize, (&raw mut buf) as usize, 8, 0) };
+    let _ = ret; // EAGAIN (empty) is the expected steady state.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_event_is_kernel_layout() {
+        assert_eq!(std::mem::size_of::<EpollEvent>(), 12);
+        assert_eq!(std::mem::align_of::<EpollEvent>(), 1);
+    }
+
+    #[test]
+    fn epoll_instance_round_trip() {
+        let epfd = epoll_create1().expect("epoll_create1");
+        let efd = eventfd().expect("eventfd");
+        epoll_ctl(epfd, EPOLL_CTL_ADD, efd, EPOLLIN | EPOLLET, 42).expect("ctl add");
+
+        let mut buf = [EpollEvent::ZERO; 4];
+        assert_eq!(epoll_wait(epfd, &mut buf, 0).expect("wait"), 0);
+
+        eventfd_signal(efd).expect("signal");
+        let n = epoll_wait(epfd, &mut buf, 1000).expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!({ buf[0].data }, 42);
+        assert_ne!({ buf[0].events } & EPOLLIN, 0);
+
+        // Edge-triggered: drained and re-signaled fires a fresh edge.
+        eventfd_drain(efd);
+        assert_eq!(epoll_wait(epfd, &mut buf, 0).expect("wait"), 0);
+        eventfd_signal(efd).expect("signal");
+        assert_eq!(epoll_wait(epfd, &mut buf, 1000).expect("wait"), 1);
+
+        epoll_ctl(epfd, EPOLL_CTL_DEL, efd, 0, 0).expect("ctl del");
+    }
+}

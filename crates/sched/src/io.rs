@@ -1,0 +1,105 @@
+//! Reactor idle-poll hook: the seam between the backends' idle paths
+//! and the I/O reactor, with the dependency arrow pointing the right
+//! way.
+//!
+//! `lwt-net` (the epoll reactor) sits *above* the backend crates in
+//! the dependency graph — it spawns work through the GLT API — so the
+//! backends cannot call into it directly. Instead the reactor
+//! registers a bare `fn() -> usize` here at initialization, and every
+//! backend's worker loop calls [`io_poll`] when its steal sweep comes
+//! up dry, right before parking on the [`ParkGroup`]. The hook gives
+//! an otherwise-idle worker a chance to collect readiness events (and
+//! thereby requeue woken tasks through the backend's own `post_task`
+//! path) without waiting for the reactor driver thread to be
+//! scheduled — which matters on saturated or single-core machines.
+//!
+//! When no reactor has started, [`io_poll`] is one relaxed load and a
+//! predictable branch: runtimes that never touch the network pay
+//! nothing for this seam.
+//!
+//! Ordering contract (DESIGN.md §15): the hook itself carries no
+//! synchronization promises. A non-zero return means "readiness was
+//! dispatched; ready queues may have grown through `post_task`", and
+//! the caller must re-run its sweep before parking — the same re-check
+//! discipline [`ParkGroup::park`]'s `pending` closure enforces for
+//! queue pushes.
+//!
+//! [`ParkGroup`]: crate::ParkGroup
+//! [`ParkGroup::park`]: crate::ParkGroup::park
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The registered poll hook, stored as a thin `fn` pointer (0 = none).
+/// A `fn() -> usize` is ABI-compatible with a pointer-sized word on
+/// every platform the workspace targets.
+static IO_POLL: AtomicUsize = AtomicUsize::new(0);
+
+/// Register the process-wide I/O poll hook. The hook must be
+/// non-blocking (an `epoll_wait` with a zero timeout, or a try-lock
+/// that bails when another thread is already polling) and must return
+/// the number of readiness events it dispatched.
+///
+/// First registration wins and returns `true`; later calls are
+/// ignored and return `false` (the reactor is a process singleton, so
+/// a second registration is a bug on the caller's side, but ignoring
+/// it keeps racing initializers safe).
+pub fn set_io_poll(hook: fn() -> usize) -> bool {
+    IO_POLL
+        .compare_exchange(0, hook as usize, Ordering::Release, Ordering::Relaxed)
+        .is_ok()
+}
+
+/// Whether a reactor has registered an idle-poll hook.
+#[must_use]
+pub fn io_poll_registered() -> bool {
+    IO_POLL.load(Ordering::Relaxed) != 0
+}
+
+/// Poll the reactor for readiness, if one is running. Returns the
+/// number of events dispatched (0 when no reactor is registered, when
+/// another thread holds the poll slot, or when nothing was ready).
+///
+/// Backends call this on the idle path: a non-zero return means wakes
+/// were delivered — some may have landed in this worker's own queues —
+/// so the caller should re-sweep instead of parking.
+#[inline]
+#[must_use]
+pub fn io_poll() -> usize {
+    let raw = IO_POLL.load(Ordering::Acquire);
+    if raw == 0 {
+        return 0;
+    }
+    // Safety: the only non-zero value ever stored is a valid
+    // `fn() -> usize`, written with Release by `set_io_poll` and read
+    // here with Acquire.
+    let hook: fn() -> usize = unsafe { std::mem::transmute(raw) };
+    hook()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_poll() -> usize {
+        7
+    }
+
+    #[test]
+    fn unregistered_hook_is_a_noop() {
+        // May race with `first_registration_wins` in the same process;
+        // only assert the no-crash property plus a consistent pair.
+        if !io_poll_registered() {
+            assert_eq!(io_poll(), 0);
+        }
+    }
+
+    #[test]
+    fn first_registration_wins() {
+        let first = set_io_poll(fake_poll);
+        // Either we registered it or someone else did; a second
+        // attempt must always lose.
+        assert!(!set_io_poll(fake_poll) || !first);
+        assert!(io_poll_registered());
+        assert_eq!(io_poll(), 7);
+    }
+}

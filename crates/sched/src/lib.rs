@@ -38,11 +38,16 @@
 //!   lifecycle of a stackless future task, giving every backend's
 //!   async bridge the same no-lost-wake guarantee (model-checked in
 //!   `crates/model/tests/waker.rs`).
+//! * [`io_poll`] / [`set_io_poll`] — the reactor idle-poll seam: the
+//!   I/O reactor (`lwt-net`) registers a non-blocking poll hook that
+//!   every backend calls when a steal sweep comes up dry, so readiness
+//!   events are collected before a worker parks.
 
 #![warn(missing_docs)]
 
 mod chase_lev;
 mod injector;
+mod io;
 mod park;
 mod sysapi;
 mod private;
@@ -54,6 +59,7 @@ mod victim;
 
 pub use chase_lev::{ChaseLev, Steal, Stealer, Worker};
 pub use injector::Injector;
+pub use io::{io_poll, io_poll_registered, set_io_poll};
 pub use park::{
     current_wait_policy, force_wait_policy, reset_wait_policy_to_env, ParkGroup, ParkResult,
     WaitPolicy,

@@ -36,6 +36,13 @@
 //! failed attempt. OS-thread users pass [`spin_relax`] or
 //! [`thread_yield_relax`]; LWT runtimes pass their own `yield`
 //! so the worker keeps executing other work units while one waits.
+//!
+//! The same discipline extends beyond this crate: `lwt-net`'s reactor
+//! waits (a ULT parked in `accept`/`read`/`write`) interleave the
+//! unit-level yield with [`AdaptiveRelax`] and report through the FEB
+//! wait counters (`feb_blocks`/`feb_wakes`), so an I/O wait is
+//! accounted and watchdog-registered exactly like a [`FebCell`] block
+//! — DESIGN.md §15 documents that contract.
 
 #![warn(missing_docs)]
 

@@ -126,6 +126,19 @@ impl UltCore {
     where
         F: FnOnce() + Send + 'static,
     {
+        Self::with_span(stack_size, span::on_spawn(), f)
+    }
+
+    /// Like [`UltCore::new`], but adopting `span` instead of allocating
+    /// one — for spawns whose causal edge was recorded earlier on a
+    /// different thread (e.g. Converse's two-stage bootstrap, where the
+    /// `GLT_ult_create` call site owns the spawn edge and the CthCreate
+    /// happens later inside a message). Pass `0` to run span-less.
+    #[must_use]
+    pub fn with_span<F>(stack_size: StackSize, span: u64, f: F) -> Arc<UltCore>
+    where
+        F: FnOnce() + Send + 'static,
+    {
         COUNTERS.ults_created.inc();
         let stack = cache::acquire(stack_size);
         let ult = Arc::new(UltCore {
@@ -136,7 +149,7 @@ impl UltCore {
             panic: UnsafeCell::new(None),
             wake_pending: std::sync::atomic::AtomicBool::new(false),
             spawn_ns: AtomicU64::new(timestamp_if_tracing()),
-            span: span::on_spawn(),
+            span,
         });
         // SAFETY: ult_entry never returns; the data pointer is kept
         // alive by the Arc the worker holds while executing; moving the

@@ -20,6 +20,7 @@
 //! | [`go`] | `lwt-go` | global-queue goroutines + channels |
 //! | [`openmp`] | `lwt-openmp` | gcc/icc-flavor OpenMP-like baseline |
 //! | [`core`] | `lwt-core` | the unified API ([`Glt`]) + Tables I/II |
+//! | [`net`] | `lwt-net` | epoll reactor, TCP/HTTP serving on the GLT API |
 //! | [`microbench`] | `lwt-microbench` | the paper's microbenchmarks, Figs. 1–8 |
 //!
 //! ## Quickstart
@@ -43,6 +44,7 @@ pub use lwt_go as go;
 pub use lwt_massive as massive;
 pub use lwt_metrics as metrics;
 pub use lwt_microbench as microbench;
+pub use lwt_net as net;
 pub use lwt_openmp as openmp;
 pub use lwt_qthreads as qthreads;
 pub use lwt_sched as sched;

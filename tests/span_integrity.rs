@@ -127,9 +127,9 @@ fn assert_tree(
 fn span_parent_child_integrity_across_backends() {
     set_tracing(true);
 
-    // Unified-API backends whose units all carry spans. Converse maps
-    // Glt ULTs to span-less messages by design — covered below through
-    // its native CthCreate path instead.
+    // Unified-API backends whose units join through native span-aware
+    // handles. Converse (event-slot joins, two-stage spawn) is covered
+    // separately below, along with its native CthCreate path.
     for kind in [
         BackendKind::Argobots,
         BackendKind::Qthreads,
@@ -160,12 +160,13 @@ fn span_parent_child_integrity_across_backends() {
         assert_tree(kind.name(), &before, kind != BackendKind::Go);
     }
 
-    // Converse through the unified API: Glt units are *messages*, and
-    // since the async bridge they carry their span in the payload
-    // (allocated at spawn time, installed around the message body,
-    // joined through the event slot). Messages execute atomically, so
-    // the root must not block on its children — it exports their
-    // handles and the master performs the joins.
+    // Converse through the unified API: a Glt ULT bootstraps through a
+    // message that performs the CthCreate on-processor, and the ULT
+    // *adopts* the span allocated at the `ult_create` call site (so the
+    // spawn edge records the true causal parent; joins go through the
+    // event slot). The root exports its children's handles and the
+    // master performs the joins — exercising the cross-thread join
+    // path the other backends don't have.
     {
         let before = spawn_edges();
         let glt = Arc::new(Glt::builder(BackendKind::Converse).workers(3).build());
