@@ -188,6 +188,60 @@ if grep -q "lwt-watchdog:" "$SERVING_LOG"; then
 fi
 echo "   ok: 100-client echo green on all backends, zero stall reports"
 
+echo "== tier1: overload smoke (4x connection cap vs 1-worker server)"
+# The overload contract under the watchdog, two parts. First the
+# deterministic 503 shape: a gated handler saturates a one-slot
+# in-flight cap, and the excess request must get a well-formed
+# "503 Service Unavailable" with Retry-After while the stall watchdog
+# stays silent. Then the macro run: the overload bench offers 4x the
+# connection cap to a ONE-worker server (both regimes, both benched
+# backends) — every offered request must eventually succeed
+# (client_failures == 0: no worker died, nothing wedged) with zero
+# stall reports from either process.
+OVERLOAD_LOG="target/lwt-overload-smoke.log"
+LWT_WATCHDOG=1 \
+    cargo test -q --offline --test overload \
+    inflight_cap_sheds_with_503_and_retry_after \
+    >/dev/null 2>"$OVERLOAD_LOG"
+if grep -q "lwt-watchdog:" "$OVERLOAD_LOG"; then
+    echo "FAIL: watchdog stall reports during 503-shed smoke:" >&2
+    grep "lwt-watchdog:" "$OVERLOAD_LOG" >&2
+    exit 1
+fi
+OVERLOAD_DIR="$PWD/target/lwt-overload-smoke"
+rm -f "$OVERLOAD_DIR/BENCH_overload.json"
+LWT_WATCHDOG=1 LWT_WORKERS=1 LWT_BENCH_DIR="$OVERLOAD_DIR" \
+    LWT_OVERLOAD_CAP=16 LWT_OVERLOAD_REQS=2 \
+    cargo bench --offline -q -p lwt-bench --bench overload \
+    >/dev/null 2>"$OVERLOAD_LOG"
+if grep -q "lwt-watchdog:" "$OVERLOAD_LOG"; then
+    echo "FAIL: watchdog stall reports during overload smoke:" >&2
+    grep "lwt-watchdog:" "$OVERLOAD_LOG" >&2
+    exit 1
+fi
+python3 - "$OVERLOAD_DIR/BENCH_overload.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+records = doc["benches"]
+assert records, "overload smoke wrote no records"
+for r in records:
+    want = r["offered"] * 2  # LWT_OVERLOAD_REQS=2
+    assert r["requests"] == want, (
+        f"{r['id']}: {r['requests']}/{want} requests completed — "
+        "requests were lost, not shed"
+    )
+    assert r["client_failures"] == 0, (
+        f"{r['id']}: {r['client_failures']} clients exhausted retries"
+    )
+    assert r["metrics"]["handler_panics"] == 0, (
+        f"{r['id']}: worker-side panics during a chaos-free run"
+    )
+print(f"   {len(records)} records, all offered requests served, 0 failures")
+PY
+echo "   ok: 503s well-formed, 4x-cap load fully served, zero stall reports"
+
 echo "== tier1: spawn-path smoke (fig2_create vs committed baseline)"
 # One quick fig2_create bench run; the spawn path must not regress
 # >25% (geometric mean of per-series median ratios) against the

@@ -1,0 +1,455 @@
+//! Overload sweep for the serving stack: a capped server
+//! (`ServerConfig { max_conns, max_inflight, .. }`) is offered 4× its
+//! connection capacity by a retry client with jittered exponential
+//! backoff, and the record shows what the overload contract buys —
+//! bounded p99 for the requests that are admitted, explicit `503`
+//! sheds for the rest, and zero errors that aren't sheds. Written to
+//! `results/BENCH_overload.json`.
+//!
+//! Same two-process design as `serving.rs` (the binary re-execs
+//! itself with `LWT_OVERLOAD_ROLE=client`) so server and client get
+//! separate fd budgets and separate runtimes.
+//!
+//! Knobs: `LWT_WORKERS` (server pool), `LWT_OVERLOAD_CAP` (connection
+//! cap; offered load is 4×), `LWT_OVERLOAD_INFLIGHT` (in-flight
+//! request cap), `LWT_OVERLOAD_REQS` (connect→request→close cycles
+//! per client task).
+
+use std::io::Read as _;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lwt_core::{BackendKind, Glt};
+use lwt_net::http::{self, ServerConfig};
+use lwt_net::TcpStream;
+use lwt_sync::rng::{Rng, SplitMix64};
+use lwt_sync::SpinLock;
+
+const REQUEST: &[u8] = b"GET /overload HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n";
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+// ---------------------------------------------------------------- client
+
+/// Yield the calling async task once.
+async fn yield_task() {
+    let mut yielded = false;
+    std::future::poll_fn(move |cx| {
+        if yielded {
+            std::task::Poll::Ready(())
+        } else {
+            yielded = true;
+            cx.waker().wake_by_ref();
+            std::task::Poll::Pending
+        }
+    })
+    .await;
+}
+
+/// Async-friendly pause: yield the task until `dur` has passed. Burns
+/// a poll per turn, but the backoffs here are single-digit ms and the
+/// alternative (thread::sleep) would wedge a client worker.
+async fn pause(dur: Duration) {
+    let until = Instant::now() + dur;
+    while Instant::now() < until {
+        yield_task().await;
+    }
+}
+
+/// Jittered exponential backoff for `attempt` (0-based): uniform in
+/// [0, min(1ms << attempt, 32ms)). Full jitter — the point is to
+/// decorrelate 4× capacity's worth of retries.
+fn backoff(rng: &mut SplitMix64, attempt: u32) -> Duration {
+    let cap_us = (1000u64 << attempt.min(5)).min(32_000);
+    Duration::from_micros(rng.gen_range(0..cap_us.max(1)))
+}
+
+/// Read one full response; classify it. `None` = transport cut.
+fn status_of(resp: &str) -> Option<u16> {
+    resp.strip_prefix("HTTP/1.1 ")?
+        .split(' ')
+        .next()?
+        .parse()
+        .ok()
+}
+
+async fn read_response(stream: &TcpStream) -> Option<String> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 2048];
+    loop {
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4) {
+            let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+            let clen: usize = head
+                .lines()
+                .find_map(|l| {
+                    let (n, v) = l.split_once(':')?;
+                    n.eq_ignore_ascii_case("content-length")
+                        .then(|| v.trim().parse().ok())?
+                })
+                .unwrap_or(0);
+            if buf.len() >= head_end + clen {
+                return String::from_utf8(buf).ok();
+            }
+        }
+        match stream.read_async(&mut chunk).await {
+            Ok(n) if n > 0 => buf.extend_from_slice(&chunk[..n]),
+            _ => return None,
+        }
+    }
+}
+
+/// Client-role main: `conns` concurrent tasks (4× the server's cap),
+/// each cycling connect → request → response → close `reqs` times,
+/// retrying sheds and transport cuts with jittered backoff.
+fn client_main() -> ! {
+    let addr: std::net::SocketAddr = std::env::var("LWT_OVERLOAD_ADDR")
+        .expect("LWT_OVERLOAD_ADDR")
+        .parse()
+        .expect("client addr");
+    let conns = env_usize("LWT_OVERLOAD_CONNS", 256);
+    let reqs = env_usize("LWT_OVERLOAD_REQS", 4);
+
+    let glt = Glt::builder(BackendKind::Go)
+        .workers(env_usize("LWT_WORKERS", 2))
+        .build();
+    let latencies = Arc::new(SpinLock::new(Vec::with_capacity(conns * reqs)));
+    let sheds = Arc::new(AtomicUsize::new(0));
+    let retries = Arc::new(AtomicUsize::new(0));
+    let failures = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let tasks: Vec<_> = (0..conns)
+        .map(|i| {
+            let latencies = Arc::clone(&latencies);
+            let sheds = Arc::clone(&sheds);
+            let retries = Arc::clone(&retries);
+            let failures = Arc::clone(&failures);
+            glt.spawn_async(async move {
+                let mut rng = SplitMix64::new(0x0E41_10AD ^ (i as u64) << 17);
+                let mut local = Vec::with_capacity(reqs);
+                for _ in 0..reqs {
+                    let t0 = Instant::now();
+                    let mut attempt = 0u32;
+                    loop {
+                        // Offered-load clients outnumber server slots
+                        // 4:1: connects themselves queue in the
+                        // backlog while the acceptor is paused, so
+                        // they get the same backoff treatment.
+                        let Ok(stream) = TcpStream::connect(addr) else {
+                            retries.fetch_add(1, Ordering::Relaxed);
+                            pause(backoff(&mut rng, attempt)).await;
+                            attempt += 1;
+                            if attempt > 20 {
+                                failures.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            continue;
+                        };
+                        if stream.write_all_async(REQUEST).await.is_err() {
+                            retries.fetch_add(1, Ordering::Relaxed);
+                            pause(backoff(&mut rng, attempt)).await;
+                            attempt += 1;
+                            continue;
+                        }
+                        match read_response(&stream).await.as_deref().map(status_of) {
+                            Some(Some(200)) => {
+                                local.push(t0.elapsed().as_nanos() as u64);
+                                break;
+                            }
+                            Some(Some(503)) => {
+                                sheds.fetch_add(1, Ordering::Relaxed);
+                                pause(backoff(&mut rng, attempt)).await;
+                                attempt += 1;
+                            }
+                            _ => {
+                                retries.fetch_add(1, Ordering::Relaxed);
+                                pause(backoff(&mut rng, attempt)).await;
+                                attempt += 1;
+                            }
+                        }
+                        if attempt > 20 {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+                latencies.lock().extend(local);
+            })
+        })
+        .collect();
+    for t in tasks {
+        t.join();
+    }
+    let elapsed = started.elapsed();
+    glt.finalize().expect("client drain");
+
+    let mut lat = std::mem::take(&mut *latencies.lock());
+    lat.sort_unstable();
+    let pct = |p: usize| -> u64 {
+        if lat.is_empty() {
+            0
+        } else {
+            lat[(lat.len() - 1) * p / 100]
+        }
+    };
+    println!(
+        "OVERLOAD_CLIENT requests={} elapsed_ns={} p50_ns={} p99_ns={} sheds={} retries={} failures={}",
+        lat.len(),
+        elapsed.as_nanos(),
+        pct(50),
+        pct(99),
+        sheds.load(Ordering::Relaxed),
+        retries.load(Ordering::Relaxed),
+        failures.load(Ordering::Relaxed),
+    );
+    std::process::exit(0);
+}
+
+// ---------------------------------------------------------------- server
+
+struct RunResult {
+    id: String,
+    cap: usize,
+    max_inflight: usize,
+    offered: usize,
+    requests: u64,
+    elapsed_ns: u64,
+    rps: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    client_sheds: u64,
+    client_retries: u64,
+    client_failures: u64,
+    peak_active: usize,
+    metrics: lwt_metrics::registry::CounterSnapshot,
+}
+
+fn parse_client_line(out: &str) -> Option<[u64; 7]> {
+    let line = out.lines().find(|l| l.starts_with("OVERLOAD_CLIENT "))?;
+    let mut vals = [0u64; 7];
+    for (slot, key) in [
+        "requests",
+        "elapsed_ns",
+        "p50_ns",
+        "p99_ns",
+        "sheds",
+        "retries",
+        "failures",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let field = line
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{key}=")))?;
+        vals[slot] = field.parse().ok()?;
+    }
+    Some(vals)
+}
+
+/// One overload run: capped server on `kind`, over-capacity client as
+/// a subprocess. `label` names the regime the caps put the run in.
+fn run_overload(
+    kind: BackendKind,
+    label: &str,
+    cap: usize,
+    max_inflight: usize,
+    offered: usize,
+    reqs: usize,
+) -> RunResult {
+    let workers = env_usize("LWT_WORKERS", 2);
+    let glt = Glt::builder(kind).workers(workers).build();
+    let listener = lwt_net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let mut config = ServerConfig::default();
+    config.max_conns = cap;
+    config.max_inflight = max_inflight;
+    config.header_timeout_ms = 10_000;
+    config.idle_timeout_ms = 10_000;
+    let server = http::serve_config(
+        &glt,
+        listener,
+        config,
+        Arc::new(|_req: &http::Request| {
+            // ~10 µs of real work per request so the in-flight cap
+            // has something to bound.
+            let mut acc = 0u64;
+            for i in 0..4000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            http::Response::ok(format!("ok:{acc:x}\n"))
+        }),
+    )
+    .expect("serve");
+    let addr = server.addr();
+
+    let counters_before = lwt_metrics::registry::snapshot().counters;
+
+    let mut child = Command::new(std::env::current_exe().expect("current_exe"))
+        .env("LWT_OVERLOAD_ROLE", "client")
+        .env("LWT_OVERLOAD_ADDR", addr.to_string())
+        .env("LWT_OVERLOAD_CONNS", offered.to_string())
+        .env("LWT_OVERLOAD_REQS", reqs.to_string())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn client");
+
+    let mut peak_active = 0;
+    loop {
+        peak_active = peak_active.max(server.active_connections());
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "client exited with {status}");
+                break;
+            }
+            None => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    let mut out = String::new();
+    child
+        .stdout
+        .take()
+        .expect("piped stdout")
+        .read_to_string(&mut out)
+        .expect("read client output");
+    let [requests, elapsed_ns, p50_ns, p99_ns, sheds, retries, failures] =
+        parse_client_line(&out).expect("client result line");
+
+    let metrics = lwt_metrics::registry::snapshot()
+        .counters
+        .delta(&counters_before);
+
+    server.shutdown();
+    glt.finalize().expect("server drain");
+
+    assert!(
+        cap == 0 || peak_active <= cap,
+        "connection cap violated on {kind}: peak {peak_active} > cap {cap}"
+    );
+
+    let rps = if elapsed_ns == 0 {
+        0.0
+    } else {
+        requests as f64 / (elapsed_ns as f64 / 1e9)
+    };
+    eprintln!(
+        "overload/{kind}/{label}: {requests} ok, {rps:.0} rps, \
+         p50 {:.2} ms, p99 {:.2} ms, {sheds} sheds, {retries} retries, \
+         {failures} failures, peak {peak_active}/{cap} conns, \
+         {} accept pauses, {} server sheds",
+        p50_ns as f64 / 1e6,
+        p99_ns as f64 / 1e6,
+        metrics.accept_pauses,
+        metrics.requests_shed,
+    );
+    RunResult {
+        id: format!("overload/{kind}/{label}"),
+        cap,
+        max_inflight,
+        offered,
+        requests,
+        elapsed_ns,
+        rps,
+        p50_ns,
+        p99_ns,
+        client_sheds: sheds,
+        client_retries: retries,
+        client_failures: failures,
+        peak_active,
+        metrics,
+    }
+}
+
+fn write_results(results: &[RunResult]) {
+    let mut json = String::from("{\n  \"group\": \"overload\",\n  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let m = &r.metrics;
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"cap\": {}, \"max_inflight\": {}, \
+             \"offered\": {}, \"requests\": {}, \"elapsed_ns\": {}, \
+             \"rps\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"client_sheds\": {}, \"client_retries\": {}, \
+             \"client_failures\": {}, \"peak_active\": {}, \
+             \"metrics\": {{\"requests_shed\": {}, \"accept_pauses\": {}, \
+             \"timers_armed\": {}, \"timers_fired\": {}, \
+             \"timers_cancelled\": {}, \"io_timeouts\": {}, \
+             \"handler_panics\": {}, \"io_registrations\": {}, \
+             \"io_events\": {}, \"io_wakes\": {}}}}}{comma}\n",
+            r.id,
+            r.cap,
+            r.max_inflight,
+            r.offered,
+            r.requests,
+            r.elapsed_ns,
+            r.rps,
+            r.p50_ns,
+            r.p99_ns,
+            r.client_sheds,
+            r.client_retries,
+            r.client_failures,
+            r.peak_active,
+            m.requests_shed,
+            m.accept_pauses,
+            m.timers_armed,
+            m.timers_fired,
+            m.timers_cancelled,
+            m.io_timeouts,
+            m.handler_panics,
+            m.io_registrations,
+            m.io_events,
+            m.io_wakes,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out_dir = std::env::var("LWT_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("results")
+        });
+    std::fs::create_dir_all(&out_dir).expect("results dir");
+    let path = out_dir.join("BENCH_overload.json");
+    std::fs::write(&path, json).expect("write results");
+    eprintln!("wrote {} ({} records)", path.display(), results.len());
+}
+
+fn main() {
+    if std::env::var("LWT_OVERLOAD_ROLE").as_deref() == Ok("client") {
+        client_main();
+    }
+    lwt_metrics::set_accounting(true);
+
+    let cap = env_usize("LWT_OVERLOAD_CAP", 64);
+    let max_inflight = env_usize("LWT_OVERLOAD_INFLIGHT", 16);
+    let reqs = env_usize("LWT_OVERLOAD_REQS", 4);
+
+    // Go hosts the connection-per-task model; Qthreads stands in for
+    // the ULT-core family (qthreads/massivethreads/converse share the
+    // ultcore scheduler underneath). Two regimes per backend:
+    //   cap{N}x4   — 4× the connection cap offered; the acceptor
+    //                pauses and the kernel backlog queues the excess.
+    //   inflight1  — no connection cap, but handlers serialized by a
+    //                one-slot in-flight cap; excess requests shed 503
+    //                and the jittered-backoff client absorbs them.
+    let mut results = Vec::new();
+    for kind in [BackendKind::Go, BackendKind::Qthreads] {
+        results.push(run_overload(
+            kind,
+            &format!("cap{cap}x4"),
+            cap,
+            max_inflight,
+            cap * 4,
+            reqs,
+        ));
+        results.push(run_overload(kind, "inflight1", 0, 1, cap, reqs));
+    }
+    write_results(&results);
+}

@@ -104,10 +104,25 @@ pub enum FaultSite {
     /// stashed, never dropped — edge-triggered readiness is not
     /// redelivered by the kernel, so a drop would be a real hang.
     NetDelayedReadiness = 11,
+    /// A served HTTP connection is killed right after a response is
+    /// written (`lwt_net::http`): the server close-wakes the socket as
+    /// a peer reset would. Clients must treat it as a retryable
+    /// transport error; the server's connection accounting must not
+    /// leak the slot.
+    NetConnKill = 12,
+    /// A connection read in the HTTP server stalls for extra yield
+    /// rounds before issuing the syscall (`lwt_net::http`) — a slow
+    /// client in miniature. Exercises the idle/header deadline path
+    /// without needing a real slow peer.
+    NetReadStall = 13,
+    /// The request handler panics mid-request (`lwt_net::http`). The
+    /// server's `catch_unwind` isolation must turn it into a 500 and
+    /// a closed connection — never a dead worker.
+    HandlerPanic = 14,
 }
 
 /// Number of distinct fault sites.
-pub const NUM_SITES: usize = 12;
+pub const NUM_SITES: usize = 15;
 
 impl FaultSite {
     /// All sites, in discriminant order.
@@ -124,6 +139,9 @@ impl FaultSite {
         FaultSite::NetPartialWrite,
         FaultSite::NetSpuriousEagain,
         FaultSite::NetDelayedReadiness,
+        FaultSite::NetConnKill,
+        FaultSite::NetReadStall,
+        FaultSite::HandlerPanic,
     ];
 
     /// Stable display name.
@@ -142,6 +160,9 @@ impl FaultSite {
             FaultSite::NetPartialWrite => "NetPartialWrite",
             FaultSite::NetSpuriousEagain => "NetSpuriousEagain",
             FaultSite::NetDelayedReadiness => "NetDelayedReadiness",
+            FaultSite::NetConnKill => "NetConnKill",
+            FaultSite::NetReadStall => "NetReadStall",
+            FaultSite::HandlerPanic => "HandlerPanic",
         }
     }
 
@@ -175,6 +196,9 @@ impl FaultSite {
             0x13198A2E_0370_7344,
             0xA409_3822_299F_31D0,
             0x082E_FA98_EC4E_6C89,
+            0x4528_21E6_38D0_1377,
+            0xBE54_66CF_34E9_0C6D,
+            0xC0AC_29B7_C97C_50DD,
         ][self as usize]
     }
 }
@@ -188,6 +212,9 @@ static RATE: AtomicU64 = AtomicU64::new(DEFAULT_RATE_PERCENT);
 /// counter allocates schedule indices; *which worker* draws index `i`
 /// varies run to run, but whether index `i` injects does not.
 static SEQ: [AtomicU64; NUM_SITES] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

@@ -91,11 +91,29 @@ pub enum EventKind {
     ///
     /// [`IoWait`]: EventKind::IoWait
     IoReady = 22,
+    /// A deadline was armed on the timer wheel (`lwt_sched::timer`):
+    /// an I/O deadline, an HTTP idle/header timeout, or a drain
+    /// deadline. `arg`: the absolute wheel tick (ms) it expires at.
+    TimerArm = 23,
+    /// An armed timer reached its deadline and fired — the entry's
+    /// waiter (parked waker or relax-looping ULT) is about to be
+    /// resumed. Cancelled entries never emit this. `arg`: the wheel
+    /// tick it was armed for.
+    TimerFire = 24,
+    /// The HTTP server shed load instead of running a handler: the
+    /// in-flight request semaphore was saturated and the request got
+    /// a `503 Service Unavailable` + `Retry-After`. `arg`: the
+    /// in-flight limit that was hit.
+    RequestShed = 25,
+    /// A request handler panicked; `catch_unwind` contained it and the
+    /// connection got a `500` then close — the worker survived.
+    /// `arg`: 0.
+    HandlerPanic = 26,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 23] = [
+    pub const ALL: [EventKind; 27] = [
         EventKind::UltSpawn,
         EventKind::UltRun,
         EventKind::Yield,
@@ -119,6 +137,10 @@ impl EventKind {
         EventKind::AsyncWake,
         EventKind::IoWait,
         EventKind::IoReady,
+        EventKind::TimerArm,
+        EventKind::TimerFire,
+        EventKind::RequestShed,
+        EventKind::HandlerPanic,
     ];
 
     /// Stable display name (used as the Chrome-trace event `name`).
@@ -148,6 +170,10 @@ impl EventKind {
             EventKind::AsyncWake => "AsyncWake",
             EventKind::IoWait => "IoWait",
             EventKind::IoReady => "IoReady",
+            EventKind::TimerArm => "TimerArm",
+            EventKind::TimerFire => "TimerFire",
+            EventKind::RequestShed => "RequestShed",
+            EventKind::HandlerPanic => "HandlerPanic",
         }
     }
 

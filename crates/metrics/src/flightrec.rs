@@ -132,7 +132,10 @@ fn counters_json(c: &CounterSnapshot) -> String {
          \"faults_injected\":{},\"stalls_detected\":{},\"parks\":{},\
          \"unparks\":{},\"workers_parked_level\":{},\
          \"workers_parked_high_water\":{},\"ring_dropped\":{},\
-         \"io_registrations\":{},\"io_events\":{},\"io_wakes\":{}}}",
+         \"io_registrations\":{},\"io_events\":{},\"io_wakes\":{},\
+         \"timers_armed\":{},\"timers_fired\":{},\"timers_cancelled\":{},\
+         \"io_timeouts\":{},\"requests_shed\":{},\"handler_panics\":{},\
+         \"accept_pauses\":{}}}",
         c.ults_created,
         c.tasklets_created,
         c.yields,
@@ -158,6 +161,13 @@ fn counters_json(c: &CounterSnapshot) -> String {
         c.io_registrations,
         c.io_events,
         c.io_wakes,
+        c.timers_armed,
+        c.timers_fired,
+        c.timers_cancelled,
+        c.io_timeouts,
+        c.requests_shed,
+        c.handler_panics,
+        c.accept_pauses,
     )
 }
 

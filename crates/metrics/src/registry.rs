@@ -98,6 +98,28 @@ pub struct Counters {
     /// it was in its relax loop. Deliveries with nobody waiting (the
     /// optimistic try-first path won) are not counted.
     pub io_wakes: Counter,
+    /// Deadlines armed on the timer wheel (`lwt_sched::timer`).
+    pub timers_armed: Counter,
+    /// Armed timers that reached their deadline and fired.
+    pub timers_fired: Counter,
+    /// Armed timers cancelled before firing (the op they guarded
+    /// completed in time — the overwhelmingly common case).
+    pub timers_cancelled: Counter,
+    /// I/O operations that gave up on an expired deadline: a TCP
+    /// read/write returning `TimedOut`, or an HTTP connection's
+    /// idle/header timer expiring (lwt-net).
+    pub io_timeouts: Counter,
+    /// HTTP requests shed with `503 Service Unavailable` because the
+    /// in-flight request semaphore was saturated (lwt-net).
+    pub requests_shed: Counter,
+    /// Request-handler panics contained by the server's
+    /// `catch_unwind` isolation (each one answered with a 500 and a
+    /// closed connection; the worker survived).
+    pub handler_panics: Counter,
+    /// Accept-loop pauses: the acceptor found the hard connection cap
+    /// reached and waited for a connection to finish before accepting
+    /// again (lwt-net admission control).
+    pub accept_pauses: Counter,
 }
 
 impl Counters {
@@ -129,6 +151,13 @@ impl Counters {
             io_registrations: Counter::new(),
             io_events: Counter::new(),
             io_wakes: Counter::new(),
+            timers_armed: Counter::new(),
+            timers_fired: Counter::new(),
+            timers_cancelled: Counter::new(),
+            io_timeouts: Counter::new(),
+            requests_shed: Counter::new(),
+            handler_panics: Counter::new(),
+            accept_pauses: Counter::new(),
         }
     }
 }
@@ -345,6 +374,20 @@ pub struct CounterSnapshot {
     pub io_events: u64,
     /// [`Counters::io_wakes`].
     pub io_wakes: u64,
+    /// [`Counters::timers_armed`].
+    pub timers_armed: u64,
+    /// [`Counters::timers_fired`].
+    pub timers_fired: u64,
+    /// [`Counters::timers_cancelled`].
+    pub timers_cancelled: u64,
+    /// [`Counters::io_timeouts`].
+    pub io_timeouts: u64,
+    /// [`Counters::requests_shed`].
+    pub requests_shed: u64,
+    /// [`Counters::handler_panics`].
+    pub handler_panics: u64,
+    /// [`Counters::accept_pauses`].
+    pub accept_pauses: u64,
 }
 
 impl CounterSnapshot {
@@ -390,6 +433,13 @@ impl CounterSnapshot {
                 .saturating_sub(earlier.io_registrations),
             io_events: self.io_events.saturating_sub(earlier.io_events),
             io_wakes: self.io_wakes.saturating_sub(earlier.io_wakes),
+            timers_armed: self.timers_armed.saturating_sub(earlier.timers_armed),
+            timers_fired: self.timers_fired.saturating_sub(earlier.timers_fired),
+            timers_cancelled: self.timers_cancelled.saturating_sub(earlier.timers_cancelled),
+            io_timeouts: self.io_timeouts.saturating_sub(earlier.io_timeouts),
+            requests_shed: self.requests_shed.saturating_sub(earlier.requests_shed),
+            handler_panics: self.handler_panics.saturating_sub(earlier.handler_panics),
+            accept_pauses: self.accept_pauses.saturating_sub(earlier.accept_pauses),
         }
     }
 }
@@ -449,6 +499,13 @@ pub fn snapshot() -> MetricsSnapshot {
             io_registrations: c.io_registrations.get(),
             io_events: c.io_events.get(),
             io_wakes: c.io_wakes.get(),
+            timers_armed: c.timers_armed.get(),
+            timers_fired: c.timers_fired.get(),
+            timers_cancelled: c.timers_cancelled.get(),
+            io_timeouts: c.io_timeouts.get(),
+            requests_shed: c.requests_shed.get(),
+            handler_panics: c.handler_panics.get(),
+            accept_pauses: c.accept_pauses.get(),
         },
         spawn_latency: SPAWN_LATENCY.summary(),
         steal_dwell: STEAL_DWELL.summary(),
@@ -485,6 +542,13 @@ pub fn reset() {
     c.io_registrations.reset();
     c.io_events.reset();
     c.io_wakes.reset();
+    c.timers_armed.reset();
+    c.timers_fired.reset();
+    c.timers_cancelled.reset();
+    c.io_timeouts.reset();
+    c.requests_shed.reset();
+    c.handler_panics.reset();
+    c.accept_pauses.reset();
     SPAWN_LATENCY.reset();
     STEAL_DWELL.reset();
 }

@@ -1,0 +1,110 @@
+//! Model-checked timer wheel: the *real* `lwt_sched::TimerWheel` /
+//! `TimerEntry` code (its entry state machine routed through the
+//! crates' `sysapi` facades, its slot lock through the facade-switched
+//! `lwt_sync::SpinLock`) explored under the deterministic scheduler.
+//!
+//! What the serving stack needs from the wheel, and what these tests
+//! pin against every interleaving:
+//!
+//! 1. **No lost expiry, no double win.** `advance` (the reactor
+//!    driver) racing `cancel` (the I/O op completing in time) must
+//!    resolve to exactly one winner: a cancelled entry never fires,
+//!    and an entry that fired reports the loss to the canceller — the
+//!    edge a read that *just* beat its deadline relies on to tell
+//!    "done" from "timed out".
+//! 2. **Expiry is always observable.** A waiter polling `has_fired`
+//!    (the ULT relax-loop shape) must see the flag after the deadline
+//!    tick is advanced past — if the fire could be lost, the polling
+//!    loop below would livelock, which the checker detects (model
+//!    builds have no timeout backstops).
+//! 3. **Re-arm after fire.** One logical deadline slot re-armed as a
+//!    fresh entry after its predecessor fired (the keep-alive HTTP
+//!    connection re-arming its idle timer per request) keeps both
+//!    properties.
+//!
+//! Build and run with:
+//! `RUSTFLAGS="--cfg lwt_model" cargo test -p lwt-model --test timer`
+#![cfg(lwt_model)]
+
+use std::sync::Arc;
+
+use lwt_model::sync::atomic::{AtomicUsize, Ordering};
+use lwt_model::thread;
+use lwt_model::Checker;
+use lwt_sched::TimerWheel;
+
+fn quick() -> Checker {
+    Checker::new().max_executions(400_000).time_budget_ms(45_000)
+}
+
+/// `advance` racing `cancel` on one armed entry: exactly one side
+/// wins, and both sides' return values agree on who. A double win
+/// (fired *and* cancel-returned-true) would let a timed-out I/O op
+/// also report success; a double loss would wedge the waiter.
+#[test]
+fn concurrent_cancel_and_advance_have_exactly_one_winner() {
+    quick().check(|| {
+        let wheel = Arc::new(TimerWheel::new());
+        let entry = wheel.arm(1);
+        let (w2, e2) = (Arc::clone(&wheel), Arc::clone(&entry));
+        let driver = thread::spawn(move || w2.advance(1));
+        let cancelled = entry.cancel();
+        let fired = driver.join();
+        assert_eq!(
+            cancelled,
+            fired == 0,
+            "cancel won ⇔ nothing fired (cancelled={cancelled}, fired={fired})"
+        );
+        assert_eq!(e2.has_fired(), !cancelled);
+        // The loser's view is stable: repeat queries agree forever.
+        assert_eq!(e2.cancel(), cancelled);
+    });
+}
+
+/// A waiter polling `has_fired` — the ULT relax-loop shape — must
+/// observe the expiry once the driver advances past the deadline. A
+/// lost fire livelocks the polling loop, which the checker flags.
+#[test]
+fn no_lost_expiry_for_a_polling_waiter() {
+    quick().check(|| {
+        let wheel = Arc::new(TimerWheel::new());
+        let entry = wheel.arm(2);
+        let w2 = Arc::clone(&wheel);
+        let driver = thread::spawn(move || {
+            // Two strides so the deadline tick lands mid-advance in
+            // some interleavings, at the boundary in others.
+            w2.advance(1);
+            w2.advance(3);
+        });
+        while !entry.has_fired() {
+            thread::yield_now();
+        }
+        driver.join();
+        assert_eq!(wheel.armed_len(), 0);
+    });
+}
+
+/// Re-arm-after-fire, single logical slot: a fresh entry armed after
+/// its predecessor fired must itself fire exactly once, with the
+/// predecessor's terminal state undisturbed — the keep-alive
+/// connection's per-request idle-timer cycle.
+#[test]
+fn rearm_after_fire_fires_the_new_entry_exactly_once() {
+    quick().check(|| {
+        let wheel = Arc::new(TimerWheel::new());
+        let fired = Arc::new(AtomicUsize::new(0));
+        let first = wheel.arm(1);
+        assert_eq!(wheel.advance(1), 1);
+        assert!(first.has_fired());
+        let second = wheel.arm(2);
+        let (w2, f2) = (Arc::clone(&wheel), Arc::clone(&fired));
+        let driver = thread::spawn(move || {
+            f2.fetch_add(w2.advance(5), Ordering::SeqCst);
+        });
+        fired.fetch_add(wheel.advance(5), Ordering::SeqCst);
+        driver.join();
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "one re-arm ⇒ one fire");
+        assert!(second.has_fired());
+        assert!(first.has_fired(), "predecessor's terminal state disturbed");
+    });
+}

@@ -11,16 +11,32 @@
 //! task (`Glt::spawn_async`), so ten thousand idle connections cost
 //! ten thousand parked task cells — not ten thousand stacks, and not
 //! one wedged worker.
+//!
+//! Production-shaped also means *overload-shaped* (DESIGN.md §16).
+//! [`ServerConfig`] carries the knobs, each with an `LWT_NET_*` env
+//! override; under rising load the server degrades in a fixed order —
+//! pause accepting at the connection cap (kernel backlog absorbs the
+//! burst), shed requests over the in-flight cap with `503` +
+//! `Retry-After`, and on [`ServerHandle::shutdown`] drain in-flight
+//! work up to a grace period before aborting stragglers with a
+//! flight-recorder bundle. Slow peers are bounded by timer-wheel
+//! deadlines (idle, header/slow-loris → `408`, per-read body/write),
+//! and a panicking handler costs one connection (`500` + close),
+//! never a worker thread.
 
 use std::io;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
+use lwt_chaos::{should_inject, FaultSite};
 use lwt_core::Glt;
+use lwt_metrics::{emit, EventKind, COUNTERS};
 use lwt_sync::SpinLock;
 
 use crate::reactor::Registration;
-use crate::tcp::{TcpListener, TcpStream};
+use crate::tcp::{TcpListener, TcpStream, TimerGuard};
 
 /// Parser and buffering limits for one connection.
 #[derive(Debug, Clone, Copy)]
@@ -156,6 +172,7 @@ fn reason_phrase(status: u16) -> &'static str {
         413 => "Content Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Status",
     }
 }
@@ -277,6 +294,104 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 /// every connection task, so it must be `Send + Sync`.
 pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 
+/// Overload-control knobs for one server (DESIGN.md §16). Every field
+/// has an environment override so deployed binaries can be retuned
+/// without a rebuild; `0` always means "unlimited" / "no deadline".
+///
+/// Degradation order under rising load: **pause accepting** (kernel
+/// backlog absorbs the burst) → **shed requests with `503 +
+/// Retry-After`** (cheap, byte-correct rejection) → **drain-abort on
+/// shutdown** (stragglers cut after the grace period, with a flight-
+/// recorder bundle for the post-mortem).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Parser and buffering limits per connection.
+    pub limits: Limits,
+    /// Hard cap on concurrently served connections; at the cap the
+    /// acceptor pauses (new connections wait in the kernel backlog)
+    /// instead of oversubscribing. Env: `LWT_NET_MAX_CONNS`.
+    pub max_conns: usize,
+    /// Cap on requests simultaneously inside handlers; excess
+    /// requests are shed with `503` + `Retry-After: 1` without
+    /// touching the handler. Env: `LWT_NET_MAX_INFLIGHT`.
+    pub max_inflight: usize,
+    /// Per-read deadline for request *body* bytes, ms. A mid-body
+    /// stall past this gets `408` and the connection closed. Env:
+    /// `LWT_NET_READ_TIMEOUT_MS`.
+    pub read_timeout_ms: u64,
+    /// Per-write deadline for response bytes, ms (slow-reader
+    /// protection; an expired write abandons the connection). Env:
+    /// `LWT_NET_WRITE_TIMEOUT_MS`.
+    pub write_timeout_ms: u64,
+    /// Absolute deadline for receiving one complete request head,
+    /// armed at the first header byte — the slow-loris defense:
+    /// trickling one byte per second cannot extend it. Expiry: `408`.
+    /// Env: `LWT_NET_HEADER_TIMEOUT_MS`.
+    pub header_timeout_ms: u64,
+    /// Keep-alive idle deadline between requests, ms; expiry closes
+    /// the connection quietly (no response — nothing was asked).
+    /// Env: `LWT_NET_IDLE_TIMEOUT_MS`.
+    pub idle_timeout_ms: u64,
+    /// Grace period [`ServerHandle::shutdown`] waits for in-flight
+    /// requests before aborting stragglers. Env:
+    /// `LWT_NET_DRAIN_TIMEOUT_MS`.
+    pub drain_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            limits: Limits::default(),
+            max_conns: 4096,
+            max_inflight: 1024,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+            header_timeout_ms: 10_000,
+            idle_timeout_ms: 60_000,
+            drain_timeout_ms: 5_000,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The defaults with any `LWT_NET_*` environment overrides
+    /// applied (see the per-field docs). Unparsable values fall back
+    /// to the default rather than erroring — a typo in an env var
+    /// must not take the server down.
+    #[must_use]
+    pub fn from_env() -> ServerConfig {
+        let d = ServerConfig::default();
+        ServerConfig {
+            limits: d.limits,
+            max_conns: env_usize("LWT_NET_MAX_CONNS", d.max_conns),
+            max_inflight: env_usize("LWT_NET_MAX_INFLIGHT", d.max_inflight),
+            read_timeout_ms: env_u64("LWT_NET_READ_TIMEOUT_MS", d.read_timeout_ms),
+            write_timeout_ms: env_u64("LWT_NET_WRITE_TIMEOUT_MS", d.write_timeout_ms),
+            header_timeout_ms: env_u64("LWT_NET_HEADER_TIMEOUT_MS", d.header_timeout_ms),
+            idle_timeout_ms: env_u64("LWT_NET_IDLE_TIMEOUT_MS", d.idle_timeout_ms),
+            drain_timeout_ms: env_u64("LWT_NET_DRAIN_TIMEOUT_MS", d.drain_timeout_ms),
+        }
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn ms_opt(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
 /// A running HTTP server: an acceptor work unit plus one async task
 /// per live connection, all spawned through the given [`Glt`].
 pub struct ServerHandle {
@@ -284,6 +399,9 @@ pub struct ServerHandle {
     listener_stop: Arc<dyn Fn() + Send + Sync>,
     conns: Arc<SpinLock<Vec<Weak<Registration>>>>,
     active: Arc<AtomicUsize>,
+    inflight: Arc<AtomicUsize>,
+    stopping: Arc<AtomicBool>,
+    drain_timeout_ms: u64,
     acceptor: lwt_core::GltHandle<()>,
 }
 
@@ -300,23 +418,57 @@ impl ServerHandle {
         self.active.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting, unstick every live connection (their next I/O
-    /// returns `NotConnected`, ending the task), and join the
-    /// acceptor. Idempotent on the listener; safe while requests are
-    /// in flight — in-progress writes finish, parked reads abort.
+    /// Requests currently inside handlers.
+    #[must_use]
+    pub fn inflight_requests(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Graceful drain with the configured
+    /// [`drain_timeout_ms`](ServerConfig::drain_timeout_ms) grace
+    /// period — see [`shutdown_within`](Self::shutdown_within).
     pub fn shutdown(self) {
+        let grace = Duration::from_millis(self.drain_timeout_ms);
+        self.shutdown_within(grace);
+    }
+
+    /// Graceful drain: stop accepting (and join the acceptor), let
+    /// in-flight requests finish for up to `grace`, then abort the
+    /// stragglers — every remaining connection is unstuck (its next
+    /// I/O returns `NotConnected`, ending the task) and, when any
+    /// request was still running, a flight-recorder bundle
+    /// (`serve_drain_abort`) captures the state for the post-mortem.
+    ///
+    /// Keep-alive connections are told `Connection: close` on their
+    /// next response once draining starts, so a cooperative client
+    /// converges well before the deadline.
+    pub fn shutdown_within(self, grace: Duration) {
+        self.stopping.store(true, Ordering::SeqCst);
         (self.listener_stop)();
+        self.acceptor.join();
+        let deadline = Instant::now() + grace;
+        while self.inflight.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            // Polite wait: yield the work unit when called from one,
+            // the thread otherwise (shutdown is control-plane code —
+            // a relax loop here is fine).
+            if !lwt_core::yield_unit() {
+                std::thread::yield_now();
+            }
+        }
+        if self.inflight.load(Ordering::Acquire) > 0 {
+            lwt_metrics::flightrec::dump("serve_drain_abort");
+        }
         for weak in self.conns.lock().drain(..) {
             if let Some(reg) = weak.upgrade() {
                 reg.close_wake();
             }
         }
-        self.acceptor.join();
     }
 }
 
 /// Serve `handler` on `listener`, spawning the acceptor as a ULT and
-/// each connection as an async task on `glt`. Default [`Limits`].
+/// each connection as an async task on `glt`.
+/// [`ServerConfig::from_env`] supplies the overload knobs.
 ///
 /// The returned handle borrows nothing from `glt` — but every spawned
 /// unit lives in that runtime, so call [`ServerHandle::shutdown`]
@@ -327,14 +479,27 @@ pub fn serve(
     listener: TcpListener,
     handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
 ) -> io::Result<ServerHandle> {
-    serve_with(glt, listener, Limits::default(), Arc::new(handler))
+    serve_config(glt, listener, ServerConfig::from_env(), Arc::new(handler))
 }
 
-/// [`serve`] with explicit limits and a pre-shared handler.
+/// [`serve`] with explicit parser limits (env knobs for everything
+/// else).
 pub fn serve_with(
     glt: &Glt,
     listener: TcpListener,
     limits: Limits,
+    handler: Handler,
+) -> io::Result<ServerHandle> {
+    let mut config = ServerConfig::from_env();
+    config.limits = limits;
+    serve_config(glt, listener, config, handler)
+}
+
+/// [`serve`] with a fully explicit [`ServerConfig`] (no env reads).
+pub fn serve_config(
+    glt: &Glt,
+    listener: TcpListener,
+    config: ServerConfig,
     handler: Handler,
 ) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
@@ -342,15 +507,38 @@ pub fn serve_with(
     let stop_listener = Arc::clone(&listener);
     let conns: Arc<SpinLock<Vec<Weak<Registration>>>> = Arc::new(SpinLock::new(Vec::new()));
     let active = Arc::new(AtomicUsize::new(0));
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let stopping = Arc::new(AtomicBool::new(false));
 
     let acceptor = {
         let glt2 = glt.clone();
         let conns = Arc::clone(&conns);
         let active = Arc::clone(&active);
+        let inflight = Arc::clone(&inflight);
+        let stopping = Arc::clone(&stopping);
         glt.ult_create(move || loop {
+            // Admission, stage 1: at the connection cap, stop calling
+            // accept — the kernel backlog absorbs the burst and the
+            // load generator sees queueing, not errors. One pause
+            // event per episode, however long it lasts.
+            if config.max_conns > 0 && active.load(Ordering::Acquire) >= config.max_conns {
+                COUNTERS.accept_pauses.inc();
+                while active.load(Ordering::Acquire) >= config.max_conns
+                    && !stopping.load(Ordering::Acquire)
+                {
+                    if !lwt_core::yield_unit() {
+                        std::thread::yield_now();
+                    }
+                }
+                if stopping.load(Ordering::Acquire) {
+                    return;
+                }
+            }
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     let _ = stream.set_nodelay(true);
+                    stream.set_read_timeout(ms_opt(config.read_timeout_ms));
+                    stream.set_write_timeout(ms_opt(config.write_timeout_ms));
                     {
                         // Track the registration so shutdown can
                         // unstick the connection; compact dead slots
@@ -362,12 +550,21 @@ pub fn serve_with(
                         }
                         lock.push(Arc::downgrade(stream.registration()));
                     }
-                    active.fetch_add(1, Ordering::Relaxed);
+                    active.fetch_add(1, Ordering::Release);
                     let active = Arc::clone(&active);
                     let handler = Arc::clone(&handler);
+                    let inflight = Arc::clone(&inflight);
+                    let stopping = Arc::clone(&stopping);
                     drop(glt2.spawn_async(async move {
-                        let _ = connection_loop(&stream, limits, &handler).await;
-                        active.fetch_sub(1, Ordering::Relaxed);
+                        let ctx = ConnCtx {
+                            stream: &stream,
+                            config: &config,
+                            handler: &handler,
+                            inflight: &inflight,
+                            stopping: &stopping,
+                        };
+                        let _ = connection_loop(&ctx).await;
+                        active.fetch_sub(1, Ordering::Release);
                     }));
                 }
                 // NotConnected = shutdown; anything else on a listener
@@ -383,27 +580,201 @@ pub fn serve_with(
         listener_stop: Arc::new(move || stop_listener.shutdown()),
         conns,
         active,
+        inflight,
+        stopping,
+        drain_timeout_ms: config.drain_timeout_ms,
         acceptor,
     })
 }
 
-/// One connection's keep-alive loop: parse, handle, respond, repeat.
-async fn connection_loop(stream: &TcpStream, limits: Limits, handler: &Handler) -> io::Result<()> {
+/// Holds one in-flight slot from handler entry through the response
+/// write — [`ServerHandle::shutdown_within`]'s drain wait counts the
+/// response bytes as part of the request, so a draining server never
+/// cuts a reply mid-write.
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Shared state one connection task needs from its server.
+struct ConnCtx<'a> {
+    stream: &'a TcpStream,
+    config: &'a ServerConfig,
+    handler: &'a Handler,
+    inflight: &'a AtomicUsize,
+    stopping: &'a AtomicBool,
+}
+
+/// Write a terminal error response, then linger: half-close the write
+/// side and drain (briefly) whatever the client was still sending, so
+/// the kernel never turns unread bytes into an RST that destroys the
+/// in-flight response — a trickling slow-loris client must actually
+/// *see* its `408`.
+async fn write_final(stream: &TcpStream, resp: &Response) -> io::Result<()> {
+    stream.write_all_async(&resp.to_bytes(false)).await?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut scratch = [0u8; 1024];
+    let mut linger = TimerGuard::unarmed();
+    linger.arm(1_000);
+    while let Ok(n) = stream.read_async_deadline(&mut scratch, linger.entry()).await {
+        if n == 0 {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Yield the async task once — used by the `NetReadStall` chaos site
+/// to stretch a server read across scheduler turns.
+async fn yield_task() {
+    let mut yielded = false;
+    std::future::poll_fn(move |cx| {
+        if yielded {
+            std::task::Poll::Ready(())
+        } else {
+            yielded = true;
+            cx.waker().wake_by_ref();
+            std::task::Poll::Pending
+        }
+    })
+    .await;
+}
+
+/// One connection's keep-alive loop: parse, handle, respond, repeat —
+/// under the full overload contract (DESIGN.md §16): in-flight
+/// shedding with `503`, handler panic isolation (`500` + close),
+/// idle/header/body deadlines, drain cooperation.
+async fn connection_loop(ctx: &ConnCtx<'_>) -> io::Result<()> {
+    let cfg = ctx.config;
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
+    // Absolute per-request-head deadline; armed at the first header
+    // byte, cancelled (by replacement) when the head completes.
+    let mut head_timer = TimerGuard::unarmed();
     loop {
-        match parse_request(&buf, &limits) {
+        match parse_request(&buf, &cfg.limits) {
             Parse::Complete(req, consumed) => {
+                head_timer = TimerGuard::unarmed();
                 buf.drain(..consumed);
-                let keep = req.keep_alive();
-                let resp = handler(&req);
-                stream.write_all_async(&resp.to_bytes(keep)).await?;
-                if !keep {
-                    return Ok(());
+                // Drain cooperation: once shutdown starts, answer this
+                // request but tell the client the connection is done.
+                let keep = req.keep_alive() && !ctx.stopping.load(Ordering::Acquire);
+
+                // Admission, stage 2: bounded in-flight requests. Over
+                // the cap the request is shed *before* the handler
+                // runs — a 503 costs one buffered write, and
+                // `Retry-After` steers well-behaved clients into
+                // backoff instead of a tight retry loop.
+                if cfg.max_inflight > 0
+                    && ctx.inflight.fetch_add(1, Ordering::AcqRel) >= cfg.max_inflight
+                {
+                    ctx.inflight.fetch_sub(1, Ordering::AcqRel);
+                    COUNTERS.requests_shed.inc();
+                    emit(EventKind::RequestShed, 0);
+                    let resp = Response::new(503).header("Retry-After", "1");
+                    ctx.stream.write_all_async(&resp.to_bytes(keep)).await?;
+                    if !keep {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                if cfg.max_inflight == 0 {
+                    ctx.inflight.fetch_add(1, Ordering::AcqRel);
+                }
+                let _inflight = InflightGuard(ctx.inflight);
+
+                // Panic isolation: a panicking handler must cost one
+                // connection, never a worker thread. The hook already
+                // printed the panic message; the client gets a clean
+                // 500 and a close (the connection's request state is
+                // suspect after a half-run handler).
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    if should_inject(FaultSite::HandlerPanic) {
+                        panic!("lwt-chaos: injected handler panic");
+                    }
+                    (ctx.handler)(&req)
+                }));
+                match result {
+                    Ok(resp) => {
+                        ctx.stream.write_all_async(&resp.to_bytes(keep)).await?;
+                        if should_inject(FaultSite::NetConnKill) {
+                            // Chaos: drop the connection right after a
+                            // complete response — the client sees a
+                            // byte-correct reply then a close.
+                            ctx.stream.close_wake();
+                            return Ok(());
+                        }
+                        if !keep {
+                            return Ok(());
+                        }
+                    }
+                    Err(_) => {
+                        COUNTERS.handler_panics.inc();
+                        emit(EventKind::HandlerPanic, 0);
+                        write_final(ctx.stream, &Response::new(500)).await?;
+                        return Ok(());
+                    }
                 }
             }
             Parse::Partial => {
-                let n = stream.read_async(&mut chunk).await?;
+                if should_inject(FaultSite::NetReadStall) {
+                    // Chaos: stretch this read across scheduler turns,
+                    // as a slow or stalled peer would.
+                    for _ in 0..8 {
+                        yield_task().await;
+                    }
+                }
+                let n = if buf.is_empty() {
+                    // Between requests: idle deadline; expiry closes
+                    // quietly — nothing was asked, nothing is owed.
+                    let mut idle = TimerGuard::unarmed();
+                    if cfg.idle_timeout_ms > 0 {
+                        idle.arm(cfg.idle_timeout_ms);
+                    }
+                    match ctx
+                        .stream
+                        .read_async_deadline(&mut chunk, idle.entry())
+                        .await
+                    {
+                        Ok(n) => n,
+                        Err(e) if e.kind() == io::ErrorKind::TimedOut => return Ok(()),
+                        Err(e) => return Err(e),
+                    }
+                } else if find_head_end(&buf).is_none() {
+                    // Mid-head: the absolute header deadline (armed
+                    // once, spanning every read of this head) expires
+                    // into a 408 — the slow-loris answer.
+                    if cfg.header_timeout_ms > 0 {
+                        head_timer.arm(cfg.header_timeout_ms);
+                    }
+                    match ctx
+                        .stream
+                        .read_async_deadline(&mut chunk, head_timer.entry())
+                        .await
+                    {
+                        Ok(n) => n,
+                        Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                            let _ = write_final(ctx.stream, &Response::new(408)).await;
+                            return Ok(());
+                        }
+                        Err(e) => return Err(e),
+                    }
+                } else {
+                    // Head complete, awaiting body bytes: the
+                    // per-stream read timeout (set at accept) bounds
+                    // each read.
+                    match ctx.stream.read_async(&mut chunk).await {
+                        Ok(n) => n,
+                        Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                            let _ = write_final(ctx.stream, &Response::new(408)).await;
+                            return Ok(());
+                        }
+                        Err(e) => return Err(e),
+                    }
+                };
                 if n == 0 {
                     // Clean EOF between requests; mid-request EOF just
                     // ends the task (nobody is left to read an error).
@@ -412,8 +783,7 @@ async fn connection_loop(stream: &TcpStream, limits: Limits, handler: &Handler) 
                 buf.extend_from_slice(&chunk[..n]);
             }
             Parse::Reject(status) => {
-                let resp = Response::new(status);
-                stream.write_all_async(&resp.to_bytes(false)).await?;
+                write_final(ctx.stream, &Response::new(status)).await?;
                 return Ok(());
             }
         }

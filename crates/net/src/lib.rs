@@ -21,12 +21,17 @@
 //!   DESIGN.md §15.
 //! * [`http`] is a minimal HTTP/1.1 server — bounded parser,
 //!   keep-alive, one async task per connection — that runs unchanged
-//!   on all five backends, because it only speaks the GLT API.
+//!   on all five backends, because it only speaks the GLT API. It
+//!   carries the stack's overload contract (DESIGN.md §16):
+//!   admission control (connection cap + in-flight shedding with
+//!   `503`), timer-wheel deadlines (idle/header/read/write), handler
+//!   panic isolation, and graceful drain.
 //!
-//! Observability and chaos ride along: `io_*` counters and
-//! `IoWait`/`IoReady` ring events in lwt-metrics, and three fault
-//! sites (`NetPartialWrite`, `NetSpuriousEagain`,
-//! `NetDelayedReadiness`) in lwt-chaos.
+//! Observability and chaos ride along: `io_*`/timer/shed counters and
+//! `IoWait`/`IoReady`/`TimerArm`/`TimerFire` ring events in
+//! lwt-metrics, and six fault sites (`NetPartialWrite`,
+//! `NetSpuriousEagain`, `NetDelayedReadiness`, `NetConnKill`,
+//! `NetReadStall`, `HandlerPanic`) in lwt-chaos.
 //!
 //! ## Example: echo between two work units
 //!

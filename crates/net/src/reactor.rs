@@ -22,23 +22,34 @@
 //!   `wake()` re-enqueues it through the `TaskCell` → `post_task` →
 //!   `ParkGroup::notify` chain the async bridge already guarantees.
 //! * **Two pollers, one epoll set.** A dedicated driver thread blocks
-//!   in `epoll_wait` with a bounded timeout, and idle workers poll the
-//!   same set with a zero timeout through the `lwt_sched::io_poll`
-//!   hook (behind a try-lock) before parking. The kernel hands each
-//!   edge to exactly one concurrent waiter, so double delivery cannot
-//!   happen; double *observation* of the flag is harmless.
+//!   in `epoll_wait`, and idle workers poll the same set with a zero
+//!   timeout through the `lwt_sched::io_poll` hook (behind a try-lock)
+//!   before parking. The kernel hands each edge to exactly one
+//!   concurrent waiter, so double delivery cannot happen; double
+//!   *observation* of the flag is harmless.
+//! * **Zero-syscall wakes, wheel-driven sleeps.** The driver owns the
+//!   process [`lwt_sched::TimerWheel`] (ticks = milliseconds since the
+//!   reactor epoch) and sleeps exactly until the wheel's next
+//!   deadline — indefinitely when nothing is armed. Arming an earlier
+//!   deadline signals the eventfd registered in the epoll set, so the
+//!   driver replans immediately instead of discovering the timer on a
+//!   fixed tick. Idle workers advance the wheel too, so timers keep
+//!   firing even if the driver thread is starved of CPU.
 //! * **Chaos.** `NetDelayedReadiness` stashes an observed event for
 //!   one dispatch turn (never drops it — ET edges are not redelivered)
-//!   to widen the readiness/park race window.
+//!   to widen the readiness/park race window; a non-empty stash forces
+//!   the next sleep to a zero timeout so the delay stays one turn.
 
 use std::collections::HashMap;
 use std::os::fd::RawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::task::{Context, Poll, Waker};
+use std::time::Instant;
 
 use lwt_chaos::{block_enter, should_inject, BlockKind, FaultSite};
 use lwt_metrics::{emit, EventKind, COUNTERS};
+use lwt_sched::{TimerEntry, TimerWheel};
 use lwt_sync::SpinLock;
 
 use crate::sys;
@@ -149,10 +160,18 @@ impl Registration {
     }
 
     /// ULT / external-thread wait: relax until the direction is ready
-    /// (or the registration closes, or the backstop trips). The relax
-    /// yields the calling work unit when there is one, so the worker
-    /// keeps running other units — the whole point of the reactor.
-    pub(crate) fn wait_ult(&self, dir: Dir) -> std::io::Result<()> {
+    /// (or the registration closes, the backstop trips, or the
+    /// optional armed `deadline` entry fires — the latter giving up
+    /// with `TimedOut`). The relax yields the calling work unit when
+    /// there is one, so the worker keeps running other units — the
+    /// whole point of the reactor. The fired flag is checked every
+    /// relax round — the waiter does not depend on any wake delivery
+    /// beyond the flag flip, so a timeout can never be slept through.
+    pub(crate) fn wait_ult_deadline(
+        &self,
+        dir: Dir,
+        deadline: Option<&TimerEntry>,
+    ) -> std::io::Result<()> {
         let st = self.dir(dir);
         if st.ready.load(Ordering::Acquire) {
             return Ok(());
@@ -171,6 +190,12 @@ impl Registration {
                 COUNTERS.feb_wakes.inc();
                 return Ok(());
             }
+            if let Some(timer) = deadline {
+                if timer.has_fired() {
+                    COUNTERS.io_timeouts.inc();
+                    return Err(timeout_error());
+                }
+            }
             if rounds >= ULT_WAIT_BACKSTOP_ROUNDS {
                 // Spurious return; the caller's retry loop re-issues
                 // the syscall and comes back here if still dry.
@@ -188,7 +213,15 @@ impl Registration {
     /// *before* the final flag read, and the driver raises the flag
     /// *before* taking the waker, so at least one side always sees the
     /// other.
-    pub(crate) fn poll_ready(&self, dir: Dir, cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+    /// A fired `deadline` entry resolves the poll to `TimedOut`; a
+    /// still-armed one gets the task's waker parked on it as well, so
+    /// the wheel's fire re-polls the task just like an I/O edge would.
+    pub(crate) fn poll_ready_deadline(
+        &self,
+        dir: Dir,
+        cx: &mut Context<'_>,
+        deadline: Option<&TimerEntry>,
+    ) -> Poll<std::io::Result<()>> {
         let st = self.dir(dir);
         if self.is_closed() {
             return Poll::Ready(Err(closed_error()));
@@ -196,11 +229,25 @@ impl Registration {
         if st.ready.load(Ordering::Acquire) {
             return Poll::Ready(Ok(()));
         }
+        if let Some(timer) = deadline {
+            if timer.has_fired() {
+                COUNTERS.io_timeouts.inc();
+                return Poll::Ready(Err(timeout_error()));
+            }
+        }
         {
             let mut slot = st.waker.lock();
             match slot.as_mut() {
                 Some(w) if w.will_wake(cx.waker()) => {}
                 _ => *slot = Some(cx.waker().clone()),
+            }
+        }
+        if let Some(timer) = deadline {
+            // Park on the timer too; `register_waker` refusing means
+            // the entry fired between the check above and here.
+            if !timer.register_waker(cx.waker()) {
+                COUNTERS.io_timeouts.inc();
+                return Poll::Ready(Err(timeout_error()));
             }
         }
         if st.ready.load(Ordering::Acquire) {
@@ -215,7 +262,6 @@ impl Registration {
         emit(EventKind::IoWait, self.wait_arg(dir));
         Poll::Pending
     }
-
 }
 
 pub(crate) fn closed_error() -> std::io::Error {
@@ -225,10 +271,12 @@ pub(crate) fn closed_error() -> std::io::Error {
     )
 }
 
-/// How long the driver thread blocks per `epoll_wait`. Bounded so
-/// chaos-delayed events and new registrations are picked up promptly
-/// without an eventfd round trip per registration.
-const DRIVER_TIMEOUT: i32 = 10;
+pub(crate) fn timeout_error() -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::TimedOut,
+        "lwt-net: I/O deadline elapsed",
+    )
+}
 
 /// Events fetched per `epoll_wait` call (driver and idle polls).
 const EVENT_BATCH: usize = 256;
@@ -251,6 +299,18 @@ pub(crate) struct Reactor {
     /// `epoll_wait(0)` while never blocking the idle path.
     idle_slot: Mutex<Box<[sys::EpollEvent]>>,
     delayed: SpinLock<Vec<Delayed>>,
+    /// Every deadline in the process, in milliseconds-since-`epoch`
+    /// ticks. The driver advances it each turn and sleeps until its
+    /// next deadline; idle workers advance it from `io_poll`.
+    wheel: TimerWheel,
+    epoch: Instant,
+    /// Absolute tick the driver plans to sleep until (`u64::MAX` when
+    /// it blocks indefinitely). An armer that beats this plan signals
+    /// the eventfd so the driver replans. Synchronization: the driver
+    /// stores the plan *before* re-reading the wheel, and an armer
+    /// inserts *before* loading the plan; the wheel's internal lock
+    /// orders the two, so one side always sees the other.
+    planned_wake: AtomicU64,
 }
 
 /// The wake eventfd's registration token (never allocated to sockets).
@@ -283,6 +343,9 @@ pub(crate) fn reactor() -> &'static Reactor {
             next_token: AtomicU64::new(1),
             idle_slot: Mutex::new(vec![sys::EpollEvent::ZERO; EVENT_BATCH].into_boxed_slice()),
             delayed: SpinLock::new(Vec::new()),
+            wheel: TimerWheel::new(),
+            epoch: Instant::now(),
+            planned_wake: AtomicU64::new(0),
         }));
         COUNTERS.os_threads_spawned.inc();
         std::thread::Builder::new()
@@ -298,22 +361,28 @@ pub(crate) fn reactor() -> &'static Reactor {
 fn driver_loop(r: &'static Reactor) {
     let mut buf = vec![sys::EpollEvent::ZERO; EVENT_BATCH];
     loop {
-        r.turn(&mut buf, DRIVER_TIMEOUT);
+        r.wheel.advance(r.now_ms());
+        let timeout = r.plan_sleep();
+        r.turn(&mut buf, timeout);
     }
 }
 
 /// The `lwt_sched::io_poll` hook: one zero-timeout turn, skipped
 /// entirely when another thread is already in one (the driver or a
-/// sibling idle worker will deliver).
+/// sibling idle worker will deliver). Also advances the timer wheel,
+/// so deadlines keep firing when the driver thread is starved of CPU
+/// (single-core boxes under full load).
 fn idle_poll() -> usize {
     let r = match REACTOR.get() {
         Some(r) => r,
         None => return 0,
     };
-    match r.idle_slot.try_lock() {
-        Ok(mut buf) => r.turn_with(&mut buf, 0),
-        Err(_) => 0,
-    }
+    let fired = r.wheel.advance(r.now_ms());
+    fired
+        + match r.idle_slot.try_lock() {
+            Ok(mut buf) => r.turn_with(&mut buf, 0),
+            Err(_) => 0,
+        }
 }
 
 impl Reactor {
@@ -352,11 +421,58 @@ impl Reactor {
         reg.close_wake();
     }
 
-    /// Nudge the driver out of its current `epoll_wait` (shutdown-ish
-    /// paths where a bounded timeout is still too slow, e.g. tests).
-    #[allow(dead_code)]
+    /// Nudge the driver out of its current `epoll_wait`: timer arms
+    /// that beat the planned wake, shutdown paths, tests.
     pub(crate) fn wake_driver(&self) {
         let _ = sys::eventfd_signal(self.wake_fd);
+    }
+
+    /// Milliseconds since the reactor epoch — the wheel's tick unit.
+    pub(crate) fn now_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Arm a deadline `delay_ms` from now on the process wheel. If it
+    /// is earlier than the driver's planned wake, the eventfd is
+    /// signalled so the driver replans immediately — the zero-syscall
+    /// wake path (one `write` on the armer, no timer fd, no tick).
+    pub(crate) fn arm_timer_ms(&self, delay_ms: u64) -> Arc<TimerEntry> {
+        let deadline = self.now_ms().saturating_add(delay_ms.max(1));
+        let entry = self.wheel.arm(deadline);
+        // The insert above happened under the wheel lock; this load is
+        // therefore ordered after the driver's latest plan store (see
+        // `planned_wake` field docs), so a stale-late plan read is
+        // impossible: either the driver saw our entry, or we see its
+        // plan and signal.
+        if entry.deadline() < self.planned_wake.load(Ordering::SeqCst) {
+            self.wake_driver();
+        }
+        entry
+    }
+
+    /// Decide how long the driver may sleep: publish the plan, then
+    /// re-read the wheel so an arm racing the publish is never slept
+    /// past. Returns an `epoll_wait` timeout in ms (`-1` = forever).
+    fn plan_sleep(&self) -> i32 {
+        if !self.delayed.lock().is_empty() {
+            // A chaos-stashed event must flush next turn: don't sleep.
+            self.planned_wake.store(0, Ordering::SeqCst);
+            return 0;
+        }
+        let mut plan = self.wheel.next_deadline().unwrap_or(u64::MAX);
+        loop {
+            self.planned_wake.store(plan, Ordering::SeqCst);
+            let fresh = self.wheel.next_deadline().unwrap_or(u64::MAX);
+            if fresh >= plan {
+                break;
+            }
+            plan = fresh;
+        }
+        if plan == u64::MAX {
+            return -1;
+        }
+        let delta = plan.saturating_sub(self.now_ms());
+        i32::try_from(delta).unwrap_or(i32::MAX).max(0)
     }
 
     /// One dispatch turn against the shared event buffer (driver

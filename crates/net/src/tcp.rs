@@ -13,15 +13,74 @@
 use std::io::{self, Read as _, Write as _};
 use std::net::{self, SocketAddr, ToSocketAddrs};
 use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll};
+use std::time::Duration;
 
 use lwt_chaos::{should_inject, FaultSite};
+use lwt_metrics::COUNTERS;
+use lwt_sched::TimerEntry;
 
-use crate::reactor::{closed_error, reactor, Dir, Registration};
+use crate::reactor::{closed_error, reactor, timeout_error, Dir, Registration};
 
 fn would_block() -> io::Error {
     io::Error::new(io::ErrorKind::WouldBlock, "lwt-chaos: injected EAGAIN")
+}
+
+/// An armed wheel entry that cancels itself when the guarded I/O op
+/// finishes first — the overwhelmingly common case. Cancelling a
+/// fired or already-cancelled entry is a harmless no-op.
+pub(crate) struct TimerGuard(Option<Arc<TimerEntry>>);
+
+impl TimerGuard {
+    pub(crate) fn unarmed() -> TimerGuard {
+        TimerGuard(None)
+    }
+
+    /// Arm `delay_ms` from now on first call; later calls return the
+    /// same entry (the deadline covers the whole op, not each retry —
+    /// the HTTP server leans on this for its absolute header
+    /// deadline, re-calling `arm` across reads of one request head).
+    pub(crate) fn arm(&mut self, delay_ms: u64) -> &TimerEntry {
+        self.0
+            .get_or_insert_with(|| reactor().arm_timer_ms(delay_ms))
+    }
+
+    pub(crate) fn entry(&self) -> Option<&TimerEntry> {
+        self.0.as_deref()
+    }
+}
+
+impl Drop for TimerGuard {
+    fn drop(&mut self) {
+        if let Some(t) = &self.0 {
+            t.cancel();
+        }
+    }
+}
+
+/// `None` → 0 (wait forever); `Some(d)` → `d` in ms, rounded up to
+/// the 1 ms wheel tick so a nonzero timeout is never silently
+/// dropped.
+fn timeout_to_ms(timeout: Option<Duration>) -> u64 {
+    timeout.map_or(0, |d| {
+        u64::try_from(d.as_millis()).unwrap_or(u64::MAX).max(1)
+    })
+}
+
+fn ms_to_timeout(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
+/// Per-op timer for the async wrappers: armed up front when a timeout
+/// is configured (the future owns it across polls), unarmed otherwise.
+fn op_timer(ms: u64) -> TimerGuard {
+    let mut timer = TimerGuard::unarmed();
+    if ms > 0 {
+        timer.arm(ms);
+    }
+    timer
 }
 
 /// Injected short write: cut the buffer to a nonempty prefix, exactly
@@ -36,15 +95,26 @@ fn chaos_cut(len: usize) -> usize {
 
 /// Synchronous (ULT / external thread) retry loop: try `op`, consume
 /// the readiness edge on `WouldBlock`, wait, repeat. See DESIGN.md §15
-/// for why the clear is followed by one immediate retry.
+/// for why the clear is followed by one immediate retry. A nonzero
+/// `timeout_ms` arms a wheel deadline on the *first* `WouldBlock` —
+/// the ready fast path never touches the wheel — after which the op
+/// fails with `TimedOut` once the wheel fires it.
 fn sync_op<T>(
     reg: &Registration,
     dir: Dir,
+    timeout_ms: u64,
     mut op: impl FnMut() -> io::Result<T>,
 ) -> io::Result<T> {
+    let mut timer = TimerGuard::unarmed();
     loop {
         if reg.is_closed() {
             return Err(closed_error());
+        }
+        if let Some(t) = timer.entry() {
+            if t.has_fired() {
+                COUNTERS.io_timeouts.inc();
+                return Err(timeout_error());
+            }
         }
         let injected = should_inject(FaultSite::NetSpuriousEagain);
         let first = if injected { Err(would_block()) } else { op() };
@@ -62,9 +132,12 @@ fn sync_op<T>(
                         done => return done,
                     }
                 }
+                if timeout_ms > 0 {
+                    timer.arm(timeout_ms);
+                }
                 // Injected EAGAINs leave the ready flag up, so this
                 // wait returns immediately: a delay, never a stall.
-                reg.wait_ult(dir)?;
+                reg.wait_ult_deadline(dir, timer.entry())?;
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             done => return done,
@@ -72,11 +145,14 @@ fn sync_op<T>(
     }
 }
 
-/// Async retry loop: the poll-flavored twin of [`sync_op`].
+/// Async retry loop: the poll-flavored twin of [`sync_op`]. The
+/// optional `deadline` is owned by the calling future (it must span
+/// every poll of one logical op, so it cannot live here).
 fn poll_op<T>(
     reg: &Registration,
     dir: Dir,
     cx: &mut Context<'_>,
+    deadline: Option<&TimerEntry>,
     mut op: impl FnMut() -> io::Result<T>,
 ) -> Poll<io::Result<T>> {
     loop {
@@ -96,7 +172,7 @@ fn poll_op<T>(
                         done => return Poll::Ready(done),
                     }
                 }
-                match reg.poll_ready(dir, cx) {
+                match reg.poll_ready_deadline(dir, cx, deadline) {
                     Poll::Ready(Ok(())) => {}
                     Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
                     Poll::Pending => return Poll::Pending,
@@ -176,14 +252,14 @@ impl TcpListener {
     /// `ErrorKind::NotConnected` after [`shutdown`](Self::shutdown) —
     /// including for waits already in flight when the shutdown lands.
     pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
-        let (stream, peer) = sync_op(&self.reg, Dir::Read, || self.inner.accept())?;
+        let (stream, peer) = sync_op(&self.reg, Dir::Read, 0, || self.inner.accept())?;
         Ok((TcpStream::from_std(stream)?, peer))
     }
 
     /// Poll-flavored [`accept`](Self::accept) for manual future
     /// implementations.
     pub fn poll_accept(&self, cx: &mut Context<'_>) -> Poll<io::Result<(TcpStream, SocketAddr)>> {
-        match poll_op(&self.reg, Dir::Read, cx, || self.inner.accept()) {
+        match poll_op(&self.reg, Dir::Read, cx, None, || self.inner.accept()) {
             Poll::Ready(Ok((stream, peer))) => {
                 Poll::Ready(TcpStream::from_std(stream).map(|s| (s, peer)))
             }
@@ -228,9 +304,24 @@ impl std::fmt::Debug for TcpListener {
 /// A nonblocking TCP stream registered with the reactor. Reads and
 /// writes suspend the calling work unit (never its worker thread)
 /// until the kernel reports readiness.
+///
+/// ## Deadlines
+///
+/// [`set_read_timeout`](Self::set_read_timeout) /
+/// [`set_write_timeout`](Self::set_write_timeout) bound every
+/// *individual* read/write (sync and async flavors alike) by arming
+/// an entry on the process timer wheel: when the wheel fires first,
+/// the op fails with `ErrorKind::TimedOut` and the socket stays
+/// usable. Composite helpers (`read_exact`, `write_all`) apply the
+/// timeout per underlying op, so their total wall time is bounded by
+/// `timeout × chunks`, matching `std::net` semantics. The fast path
+/// (data already available) never touches the wheel.
 pub struct TcpStream {
     inner: net::TcpStream,
     reg: Arc<Registration>,
+    /// Per-op deadlines in ms; 0 = wait forever (the default).
+    read_timeout_ms: AtomicU64,
+    write_timeout_ms: AtomicU64,
 }
 
 impl TcpStream {
@@ -248,13 +339,48 @@ impl TcpStream {
     pub fn from_std(inner: net::TcpStream) -> io::Result<TcpStream> {
         inner.set_nonblocking(true)?;
         let reg = reactor().register(inner.as_raw_fd())?;
-        Ok(TcpStream { inner, reg })
+        Ok(TcpStream {
+            inner,
+            reg,
+            read_timeout_ms: AtomicU64::new(0),
+            write_timeout_ms: AtomicU64::new(0),
+        })
+    }
+
+    /// Bound every subsequent read by `timeout`: once it elapses with
+    /// the socket still dry, the read fails with
+    /// `ErrorKind::TimedOut`. `None` (the default) waits forever;
+    /// sub-millisecond timeouts round up to 1 ms (the wheel tick).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) {
+        self.read_timeout_ms
+            .store(timeout_to_ms(timeout), Ordering::Relaxed);
+    }
+
+    /// Bound every subsequent write by `timeout` (see
+    /// [`set_read_timeout`](Self::set_read_timeout)).
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) {
+        self.write_timeout_ms
+            .store(timeout_to_ms(timeout), Ordering::Relaxed);
+    }
+
+    /// The configured read deadline, if any.
+    #[must_use]
+    pub fn read_timeout(&self) -> Option<Duration> {
+        ms_to_timeout(self.read_timeout_ms.load(Ordering::Relaxed))
+    }
+
+    /// The configured write deadline, if any.
+    #[must_use]
+    pub fn write_timeout(&self) -> Option<Duration> {
+        ms_to_timeout(self.write_timeout_ms.load(Ordering::Relaxed))
     }
 
     /// Read into `buf`, suspending until at least one byte (or EOF,
-    /// returning `Ok(0)`) is available.
+    /// returning `Ok(0)`) is available — bounded by the configured
+    /// read timeout, if any.
     pub fn read(&self, buf: &mut [u8]) -> io::Result<usize> {
-        sync_op(&self.reg, Dir::Read, || (&self.inner).read(buf))
+        let ms = self.read_timeout_ms.load(Ordering::Relaxed);
+        sync_op(&self.reg, Dir::Read, ms, || (&self.inner).read(buf))
     }
 
     /// Read exactly `buf.len()` bytes; `ErrorKind::UnexpectedEof` if
@@ -280,7 +406,8 @@ impl TcpStream {
     /// the send buffer filled and under injected `NetPartialWrite`
     /// chaos — so most callers want [`write_all`](Self::write_all).
     pub fn write(&self, buf: &[u8]) -> io::Result<usize> {
-        sync_op(&self.reg, Dir::Write, || {
+        let ms = self.write_timeout_ms.load(Ordering::Relaxed);
+        sync_op(&self.reg, Dir::Write, ms, || {
             (&self.inner).write(&buf[..chaos_cut(buf.len())])
         })
     }
@@ -297,21 +424,63 @@ impl TcpStream {
         Ok(())
     }
 
-    /// Poll-flavored [`read`](Self::read).
+    /// Poll-flavored [`read`](Self::read). Poll methods carry no
+    /// deadline — a per-poll call cannot own the wheel entry that must
+    /// span the whole logical op. Manual futures that want one should
+    /// hold a [`TimerGuard`]-style armed entry themselves; the `async`
+    /// wrappers below do exactly that.
     pub fn poll_read(&self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
-        poll_op(&self.reg, Dir::Read, cx, || (&self.inner).read(buf))
+        self.poll_read_deadline(cx, buf, None)
     }
 
     /// Poll-flavored [`write`](Self::write) (same short-write caveat).
     pub fn poll_write(&self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
-        poll_op(&self.reg, Dir::Write, cx, || {
+        self.poll_write_deadline(cx, buf, None)
+    }
+
+    /// [`poll_read`](Self::poll_read) bounded by an armed wheel entry
+    /// owned by the caller (it must span every poll of the op).
+    pub(crate) fn poll_read_deadline(
+        &self,
+        cx: &mut Context<'_>,
+        buf: &mut [u8],
+        deadline: Option<&TimerEntry>,
+    ) -> Poll<io::Result<usize>> {
+        poll_op(&self.reg, Dir::Read, cx, deadline, || {
+            (&self.inner).read(buf)
+        })
+    }
+
+    /// [`poll_write`](Self::poll_write) with a caller-owned deadline.
+    pub(crate) fn poll_write_deadline(
+        &self,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+        deadline: Option<&TimerEntry>,
+    ) -> Poll<io::Result<usize>> {
+        poll_op(&self.reg, Dir::Write, cx, deadline, || {
             (&self.inner).write(&buf[..chaos_cut(buf.len())])
         })
     }
 
-    /// Async [`read`](Self::read) for `spawn_async` tasks.
+    /// Async [`read`](Self::read) for `spawn_async` tasks — bounded by
+    /// the configured read timeout, if any (the future owns the armed
+    /// entry for the duration of the op; dropping the future cancels
+    /// it).
     pub async fn read_async(&self, buf: &mut [u8]) -> io::Result<usize> {
-        std::future::poll_fn(move |cx| self.poll_read(cx, &mut *buf)).await
+        let timer = op_timer(self.read_timeout_ms.load(Ordering::Relaxed));
+        std::future::poll_fn(move |cx| self.poll_read_deadline(cx, &mut *buf, timer.entry())).await
+    }
+
+    /// [`read_async`](Self::read_async) bounded by a caller-owned
+    /// armed entry *instead of* the stream's own read timeout — the
+    /// HTTP server's absolute header/idle deadlines use this.
+    pub(crate) async fn read_async_deadline(
+        &self,
+        buf: &mut [u8],
+        deadline: Option<&TimerEntry>,
+    ) -> io::Result<usize> {
+        std::future::poll_fn(move |cx| self.poll_read_deadline(cx, &mut *buf, deadline)).await
     }
 
     /// Async [`read_exact`](Self::read_exact).
@@ -331,9 +500,11 @@ impl TcpStream {
         Ok(())
     }
 
-    /// Async [`write`](Self::write) (short writes possible).
+    /// Async [`write`](Self::write) (short writes possible) — bounded
+    /// by the configured write timeout, if any.
     pub async fn write_async(&self, buf: &[u8]) -> io::Result<usize> {
-        std::future::poll_fn(move |cx| self.poll_write(cx, buf)).await
+        let timer = op_timer(self.write_timeout_ms.load(Ordering::Relaxed));
+        std::future::poll_fn(move |cx| self.poll_write_deadline(cx, buf, timer.entry())).await
     }
 
     /// Async [`write_all`](Self::write_all).

@@ -42,6 +42,11 @@
 //!   I/O reactor (`lwt-net`) registers a non-blocking poll hook that
 //!   every backend calls when a steal sweep comes up dry, so readiness
 //!   events are collected before a worker parks.
+//! * [`TimerWheel`] — the hierarchical timer wheel behind every
+//!   deadline in the serving stack (TCP read/write deadlines, HTTP
+//!   idle/header timeouts, graceful-drain deadlines). The reactor
+//!   driver advances it; both ULT relax loops and async task wakers
+//!   can be armed on a [`TimerEntry`].
 
 #![warn(missing_docs)]
 
@@ -55,6 +60,7 @@ mod ready;
 mod shared;
 mod stealable;
 mod task;
+mod timer;
 mod victim;
 
 pub use chase_lev::{ChaseLev, Steal, Stealer, Worker};
@@ -69,4 +75,5 @@ pub use ready::{ReadyQueue, FAIRNESS};
 pub use shared::SharedQueue;
 pub use stealable::StealableDeque;
 pub use task::{TaskState, WakeAction};
+pub use timer::{TimerEntry, TimerWheel, LEVELS, SLOTS};
 pub use victim::{near_first, RandomVictim, RoundRobin};

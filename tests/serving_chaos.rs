@@ -3,14 +3,24 @@
 //! under injected partial writes ([`lwt::chaos::FaultSite::NetPartialWrite`]),
 //! spurious EAGAINs (`NetSpuriousEagain`), and delayed readiness
 //! dispatch (`NetDelayedReadiness`) — chaos degrades throughput, never
-//! correctness. Lives in its own test binary because `force_chaos` is
-//! process-global.
+//! correctness. The HTTP storm test adds the overload sites
+//! (`NetConnKill`, `NetReadStall`, `HandlerPanic`) against a capped
+//! server, and the timeout test pins that a `SpuriousUnpark` storm
+//! cannot stretch `join_timeout` / `FebCell::wait_timeout` past their
+//! deadlines. Lives in its own test binary because `force_chaos` is
+//! process-global; the [`SERIAL`] mutex keeps the tests from
+//! overlapping within it.
 
-use std::time::Duration;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use lwt::chaos::{self, FaultSite};
 use lwt::net::{TcpListener, TcpStream};
 use lwt::{BackendKind, Glt};
+
+/// `force_chaos` is process-global: only one chaos test may own it at
+/// a time (the harness runs tests in one binary concurrently).
+static SERIAL: Mutex<()> = Mutex::new(());
 
 const JOIN: Duration = Duration::from_secs(120);
 const SEED: u64 = 0x1BAD_B002;
@@ -71,6 +81,7 @@ fn echo_round(kind: BackendKind) {
 
 #[test]
 fn echo_payload_intact_under_injected_net_faults() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     chaos::force_chaos(SEED, RATE);
     let seq_before = chaos::site_sequences();
     let counters_before = lwt::metrics::snapshot().counters;
@@ -100,5 +111,174 @@ fn echo_payload_intact_under_injected_net_faults() {
     chaos::reset_schedule();
     echo_round(BackendKind::Go);
 
+    chaos::reset_to_env();
+}
+
+/// Read one full HTTP response off a std socket; `None` on a clean or
+/// reset close before a complete response (retryable under chaos).
+fn try_read_response(stream: &mut std::net::TcpStream) -> Option<String> {
+    use std::io::Read as _;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 2048];
+    loop {
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4) {
+            let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+            let clen: usize = head
+                .lines()
+                .find_map(|l| {
+                    let (n, v) = l.split_once(':')?;
+                    n.eq_ignore_ascii_case("content-length")
+                        .then(|| v.trim().parse().ok())?
+                })
+                .unwrap_or(0);
+            if buf.len() >= head_end + clen {
+                return Some(String::from_utf8_lossy(&buf[..head_end + clen]).to_string());
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+}
+
+/// The ISSUE's acceptance scenario: a capped HTTP server under a
+/// seeded storm of read stalls, handler panics, and post-response
+/// connection kills. Every client must converge to a byte-correct
+/// `200` within bounded retries — chaos turns into `500`s, `503`s,
+/// and transport errors, never into corruption, worker deaths, or
+/// hangs — and the runtime must still drain cleanly.
+#[test]
+fn http_storm_with_panics_and_kills_stays_correct() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    chaos::force_chaos(0xC0FF_EE00, 10);
+    let counters_before = lwt::metrics::snapshot().counters;
+
+    let glt = Glt::builder(BackendKind::Go).workers(2).build();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let mut config = lwt::net::http::ServerConfig::default();
+    config.max_conns = 64;
+    config.max_inflight = 2;
+    config.header_timeout_ms = 10_000;
+    config.idle_timeout_ms = 10_000;
+    let server = lwt::net::http::serve_config(
+        &glt,
+        listener,
+        config,
+        std::sync::Arc::new(|req: &lwt::net::http::Request| {
+            lwt::net::http::Response::ok(format!("echo:{}", req.target))
+        }),
+    )
+    .expect("serve");
+    let addr = server.addr();
+
+    let clients: Vec<_> = (0..12)
+        .map(|i| {
+            std::thread::spawn(move || {
+                use std::io::Write as _;
+                let want = format!("echo:/storm/{i}");
+                for _attempt in 0..50 {
+                    let Ok(mut stream) = std::net::TcpStream::connect(addr) else {
+                        continue;
+                    };
+                    let req = format!("GET /storm/{i} HTTP/1.1\r\nHost: t\r\n\r\n");
+                    if stream.write_all(req.as_bytes()).is_err() {
+                        continue; // injected kill mid-request: retry
+                    }
+                    match try_read_response(&mut stream) {
+                        Some(resp) if resp.starts_with("HTTP/1.1 200 ") => {
+                            assert!(
+                                resp.ends_with(&want),
+                                "corrupt 200 for client {i}: {resp}"
+                            );
+                            return;
+                        }
+                        // 500 (injected panic), 503 (shed), or a cut
+                        // connection: all retryable, never corrupt.
+                        Some(resp) => assert!(
+                            resp.starts_with("HTTP/1.1 500 ")
+                                || resp.starts_with("HTTP/1.1 503 "),
+                            "unexpected status for client {i}: {resp}"
+                        ),
+                        None => {}
+                    }
+                }
+                panic!("client {i} never got a correct 200 in 50 attempts");
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("storm client");
+    }
+
+    // The storm actually exercised the new sites.
+    let seq = chaos::site_sequences();
+    assert!(
+        seq[FaultSite::HandlerPanic as usize] > 0,
+        "no draws at HandlerPanic"
+    );
+    assert!(
+        seq[FaultSite::NetReadStall as usize] > 0,
+        "no draws at NetReadStall"
+    );
+    let delta = lwt::metrics::snapshot().counters.delta(&counters_before);
+    assert!(
+        delta.handler_panics > 0,
+        "storm at 10% injected no handler panics"
+    );
+
+    server.shutdown();
+    glt.finalize().expect("clean drain after storm");
+    chaos::reset_to_env();
+}
+
+/// Regression pin for the timeout-path audit: a `SpuriousUnpark` /
+/// `FebSpuriousWake` storm (every draw injects) may cost extra wake
+/// rounds, but can never stretch `FebCell::wait_timeout` or
+/// `GltHandle::join_timeout` meaningfully past their deadlines — both
+/// re-check the clock on every wake, spurious or real.
+#[test]
+fn spurious_wake_storm_cannot_extend_timeouts() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    chaos::force_chaos(0xDEAD_5EED, 100);
+
+    // FebCell: never filled, so only the deadline can end the wait.
+    let feb = lwt::sync::FebCell::<u32>::new();
+    let started = Instant::now();
+    let filled = feb.wait_timeout(Duration::from_millis(100), std::thread::yield_now);
+    let elapsed = started.elapsed();
+    assert!(!filled, "empty FEB reported full");
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "spurious-wake storm stretched wait_timeout to {elapsed:?}"
+    );
+    assert!(
+        elapsed >= Duration::from_millis(100),
+        "wait_timeout returned before its deadline: {elapsed:?}"
+    );
+
+    // join_timeout on a gated ULT: must hand the handle back at the
+    // deadline, not when the storm quiets.
+    let glt = Glt::builder(BackendKind::Go).workers(1).build();
+    let gate = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let gate_u = std::sync::Arc::clone(&gate);
+    let unit = glt.ult_create(move || {
+        while !gate_u.load(std::sync::atomic::Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        7
+    });
+    let started = Instant::now();
+    let back = unit
+        .join_timeout(Duration::from_millis(100))
+        .expect_err("gated unit cannot have finished");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "spurious-wake storm stretched join_timeout to {elapsed:?}"
+    );
+    gate.store(true, std::sync::atomic::Ordering::Release);
+    assert_eq!(back.join(), 7);
+    glt.finalize().expect("clean drain");
     chaos::reset_to_env();
 }
